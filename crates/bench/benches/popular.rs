@@ -1,0 +1,99 @@
+//! Criterion benches for experiments E4/E5: the NC popular matching
+//! algorithm (Algorithm 1 + Algorithm 2) against the sequential baseline,
+//! plus the reduced-graph construction on its own.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use pm_bench::workloads;
+use pm_popular::algorithm1::popular_matching_nc;
+use pm_popular::algorithm2::applicant_complete_matching;
+use pm_popular::reduced::ReducedGraph;
+use pm_popular::sequential::popular_matching_sequential;
+use pm_pram::DepthTracker;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+/// E5 — Algorithm 1 (parallel) vs the sequential baseline on solvable
+/// uniform instances.
+fn bench_popular_matching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_popular_matching");
+    for &n in &[10_000usize, 50_000] {
+        let inst = workloads::solvable_uniform(n);
+        group.bench_with_input(BenchmarkId::new("nc_algorithm1", n), &inst, |b, inst| {
+            b.iter(|| {
+                let tracker = DepthTracker::new();
+                popular_matching_nc(inst, &tracker).unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("sequential_baseline", n), &inst, |b, inst| {
+            b.iter(|| popular_matching_sequential(inst).unwrap())
+        });
+    }
+    group.finish();
+}
+
+/// E4 — Algorithm 2 alone (the degree-1 peeling + even-cycle finish) on the
+/// binary-tree worst case and on uniform instances.
+fn bench_algorithm2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_algorithm2");
+    for &depth in &[10usize, 14] {
+        let inst = workloads::peeling_tree(depth);
+        let tracker = DepthTracker::new();
+        let reduced = ReducedGraph::build_parallel(&inst, &tracker).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("binary_tree_depth", depth),
+            &reduced,
+            |b, reduced| {
+                b.iter(|| {
+                    let tracker = DepthTracker::new();
+                    applicant_complete_matching(reduced, &tracker)
+                })
+            },
+        );
+    }
+    for &n in &[50_000usize] {
+        let inst = workloads::solvable_uniform(n);
+        let tracker = DepthTracker::new();
+        let reduced = ReducedGraph::build_parallel(&inst, &tracker).unwrap();
+        group.bench_with_input(BenchmarkId::new("uniform", n), &reduced, |b, reduced| {
+            b.iter(|| {
+                let tracker = DepthTracker::new();
+                applicant_complete_matching(reduced, &tracker)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Reduced-graph construction (parallel vs sequential), the first step of
+/// Algorithm 1.
+fn bench_reduced_graph(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_reduced_graph");
+    for &n in &[50_000usize] {
+        let inst = workloads::solvable_uniform(n);
+        group.bench_with_input(BenchmarkId::new("parallel", n), &inst, |b, inst| {
+            b.iter(|| {
+                let tracker = DepthTracker::new();
+                ReducedGraph::build_parallel(inst, &tracker).unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("sequential", n), &inst, |b, inst| {
+            b.iter(|| ReducedGraph::build_sequential(inst).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_popular_matching, bench_algorithm2, bench_reduced_graph
+}
+criterion_main!(benches);

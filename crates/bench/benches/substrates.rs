@@ -1,0 +1,117 @@
+//! Criterion benches for experiment E7 and the PRAM substrates: the four
+//! pseudoforest cycle finders of Section IV-A, connected components, prefix
+//! scans and pointer jumping.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use pm_bench::workloads;
+use pm_graph::connected::{connected_components_parallel, connected_components_union_find};
+use pm_graph::cycle::{
+    cycle_vertices_via_cc, cycle_vertices_via_closure, cycle_vertices_via_rank, undirected_view,
+};
+use pm_pram::pointer::pointer_jump_roots;
+use pm_pram::scan::prefix_sum_exclusive;
+use pm_pram::DepthTracker;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+/// E7 — the four cycle-finding methods on random pseudoforests.
+fn bench_cycle_finding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_pseudoforest_cycles");
+    for &n in &[256usize, 1_024] {
+        let fg = workloads::pseudoforest(n);
+        let ug = undirected_view(&fg);
+
+        group.bench_with_input(BenchmarkId::new("pointer_doubling", n), &fg, |b, fg| {
+            b.iter(|| {
+                let tracker = DepthTracker::new();
+                fg.on_cycle_parallel(&tracker)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("transitive_closure", n), &fg, |b, fg| {
+            b.iter(|| {
+                let tracker = DepthTracker::new();
+                cycle_vertices_via_closure(fg, &tracker)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("sequential_walk", n), &fg, |b, fg| {
+            b.iter(|| fg.on_cycle_sequential())
+        });
+        // The rank and component-counting oracles are O(m) rank/CC calls; they
+        // are only benched at the smaller sizes to keep `cargo bench` short.
+        if n <= 1_024 {
+            group.bench_with_input(BenchmarkId::new("incidence_rank", n), &ug, |b, ug| {
+                b.iter(|| {
+                    let tracker = DepthTracker::new();
+                    cycle_vertices_via_rank(&workloads::pseudoforest(n), &tracker).len()
+                        + ug.num_edges()
+                })
+            });
+            group.bench_with_input(BenchmarkId::new("component_counting", n), &fg, |b, fg| {
+                b.iter(|| {
+                    let tracker = DepthTracker::new();
+                    cycle_vertices_via_cc(fg, &tracker)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+/// Connected components: the parallel hooking/shortcutting algorithm vs
+/// union–find (the Theorem 8 substrate).
+fn bench_connected_components(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate_connected_components");
+    for &n in &[100_000usize] {
+        // A long path plus random chords: worst case diameter for naive label
+        // propagation, easy for hooking + shortcutting.
+        let mut edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        edges.extend((0..n / 10).map(|i| (i * 7 % n, (i * 13 + 1) % n)));
+        group.bench_with_input(BenchmarkId::new("parallel_hooking", n), &edges, |b, edges| {
+            b.iter(|| {
+                let tracker = DepthTracker::new();
+                connected_components_parallel(n, edges, &tracker).count
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("union_find", n), &edges, |b, edges| {
+            b.iter(|| connected_components_union_find(n, edges).count)
+        });
+    }
+    group.finish();
+}
+
+/// PRAM primitives: prefix sums and pointer jumping.
+fn bench_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate_primitives");
+    for &n in &[1_000_000usize] {
+        let xs: Vec<u64> = (0..n as u64).map(|i| i % 97).collect();
+        group.bench_with_input(BenchmarkId::new("prefix_sum", n), &xs, |b, xs| {
+            b.iter(|| {
+                let tracker = DepthTracker::new();
+                prefix_sum_exclusive(xs, &tracker).1
+            })
+        });
+        let parent: Vec<usize> = (0..n).map(|i| i.saturating_sub(1)).collect();
+        group.bench_with_input(BenchmarkId::new("pointer_jumping_path", n), &parent, |b, parent| {
+            b.iter(|| {
+                let tracker = DepthTracker::new();
+                pointer_jump_roots(parent, &tracker).rounds
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_cycle_finding, bench_connected_components, bench_primitives
+}
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! Criterion benches for experiments E6/E8: the switching graph, Algorithm 3
+//! (maximum-cardinality popular matching) and the weighted optimal variants.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use pm_bench::workloads;
+use pm_popular::algorithm1::popular_matching_run;
+use pm_popular::max_cardinality::{
+    improve_to_maximum_cardinality, maximum_cardinality_popular_matching_sequential,
+};
+use pm_popular::optimal::{fair_popular_matching, rank_maximal_popular_matching};
+use pm_popular::switching::SwitchingGraph;
+use pm_pram::DepthTracker;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+/// E6 — Algorithm 3 on instances with a large A1 population.
+fn bench_max_cardinality(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_max_cardinality");
+    for &n in &[10_000usize, 50_000] {
+        let inst = workloads::pressured(n, 0.4);
+        let tracker = DepthTracker::new();
+        let run = popular_matching_run(&inst, &tracker).unwrap();
+
+        group.bench_with_input(
+            BenchmarkId::new("algorithm3_improve", n),
+            &(&run.reduced, &run.matching),
+            |b, (reduced, matching)| {
+                b.iter(|| {
+                    let tracker = DepthTracker::new();
+                    improve_to_maximum_cardinality(reduced, matching, &tracker)
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("sequential_end_to_end", n), &inst, |b, inst| {
+            b.iter(|| maximum_cardinality_popular_matching_sequential(inst).unwrap())
+        });
+    }
+    group.finish();
+}
+
+/// E6 — building the switching graph and decomposing it into components.
+fn bench_switching_graph(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_switching_graph");
+    for &n in &[50_000usize] {
+        let inst = workloads::pressured(n, 0.4);
+        let tracker = DepthTracker::new();
+        let run = popular_matching_run(&inst, &tracker).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("build_and_decompose", n),
+            &(&run.reduced, &run.matching),
+            |b, (reduced, matching)| {
+                b.iter(|| {
+                    let tracker = DepthTracker::new();
+                    let sg = SwitchingGraph::build(reduced, matching, &tracker);
+                    (sg.components(&tracker).len(), sg.margins_to_sink(&tracker).len())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// E8 — rank-maximal and fair popular matchings (big-integer weights).
+fn bench_optimal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_optimal");
+    for &n in &[10_000usize, 50_000] {
+        let inst = workloads::pressured(n, 0.4);
+        group.bench_with_input(BenchmarkId::new("rank_maximal", n), &inst, |b, inst| {
+            b.iter(|| {
+                let tracker = DepthTracker::new();
+                rank_maximal_popular_matching(inst, &tracker).unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("fair", n), &inst, |b, inst| {
+            b.iter(|| {
+                let tracker = DepthTracker::new();
+                fair_popular_matching(inst, &tracker).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_max_cardinality, bench_switching_graph, bench_optimal
+}
+criterion_main!(benches);

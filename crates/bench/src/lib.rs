@@ -1,0 +1,118 @@
+//! Shared utilities for the benchmark harness: wall-clock timing, text
+//! tables, and the canonical workload definitions used by both the Criterion
+//! benches and the `harness` binary so that EXPERIMENTS.md, the benches and
+//! the tables all measure exactly the same inputs.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub mod workloads;
+
+/// Runs `f` once and returns its result together with the elapsed wall time.
+pub fn time<R>(f: impl FnOnce() -> R) -> (R, Duration) {
+    let start = Instant::now();
+    let r = f();
+    (r, start.elapsed())
+}
+
+/// Runs `f` `reps` times and returns the best (minimum) wall time together
+/// with the last result — the robust "best of N" protocol the harness uses.
+pub fn time_best<R>(reps: usize, mut f: impl FnMut() -> R) -> (R, Duration) {
+    assert!(reps > 0);
+    let mut best = Duration::MAX;
+    let mut out = None;
+    for _ in 0..reps {
+        let (r, d) = time(&mut f);
+        if d < best {
+            best = d;
+        }
+        out = Some(r);
+    }
+    (out.expect("reps > 0"), best)
+}
+
+/// Formats a duration in milliseconds with three decimals.
+pub fn ms(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64() * 1e3)
+}
+
+/// A fixed-width text table printed to stdout by the harness binary; the
+/// same rows are pasted into EXPERIMENTS.md.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Self {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must have as many cells as there are headers).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table as a GitHub-flavoured Markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### {}\n\n", self.title));
+        out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        out.push_str(&format!(
+            "|{}\n",
+            self.headers.iter().map(|_| "---|").collect::<String>()
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out
+    }
+
+    /// Prints the Markdown rendering to stdout.
+    pub fn print(&self) {
+        println!("{}", self.to_markdown());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_helpers() {
+        let (v, d) = time(|| 21 * 2);
+        assert_eq!(v, 42);
+        assert!(d < Duration::from_secs(1));
+        let (v, d) = time_best(3, || 7);
+        assert_eq!(v, 7);
+        assert!(d < Duration::from_secs(1));
+        assert!(ms(Duration::from_millis(2)).starts_with("2.0"));
+    }
+
+    #[test]
+    fn table_rendering() {
+        let mut t = Table::new("E0 — demo", &["n", "value"]);
+        t.row(vec!["10".into(), "3.5".into()]);
+        let md = t.to_markdown();
+        assert!(md.contains("### E0 — demo"));
+        assert!(md.contains("| n | value |"));
+        assert!(md.contains("| 10 | 3.5 |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_is_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+}

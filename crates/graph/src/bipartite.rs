@@ -1,0 +1,205 @@
+//! Bipartite graphs over a left vertex set (applicants) and a right vertex
+//! set (posts).
+//!
+//! The popular matching instance is a bipartite graph `G = (A ∪ P, E)`; the
+//! reduced graph `G'` of Section III is another bipartite graph over the
+//! same vertex sets.  This module stores adjacency for both sides so degree
+//! queries from either side — Algorithm 2 constantly asks for post degrees —
+//! are O(1).
+
+use rayon::prelude::*;
+
+/// A simple undirected bipartite graph with `n_left` left vertices and
+/// `n_right` right vertices.  Parallel edges are not stored (inserting a
+/// duplicate edge is a no-op).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BipartiteGraph {
+    n_left: usize,
+    n_right: usize,
+    adj_left: Vec<Vec<usize>>,
+    adj_right: Vec<Vec<usize>>,
+    m: usize,
+}
+
+impl BipartiteGraph {
+    /// Creates an empty bipartite graph with the given side sizes.
+    pub fn new(n_left: usize, n_right: usize) -> Self {
+        Self {
+            n_left,
+            n_right,
+            adj_left: vec![Vec::new(); n_left],
+            adj_right: vec![Vec::new(); n_right],
+            m: 0,
+        }
+    }
+
+    /// Builds a graph from an edge list of `(left, right)` pairs.
+    ///
+    /// # Panics
+    /// Panics if an endpoint is out of range.
+    pub fn from_edges(n_left: usize, n_right: usize, edges: &[(usize, usize)]) -> Self {
+        let mut g = Self::new(n_left, n_right);
+        for &(l, r) in edges {
+            g.add_edge(l, r);
+        }
+        g
+    }
+
+    /// Adds the edge `(left, right)` if not already present.  Returns whether
+    /// the edge was newly inserted.
+    pub fn add_edge(&mut self, left: usize, right: usize) -> bool {
+        assert!(left < self.n_left, "left endpoint {left} out of range");
+        assert!(right < self.n_right, "right endpoint {right} out of range");
+        if self.adj_left[left].contains(&right) {
+            return false;
+        }
+        self.adj_left[left].push(right);
+        self.adj_right[right].push(left);
+        self.m += 1;
+        true
+    }
+
+    /// Number of left vertices (applicants).
+    pub fn n_left(&self) -> usize {
+        self.n_left
+    }
+
+    /// Number of right vertices (posts).
+    pub fn n_right(&self) -> usize {
+        self.n_right
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.m
+    }
+
+    /// Degree of a left vertex.
+    pub fn degree_left(&self, l: usize) -> usize {
+        self.adj_left[l].len()
+    }
+
+    /// Degree of a right vertex.
+    pub fn degree_right(&self, r: usize) -> usize {
+        self.adj_right[r].len()
+    }
+
+    /// Neighbours (right vertices) of a left vertex, in insertion order.
+    pub fn neighbors_left(&self, l: usize) -> &[usize] {
+        &self.adj_left[l]
+    }
+
+    /// Neighbours (left vertices) of a right vertex, in insertion order.
+    pub fn neighbors_right(&self, r: usize) -> &[usize] {
+        &self.adj_right[r]
+    }
+
+    /// True iff the edge `(left, right)` is present.
+    pub fn has_edge(&self, left: usize, right: usize) -> bool {
+        self.adj_left[left].contains(&right)
+    }
+
+    /// All edges as `(left, right)` pairs, grouped by left vertex.
+    pub fn edges(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::with_capacity(self.m);
+        for (l, adj) in self.adj_left.iter().enumerate() {
+            for &r in adj {
+                out.push((l, r));
+            }
+        }
+        out
+    }
+
+    /// Checks that a candidate matching (given as `assignment[left] =
+    /// Some(right)`) uses only edges of this graph and matches each right
+    /// vertex at most once.
+    pub fn is_valid_matching(&self, assignment: &[Option<usize>]) -> bool {
+        if assignment.len() != self.n_left {
+            return false;
+        }
+        let mut used = vec![false; self.n_right];
+        for (l, &a) in assignment.iter().enumerate() {
+            if let Some(r) = a {
+                if r >= self.n_right || !self.has_edge(l, r) || used[r] {
+                    return false;
+                }
+                used[r] = true;
+            }
+        }
+        true
+    }
+
+    /// Number of matched left vertices in a candidate matching.
+    pub fn matching_size(assignment: &[Option<usize>]) -> usize {
+        assignment.iter().filter(|a| a.is_some()).count()
+    }
+
+    /// Right-vertex degrees computed in parallel (one PRAM round's worth of
+    /// work); convenient for Algorithm 2's "some post has degree 1" tests.
+    pub fn right_degrees(&self) -> Vec<usize> {
+        if self.n_right >= pm_pram::SEQUENTIAL_CUTOFF {
+            self.adj_right.par_iter().map(Vec::len).collect()
+        } else {
+            self.adj_right.iter().map(Vec::len).collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = BipartiteGraph::new(3, 2);
+        assert_eq!(g.n_left(), 3);
+        assert_eq!(g.n_right(), 2);
+        assert_eq!(g.num_edges(), 0);
+        assert!(g.edges().is_empty());
+    }
+
+    #[test]
+    fn add_edges_and_duplicates() {
+        let mut g = BipartiteGraph::new(2, 2);
+        assert!(g.add_edge(0, 0));
+        assert!(g.add_edge(0, 1));
+        assert!(!g.add_edge(0, 0), "duplicate must be a no-op");
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.degree_left(0), 2);
+        assert_eq!(g.degree_left(1), 0);
+        assert_eq!(g.degree_right(0), 1);
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        let mut g = BipartiteGraph::new(1, 1);
+        g.add_edge(0, 5);
+    }
+
+    #[test]
+    fn edge_list_roundtrip() {
+        let edges = vec![(0, 1), (1, 0), (2, 1), (2, 2)];
+        let g = BipartiteGraph::from_edges(3, 3, &edges);
+        assert_eq!(g.edges(), edges);
+        assert_eq!(g.right_degrees(), vec![1, 2, 1]);
+    }
+
+    #[test]
+    fn matching_validation() {
+        let g = BipartiteGraph::from_edges(3, 3, &[(0, 0), (1, 0), (1, 1), (2, 2)]);
+        // Valid matching.
+        assert!(g.is_valid_matching(&[Some(0), Some(1), Some(2)]));
+        // Uses a non-edge.
+        assert!(!g.is_valid_matching(&[Some(1), Some(0), Some(2)]));
+        // Post 0 used twice.
+        assert!(!g.is_valid_matching(&[Some(0), Some(0), Some(2)]));
+        // Partial matchings are fine.
+        assert!(g.is_valid_matching(&[None, Some(0), None]));
+        // Wrong length.
+        assert!(!g.is_valid_matching(&[Some(0)]));
+        assert_eq!(BipartiteGraph::matching_size(&[Some(0), None, Some(2)]), 2);
+    }
+}

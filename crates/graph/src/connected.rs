@@ -1,0 +1,228 @@
+//! Connected components: a parallel O(log n)-round algorithm and a
+//! sequential union–find baseline.
+//!
+//! Theorem 8 of the paper invokes the Cole–Vishkin connected-components
+//! algorithm.  We substitute the deterministic min-label hooking +
+//! shortcutting scheme (the "FastSV" formulation of Shiloach–Vishkin), which
+//! also converges in `O(log n)` rounds; the round count is recorded on the
+//! [`DepthTracker`] so experiment E7 can verify logarithmic behaviour.
+//! Outputs are canonical: every vertex is labelled with the minimum vertex
+//! id of its component, so the parallel and sequential routines agree
+//! exactly.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use rayon::prelude::*;
+
+use pm_pram::tracker::DepthTracker;
+
+/// Canonical component labelling: `label[v]` is the smallest vertex id in
+/// `v`'s component.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComponentLabels {
+    /// Per-vertex canonical label (minimum vertex id of the component).
+    pub label: Vec<usize>,
+    /// Number of distinct components.
+    pub count: usize,
+    /// Number of synchronous rounds the algorithm used (0 for union–find).
+    pub rounds: u64,
+}
+
+impl ComponentLabels {
+    /// Groups vertices by component, ordered by canonical label.
+    pub fn groups(&self) -> Vec<Vec<usize>> {
+        let mut by_label: Vec<Vec<usize>> = Vec::new();
+        let mut index_of: Vec<Option<usize>> = vec![None; self.label.len()];
+        for v in 0..self.label.len() {
+            let root = self.label[v];
+            let idx = match index_of[root] {
+                Some(i) => i,
+                None => {
+                    by_label.push(Vec::new());
+                    index_of[root] = Some(by_label.len() - 1);
+                    by_label.len() - 1
+                }
+            };
+            by_label[idx].push(v);
+        }
+        by_label
+    }
+}
+
+/// Deterministic parallel connected components (min-label hooking +
+/// shortcutting), `O(log n)` rounds.
+pub fn connected_components_parallel(
+    n: usize,
+    edges: &[(usize, usize)],
+    tracker: &DepthTracker,
+) -> ComponentLabels {
+    if n == 0 {
+        return ComponentLabels { label: Vec::new(), count: 0, rounds: 0 };
+    }
+    for &(u, v) in edges {
+        assert!(u < n && v < n, "edge endpoint out of range");
+    }
+
+    let parent: Vec<AtomicUsize> = (0..n).map(AtomicUsize::new).collect();
+    let mut rounds = 0u64;
+
+    loop {
+        rounds += 1;
+        tracker.round();
+        tracker.work((n + edges.len()) as u64);
+
+        // Snapshot of the grandparent function at the start of the round
+        // (CREW-style reads against a consistent state).
+        let snapshot: Vec<usize> = parent.iter().map(|p| p.load(Ordering::Relaxed)).collect();
+        let grand: Vec<usize> = snapshot.iter().map(|&p| snapshot[p]).collect();
+
+        // Hooking: every edge tries to pull both endpoints' (grand)parents
+        // down to the smaller grandparent; min-writes commute, so the result
+        // is deterministic regardless of scheduling.
+        edges.par_iter().for_each(|&(u, v)| {
+            let (gu, gv) = (grand[u], grand[v]);
+            let m = gu.min(gv);
+            parent[snapshot[u]].fetch_min(m, Ordering::Relaxed);
+            parent[snapshot[v]].fetch_min(m, Ordering::Relaxed);
+            parent[u].fetch_min(m, Ordering::Relaxed);
+            parent[v].fetch_min(m, Ordering::Relaxed);
+        });
+
+        // Shortcutting: parent[v] <- grandparent.
+        (0..n).into_par_iter().for_each(|v| {
+            let p = parent[v].load(Ordering::Relaxed);
+            let gp = parent[p].load(Ordering::Relaxed);
+            parent[v].fetch_min(gp, Ordering::Relaxed);
+        });
+
+        // Converged when every vertex points at a fixed point and hooking
+        // changed nothing this round.
+        let now: Vec<usize> = parent.iter().map(|p| p.load(Ordering::Relaxed)).collect();
+        let stable = now == snapshot;
+        if stable {
+            break;
+        }
+        assert!(
+            rounds <= 4 * (usize::BITS as u64) + 8,
+            "connected components failed to converge"
+        );
+    }
+
+    let label: Vec<usize> = parent.iter().map(|p| p.load(Ordering::Relaxed)).collect();
+    // After convergence the parent forest is a set of stars rooted at the
+    // minimum vertex of each component.
+    debug_assert!(label.iter().all(|&l| label[l] == l));
+    let count = label.iter().enumerate().filter(|&(v, &l)| v == l).count();
+    ComponentLabels { label, count, rounds }
+}
+
+/// Sequential union–find baseline with canonical (min-vertex) labels.
+pub fn connected_components_union_find(n: usize, edges: &[(usize, usize)]) -> ComponentLabels {
+    let mut parent: Vec<usize> = (0..n).collect();
+
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+
+    for &(u, v) in edges {
+        assert!(u < n && v < n, "edge endpoint out of range");
+        let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
+        if ru != rv {
+            // Union by canonical label: the smaller id becomes the root so the
+            // final labelling matches the parallel algorithm's.
+            let (small, big) = if ru < rv { (ru, rv) } else { (rv, ru) };
+            parent[big] = small;
+        }
+    }
+
+    let mut label = vec![0usize; n];
+    for v in 0..n {
+        label[v] = find(&mut parent, v);
+    }
+    let count = label.iter().enumerate().filter(|&(v, &l)| v == l).count();
+    ComponentLabels { label, count, rounds: 0 }
+}
+
+/// Number of connected components (sequential).
+pub fn count_components(n: usize, edges: &[(usize, usize)]) -> usize {
+    connected_components_union_find(n, edges).count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_agreement(n: usize, edges: &[(usize, usize)]) {
+        let t = DepthTracker::new();
+        let par = connected_components_parallel(n, edges, &t);
+        let seq = connected_components_union_find(n, edges);
+        assert_eq!(par.label, seq.label, "labels differ for n={n}");
+        assert_eq!(par.count, seq.count);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let t = DepthTracker::new();
+        let c = connected_components_parallel(0, &[], &t);
+        assert_eq!(c.count, 0);
+        let c = connected_components_parallel(5, &[], &t);
+        assert_eq!(c.count, 5);
+        assert_eq!(c.label, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn simple_components() {
+        // {0,1,2} via path, {3,4} via edge, {5} isolated
+        let edges = [(0, 1), (1, 2), (3, 4)];
+        check_agreement(6, &edges);
+        let seq = connected_components_union_find(6, &edges);
+        assert_eq!(seq.label, vec![0, 0, 0, 3, 3, 5]);
+        assert_eq!(seq.count, 3);
+        assert_eq!(seq.groups(), vec![vec![0, 1, 2], vec![3, 4], vec![5]]);
+    }
+
+    #[test]
+    fn long_path_converges_in_logarithmic_rounds() {
+        let n = 1 << 14;
+        let edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        let t = DepthTracker::new();
+        let c = connected_components_parallel(n, &edges, &t);
+        assert_eq!(c.count, 1);
+        assert!(c.label.iter().all(|&l| l == 0));
+        assert!(c.rounds <= 20, "rounds = {}", c.rounds);
+    }
+
+    #[test]
+    fn cycles_and_self_loops() {
+        let edges = [(0, 1), (1, 2), (2, 0), (3, 3)];
+        check_agreement(5, &edges);
+        let seq = connected_components_union_find(5, &edges);
+        assert_eq!(seq.count, 3); // {0,1,2}, {3}, {4}
+    }
+
+    #[test]
+    fn random_graphs_agree() {
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        for &n in &[2usize, 10, 100, 1000] {
+            for density in [1usize, 2, 4] {
+                let m = n * density / 2;
+                let edges: Vec<(usize, usize)> = (0..m)
+                    .map(|_| (rng.random_range(0..n), rng.random_range(0..n)))
+                    .collect();
+                check_agreement(n, &edges);
+            }
+        }
+    }
+
+    #[test]
+    fn count_components_helper() {
+        assert_eq!(count_components(4, &[(0, 1), (2, 3)]), 2);
+        assert_eq!(count_components(4, &[]), 4);
+        assert_eq!(count_components(4, &[(0, 1), (1, 2), (2, 3)]), 1);
+    }
+}

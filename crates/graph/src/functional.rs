@@ -1,0 +1,298 @@
+//! Directed pseudoforests (functional graphs with optional successors).
+//!
+//! Definition 3 of the paper: a *directed pseudoforest* is a directed graph
+//! in which every vertex has out-degree at most one.  Both switching graphs
+//! used by the paper are of this shape: the switching graph `G_M` of a
+//! popular matching (Lemma 4) and the switching graph `H_M` of a stable
+//! matching (Lemma 17).  Every weakly-connected component contains either a
+//! single sink or a single cycle, and the algorithms need exactly two
+//! queries answered in NC: *which vertices lie on a cycle* and *what is the
+//! vertex sequence of each cycle*.
+
+use rayon::prelude::*;
+
+use pm_pram::tracker::DepthTracker;
+use pm_pram::SEQUENTIAL_CUTOFF;
+
+use crate::connected::{connected_components_parallel, ComponentLabels};
+
+/// A directed graph where every vertex has at most one outgoing edge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FunctionalGraph {
+    succ: Vec<Option<usize>>,
+}
+
+impl FunctionalGraph {
+    /// Creates a functional graph from the successor array.
+    ///
+    /// # Panics
+    /// Panics if a successor index is out of range.
+    pub fn new(succ: Vec<Option<usize>>) -> Self {
+        let n = succ.len();
+        for (v, s) in succ.iter().enumerate() {
+            if let Some(s) = s {
+                assert!(*s < n, "successor of {v} out of range");
+            }
+        }
+        Self { succ }
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.succ.len()
+    }
+
+    /// The successor of `v`, if any.
+    pub fn successor(&self, v: usize) -> Option<usize> {
+        self.succ[v]
+    }
+
+    /// The successor array.
+    pub fn successors(&self) -> &[Option<usize>] {
+        &self.succ
+    }
+
+    /// Vertices with no outgoing edge (the sinks of the pseudoforest).
+    pub fn sinks(&self) -> Vec<usize> {
+        (0..self.n()).filter(|&v| self.succ[v].is_none()).collect()
+    }
+
+    /// The directed edges `(v, succ(v))`.
+    pub fn edges(&self) -> Vec<(usize, usize)> {
+        self.succ
+            .iter()
+            .enumerate()
+            .filter_map(|(v, s)| s.map(|s| (v, s)))
+            .collect()
+    }
+
+    /// Marks the vertices that lie on a (directed) cycle, using function
+    /// composition by pointer doubling: after `⌈log₂ n⌉` squarings the array
+    /// holds `succ^N` with `N ≥ n`, and a vertex is on a cycle iff it is in
+    /// the image of `succ^N` restricted to non-sinks.
+    pub fn on_cycle_parallel(&self, tracker: &DepthTracker) -> Vec<bool> {
+        let n = self.n();
+        if n == 0 {
+            return Vec::new();
+        }
+        // Sinks become fixed points so iteration is total.
+        let mut ptr: Vec<usize> = (0..n).map(|v| self.succ[v].unwrap_or(v)).collect();
+        let rounds = if n <= 1 { 0 } else { usize::BITS - (n - 1).leading_zeros() };
+        for _ in 0..rounds {
+            tracker.round();
+            tracker.work(n as u64);
+            ptr = if n >= SEQUENTIAL_CUTOFF {
+                (0..n).into_par_iter().map(|v| ptr[ptr[v]]).collect()
+            } else {
+                (0..n).map(|v| ptr[ptr[v]]).collect()
+            };
+        }
+
+        // Image computation: one concurrent-write round.
+        tracker.round();
+        tracker.work(n as u64);
+        let mut in_image = vec![false; n];
+        for &target in &ptr {
+            in_image[target] = true;
+        }
+        (0..n)
+            .map(|v| in_image[v] && self.succ[v].is_some())
+            .collect()
+    }
+
+    /// Sequential cycle-vertex detection (three-colour walk), the baseline
+    /// the parallel method is validated against.
+    pub fn on_cycle_sequential(&self) -> Vec<bool> {
+        let n = self.n();
+        let mut state = vec![0u8; n]; // 0 unvisited, 1 on stack, 2 done
+        let mut on_cycle = vec![false; n];
+        for start in 0..n {
+            if state[start] != 0 {
+                continue;
+            }
+            // Walk the unique path from `start` until a visited vertex or sink.
+            let mut path = Vec::new();
+            let mut v = start;
+            loop {
+                if state[v] == 1 {
+                    // Found a new cycle: it is the suffix of `path` from `v`.
+                    let pos = path.iter().position(|&u| u == v).expect("on stack");
+                    for &u in &path[pos..] {
+                        on_cycle[u] = true;
+                    }
+                    break;
+                }
+                if state[v] == 2 {
+                    break;
+                }
+                state[v] = 1;
+                path.push(v);
+                match self.succ[v] {
+                    Some(next) => v = next,
+                    None => break,
+                }
+            }
+            for &u in &path {
+                state[u] = 2;
+            }
+        }
+        on_cycle
+    }
+
+    /// Extracts every directed cycle, each given in successor order starting
+    /// from its smallest vertex, sorted by that smallest vertex.
+    ///
+    /// Cycle membership is determined in parallel
+    /// ([`on_cycle_parallel`](Self::on_cycle_parallel)); the canonical
+    /// representative of each cycle is found by min-label pointer doubling;
+    /// the final vertex sequences are read off by walking each cycle once
+    /// (total `O(n)` work).
+    pub fn cycles_parallel(&self, tracker: &DepthTracker) -> Vec<Vec<usize>> {
+        let on_cycle = self.on_cycle_parallel(tracker);
+        self.extract_cycles(&on_cycle)
+    }
+
+    /// Sequential counterpart of [`cycles_parallel`](Self::cycles_parallel).
+    pub fn cycles_sequential(&self) -> Vec<Vec<usize>> {
+        let on_cycle = self.on_cycle_sequential();
+        self.extract_cycles(&on_cycle)
+    }
+
+    fn extract_cycles(&self, on_cycle: &[bool]) -> Vec<Vec<usize>> {
+        let n = self.n();
+        let mut seen = vec![false; n];
+        let mut cycles = Vec::new();
+        for start in 0..n {
+            if !on_cycle[start] || seen[start] {
+                continue;
+            }
+            let mut cycle = Vec::new();
+            let mut v = start;
+            loop {
+                seen[v] = true;
+                cycle.push(v);
+                v = self.succ[v].expect("cycle vertex has a successor");
+                if v == start {
+                    break;
+                }
+            }
+            cycles.push(cycle);
+        }
+        cycles.sort_by_key(|c| c[0]);
+        cycles
+    }
+
+    /// Weakly-connected components of the pseudoforest (parallel).
+    pub fn weak_components(&self, tracker: &DepthTracker) -> ComponentLabels {
+        connected_components_parallel(self.n(), &self.edges(), tracker)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fg(succ: Vec<Option<usize>>) -> FunctionalGraph {
+        FunctionalGraph::new(succ)
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = fg(vec![]);
+        let t = DepthTracker::new();
+        assert!(g.on_cycle_parallel(&t).is_empty());
+        assert!(g.cycles_parallel(&t).is_empty());
+        assert!(g.sinks().is_empty());
+    }
+
+    #[test]
+    fn single_sink_and_self_loop() {
+        let t = DepthTracker::new();
+        // vertex 0 is a sink; vertex 1 is a self-loop (a cycle of length 1)
+        let g = fg(vec![None, Some(1)]);
+        assert_eq!(g.sinks(), vec![0]);
+        assert_eq!(g.on_cycle_parallel(&t), vec![false, true]);
+        assert_eq!(g.on_cycle_sequential(), vec![false, true]);
+        assert_eq!(g.cycles_parallel(&t), vec![vec![1]]);
+    }
+
+    #[test]
+    fn simple_cycle_with_tail() {
+        let t = DepthTracker::new();
+        // 3 -> 0 -> 1 -> 2 -> 0, 4 -> 3, sink 5
+        let g = fg(vec![Some(1), Some(2), Some(0), Some(0), Some(3), None]);
+        let on = g.on_cycle_parallel(&t);
+        assert_eq!(on, vec![true, true, true, false, false, false]);
+        assert_eq!(on, g.on_cycle_sequential());
+        assert_eq!(g.cycles_parallel(&t), vec![vec![0, 1, 2]]);
+        assert_eq!(g.cycles_sequential(), vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn two_cycles_and_tree_component() {
+        let t = DepthTracker::new();
+        // cycle A: 0 -> 1 -> 0; cycle B: 2 -> 3 -> 4 -> 2;
+        // tree component: 5 -> 6, 6 sink; tail onto cycle A: 7 -> 0
+        let g = fg(vec![
+            Some(1),
+            Some(0),
+            Some(3),
+            Some(4),
+            Some(2),
+            Some(6),
+            None,
+            Some(0),
+        ]);
+        let cycles = g.cycles_parallel(&t);
+        assert_eq!(cycles, vec![vec![0, 1], vec![2, 3, 4]]);
+        assert_eq!(cycles, g.cycles_sequential());
+        assert_eq!(g.sinks(), vec![6]);
+        let comps = g.weak_components(&t);
+        assert_eq!(comps.count, 3);
+    }
+
+    #[test]
+    fn cycle_order_follows_successors() {
+        let t = DepthTracker::new();
+        // 2 -> 5 -> 1 -> 2 is a cycle; canonical start is 1.
+        let g = fg(vec![None, Some(2), Some(5), None, None, Some(1)]);
+        assert_eq!(g.cycles_parallel(&t), vec![vec![1, 2, 5]]);
+    }
+
+    #[test]
+    fn long_path_no_cycle() {
+        let t = DepthTracker::new();
+        let n = 50_000;
+        let succ: Vec<Option<usize>> = (0..n).map(|v| if v + 1 < n { Some(v + 1) } else { None }).collect();
+        let g = fg(succ);
+        assert!(g.on_cycle_parallel(&t).iter().all(|&b| !b));
+        assert!(g.cycles_parallel(&t).is_empty());
+    }
+
+    #[test]
+    fn large_random_functional_graphs_match_sequential() {
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1234);
+        for &n in &[2usize, 17, 400, 5000] {
+            let succ: Vec<Option<usize>> = (0..n)
+                .map(|_| {
+                    if rng.random_range(0..8) == 0 {
+                        None
+                    } else {
+                        Some(rng.random_range(0..n))
+                    }
+                })
+                .collect();
+            let g = fg(succ);
+            let t = DepthTracker::new();
+            assert_eq!(g.on_cycle_parallel(&t), g.on_cycle_sequential(), "n={n}");
+            assert_eq!(g.cycles_parallel(&t), g.cycles_sequential(), "n={n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_successor_panics() {
+        let _ = fg(vec![Some(3)]);
+    }
+}

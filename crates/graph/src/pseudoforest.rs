@@ -1,0 +1,195 @@
+//! Undirected graphs and pseudoforest predicates.
+//!
+//! Definition 3 of the paper: a *pseudoforest* is an undirected graph in
+//! which every connected component has at most one cycle.  The rank- and
+//! component-counting cycle detectors of Section IV-A are stated for the
+//! undirected view of the switching graph, so this module provides a small
+//! undirected-graph type with edge identities plus the structural predicates
+//! the property tests check (experiment E11).
+
+use crate::connected::{connected_components_union_find, count_components};
+
+/// A simple undirected graph with explicit edge identities (multi-edges are
+/// allowed; they are meaningful for pseudoforest cycle structure).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct UndirectedGraph {
+    n: usize,
+    edges: Vec<(usize, usize)>,
+    adj: Vec<Vec<(usize, usize)>>, // (neighbour, edge id)
+}
+
+impl UndirectedGraph {
+    /// Creates an empty graph on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        Self { n, edges: Vec::new(), adj: vec![Vec::new(); n] }
+    }
+
+    /// Builds a graph from an edge list.
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Self {
+        let mut g = Self::new(n);
+        for &(u, v) in edges {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    /// Adds an edge and returns its id.
+    pub fn add_edge(&mut self, u: usize, v: usize) -> usize {
+        assert!(u < self.n && v < self.n, "edge endpoint out of range");
+        let id = self.edges.len();
+        self.edges.push((u, v));
+        self.adj[u].push((v, id));
+        if u != v {
+            self.adj[v].push((u, id));
+        }
+        id
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The edge list.
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// Degree of vertex `v` (a self-loop counts twice).
+    pub fn degree(&self, v: usize) -> usize {
+        self.adj[v]
+            .iter()
+            .map(|&(u, _)| if u == v { 2 } else { 1 })
+            .sum()
+    }
+
+    /// Neighbours of `v` as `(neighbour, edge id)` pairs.
+    pub fn neighbors(&self, v: usize) -> &[(usize, usize)] {
+        &self.adj[v]
+    }
+
+    /// True iff every connected component has at most one cycle, i.e. at
+    /// most as many edges as vertices (Definition 3).
+    pub fn is_pseudoforest(&self) -> bool {
+        let labels = connected_components_union_find(self.n, &self.edges);
+        let mut vertices_per = vec![0usize; self.n];
+        let mut edges_per = vec![0usize; self.n];
+        for v in 0..self.n {
+            vertices_per[labels.label[v]] += 1;
+        }
+        for &(u, _v) in &self.edges {
+            edges_per[labels.label[u]] += 1;
+        }
+        (0..self.n).all(|c| edges_per[c] <= vertices_per[c])
+    }
+
+    /// True iff the graph is a forest (no cycles at all).
+    pub fn is_forest(&self) -> bool {
+        // A graph is acyclic iff every component has exactly |V| - 1 edges,
+        // i.e. m = n - cc overall and it has no self-loops / multi-edges
+        // creating cycles — the component count identity covers those too.
+        self.num_edges() + count_components(self.n, &self.edges) == self.n
+    }
+
+    /// Marks the edges that lie on some cycle, by iteratively pruning
+    /// degree-≤1 vertices (sequential baseline for experiment E7; in a
+    /// pseudoforest the surviving edges are exactly the unique cycles).
+    pub fn cycle_edges_sequential(&self) -> Vec<bool> {
+        let n = self.n;
+        let mut alive_edge = vec![true; self.edges.len()];
+        let mut degree: Vec<usize> = (0..n).map(|v| self.degree(v)).collect();
+        let mut queue: Vec<usize> = (0..n).filter(|&v| degree[v] <= 1).collect();
+        let mut removed = vec![false; n];
+
+        while let Some(v) = queue.pop() {
+            if removed[v] || degree[v] > 1 {
+                continue;
+            }
+            removed[v] = true;
+            for &(u, e) in &self.adj[v] {
+                if alive_edge[e] && u != v {
+                    alive_edge[e] = false;
+                    degree[u] -= 1;
+                    degree[v] = degree[v].saturating_sub(1);
+                    if degree[u] <= 1 && !removed[u] {
+                        queue.push(u);
+                    }
+                }
+            }
+        }
+        alive_edge
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degrees_and_edges() {
+        let mut g = UndirectedGraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        let loop_id = g.add_edge(3, 3);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.degree(3), 2);
+        assert_eq!(loop_id, 2);
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn pseudoforest_predicates() {
+        // A tree is a pseudoforest and a forest.
+        let tree = UndirectedGraph::from_edges(4, &[(0, 1), (1, 2), (1, 3)]);
+        assert!(tree.is_pseudoforest());
+        assert!(tree.is_forest());
+
+        // One cycle per component: pseudoforest but not a forest.
+        let unicyclic = UndirectedGraph::from_edges(5, &[(0, 1), (1, 2), (2, 0), (3, 4)]);
+        assert!(unicyclic.is_pseudoforest());
+        assert!(!unicyclic.is_forest());
+
+        // Two cycles in one component: not a pseudoforest.
+        let theta = UndirectedGraph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 0)]);
+        assert!(!theta.is_pseudoforest());
+    }
+
+    #[test]
+    fn multi_edge_counts_as_cycle() {
+        let two_parallel = UndirectedGraph::from_edges(2, &[(0, 1), (0, 1)]);
+        assert!(two_parallel.is_pseudoforest());
+        assert!(!two_parallel.is_forest());
+        let three_parallel = UndirectedGraph::from_edges(2, &[(0, 1), (0, 1), (0, 1)]);
+        assert!(!three_parallel.is_pseudoforest());
+    }
+
+    #[test]
+    fn cycle_edges_by_pruning() {
+        // cycle 0-1-2-0 with pendant 3 attached to 0 and isolated 4.
+        let g = UndirectedGraph::from_edges(5, &[(0, 1), (1, 2), (2, 0), (0, 3)]);
+        assert_eq!(g.cycle_edges_sequential(), vec![true, true, true, false]);
+    }
+
+    #[test]
+    fn cycle_edges_on_forest_is_all_false() {
+        let g = UndirectedGraph::from_edges(6, &[(0, 1), (1, 2), (3, 4)]);
+        assert!(g.cycle_edges_sequential().iter().all(|&b| !b));
+    }
+
+    #[test]
+    fn cycle_edges_long_cycle() {
+        let n = 100;
+        let mut edges: Vec<(usize, usize)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        edges.push((0, n)); // pendant
+        let g = UndirectedGraph::from_edges(n + 1, &edges);
+        let marks = g.cycle_edges_sequential();
+        assert!(marks[..n].iter().all(|&b| b));
+        assert!(!marks[n]);
+    }
+}

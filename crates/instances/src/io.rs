@@ -1,0 +1,119 @@
+//! A small plain-text format for popular-matching instances.
+//!
+//! No external serialisation crates are needed: an instance is stored as a
+//! header line with the post count followed by one line per applicant, with
+//! tie groups separated by `|` and posts within a group separated by
+//! spaces.  The Figure 1 instance, for example, starts:
+//!
+//! ```text
+//! posts 9
+//! 0 | 3 | 4 | 1 | 5
+//! 3 | 4 | 6 | 1 | 7
+//! ...
+//! ```
+
+use pm_popular::error::PopularError;
+use pm_popular::instance::PrefInstance;
+
+/// Serialises an instance to the plain-text format.
+pub fn to_text(inst: &PrefInstance) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("posts {}\n", inst.num_posts()));
+    for a in 0..inst.num_applicants() {
+        let line = inst
+            .groups(a)
+            .iter()
+            .map(|g| g.iter().map(|p| p.to_string()).collect::<Vec<_>>().join(" "))
+            .collect::<Vec<_>>()
+            .join(" | ");
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses an instance from the plain-text format.
+pub fn from_text(text: &str) -> Result<PrefInstance, PopularError> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header = lines
+        .next()
+        .ok_or_else(|| PopularError::InvalidInstance("empty instance file".into()))?;
+    let num_posts: usize = header
+        .strip_prefix("posts ")
+        .and_then(|s| s.trim().parse().ok())
+        .ok_or_else(|| {
+            PopularError::InvalidInstance(format!("bad header line: {header:?}"))
+        })?;
+
+    let mut groups = Vec::new();
+    for (i, line) in lines.enumerate() {
+        let mut applicant_groups = Vec::new();
+        for group in line.split('|') {
+            let posts: Result<Vec<usize>, _> = group
+                .split_whitespace()
+                .map(|tok| {
+                    tok.parse::<usize>().map_err(|_| {
+                        PopularError::InvalidInstance(format!(
+                            "applicant {i}: {tok:?} is not a post id"
+                        ))
+                    })
+                })
+                .collect();
+            let posts = posts?;
+            if !posts.is_empty() {
+                applicant_groups.push(posts);
+            }
+        }
+        groups.push(applicant_groups);
+    }
+    PrefInstance::new_with_ties(num_posts, groups)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{uniform_strict, with_ties, GeneratorConfig};
+    use crate::paper::figure1_instance;
+
+    #[test]
+    fn roundtrip_paper_instance() {
+        let inst = figure1_instance();
+        let text = to_text(&inst);
+        let back = from_text(&text).unwrap();
+        assert_eq!(inst, back);
+        assert!(text.starts_with("posts 9\n"));
+        assert!(text.contains("0 | 3 | 4 | 1 | 5"));
+    }
+
+    #[test]
+    fn roundtrip_generated_instances() {
+        let cfg = GeneratorConfig { num_applicants: 30, num_posts: 25, list_len: 6, seed: 1 };
+        for inst in [uniform_strict(&cfg), with_ties(&cfg, 3)] {
+            let back = from_text(&to_text(&inst)).unwrap();
+            assert_eq!(inst, back);
+        }
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(matches!(from_text(""), Err(PopularError::InvalidInstance(_))));
+        assert!(matches!(from_text("nonsense\n1 2"), Err(PopularError::InvalidInstance(_))));
+        assert!(matches!(
+            from_text("posts 2\n0 zebra"),
+            Err(PopularError::InvalidInstance(_))
+        ));
+        // Out-of-range post ids are caught by instance validation.
+        assert!(matches!(
+            from_text("posts 2\n0 5"),
+            Err(PopularError::InvalidInstance(_))
+        ));
+    }
+
+    #[test]
+    fn blank_lines_and_empty_groups_are_ignored() {
+        let inst = from_text("posts 3\n\n0 | | 1\n\n2\n").unwrap();
+        assert_eq!(inst.num_applicants(), 2);
+        assert_eq!(inst.groups(0), &[vec![0], vec![1]]);
+        assert_eq!(inst.groups(1), &[vec![2]]);
+    }
+}

@@ -1,0 +1,28 @@
+//! Instance generators and the paper's worked examples.
+//!
+//! The evaluation in this reproduction (see `EXPERIMENTS.md`) needs two
+//! kinds of inputs:
+//!
+//! * the paper's own worked examples — the popular matching instance of
+//!   Figure 1 and the stable marriage instance of Figure 5 — with their
+//!   expected intermediate structures, reproduced exactly ([`paper`]);
+//! * synthetic workload families whose structure can be swept by the
+//!   benchmarks: uniform random preference lists, master-list (high
+//!   contention) lists, clustered-popularity lists, instances guaranteed to
+//!   admit a popular matching, instances with tunable last-resort pressure,
+//!   random bipartite graphs for the ties reduction, random functional
+//!   graphs for the pseudoforest experiments, and random stable marriage
+//!   instances ([`generators`]).
+//!
+//! [`io`] provides a small plain-text format for saving and loading
+//! popular-matching instances (no external format crates required).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod generators;
+pub mod io;
+pub mod paper;
+
+pub use generators::GeneratorConfig;
+pub use paper::{figure1_instance, figure1_popular_matching, figure5_instance};

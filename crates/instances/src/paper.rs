@@ -1,0 +1,107 @@
+//! The worked examples of the paper, with their expected structures.
+
+use pm_popular::instance::{Assignment, PrefInstance};
+use pm_stable::instance::{SmInstance, StableMatching};
+
+/// The popular matching instance `I` of Figure 1 (8 applicants `a1..a8`,
+/// 9 posts `p1..p9`; everything 0-indexed here).
+pub fn figure1_instance() -> PrefInstance {
+    PrefInstance::new_strict(
+        9,
+        vec![
+            vec![0, 3, 4, 1, 5],    // a1: p1 p4 p5 p2 p6
+            vec![3, 4, 6, 1, 7],    // a2: p4 p5 p7 p2 p8
+            vec![3, 0, 2, 7],       // a3: p4 p1 p3 p8
+            vec![0, 6, 3, 2, 8],    // a4: p1 p7 p4 p3 p9
+            vec![4, 0, 6, 1, 5],    // a5: p5 p1 p7 p2 p6
+            vec![6, 5],             // a6: p7 p6
+            vec![6, 3, 7, 1],       // a7: p7 p4 p8 p2
+            vec![6, 3, 0, 4, 8, 2], // a8: p7 p4 p1 p5 p9 p3
+        ],
+    )
+    .expect("the paper instance is well-formed")
+}
+
+/// The popular matching of instance `I` printed in Section II of the paper:
+/// `{(a1,p1), (a2,p2), (a3,p4), (a4,p3), (a5,p5), (a6,p7), (a7,p8), (a8,p9)}`.
+pub fn figure1_popular_matching() -> Assignment {
+    Assignment::new(vec![0, 1, 3, 2, 4, 6, 7, 8])
+}
+
+/// The expected f-posts of Figure 2: `{p1, p4, p5, p7}`.
+pub fn figure2_f_posts() -> Vec<usize> {
+    vec![0, 3, 4, 6]
+}
+
+/// The expected s-posts of Figure 2: `{p2, p3, p6, p8, p9}`.
+pub fn figure2_s_posts() -> Vec<usize> {
+    vec![1, 2, 5, 7, 8]
+}
+
+/// The reduced preference lists of Figure 2(a) as `(f(a), s(a))` pairs.
+pub fn figure2_reduced_lists() -> Vec<(usize, usize)> {
+    vec![
+        (0, 1), // a1: p1 p2
+        (3, 1), // a2: p4 p2
+        (3, 2), // a3: p4 p3
+        (0, 2), // a4: p1 p3
+        (4, 1), // a5: p5 p2
+        (6, 5), // a6: p7 p6
+        (6, 7), // a7: p7 p8
+        (6, 8), // a8: p7 p9
+    ]
+}
+
+/// The stable marriage instance of Figure 5 and the stable matching `M`
+/// marked in it (re-exported from `pm-stable`).
+pub fn figure5_instance() -> (SmInstance, StableMatching) {
+    pm_stable::instance::figure5_instance()
+}
+
+/// The men of the two rotations exposed in Figure 5's matching `M`
+/// (Figure 7): `(m1 m2 m4)` and `(m3 m6)`, 0-indexed.
+pub fn figure7_rotation_men() -> Vec<Vec<usize>> {
+    vec![vec![0, 1, 3], vec![2, 5]]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_popular::reduced::ReducedGraph;
+    use pm_popular::verify::is_popular_characterization;
+    use pm_pram::DepthTracker;
+
+    #[test]
+    fn figure1_matching_is_popular_and_full_size() {
+        let inst = figure1_instance();
+        let m = figure1_popular_matching();
+        assert!(m.is_valid(&inst));
+        assert!(is_popular_characterization(&inst, &m));
+        assert_eq!(m.size(&inst), 8);
+    }
+
+    #[test]
+    fn figure2_structures_match() {
+        let inst = figure1_instance();
+        let g = ReducedGraph::build_sequential(&inst).unwrap();
+        assert_eq!(g.f_posts(), figure2_f_posts());
+        assert_eq!(g.s_posts(), figure2_s_posts());
+        for (a, (f, s)) in figure2_reduced_lists().into_iter().enumerate() {
+            assert_eq!(g.f(a), f);
+            assert_eq!(g.s(a), s);
+        }
+    }
+
+    #[test]
+    fn figure5_and_figure7_match() {
+        let (inst, m) = figure5_instance();
+        assert!(inst.is_stable(&m));
+        let t = DepthTracker::new();
+        let outcome = pm_stable::next::next_stable_matchings(&inst, &m, &t);
+        let pm_stable::next::NextStableOutcome::Next(results) = outcome else {
+            panic!("Figure 5's matching exposes rotations");
+        };
+        let men: Vec<Vec<usize>> = results.iter().map(|(r, _)| r.men()).collect();
+        assert_eq!(men, figure7_rotation_men());
+    }
+}

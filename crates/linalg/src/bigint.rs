@@ -1,0 +1,295 @@
+//! Arbitrary-precision unsigned integers for optimal popular matching weights.
+//!
+//! Section IV-E reduces rank-maximal and fair popular matchings to maximum /
+//! minimum *weight* popular matchings with weights as large as `n₁^(n₂−k+1)`
+//! — numbers with Õ(n) bits, which the paper notes can still be summed and
+//! compared in NC.  This module provides exactly the operations those
+//! reductions need: construction from `u64`, `pow`, addition, subtraction,
+//! multiplication by a word, comparison, and parallel summation of many
+//! weights.
+
+use std::cmp::Ordering;
+
+use rayon::prelude::*;
+
+use pm_pram::tracker::DepthTracker;
+
+/// An arbitrary-precision unsigned integer stored as little-endian 64-bit
+/// limbs (no leading zero limbs; zero is the empty limb vector).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BigUint {
+    limbs: Vec<u64>,
+}
+
+impl BigUint {
+    /// The value 0.
+    pub fn zero() -> Self {
+        Self { limbs: Vec::new() }
+    }
+
+    /// The value 1.
+    pub fn one() -> Self {
+        Self::from_u64(1)
+    }
+
+    /// Builds from a machine word.
+    pub fn from_u64(v: u64) -> Self {
+        if v == 0 {
+            Self::zero()
+        } else {
+            Self { limbs: vec![v] }
+        }
+    }
+
+    /// True iff the value is 0.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Number of significant bits.
+    pub fn bits(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => 64 * (self.limbs.len() - 1) + (64 - top.leading_zeros() as usize),
+        }
+    }
+
+    fn trim(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &BigUint) -> BigUint {
+        let n = self.limbs.len().max(other.limbs.len());
+        let mut out = Vec::with_capacity(n + 1);
+        let mut carry = 0u64;
+        for i in 0..n {
+            let a = *self.limbs.get(i).unwrap_or(&0);
+            let b = *other.limbs.get(i).unwrap_or(&0);
+            let (s1, c1) = a.overflowing_add(b);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out.push(s2);
+            carry = u64::from(c1) + u64::from(c2);
+        }
+        if carry > 0 {
+            out.push(carry);
+        }
+        let mut r = BigUint { limbs: out };
+        r.trim();
+        r
+    }
+
+    /// `self − other`.
+    ///
+    /// # Panics
+    /// Panics if `other > self` (the result would be negative).
+    pub fn sub(&self, other: &BigUint) -> BigUint {
+        assert!(self >= other, "BigUint subtraction would underflow");
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0u64;
+        for i in 0..self.limbs.len() {
+            let a = self.limbs[i];
+            let b = *other.limbs.get(i).unwrap_or(&0);
+            let (d1, b1) = a.overflowing_sub(b);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            out.push(d2);
+            borrow = u64::from(b1) + u64::from(b2);
+        }
+        debug_assert_eq!(borrow, 0);
+        let mut r = BigUint { limbs: out };
+        r.trim();
+        r
+    }
+
+    /// `self × m` for a machine word `m`.
+    pub fn mul_u64(&self, m: u64) -> BigUint {
+        if m == 0 || self.is_zero() {
+            return BigUint::zero();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() + 1);
+        let mut carry = 0u128;
+        for &limb in &self.limbs {
+            let prod = limb as u128 * m as u128 + carry;
+            out.push(prod as u64);
+            carry = prod >> 64;
+        }
+        if carry > 0 {
+            out.push(carry as u64);
+        }
+        BigUint { limbs: out }
+    }
+
+    /// `base^exp` for a machine-word base.
+    pub fn pow_u64(base: u64, exp: u32) -> BigUint {
+        let mut result = BigUint::one();
+        for _ in 0..exp {
+            result = result.mul_u64(base);
+        }
+        result
+    }
+
+    /// Parallel sum of many big integers (pairwise reduction tree, charged as
+    /// `⌈log₂ n⌉` depth).  Used to total the weights along a switching cycle
+    /// or path in the optimal-popular-matching algorithm.
+    pub fn par_sum(values: &[BigUint], tracker: &DepthTracker) -> BigUint {
+        let n = values.len();
+        let depth = if n <= 1 { 1 } else { (usize::BITS - (n - 1).leading_zeros()) as u64 };
+        tracker.rounds(depth);
+        tracker.work(n as u64);
+        values
+            .par_iter()
+            .cloned()
+            .reduce(BigUint::zero, |a, b| a.add(&b))
+    }
+
+    /// Converts to `u64` if the value fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0]),
+            _ => None,
+        }
+    }
+
+    /// Decimal string representation (for reports and debugging).
+    pub fn to_decimal(&self) -> String {
+        if self.is_zero() {
+            return "0".to_string();
+        }
+        // Repeated division by 10^19 (the largest power of ten below 2^64).
+        const CHUNK: u64 = 10_000_000_000_000_000_000;
+        let mut limbs = self.limbs.clone();
+        let mut chunks = Vec::new();
+        while !limbs.is_empty() {
+            let mut rem = 0u128;
+            for limb in limbs.iter_mut().rev() {
+                let cur = (rem << 64) | *limb as u128;
+                *limb = (cur / CHUNK as u128) as u64;
+                rem = cur % CHUNK as u128;
+            }
+            while limbs.last() == Some(&0) {
+                limbs.pop();
+            }
+            chunks.push(rem as u64);
+        }
+        let mut s = chunks.pop().unwrap().to_string();
+        for c in chunks.into_iter().rev() {
+            s.push_str(&format!("{c:019}"));
+        }
+        s
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => {
+                for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+                    match a.cmp(b) {
+                        Ordering::Equal => continue,
+                        ord => return ord,
+                    }
+                }
+                Ordering::Equal
+            }
+            ord => ord,
+        }
+    }
+}
+
+impl From<u64> for BigUint {
+    fn from(v: u64) -> Self {
+        Self::from_u64(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_and_one() {
+        assert!(BigUint::zero().is_zero());
+        assert_eq!(BigUint::zero().bits(), 0);
+        assert_eq!(BigUint::one().to_u64(), Some(1));
+        assert_eq!(BigUint::from_u64(0), BigUint::zero());
+    }
+
+    #[test]
+    fn add_with_carry() {
+        let a = BigUint::from_u64(u64::MAX);
+        let b = BigUint::from_u64(1);
+        let s = a.add(&b);
+        assert_eq!(s.bits(), 65);
+        assert_eq!(s.to_decimal(), "18446744073709551616");
+    }
+
+    #[test]
+    fn sub_roundtrip() {
+        let a = BigUint::pow_u64(7, 30);
+        let b = BigUint::pow_u64(3, 40);
+        let s = a.add(&b);
+        assert_eq!(s.sub(&b), a);
+        assert_eq!(s.sub(&a), b);
+        assert_eq!(a.sub(&a), BigUint::zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let _ = BigUint::from_u64(1).sub(&BigUint::from_u64(2));
+    }
+
+    #[test]
+    fn mul_and_pow() {
+        assert_eq!(BigUint::from_u64(12).mul_u64(12).to_u64(), Some(144));
+        assert_eq!(BigUint::pow_u64(2, 64).to_decimal(), "18446744073709551616");
+        assert_eq!(BigUint::pow_u64(10, 25).to_decimal(), "10000000000000000000000000");
+        assert_eq!(BigUint::pow_u64(5, 0).to_u64(), Some(1));
+        assert_eq!(BigUint::pow_u64(0, 3).to_u64(), Some(0));
+    }
+
+    #[test]
+    fn ordering() {
+        let a = BigUint::pow_u64(10, 30);
+        let b = BigUint::pow_u64(10, 31);
+        assert!(a < b);
+        assert!(b > a);
+        assert_eq!(a.cmp(&a), Ordering::Equal);
+        assert!(BigUint::zero() < BigUint::one());
+    }
+
+    #[test]
+    fn parallel_sum_matches_sequential() {
+        let t = DepthTracker::new();
+        let values: Vec<BigUint> = (0..500u64).map(|i| BigUint::pow_u64(3, (i % 20) as u32)).collect();
+        let par = BigUint::par_sum(&values, &t);
+        let seq = values.iter().fold(BigUint::zero(), |acc, v| acc.add(v));
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn paper_scale_weights() {
+        // Rank-maximal weights: n1^(n2-k+1) for n1 = n2 = 64 must be exactly
+        // representable and comparable.
+        let w_top = BigUint::pow_u64(64, 65);
+        let w_next = BigUint::pow_u64(64, 64);
+        assert!(w_top > w_next.mul_u64(63)); // dominates any combination of lower ranks
+        assert_eq!(w_top.bits(), 6 * 65 + 1);
+    }
+
+    #[test]
+    fn decimal_of_simple_values() {
+        assert_eq!(BigUint::zero().to_decimal(), "0");
+        assert_eq!(BigUint::from_u64(42).to_decimal(), "42");
+        assert_eq!(BigUint::from_u64(u64::MAX).to_decimal(), "18446744073709551615");
+    }
+}

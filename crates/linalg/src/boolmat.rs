@@ -1,0 +1,275 @@
+//! Bit-packed boolean matrices and transitive closure.
+//!
+//! The transitive-closure route to cycle detection (paper Theorem 5) needs
+//! boolean matrix multiplication.  Rows are packed 64 entries per `u64` word,
+//! so one row-by-matrix product costs `n²/64` word operations, and the
+//! closure of an `n × n` matrix costs `⌈log₂ n⌉` squarings — the practical
+//! realisation of the `O(log² n)` CREW PRAM bound quoted in the paper.
+
+use rayon::prelude::*;
+
+use pm_pram::tracker::DepthTracker;
+
+/// A dense square boolean matrix with bit-packed rows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoolMatrix {
+    n: usize,
+    words_per_row: usize,
+    rows: Vec<u64>,
+}
+
+impl BoolMatrix {
+    /// Creates the `n × n` all-zero matrix.
+    pub fn zero(n: usize) -> Self {
+        let words_per_row = n.div_ceil(64);
+        Self { n, words_per_row, rows: vec![0; n * words_per_row] }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zero(n);
+        for i in 0..n {
+            m.set(i, i, true);
+        }
+        m
+    }
+
+    /// Builds a matrix from an adjacency predicate.
+    pub fn from_fn(n: usize, mut f: impl FnMut(usize, usize) -> bool) -> Self {
+        let mut m = Self::zero(n);
+        for i in 0..n {
+            for j in 0..n {
+                if f(i, j) {
+                    m.set(i, j, true);
+                }
+            }
+        }
+        m
+    }
+
+    /// Builds the adjacency matrix of a directed edge list.
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Self {
+        let mut m = Self::zero(n);
+        for &(u, v) in edges {
+            m.set(u, v, true);
+        }
+        m
+    }
+
+    /// Matrix dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Reads entry `(i, j)`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> bool {
+        debug_assert!(i < self.n && j < self.n);
+        let w = self.rows[i * self.words_per_row + j / 64];
+        (w >> (j % 64)) & 1 == 1
+    }
+
+    /// Writes entry `(i, j)`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, value: bool) {
+        debug_assert!(i < self.n && j < self.n);
+        let idx = i * self.words_per_row + j / 64;
+        let bit = 1u64 << (j % 64);
+        if value {
+            self.rows[idx] |= bit;
+        } else {
+            self.rows[idx] &= !bit;
+        }
+    }
+
+    #[inline]
+    fn row(&self, i: usize) -> &[u64] {
+        &self.rows[i * self.words_per_row..(i + 1) * self.words_per_row]
+    }
+
+    /// Number of `true` entries.
+    pub fn count_ones(&self) -> usize {
+        self.rows.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Boolean matrix product `self × other` (logical OR of ANDs), computed
+    /// row-parallel with rayon.  Charged as one round of `n³/64` work plus
+    /// `O(log n)` depth on the tracker (the PRAM multiplication depth).
+    pub fn multiply(&self, other: &BoolMatrix, tracker: &DepthTracker) -> BoolMatrix {
+        assert_eq!(self.n, other.n, "dimension mismatch");
+        let n = self.n;
+        let wpr = self.words_per_row;
+        let depth = if n <= 1 { 1 } else { (usize::BITS - (n - 1).leading_zeros()) as u64 };
+        tracker.rounds(depth);
+        tracker.work((n as u64) * (n as u64) * (wpr as u64).max(1));
+
+        let mut out = BoolMatrix::zero(n);
+        out.rows
+            .par_chunks_mut(wpr)
+            .enumerate()
+            .for_each(|(i, out_row)| {
+                let self_row = self.row(i);
+                for k in 0..n {
+                    if (self_row[k / 64] >> (k % 64)) & 1 == 1 {
+                        let other_row = other.row(k);
+                        for (o, &w) in out_row.iter_mut().zip(other_row.iter()) {
+                            *o |= w;
+                        }
+                    }
+                }
+            });
+        out
+    }
+
+    /// Logical OR of two matrices.
+    pub fn or(&self, other: &BoolMatrix) -> BoolMatrix {
+        assert_eq!(self.n, other.n);
+        let mut out = self.clone();
+        for (o, &w) in out.rows.iter_mut().zip(other.rows.iter()) {
+            *o |= w;
+        }
+        out
+    }
+
+    /// Reflexive-transitive closure `(I ∨ A)^n`, computed by `⌈log₂ n⌉`
+    /// repeated squarings (paper Theorem 5).
+    pub fn transitive_closure(&self, tracker: &DepthTracker) -> BoolMatrix {
+        let n = self.n;
+        if n == 0 {
+            return self.clone();
+        }
+        let mut acc = self.or(&BoolMatrix::identity(n));
+        let mut power = 1usize;
+        while power < n {
+            acc = acc.multiply(&acc, tracker);
+            power *= 2;
+        }
+        acc
+    }
+
+    /// Strict transitive closure: `closure(i, j)` is true iff there is a path
+    /// of length ≥ 1 from `i` to `j`.  This is the `G*` used by the paper's
+    /// cycle test ("if `G*(i, j) = 1` and `G*(j, i) = 1` then both `i` and
+    /// `j` are on the unique cycle", which relies on paths of length ≥ 1).
+    pub fn strict_transitive_closure(&self, tracker: &DepthTracker) -> BoolMatrix {
+        // A⁺ = A · (I ∨ A)^(n-1) = A · closure.
+        let reflexive = self.transitive_closure(tracker);
+        self.multiply(&reflexive, tracker)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_closure(n: usize, edges: &[(usize, usize)]) -> Vec<Vec<bool>> {
+        // Floyd–Warshall style strict closure.
+        let mut reach = vec![vec![false; n]; n];
+        for &(u, v) in edges {
+            reach[u][v] = true;
+        }
+        for k in 0..n {
+            for i in 0..n {
+                if reach[i][k] {
+                    for j in 0..n {
+                        if reach[k][j] {
+                            reach[i][j] = true;
+                        }
+                    }
+                }
+            }
+        }
+        reach
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut m = BoolMatrix::zero(70);
+        m.set(3, 65, true);
+        m.set(69, 0, true);
+        assert!(m.get(3, 65));
+        assert!(m.get(69, 0));
+        assert!(!m.get(3, 64));
+        m.set(3, 65, false);
+        assert!(!m.get(3, 65));
+        assert_eq!(m.count_ones(), 1);
+    }
+
+    #[test]
+    fn identity_multiplication() {
+        let t = DepthTracker::new();
+        let a = BoolMatrix::from_edges(5, &[(0, 1), (1, 2), (4, 0)]);
+        let i = BoolMatrix::identity(5);
+        assert_eq!(a.multiply(&i, &t), a);
+        assert_eq!(i.multiply(&a, &t), a);
+    }
+
+    #[test]
+    fn small_multiplication() {
+        let t = DepthTracker::new();
+        // path 0 -> 1 -> 2: A² should contain exactly 0 -> 2.
+        let a = BoolMatrix::from_edges(3, &[(0, 1), (1, 2)]);
+        let a2 = a.multiply(&a, &t);
+        assert!(a2.get(0, 2));
+        assert_eq!(a2.count_ones(), 1);
+    }
+
+    #[test]
+    fn closure_on_cycle_plus_tail() {
+        let t = DepthTracker::new();
+        // cycle 0 -> 1 -> 2 -> 0, tail 3 -> 0, isolated 4
+        let edges = [(0, 1), (1, 2), (2, 0), (3, 0)];
+        let a = BoolMatrix::from_edges(5, &edges);
+        let closure = a.strict_transitive_closure(&t);
+        let naive = naive_closure(5, &edges);
+        for i in 0..5 {
+            for j in 0..5 {
+                assert_eq!(closure.get(i, j), naive[i][j], "({i},{j})");
+            }
+        }
+        // Cycle membership test from the paper: i on a cycle iff G*(i, i).
+        assert!(closure.get(0, 0) && closure.get(1, 1) && closure.get(2, 2));
+        assert!(!closure.get(3, 3) && !closure.get(4, 4));
+    }
+
+    #[test]
+    fn closure_matches_naive_on_random_graphs() {
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for n in [1usize, 2, 17, 65, 130] {
+            let mut edges = Vec::new();
+            for u in 0..n {
+                for v in 0..n {
+                    if u != v && rng.random_range(0..10) == 0 {
+                        edges.push((u, v));
+                    }
+                }
+            }
+            let t = DepthTracker::new();
+            let a = BoolMatrix::from_edges(n, &edges);
+            let closure = a.strict_transitive_closure(&t);
+            let naive = naive_closure(n, &edges);
+            for i in 0..n {
+                for j in 0..n {
+                    assert_eq!(closure.get(i, j), naive[i][j], "n={n} ({i},{j})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let t = DepthTracker::new();
+        let a = BoolMatrix::zero(0);
+        assert_eq!(a.transitive_closure(&t).n(), 0);
+    }
+
+    #[test]
+    fn closure_depth_is_logarithmic_in_squarings() {
+        let t = DepthTracker::new();
+        let a = BoolMatrix::from_edges(128, &[(0, 1)]);
+        let _ = a.transitive_closure(&t);
+        // 7 squarings × ⌈log₂ 128⌉ = 7 depth each.
+        assert_eq!(t.stats().depth, 49);
+    }
+}

@@ -1,0 +1,266 @@
+//! Matrices over GF(2) and their rank.
+//!
+//! Lemma 6 of the paper: an undirected graph with `k` connected components
+//! has an incidence matrix of rank `n − k`.  Over GF(2) the vertex–edge
+//! incidence matrix has exactly this rank, so a GF(2) rank oracle suffices
+//! for the "remove an edge, did the component count change?" cycle test of
+//! Section IV-A.  Rows are bit-packed and elimination is parallelised over
+//! rows with rayon.
+
+use rayon::prelude::*;
+
+use pm_pram::tracker::DepthTracker;
+
+/// A dense matrix over GF(2) with bit-packed rows (not necessarily square).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Gf2Matrix {
+    rows: usize,
+    cols: usize,
+    words_per_row: usize,
+    data: Vec<u64>,
+}
+
+impl Gf2Matrix {
+    /// Creates the `rows × cols` zero matrix.
+    pub fn zero(rows: usize, cols: usize) -> Self {
+        let words_per_row = cols.div_ceil(64).max(1);
+        Self { rows, cols, words_per_row, data: vec![0; rows * words_per_row] }
+    }
+
+    /// Builds a matrix from a predicate.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> bool) -> Self {
+        let mut m = Self::zero(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                if f(i, j) {
+                    m.set(i, j, true);
+                }
+            }
+        }
+        m
+    }
+
+    /// Builds the vertex × edge incidence matrix of an undirected graph with
+    /// `n` vertices: column `e` has ones exactly in the rows of the two
+    /// endpoints of edge `e` (a self-loop contributes a zero column over
+    /// GF(2), matching the convention that a loop never disconnects anything).
+    pub fn incidence(n: usize, edges: &[(usize, usize)]) -> Self {
+        let mut m = Self::zero(n, edges.len());
+        for (e, &(u, v)) in edges.iter().enumerate() {
+            if u != v {
+                m.set(u, e, true);
+                m.set(v, e, true);
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Reads entry `(i, j)`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> bool {
+        debug_assert!(i < self.rows && j < self.cols);
+        (self.data[i * self.words_per_row + j / 64] >> (j % 64)) & 1 == 1
+    }
+
+    /// Writes entry `(i, j)`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, value: bool) {
+        debug_assert!(i < self.rows && j < self.cols);
+        let idx = i * self.words_per_row + j / 64;
+        let bit = 1u64 << (j % 64);
+        if value {
+            self.data[idx] |= bit;
+        } else {
+            self.data[idx] &= !bit;
+        }
+    }
+
+    /// Returns a copy with column `col` zeroed out — used by the cycle test
+    /// which compares `rank(I_G)` with `rank(I_{G − e})`.
+    pub fn without_column(&self, col: usize) -> Self {
+        let mut m = self.clone();
+        for i in 0..m.rows {
+            m.set(i, col, false);
+        }
+        m
+    }
+
+    /// Rank over GF(2) by Gaussian elimination.  Row reduction below the
+    /// pivot is parallelised over rows; the depth charged on the tracker is
+    /// one round per pivot (the sequential-elimination substitute for
+    /// Mulmuley's NC rank algorithm — see DESIGN.md).
+    pub fn rank(&self, tracker: &DepthTracker) -> usize {
+        let mut m = self.clone();
+        let wpr = m.words_per_row;
+        let mut rank = 0usize;
+        let mut row_start = 0usize;
+
+        for col in 0..m.cols {
+            // Find a pivot row with a 1 in `col` at or below `row_start`.
+            let word = col / 64;
+            let bit = 1u64 << (col % 64);
+            let pivot = (row_start..m.rows).find(|&r| m.data[r * wpr + word] & bit != 0);
+            let Some(pivot) = pivot else { continue };
+            m.data.swap_chunks(row_start, pivot, wpr);
+
+            tracker.round();
+            tracker.work((m.rows - row_start) as u64 * wpr as u64);
+
+            // Eliminate the column from every other row below the pivot.
+            let (pivot_rows, rest) = m.data.split_at_mut((row_start + 1) * wpr);
+            let pivot_row = &pivot_rows[row_start * wpr..(row_start + 1) * wpr];
+            rest.par_chunks_mut(wpr).for_each(|row| {
+                if row[word] & bit != 0 {
+                    for (r, &p) in row.iter_mut().zip(pivot_row.iter()) {
+                        *r ^= p;
+                    }
+                }
+            });
+
+            rank += 1;
+            row_start += 1;
+            if row_start == m.rows {
+                break;
+            }
+        }
+        rank
+    }
+}
+
+/// Helper trait to swap two equally-sized chunks of a flat buffer.
+trait SwapChunks {
+    fn swap_chunks(&mut self, a: usize, b: usize, chunk: usize);
+}
+
+impl SwapChunks for Vec<u64> {
+    fn swap_chunks(&mut self, a: usize, b: usize, chunk: usize) {
+        if a == b {
+            return;
+        }
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        let (first, second) = self.split_at_mut(hi * chunk);
+        first[lo * chunk..(lo + 1) * chunk].swap_with_slice(&mut second[..chunk]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn count_components(n: usize, edges: &[(usize, usize)]) -> usize {
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(p: &mut Vec<usize>, x: usize) -> usize {
+            if p[x] != x {
+                let r = find(p, p[x]);
+                p[x] = r;
+            }
+            p[x]
+        }
+        for &(u, v) in edges {
+            let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
+            if ru != rv {
+                parent[ru] = rv;
+            }
+        }
+        (0..n).filter(|&v| find(&mut parent, v) == v).count()
+    }
+
+    #[test]
+    fn zero_matrix_has_rank_zero() {
+        let t = DepthTracker::new();
+        assert_eq!(Gf2Matrix::zero(4, 7).rank(&t), 0);
+        assert_eq!(Gf2Matrix::zero(0, 0).rank(&t), 0);
+    }
+
+    #[test]
+    fn identity_has_full_rank() {
+        let t = DepthTracker::new();
+        let m = Gf2Matrix::from_fn(6, 6, |i, j| i == j);
+        assert_eq!(m.rank(&t), 6);
+    }
+
+    #[test]
+    fn dependent_rows_reduce_rank() {
+        let t = DepthTracker::new();
+        // Row 2 = row 0 xor row 1.
+        let rows = [
+            [true, false, true, false],
+            [false, true, true, true],
+            [true, true, false, true],
+        ];
+        let m = Gf2Matrix::from_fn(3, 4, |i, j| rows[i][j]);
+        assert_eq!(m.rank(&t), 2);
+    }
+
+    #[test]
+    fn incidence_rank_is_n_minus_components() {
+        let t = DepthTracker::new();
+        // Lemma 6: rank(I_G) = n - cc(G).
+        let cases: Vec<(usize, Vec<(usize, usize)>)> = vec![
+            (5, vec![(0, 1), (1, 2), (3, 4)]),
+            (4, vec![(0, 1), (1, 2), (2, 0)]),                   // triangle + isolated
+            (6, vec![(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]), // two triangles
+            (3, vec![]),
+            (7, vec![(0, 1), (1, 2), (2, 3), (3, 0), (0, 2), (4, 5)]),
+        ];
+        for (n, edges) in cases {
+            let m = Gf2Matrix::incidence(n, &edges);
+            let cc = count_components(n, &edges);
+            assert_eq!(m.rank(&t), n - cc, "n={n} edges={edges:?}");
+        }
+    }
+
+    #[test]
+    fn removing_cycle_edge_preserves_rank() {
+        let t = DepthTracker::new();
+        // Pseudotree: cycle 0-1-2-0 with a pendant 3-0.
+        let edges = vec![(0, 1), (1, 2), (2, 0), (3, 0)];
+        let inc = Gf2Matrix::incidence(4, &edges);
+        let base = inc.rank(&t);
+        // Edges 0,1,2 are on the cycle: removing them keeps the rank.
+        for e in 0..3 {
+            assert_eq!(inc.without_column(e).rank(&t), base, "cycle edge {e}");
+        }
+        // Edge 3 is a bridge: removing it drops the rank by one.
+        assert_eq!(inc.without_column(3).rank(&t), base - 1);
+    }
+
+    #[test]
+    fn random_incidence_matches_lemma6() {
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        let t = DepthTracker::new();
+        for n in [2usize, 8, 33, 80] {
+            let mut edges = Vec::new();
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    if rng.random_range(0..n) < 2 {
+                        edges.push((u, v));
+                    }
+                }
+            }
+            let m = Gf2Matrix::incidence(n, &edges);
+            assert_eq!(m.rank(&t), n - count_components(n, &edges), "n={n}");
+        }
+    }
+
+    #[test]
+    fn wide_and_tall_matrices() {
+        let t = DepthTracker::new();
+        let wide = Gf2Matrix::from_fn(2, 100, |i, j| (i + j) % 3 == 0);
+        assert!(wide.rank(&t) <= 2);
+        let tall = Gf2Matrix::from_fn(100, 2, |i, j| (i + j) % 3 == 0);
+        assert!(tall.rank(&t) <= 2);
+        assert_eq!(wide.rank(&t), tall.rank(&t));
+    }
+}

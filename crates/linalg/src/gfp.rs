@@ -1,0 +1,261 @@
+//! Matrices over a prime field GF(p) and their rank.
+//!
+//! Theorem 7 of the paper quotes Mulmuley's NC rank algorithm "over an
+//! arbitrary field".  We provide a second rank oracle over GF(p) (default
+//! p = 2³¹ − 1) alongside the GF(2) one so the oriented incidence matrix
+//! (±1 entries) can also be used, exactly as Lemma 6 is classically stated
+//! over fields of characteristic ≠ 2.  Both oracles give the same answer to
+//! the "does removing this edge disconnect the component?" question.
+
+use rayon::prelude::*;
+
+use pm_pram::tracker::DepthTracker;
+
+/// The default prime modulus: the Mersenne prime 2³¹ − 1.
+pub const DEFAULT_PRIME: u64 = (1 << 31) - 1;
+
+/// A dense matrix over GF(p).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GfpMatrix {
+    rows: usize,
+    cols: usize,
+    p: u64,
+    data: Vec<u64>,
+}
+
+impl GfpMatrix {
+    /// Creates the `rows × cols` zero matrix over GF(p).
+    ///
+    /// # Panics
+    /// Panics if `p < 2` (not a field) or `p >= 2^32` (entries must fit a
+    /// multiplication in `u64` without overflow).
+    pub fn zero(rows: usize, cols: usize, p: u64) -> Self {
+        assert!(p >= 2, "modulus must be at least 2");
+        assert!(p < (1 << 32), "modulus must fit in 32 bits");
+        Self { rows, cols, p, data: vec![0; rows * cols] }
+    }
+
+    /// Creates the zero matrix over GF(2³¹ − 1).
+    pub fn zero_default(rows: usize, cols: usize) -> Self {
+        Self::zero(rows, cols, DEFAULT_PRIME)
+    }
+
+    /// Builds a matrix from signed integer entries (reduced mod p).
+    pub fn from_fn(rows: usize, cols: usize, p: u64, mut f: impl FnMut(usize, usize) -> i64) -> Self {
+        let mut m = Self::zero(rows, cols, p);
+        for i in 0..rows {
+            for j in 0..cols {
+                m.set(i, j, f(i, j));
+            }
+        }
+        m
+    }
+
+    /// Builds the *oriented* vertex × edge incidence matrix: column `e` for
+    /// edge `(u, v)` has `+1` at row `u` and `−1` at row `v` (0 everywhere
+    /// for a self-loop).  Over any field its rank is `n − cc(G)` (Lemma 6).
+    pub fn oriented_incidence(n: usize, edges: &[(usize, usize)], p: u64) -> Self {
+        let mut m = Self::zero(n, edges.len(), p);
+        for (e, &(u, v)) in edges.iter().enumerate() {
+            if u != v {
+                m.set(u, e, 1);
+                m.set(v, e, -1);
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The field modulus.
+    pub fn modulus(&self) -> u64 {
+        self.p
+    }
+
+    /// Reads entry `(i, j)` as a canonical representative in `[0, p)`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> u64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j]
+    }
+
+    /// Writes entry `(i, j)` from a signed value (reduced mod p).
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, value: i64) {
+        debug_assert!(i < self.rows && j < self.cols);
+        let p = self.p as i64;
+        let v = ((value % p) + p) % p;
+        self.data[i * self.cols + j] = v as u64;
+    }
+
+    /// Returns a copy with column `col` zeroed out.
+    pub fn without_column(&self, col: usize) -> Self {
+        let mut m = self.clone();
+        for i in 0..m.rows {
+            m.data[i * m.cols + col] = 0;
+        }
+        m
+    }
+
+    fn inv_mod(&self, a: u64) -> u64 {
+        // Fermat's little theorem: a^(p-2) mod p for prime p.
+        let mut result = 1u64;
+        let mut base = a % self.p;
+        let mut exp = self.p - 2;
+        while exp > 0 {
+            if exp & 1 == 1 {
+                result = result * base % self.p;
+            }
+            base = base * base % self.p;
+            exp >>= 1;
+        }
+        result
+    }
+
+    /// Rank over GF(p) by Gaussian elimination, row-parallel per pivot.
+    pub fn rank(&self, tracker: &DepthTracker) -> usize {
+        let mut m = self.clone();
+        let p = m.p;
+        let cols = m.cols;
+        let mut rank = 0usize;
+        let mut row_start = 0usize;
+
+        for col in 0..cols {
+            let pivot = (row_start..m.rows).find(|&r| m.data[r * cols + col] != 0);
+            let Some(pivot) = pivot else { continue };
+            if pivot != row_start {
+                for j in 0..cols {
+                    m.data.swap(row_start * cols + j, pivot * cols + j);
+                }
+            }
+
+            tracker.round();
+            tracker.work((m.rows - row_start) as u64 * cols as u64);
+
+            // Normalise the pivot row.
+            let inv = m.inv_mod(m.data[row_start * cols + col]);
+            for j in col..cols {
+                let idx = row_start * cols + j;
+                m.data[idx] = m.data[idx] * inv % p;
+            }
+
+            // Eliminate below the pivot (parallel over rows).
+            let (pivot_rows, rest) = m.data.split_at_mut((row_start + 1) * cols);
+            let pivot_row = &pivot_rows[row_start * cols..(row_start + 1) * cols];
+            rest.par_chunks_mut(cols).for_each(|row| {
+                let factor = row[col];
+                if factor != 0 {
+                    for (r, &pv) in row.iter_mut().zip(pivot_row.iter()).skip(col) {
+                        let sub = factor * pv % p;
+                        *r = (*r + p - sub) % p;
+                    }
+                }
+            });
+
+            rank += 1;
+            row_start += 1;
+            if row_start == m.rows {
+                break;
+            }
+        }
+        rank
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn count_components(n: usize, edges: &[(usize, usize)]) -> usize {
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(p: &mut Vec<usize>, x: usize) -> usize {
+            if p[x] != x {
+                let r = find(p, p[x]);
+                p[x] = r;
+            }
+            p[x]
+        }
+        for &(u, v) in edges {
+            let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
+            if ru != rv {
+                parent[ru] = rv;
+            }
+        }
+        (0..n).filter(|&v| find(&mut parent, v) == v).count()
+    }
+
+    #[test]
+    fn identity_full_rank() {
+        let t = DepthTracker::new();
+        let m = GfpMatrix::from_fn(5, 5, DEFAULT_PRIME, |i, j| i64::from(i == j));
+        assert_eq!(m.rank(&t), 5);
+    }
+
+    #[test]
+    fn singular_matrix() {
+        let t = DepthTracker::new();
+        // Third row is the sum of the first two.
+        let rows: [[i64; 3]; 3] = [[1, 2, 3], [4, 5, 6], [5, 7, 9]];
+        let m = GfpMatrix::from_fn(3, 3, DEFAULT_PRIME, |i, j| rows[i][j]);
+        assert_eq!(m.rank(&t), 2);
+    }
+
+    #[test]
+    fn negative_entries_reduce_correctly() {
+        let m = GfpMatrix::from_fn(1, 1, 7, |_, _| -3);
+        assert_eq!(m.get(0, 0), 4);
+    }
+
+    #[test]
+    fn oriented_incidence_rank_is_n_minus_components() {
+        let t = DepthTracker::new();
+        let cases: Vec<(usize, Vec<(usize, usize)>)> = vec![
+            (5, vec![(0, 1), (1, 2), (3, 4)]),
+            (4, vec![(0, 1), (1, 2), (2, 0)]),
+            (6, vec![(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]),
+            (3, vec![]),
+            (8, vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (5, 6)]),
+        ];
+        for (n, edges) in cases {
+            let m = GfpMatrix::oriented_incidence(n, &edges, DEFAULT_PRIME);
+            assert_eq!(m.rank(&t), n - count_components(n, &edges), "n={n}");
+        }
+    }
+
+    #[test]
+    fn gf2_and_gfp_agree_on_incidence_rank() {
+        use crate::gf2::Gf2Matrix;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let t = DepthTracker::new();
+        for n in [4usize, 12, 40] {
+            let mut edges = Vec::new();
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    if rng.random_range(0..n) < 2 {
+                        edges.push((u, v));
+                    }
+                }
+            }
+            let a = Gf2Matrix::incidence(n, &edges).rank(&t);
+            let b = GfpMatrix::oriented_incidence(n, &edges, DEFAULT_PRIME).rank(&t);
+            assert_eq!(a, b, "n={n}");
+        }
+    }
+
+    #[test]
+    fn small_prime_field() {
+        let t = DepthTracker::new();
+        // Over GF(5): [[2, 4], [1, 2]] — the second row is 3× the first, so rank 1.
+        let m = GfpMatrix::from_fn(2, 2, 5, |i, j| [[2i64, 4], [1, 2]][i][j]);
+        assert_eq!(m.rank(&t), 1);
+    }
+}

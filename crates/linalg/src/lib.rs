@@ -1,0 +1,33 @@
+//! Linear-algebra substrate for the NC popular-matching reproduction.
+//!
+//! Section IV-A of Hu & Garg (2020) gives three NC routes to finding the
+//! unique cycle of a pseudoforest component:
+//!
+//! 1. **Transitive closure** (Theorem 5, JaJa): `i` and `j` lie on the same
+//!    cycle iff both `G*(i, j)` and `G*(j, i)` hold.  [`boolmat`] provides a
+//!    bit-packed boolean matrix with rayon-parallel multiplication and
+//!    closure by repeated squaring (`⌈log₂ n⌉` squarings).
+//! 2. **Incidence-matrix rank** (Theorem 7, Mulmuley): removing an edge `e`
+//!    keeps the number of connected components unchanged iff `e` lies on the
+//!    cycle; Lemma 6 converts component counting into a rank computation.
+//!    [`gf2`] and [`gfp`] provide the rank oracles.  (We substitute Gaussian
+//!    elimination for Mulmuley's NC rank algorithm — the *value* of the rank
+//!    is identical, see DESIGN.md.)
+//! 3. **Connected components** (Theorem 8) — implemented in `pm-graph`.
+//!
+//! Section IV-E needs weights as large as `n₁^(n₂+1)` (Õ(n) bits) for the
+//! rank-maximal and fair popular matching reductions; [`bigint`] provides the
+//! unsigned big integers used to realise those weight assignments exactly.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bigint;
+pub mod boolmat;
+pub mod gf2;
+pub mod gfp;
+
+pub use bigint::BigUint;
+pub use boolmat::BoolMatrix;
+pub use gf2::Gf2Matrix;
+pub use gfp::GfpMatrix;

@@ -1,0 +1,237 @@
+//! Gale–Shapley deferred acceptance for the stable marriage problem.
+//!
+//! Section VI of the paper assumes a stable matching is *given* and asks for
+//! the "next" one in the lattice; finding the first one fast in parallel is
+//! precisely the CC-complete obstacle (Mayr–Subramanian) the paper recalls.
+//! This sequential routine supplies that starting matching (man-optimal `M₀`
+//! or woman-optimal `M_z`) and the stability checker used throughout the
+//! `pm-stable` tests.
+
+/// Runs man-proposing deferred acceptance and returns `matching[m] = w`.
+///
+/// `men_prefs[m]` is man `m`'s strictly ordered preference list over all `n`
+/// women (most preferred first); `women_prefs[w]` likewise over all men.
+///
+/// # Panics
+/// Panics if the instance is malformed (lists that are not permutations of
+/// `0..n`).
+pub fn gale_shapley_man_optimal(
+    men_prefs: &[Vec<usize>],
+    women_prefs: &[Vec<usize>],
+) -> Vec<usize> {
+    let n = men_prefs.len();
+    assert_eq!(women_prefs.len(), n, "instance must be square");
+    validate_prefs(men_prefs, n);
+    validate_prefs(women_prefs, n);
+    if n == 0 {
+        return Vec::new();
+    }
+
+    // women_rank[w][m] = position of m in w's list (lower = preferred).
+    let women_rank = rank_matrix(women_prefs);
+
+    let mut next_proposal = vec![0usize; n]; // index into each man's list
+    let mut woman_partner: Vec<Option<usize>> = vec![None; n];
+    let mut free: Vec<usize> = (0..n).rev().collect();
+
+    while let Some(m) = free.pop() {
+        let w = men_prefs[m][next_proposal[m]];
+        next_proposal[m] += 1;
+        match woman_partner[w] {
+            None => woman_partner[w] = Some(m),
+            Some(current) => {
+                if women_rank[w][m] < women_rank[w][current] {
+                    woman_partner[w] = Some(m);
+                    free.push(current);
+                } else {
+                    free.push(m);
+                }
+            }
+        }
+    }
+
+    let mut matching = vec![0usize; n];
+    for (w, m) in woman_partner.iter().enumerate() {
+        matching[m.expect("complete lists imply a perfect matching")] = w;
+    }
+    matching
+}
+
+/// Runs woman-proposing deferred acceptance and returns `matching[m] = w`
+/// (the woman-optimal / man-pessimal stable matching `M_z`).
+pub fn gale_shapley_woman_optimal(
+    men_prefs: &[Vec<usize>],
+    women_prefs: &[Vec<usize>],
+) -> Vec<usize> {
+    // Swap roles, then invert the result back to man-indexed form.
+    let woman_matching = gale_shapley_man_optimal(women_prefs, men_prefs);
+    let n = men_prefs.len();
+    let mut matching = vec![0usize; n];
+    for (w, &m) in woman_matching.iter().enumerate() {
+        matching[m] = w;
+    }
+    matching
+}
+
+/// True iff `matching` (as `matching[m] = w`) is stable: no man and woman
+/// prefer each other to their assigned partners (Definition 5).
+pub fn is_stable(
+    men_prefs: &[Vec<usize>],
+    women_prefs: &[Vec<usize>],
+    matching: &[usize],
+) -> bool {
+    let n = men_prefs.len();
+    if matching.len() != n {
+        return false;
+    }
+    // Must be a permutation.
+    let mut seen = vec![false; n];
+    for &w in matching {
+        if w >= n || seen[w] {
+            return false;
+        }
+        seen[w] = true;
+    }
+    let women_rank = rank_matrix(women_prefs);
+    let mut woman_partner = vec![0usize; n];
+    for (m, &w) in matching.iter().enumerate() {
+        woman_partner[w] = m;
+    }
+    for m in 0..n {
+        for &w in &men_prefs[m] {
+            if w == matching[m] {
+                break; // only women strictly preferred to m's partner matter
+            }
+            // m prefers w to his partner; blocking if w prefers m back.
+            if women_rank[w][m] < women_rank[w][woman_partner[w]] {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Builds `rank[p][q]` = position of `q` in `prefs[p]`.
+pub fn rank_matrix(prefs: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let n = prefs.len();
+    let mut rank = vec![vec![0usize; n]; n];
+    for (p, list) in prefs.iter().enumerate() {
+        for (i, &q) in list.iter().enumerate() {
+            rank[p][q] = i;
+        }
+    }
+    rank
+}
+
+fn validate_prefs(prefs: &[Vec<usize>], n: usize) {
+    for (p, list) in prefs.iter().enumerate() {
+        assert_eq!(list.len(), n, "preference list of {p} has wrong length");
+        let mut seen = vec![false; n];
+        for &q in list {
+            assert!(q < n && !seen[q], "preference list of {p} is not a permutation");
+            seen[q] = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn classic_instance() -> (Vec<Vec<usize>>, Vec<Vec<usize>>) {
+        // The standard 3x3 example with distinct man- and woman-optimal
+        // matchings.
+        let men = vec![vec![0, 1, 2], vec![1, 0, 2], vec![0, 1, 2]];
+        let women = vec![vec![1, 2, 0], vec![0, 2, 1], vec![0, 1, 2]];
+        (men, women)
+    }
+
+    #[test]
+    fn empty_instance() {
+        assert!(gale_shapley_man_optimal(&[], &[]).is_empty());
+    }
+
+    #[test]
+    fn single_pair() {
+        let m = gale_shapley_man_optimal(&[vec![0]], &[vec![0]]);
+        assert_eq!(m, vec![0]);
+        assert!(is_stable(&[vec![0]], &[vec![0]], &m));
+    }
+
+    #[test]
+    fn man_optimal_is_stable() {
+        let (men, women) = classic_instance();
+        let m0 = gale_shapley_man_optimal(&men, &women);
+        assert!(is_stable(&men, &women, &m0));
+    }
+
+    #[test]
+    fn woman_optimal_is_stable_and_dominated() {
+        let (men, women) = classic_instance();
+        let m0 = gale_shapley_man_optimal(&men, &women);
+        let mz = gale_shapley_woman_optimal(&men, &women);
+        assert!(is_stable(&men, &women, &mz));
+        // Every man weakly prefers M0 to Mz.
+        let men_rank = rank_matrix(&men);
+        for man in 0..3 {
+            assert!(men_rank[man][m0[man]] <= men_rank[man][mz[man]]);
+        }
+    }
+
+    #[test]
+    fn detects_unstable_matching() {
+        let (men, women) = classic_instance();
+        // Find a perfect matching that is not stable by brute force.
+        let perms = [[0, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]];
+        let unstable: Vec<_> = perms
+            .iter()
+            .filter(|p| !is_stable(&men, &women, &p[..]))
+            .collect();
+        assert!(!unstable.is_empty(), "this instance has unstable permutations");
+    }
+
+    #[test]
+    fn is_stable_rejects_non_permutations() {
+        let (men, women) = classic_instance();
+        assert!(!is_stable(&men, &women, &[0, 0, 1]));
+        assert!(!is_stable(&men, &women, &[0, 1]));
+        assert!(!is_stable(&men, &women, &[0, 1, 5]));
+    }
+
+    #[test]
+    fn random_instances_produce_stable_outputs() {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        for n in [2usize, 5, 16, 40] {
+            let mut gen = |_: usize| {
+                let mut lists = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let mut l: Vec<usize> = (0..n).collect();
+                    l.shuffle(&mut rng);
+                    lists.push(l);
+                }
+                lists
+            };
+            let men = gen(n);
+            let women = gen(n);
+            let m0 = gale_shapley_man_optimal(&men, &women);
+            let mz = gale_shapley_woman_optimal(&men, &women);
+            assert!(is_stable(&men, &women, &m0), "n={n}");
+            assert!(is_stable(&men, &women, &mz), "n={n}");
+            // Man-optimality: every man weakly prefers M0 to Mz.
+            let men_rank = rank_matrix(&men);
+            for man in 0..n {
+                assert!(men_rank[man][m0[man]] <= men_rank[man][mz[man]], "n={n} man={man}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn malformed_preferences_panic() {
+        let men = vec![vec![0, 0], vec![0, 1]];
+        let women = vec![vec![0, 1], vec![0, 1]];
+        let _ = gale_shapley_man_optimal(&men, &women);
+    }
+}

@@ -1,0 +1,191 @@
+//! Hopcroft–Karp maximum-cardinality bipartite matching.
+//!
+//! Used as the independent referee in experiment E9 (Theorem 11 reduces
+//! maximum-cardinality bipartite matching to popular matching; Lemmas 12 and
+//! 13 say the two problems have the same optimal size on the all-rank-1
+//! construction, which the tests verify by comparing against this routine),
+//! and by the brute-force popularity verifier for small instances.
+
+use std::collections::VecDeque;
+
+use pm_graph::BipartiteGraph;
+
+use crate::matching::Matching;
+
+const INF: u32 = u32::MAX;
+
+/// Computes a maximum-cardinality matching of `g` with the Hopcroft–Karp
+/// algorithm in `O(E √V)` time.
+pub fn hopcroft_karp(g: &BipartiteGraph) -> Matching {
+    let n_left = g.n_left();
+    let n_right = g.n_right();
+    let mut match_left: Vec<Option<usize>> = vec![None; n_left];
+    let mut match_right: Vec<Option<usize>> = vec![None; n_right];
+    let mut dist = vec![INF; n_left];
+
+    loop {
+        // BFS phase: layer the free left vertices.
+        let mut queue = VecDeque::new();
+        for l in 0..n_left {
+            if match_left[l].is_none() {
+                dist[l] = 0;
+                queue.push_back(l);
+            } else {
+                dist[l] = INF;
+            }
+        }
+        let mut found_augmenting_layer = false;
+        while let Some(l) = queue.pop_front() {
+            for &r in g.neighbors_left(l) {
+                match match_right[r] {
+                    None => found_augmenting_layer = true,
+                    Some(l2) => {
+                        if dist[l2] == INF {
+                            dist[l2] = dist[l] + 1;
+                            queue.push_back(l2);
+                        }
+                    }
+                }
+            }
+        }
+        if !found_augmenting_layer {
+            break;
+        }
+
+        // DFS phase: find a maximal set of vertex-disjoint shortest
+        // augmenting paths.
+        for l in 0..n_left {
+            if match_left[l].is_none() {
+                let _ = dfs(l, g, &mut match_left, &mut match_right, &mut dist);
+            }
+        }
+    }
+
+    let mut m = Matching::empty(n_left, n_right);
+    for (l, r) in match_left.iter().enumerate() {
+        if let Some(r) = r {
+            m.add(l, *r);
+        }
+    }
+    m
+}
+
+fn dfs(
+    l: usize,
+    g: &BipartiteGraph,
+    match_left: &mut Vec<Option<usize>>,
+    match_right: &mut Vec<Option<usize>>,
+    dist: &mut Vec<u32>,
+) -> bool {
+    for &r in g.neighbors_left(l) {
+        match match_right[r] {
+            None => {
+                match_right[r] = Some(l);
+                match_left[l] = Some(r);
+                return true;
+            }
+            Some(l2) => {
+                if dist[l2] == dist[l] + 1 && dfs(l2, g, match_left, match_right, dist) {
+                    match_right[r] = Some(l);
+                    match_left[l] = Some(r);
+                    return true;
+                }
+            }
+        }
+    }
+    dist[l] = INF;
+    false
+}
+
+/// Exhaustive maximum-matching size for tiny graphs (used only in tests and
+/// the brute-force verifiers); exponential in the number of left vertices.
+pub fn brute_force_max_matching_size(g: &BipartiteGraph) -> usize {
+    fn rec(g: &BipartiteGraph, l: usize, used: &mut Vec<bool>) -> usize {
+        if l == g.n_left() {
+            return 0;
+        }
+        // Option 1: leave l unmatched.
+        let mut best = rec(g, l + 1, used);
+        // Option 2: match l to any free neighbour.
+        for &r in g.neighbors_left(l) {
+            if !used[r] {
+                used[r] = true;
+                best = best.max(1 + rec(g, l + 1, used));
+                used[r] = false;
+            }
+        }
+        best
+    }
+    let mut used = vec![false; g.n_right()];
+    rec(g, 0, &mut used)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = BipartiteGraph::new(3, 3);
+        assert_eq!(hopcroft_karp(&g).size(), 0);
+    }
+
+    #[test]
+    fn perfect_matching_exists() {
+        let g = BipartiteGraph::from_edges(3, 3, &[(0, 0), (0, 1), (1, 1), (1, 2), (2, 2)]);
+        let m = hopcroft_karp(&g);
+        assert_eq!(m.size(), 3);
+        assert!(m.uses_only_edges_of(&g));
+        assert!(m.is_left_perfect());
+    }
+
+    #[test]
+    fn bottleneck_limits_size() {
+        // Three left vertices all only like right vertex 0.
+        let g = BipartiteGraph::from_edges(3, 2, &[(0, 0), (1, 0), (2, 0)]);
+        assert_eq!(hopcroft_karp(&g).size(), 1);
+    }
+
+    #[test]
+    fn requires_augmenting_paths() {
+        // A graph where the greedy matching is not maximum.
+        let g = BipartiteGraph::from_edges(3, 3, &[(0, 0), (1, 0), (1, 1), (2, 1), (2, 2)]);
+        let m = hopcroft_karp(&g);
+        assert_eq!(m.size(), 3);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_graphs() {
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        for _ in 0..50 {
+            let n_left = rng.random_range(1..7);
+            let n_right = rng.random_range(1..7);
+            let mut edges = Vec::new();
+            for l in 0..n_left {
+                for r in 0..n_right {
+                    if rng.random_range(0..3) == 0 {
+                        edges.push((l, r));
+                    }
+                }
+            }
+            let g = BipartiteGraph::from_edges(n_left, n_right, &edges);
+            let hk = hopcroft_karp(&g);
+            assert!(hk.uses_only_edges_of(&g));
+            assert_eq!(hk.size(), brute_force_max_matching_size(&g));
+        }
+    }
+
+    #[test]
+    fn large_bipartite_cycle() {
+        // A single cycle of length 2n has a perfect matching.
+        let n = 5000;
+        let mut edges = Vec::new();
+        for i in 0..n {
+            edges.push((i, i));
+            edges.push((i, (i + 1) % n));
+        }
+        let g = BipartiteGraph::from_edges(n, n, &edges);
+        assert_eq!(hopcroft_karp(&g).size(), n);
+    }
+}

@@ -1,0 +1,189 @@
+//! The bipartite matching value type shared by all algorithms.
+
+use pm_graph::BipartiteGraph;
+
+/// A matching in a bipartite graph, stored from both sides: `left_to_right[l]`
+/// is the right vertex matched to `l` (if any) and vice versa.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Matching {
+    left_to_right: Vec<Option<usize>>,
+    right_to_left: Vec<Option<usize>>,
+}
+
+impl Matching {
+    /// The empty matching on `n_left` / `n_right` vertices.
+    pub fn empty(n_left: usize, n_right: usize) -> Self {
+        Self {
+            left_to_right: vec![None; n_left],
+            right_to_left: vec![None; n_right],
+        }
+    }
+
+    /// Builds a matching from the left-side assignment.
+    ///
+    /// # Panics
+    /// Panics if two left vertices claim the same right vertex or an index is
+    /// out of range.
+    pub fn from_left_assignment(assignment: &[Option<usize>], n_right: usize) -> Self {
+        let mut m = Self::empty(assignment.len(), n_right);
+        for (l, &a) in assignment.iter().enumerate() {
+            if let Some(r) = a {
+                m.add(l, r);
+            }
+        }
+        m
+    }
+
+    /// Builds a matching from explicit `(left, right)` pairs.
+    pub fn from_pairs(n_left: usize, n_right: usize, pairs: &[(usize, usize)]) -> Self {
+        let mut m = Self::empty(n_left, n_right);
+        for &(l, r) in pairs {
+            m.add(l, r);
+        }
+        m
+    }
+
+    /// Adds the pair `(l, r)`.
+    ///
+    /// # Panics
+    /// Panics if either endpoint is already matched or out of range.
+    pub fn add(&mut self, l: usize, r: usize) {
+        assert!(self.left_to_right[l].is_none(), "left vertex {l} already matched");
+        assert!(self.right_to_left[r].is_none(), "right vertex {r} already matched");
+        self.left_to_right[l] = Some(r);
+        self.right_to_left[r] = Some(l);
+    }
+
+    /// Removes the pair containing left vertex `l`, if any.
+    pub fn remove_left(&mut self, l: usize) {
+        if let Some(r) = self.left_to_right[l].take() {
+            self.right_to_left[r] = None;
+        }
+    }
+
+    /// Re-assigns left vertex `l` to right vertex `r`, detaching whatever was
+    /// previously matched to either endpoint.
+    pub fn assign(&mut self, l: usize, r: usize) {
+        self.remove_left(l);
+        if let Some(prev_l) = self.right_to_left[r].take() {
+            self.left_to_right[prev_l] = None;
+        }
+        self.add(l, r);
+    }
+
+    /// Partner of a left vertex.
+    pub fn left(&self, l: usize) -> Option<usize> {
+        self.left_to_right[l]
+    }
+
+    /// Partner of a right vertex.
+    pub fn right(&self, r: usize) -> Option<usize> {
+        self.right_to_left[r]
+    }
+
+    /// Number of matched pairs.
+    pub fn size(&self) -> usize {
+        self.left_to_right.iter().filter(|x| x.is_some()).count()
+    }
+
+    /// Number of left vertices.
+    pub fn n_left(&self) -> usize {
+        self.left_to_right.len()
+    }
+
+    /// Number of right vertices.
+    pub fn n_right(&self) -> usize {
+        self.right_to_left.len()
+    }
+
+    /// The left-side assignment slice.
+    pub fn left_assignment(&self) -> &[Option<usize>] {
+        &self.left_to_right
+    }
+
+    /// The matched pairs, ordered by left vertex.
+    pub fn pairs(&self) -> Vec<(usize, usize)> {
+        self.left_to_right
+            .iter()
+            .enumerate()
+            .filter_map(|(l, r)| r.map(|r| (l, r)))
+            .collect()
+    }
+
+    /// True iff every matched pair is an edge of `g` (consistency is
+    /// guaranteed by construction; this checks edge membership).
+    pub fn uses_only_edges_of(&self, g: &BipartiteGraph) -> bool {
+        self.pairs().iter().all(|&(l, r)| g.has_edge(l, r))
+    }
+
+    /// True iff every left vertex is matched.
+    pub fn is_left_perfect(&self) -> bool {
+        self.left_to_right.iter().all(Option::is_some)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_matching() {
+        let m = Matching::empty(3, 4);
+        assert_eq!(m.size(), 0);
+        assert_eq!(m.n_left(), 3);
+        assert_eq!(m.n_right(), 4);
+        assert!(!m.is_left_perfect());
+        assert!(m.pairs().is_empty());
+    }
+
+    #[test]
+    fn add_remove_assign() {
+        let mut m = Matching::empty(3, 3);
+        m.add(0, 1);
+        m.add(1, 2);
+        assert_eq!(m.size(), 2);
+        assert_eq!(m.left(0), Some(1));
+        assert_eq!(m.right(1), Some(0));
+
+        m.remove_left(0);
+        assert_eq!(m.left(0), None);
+        assert_eq!(m.right(1), None);
+
+        // assign displaces previous partners on both sides
+        m.add(0, 1);
+        m.assign(2, 2); // displaces left 1 from right 2
+        assert_eq!(m.left(1), None);
+        assert_eq!(m.left(2), Some(2));
+        m.assign(2, 1); // moves left 2 from right 2 to right 1, displacing left 0
+        assert_eq!(m.left(0), None);
+        assert_eq!(m.left(2), Some(1));
+        assert_eq!(m.right(2), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "already matched")]
+    fn double_add_panics() {
+        let mut m = Matching::empty(2, 2);
+        m.add(0, 0);
+        m.add(1, 0);
+    }
+
+    #[test]
+    fn from_pairs_and_assignment_roundtrip() {
+        let pairs = vec![(0, 2), (2, 0)];
+        let m = Matching::from_pairs(3, 3, &pairs);
+        assert_eq!(m.pairs(), pairs);
+        let m2 = Matching::from_left_assignment(m.left_assignment(), 3);
+        assert_eq!(m, m2);
+    }
+
+    #[test]
+    fn edge_membership_check() {
+        let g = BipartiteGraph::from_edges(2, 2, &[(0, 0), (1, 1)]);
+        let ok = Matching::from_pairs(2, 2, &[(0, 0), (1, 1)]);
+        assert!(ok.uses_only_edges_of(&g));
+        assert!(ok.is_left_perfect());
+        let bad = Matching::from_pairs(2, 2, &[(0, 1)]);
+        assert!(!bad.uses_only_edges_of(&g));
+    }
+}

@@ -1,0 +1,209 @@
+//! Perfect matching in regular bipartite graphs by Euler partition.
+//!
+//! The paper (Section III-B2) notes that "searching for a perfect matching
+//! in regular bipartite graphs can be done in NC", citing Lev, Pippenger and
+//! Valiant.  Algorithm 2 itself only ever needs the 2-regular case (handled
+//! in [`crate::two_regular`]); this module provides the classical
+//! Euler-partition construction for `2^k`-regular graphs as the extension
+//! substrate: repeatedly split the edge set along Euler circuits into two
+//! halves of half the degree until the degree reaches 2, then finish with
+//! the 2-regular matcher.  The splitting here is the straightforward
+//! sequential Hierholzer walk — the output (a perfect matching) is what the
+//! downstream code cares about; the NC-depth claims are exercised on the
+//! 2-regular path that the popular-matching algorithms actually use.
+
+use pm_graph::BipartiteGraph;
+use pm_pram::tracker::DepthTracker;
+
+use crate::matching::Matching;
+use crate::two_regular::two_regular_perfect_matching_parallel;
+
+/// Returns the common degree if `g` is `d`-regular on both sides with equal
+/// side sizes, otherwise `None`.
+pub fn regularity(g: &BipartiteGraph) -> Option<usize> {
+    if g.n_left() != g.n_right() || g.n_left() == 0 {
+        return if g.n_left() == g.n_right() { Some(0) } else { None };
+    }
+    let d = g.degree_left(0);
+    let ok = (0..g.n_left()).all(|l| g.degree_left(l) == d)
+        && (0..g.n_right()).all(|r| g.degree_right(r) == d);
+    ok.then_some(d)
+}
+
+/// Perfect matching of a `2^k`-regular bipartite graph via Euler partition.
+///
+/// # Panics
+/// Panics if the graph is not regular with equal sides, or if its degree is
+/// not a power of two (zero-degree non-empty graphs have no perfect
+/// matching and also panic).
+pub fn regular_perfect_matching(g: &BipartiteGraph, tracker: &DepthTracker) -> Matching {
+    let d = regularity(g).expect("graph must be d-regular with equal sides");
+    if g.n_left() == 0 {
+        return Matching::empty(0, 0);
+    }
+    assert!(d > 0, "0-regular non-empty graph has no perfect matching");
+    assert!(d.is_power_of_two(), "degree must be a power of two (got {d})");
+
+    let mut edges = g.edges();
+    let mut degree = d;
+    let n = g.n_left();
+
+    while degree > 2 {
+        tracker.phase();
+        edges = euler_half(n, &edges);
+        degree /= 2;
+    }
+
+    if degree == 1 {
+        // The edges themselves form the perfect matching.
+        let mut m = Matching::empty(n, n);
+        for (l, r) in edges {
+            m.add(l, r);
+        }
+        return m;
+    }
+
+    let half = BipartiteGraph::from_edges(n, n, &edges);
+    two_regular_perfect_matching_parallel(&half, tracker)
+}
+
+/// Splits an even-degree bipartite (multi)graph along Euler circuits and
+/// returns the half whose edges are oriented left → right.
+fn euler_half(n: usize, edges: &[(usize, usize)]) -> Vec<(usize, usize)> {
+    // Vertices 0..n are left, n..2n are right.
+    let mut adj: Vec<Vec<(usize, usize)>> = vec![Vec::new(); 2 * n]; // (other, edge id)
+    for (id, &(l, r)) in edges.iter().enumerate() {
+        adj[l].push((n + r, id));
+        adj[n + r].push((l, id));
+    }
+    let mut used = vec![false; edges.len()];
+    let mut next_idx = vec![0usize; 2 * n];
+    let mut keep = Vec::with_capacity(edges.len() / 2);
+
+    for start in 0..2 * n {
+        // Hierholzer: walk unused edges until stuck (which, with all degrees
+        // even, only happens back at the start), orienting edges as walked.
+        loop {
+            // Skip already-used incident edges.
+            while next_idx[start] < adj[start].len() && used[adj[start][next_idx[start]].1] {
+                next_idx[start] += 1;
+            }
+            if next_idx[start] >= adj[start].len() {
+                break;
+            }
+            let mut v = start;
+            loop {
+                while next_idx[v] < adj[v].len() && used[adj[v][next_idx[v]].1] {
+                    next_idx[v] += 1;
+                }
+                if next_idx[v] >= adj[v].len() {
+                    break;
+                }
+                let (w, id) = adj[v][next_idx[v]];
+                used[id] = true;
+                // Orientation v -> w: keep the edge if v is a left vertex.
+                if v < n {
+                    keep.push(edges[id]);
+                }
+                v = w;
+            }
+        }
+    }
+    keep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn complete_regular(n: usize) -> BipartiteGraph {
+        let mut edges = Vec::new();
+        for l in 0..n {
+            for r in 0..n {
+                edges.push((l, r));
+            }
+        }
+        BipartiteGraph::from_edges(n, n, &edges)
+    }
+
+    /// d-regular circulant: left i connected to right (i + j) mod n for j < d.
+    fn circulant(n: usize, d: usize) -> BipartiteGraph {
+        let mut edges = Vec::new();
+        for l in 0..n {
+            for j in 0..d {
+                edges.push((l, (l + j) % n));
+            }
+        }
+        BipartiteGraph::from_edges(n, n, &edges)
+    }
+
+    fn check_perfect(g: &BipartiteGraph, m: &Matching) {
+        assert_eq!(m.size(), g.n_left());
+        assert!(m.uses_only_edges_of(g));
+    }
+
+    #[test]
+    fn regularity_detection() {
+        assert_eq!(regularity(&complete_regular(4)), Some(4));
+        assert_eq!(regularity(&circulant(6, 2)), Some(2));
+        let irregular = BipartiteGraph::from_edges(2, 2, &[(0, 0), (0, 1), (1, 1)]);
+        assert_eq!(regularity(&irregular), None);
+        assert_eq!(regularity(&BipartiteGraph::new(0, 0)), Some(0));
+    }
+
+    #[test]
+    fn one_regular_graph() {
+        let g = circulant(5, 1);
+        let t = DepthTracker::new();
+        let m = regular_perfect_matching(&g, &t);
+        check_perfect(&g, &m);
+        assert_eq!(m.pairs(), (0..5).map(|i| (i, i)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn two_regular_graph() {
+        let g = circulant(7, 2);
+        let t = DepthTracker::new();
+        check_perfect(&g, &regular_perfect_matching(&g, &t));
+    }
+
+    #[test]
+    fn four_and_eight_regular_graphs() {
+        let t = DepthTracker::new();
+        for (n, d) in [(8usize, 4usize), (16, 4), (16, 8), (32, 8)] {
+            let g = circulant(n, d);
+            assert_eq!(regularity(&g), Some(d));
+            check_perfect(&g, &regular_perfect_matching(&g, &t));
+        }
+    }
+
+    #[test]
+    fn complete_bipartite_power_of_two() {
+        let g = complete_regular(8);
+        let t = DepthTracker::new();
+        check_perfect(&g, &regular_perfect_matching(&g, &t));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_degree_panics() {
+        let g = circulant(9, 3);
+        let t = DepthTracker::new();
+        let _ = regular_perfect_matching(&g, &t);
+    }
+
+    #[test]
+    #[should_panic(expected = "regular")]
+    fn irregular_graph_panics() {
+        let g = BipartiteGraph::from_edges(2, 2, &[(0, 0), (0, 1), (1, 1)]);
+        let t = DepthTracker::new();
+        let _ = regular_perfect_matching(&g, &t);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = BipartiteGraph::new(0, 0);
+        let t = DepthTracker::new();
+        assert_eq!(regular_perfect_matching(&g, &t).size(), 0);
+    }
+}

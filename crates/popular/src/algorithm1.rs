@@ -1,0 +1,211 @@
+//! Algorithm 1: the NC popular matching algorithm (strict preference lists).
+//!
+//! The driver is exactly the paper's three lines: build the reduced graph
+//! `G'`, find an applicant-complete matching `M` of `G'` with Algorithm 2
+//! (or report that none exists), and finally promote one applicant of
+//! `f⁻¹(p)` to every f-post `p` left unmatched by `M`.  By Theorem 1 the
+//! result is a popular matching, and every step is a constant number of
+//! parallel rounds on top of Algorithm 2.
+
+use pm_pram::tracker::DepthTracker;
+
+use crate::algorithm2::{applicant_complete_matching, Algorithm2Outcome};
+use crate::error::PopularError;
+use crate::instance::{Assignment, PrefInstance};
+use crate::reduced::ReducedGraph;
+
+/// Detailed result of Algorithm 1, including the intermediate objects the
+/// benchmarks and the switching-graph algorithms reuse.
+#[derive(Debug, Clone)]
+pub struct PopularMatchingRun {
+    /// The reduced graph `G'`.
+    pub reduced: ReducedGraph,
+    /// The popular matching.
+    pub matching: Assignment,
+    /// Number of degree-1 peeling rounds executed by Algorithm 2.
+    pub peel_rounds: u32,
+}
+
+/// Runs Algorithm 1 and returns the full run record.
+///
+/// # Errors
+/// * [`PopularError::TiesNotSupported`] if a preference list has a tie.
+/// * [`PopularError::NoPopularMatching`] if the instance has no popular
+///   matching (Algorithm 2 found no applicant-complete matching of `G'`).
+pub fn popular_matching_run(
+    inst: &PrefInstance,
+    tracker: &DepthTracker,
+) -> Result<PopularMatchingRun, PopularError> {
+    let reduced = ReducedGraph::build_parallel(inst, tracker)?;
+    let Algorithm2Outcome { assignment, peel_rounds } =
+        applicant_complete_matching(&reduced, tracker);
+    let Some(mut matching) = assignment else {
+        return Err(PopularError::NoPopularMatching);
+    };
+
+    promote_unmatched_f_posts(&reduced, &mut matching, tracker);
+    Ok(PopularMatchingRun { reduced, matching, peel_rounds })
+}
+
+/// Runs Algorithm 1 and returns just the popular matching.
+pub fn popular_matching_nc(
+    inst: &PrefInstance,
+    tracker: &DepthTracker,
+) -> Result<Assignment, PopularError> {
+    popular_matching_run(inst, tracker).map(|run| run.matching)
+}
+
+/// The promotion step (lines 5–7 of Algorithm 1): for every f-post `p` that
+/// is unmatched in `M`, pick any applicant of `f⁻¹(p)` (we take the smallest
+/// id for determinism) and move it from `s(a)` to `p = f(a)`.
+///
+/// The sets `f⁻¹(p)` are disjoint across f-posts, so all promotions are
+/// independent and the step is a single parallel round.
+pub fn promote_unmatched_f_posts(
+    reduced: &ReducedGraph,
+    matching: &mut Assignment,
+    tracker: &DepthTracker,
+) {
+    tracker.round();
+    tracker.work(reduced.num_applicants() as u64);
+
+    let mut post_matched = vec![false; reduced.total_posts()];
+    for a in 0..reduced.num_applicants() {
+        post_matched[matching.post(a)] = true;
+    }
+    for p in reduced.f_posts() {
+        if post_matched[p] {
+            continue;
+        }
+        let a = *reduced
+            .f_inverse(p)
+            .first()
+            .expect("an f-post has at least one applicant ranking it first");
+        debug_assert_eq!(matching.post(a), reduced.s(a));
+        matching.set_post(a, p);
+        post_matched[p] = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::{is_popular_brute_force, is_popular_characterization};
+
+    fn figure1_instance() -> PrefInstance {
+        PrefInstance::new_strict(
+            9,
+            vec![
+                vec![0, 3, 4, 1, 5],
+                vec![3, 4, 6, 1, 7],
+                vec![3, 0, 2, 7],
+                vec![0, 6, 3, 2, 8],
+                vec![4, 0, 6, 1, 5],
+                vec![6, 5],
+                vec![6, 3, 7, 1],
+                vec![6, 3, 0, 4, 8, 2],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn paper_example_produces_a_popular_matching() {
+        let inst = figure1_instance();
+        let t = DepthTracker::new();
+        let run = popular_matching_run(&inst, &t).expect("Figure 1 admits a popular matching");
+        let m = &run.matching;
+        assert!(m.is_valid(&inst));
+        assert!(is_popular_characterization(&inst, m));
+        // Section III-C: p7 (id 6) is the f-post left unmatched by the
+        // applicant-complete matching, and one of a6/a7/a8 is promoted to it.
+        assert!(
+            [5, 6, 7].iter().any(|&a| m.post(a) == 6),
+            "one of a6, a7, a8 must be promoted to p7"
+        );
+        // All eight applicants end up on a real post (the example's popular
+        // matching is applicant-perfect on real posts).
+        assert_eq!(m.size(&inst), 8);
+    }
+
+    #[test]
+    fn paper_example_matches_reported_matching_sizes() {
+        // The matching reported in the paper matches a1..a8 to
+        // p1 p2 p4 p3 p5 p7 p8 p9.  Our algorithm may pick a different but
+        // equally popular matching; both must have every f-post matched and
+        // every applicant on f(a) or s(a).
+        let inst = figure1_instance();
+        let t = DepthTracker::new();
+        let run = popular_matching_run(&inst, &t).unwrap();
+        let paper = Assignment::new(vec![0, 1, 3, 2, 4, 6, 7, 8]);
+        assert!(paper.is_valid(&inst));
+        assert!(is_popular_characterization(&inst, &paper));
+        assert!(is_popular_characterization(&inst, &run.matching));
+    }
+
+    #[test]
+    fn no_popular_matching_is_reported() {
+        // Three applicants fighting over the same two posts (Section III-C
+        // style counterexample): no popular matching exists.
+        let inst = PrefInstance::new_strict(3, vec![vec![0, 2], vec![0, 2], vec![0, 2]]).unwrap();
+        let t = DepthTracker::new();
+        assert_eq!(popular_matching_nc(&inst, &t), Err(PopularError::NoPopularMatching));
+    }
+
+    #[test]
+    fn ties_rejected() {
+        let tied = PrefInstance::new_with_ties(2, vec![vec![vec![0, 1]]]).unwrap();
+        let t = DepthTracker::new();
+        assert_eq!(popular_matching_nc(&tied, &t), Err(PopularError::TiesNotSupported));
+    }
+
+    #[test]
+    fn single_applicant_gets_first_choice() {
+        let inst = PrefInstance::new_strict(3, vec![vec![2, 0]]).unwrap();
+        let t = DepthTracker::new();
+        let m = popular_matching_nc(&inst, &t).unwrap();
+        assert_eq!(m.post(0), 2);
+    }
+
+    #[test]
+    fn outputs_are_popular_by_brute_force_on_small_instances() {
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        let mut found = 0;
+        for _ in 0..300 {
+            let n_a = rng.random_range(1..5);
+            let n_p = rng.random_range(1..5);
+            let lists: Vec<Vec<usize>> = (0..n_a)
+                .map(|_| {
+                    let mut posts: Vec<usize> = (0..n_p).collect();
+                    // random subset in random order
+                    for i in (1..posts.len()).rev() {
+                        posts.swap(i, rng.random_range(0..=i));
+                    }
+                    let keep = rng.random_range(1..=posts.len());
+                    posts.truncate(keep);
+                    posts
+                })
+                .collect();
+            let inst = PrefInstance::new_strict(n_p, lists).unwrap();
+            let t = DepthTracker::new();
+            match popular_matching_nc(&inst, &t) {
+                Ok(m) => {
+                    assert!(m.is_valid(&inst));
+                    assert!(is_popular_characterization(&inst, &m));
+                    assert!(is_popular_brute_force(&inst, &m));
+                    found += 1;
+                }
+                Err(PopularError::NoPopularMatching) => {
+                    // Cross-check with brute force: no valid assignment may be popular.
+                    assert!(
+                        crate::verify::brute_force_popular_matching(&inst).is_none(),
+                        "algorithm said none, but brute force found a popular matching"
+                    );
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert!(found > 50, "expected plenty of solvable instances, got {found}");
+    }
+}

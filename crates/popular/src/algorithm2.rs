@@ -1,0 +1,436 @@
+//! Algorithm 2: an applicant-complete matching of the reduced graph in NC.
+//!
+//! The reduced graph `G'` has every applicant with degree exactly 2 (the
+//! edges to `f(a)` and `s(a)`), while posts may have any degree.  Algorithm 2
+//! works in two stages:
+//!
+//! 1. **Degree-1 peeling** (the `while` loop): as long as some post has
+//!    degree 1, find every maximal path of degree-2 vertices that ends at
+//!    such a post, match the edges at even distance from the degree-1
+//!    endpoint, and delete the matched vertices.  The maximal paths and the
+//!    parities are computed with the "doubling trick": one list-ranking pass
+//!    over the *arcs* of the current graph per round.  Lemma 2 bounds the
+//!    number of rounds by `⌈log n⌉ + 1`; the realised count is returned in
+//!    [`Algorithm2Outcome::peel_rounds`] so experiment E4 can check the bound.
+//! 2. **Even-cycle finish**: after the loop (and after dropping isolated
+//!    posts) every surviving post has degree ≥ 2 and every surviving
+//!    applicant still has degree 2.  If there are fewer posts than
+//!    applicants, no applicant-complete matching exists (Hall); otherwise
+//!    the remaining graph is 2-regular — a disjoint union of even cycles —
+//!    and a perfect matching is read off with the NC matcher of
+//!    [`pm_matching::two_regular`].
+
+use pm_graph::BipartiteGraph;
+use pm_matching::two_regular::two_regular_perfect_matching_parallel;
+use pm_pram::pointer::pointer_jump_roots;
+use pm_pram::tracker::DepthTracker;
+
+use crate::instance::Assignment;
+use crate::reduced::ReducedGraph;
+
+/// The outcome of Algorithm 2.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Algorithm2Outcome {
+    /// The applicant-complete matching of the reduced graph (each applicant
+    /// mapped to `f(a)` or `s(a)`), or `None` if none exists.
+    pub assignment: Option<Assignment>,
+    /// Number of iterations of the degree-1 peeling loop (Lemma 2 bounds
+    /// this by `⌈log₂ n⌉ + 1`).
+    pub peel_rounds: u32,
+}
+
+/// Runs Algorithm 2 on a reduced graph.
+pub fn applicant_complete_matching(
+    g: &ReducedGraph,
+    tracker: &DepthTracker,
+) -> Algorithm2Outcome {
+    let n_a = g.num_applicants();
+    let n_p = g.total_posts();
+    tracker.phase();
+
+    if n_a == 0 {
+        return Algorithm2Outcome { assignment: Some(Assignment::new(Vec::new())), peel_rounds: 0 };
+    }
+
+    // Static adjacency of the reduced graph: post -> incident applicants.
+    let mut post_adj: Vec<Vec<usize>> = vec![Vec::new(); n_p];
+    for a in 0..n_a {
+        post_adj[g.f(a)].push(a);
+        post_adj[g.s(a)].push(a);
+    }
+
+    let mut alive_applicant = vec![true; n_a];
+    // A post participates only if it occurs in the reduced graph.
+    let mut alive_post: Vec<bool> = (0..n_p).map(|p| !post_adj[p].is_empty()).collect();
+    let mut post_degree: Vec<usize> = (0..n_p).map(|p| post_adj[p].len()).collect();
+
+    // matched[a] = the post applicant `a` was matched to during peeling.
+    let mut matched: Vec<Option<usize>> = vec![None; n_a];
+    let mut peel_rounds = 0u32;
+
+    // Arc encoding: 4a+0 = a -> f(a), 4a+1 = f(a) -> a,
+    //               4a+2 = a -> s(a), 4a+3 = s(a) -> a.
+    let num_arcs = 4 * n_a;
+    let arc_head = |arc: usize| -> usize {
+        let (a, j) = (arc / 4, arc % 4);
+        match j {
+            0 => g.f(a),
+            1 => a + n_p, // applicants are offset by n_p in "vertex" space (only used for clarity)
+            2 => g.s(a),
+            _ => a + n_p,
+        }
+    };
+
+    loop {
+        let some_degree_one = (0..n_p).any(|p| alive_post[p] && post_degree[p] == 1);
+        if !some_degree_one {
+            break;
+        }
+        peel_rounds += 1;
+        tracker.round();
+        tracker.work(num_arcs as u64);
+        assert!(
+            peel_rounds as usize <= usize::BITS as usize + 2,
+            "degree-1 peeling exceeded the Lemma 2 bound by a wide margin"
+        );
+
+        // Other alive applicant incident to a degree-2 post, given one of them.
+        let other_applicant = |p: usize, not_a: usize| -> usize {
+            post_adj[p]
+                .iter()
+                .copied()
+                .find(|&b| b != not_a && alive_applicant[b])
+                .expect("degree-2 post has a second alive applicant")
+        };
+
+        // Build the arc successor structure for this round.
+        let mut succ: Vec<usize> = (0..num_arcs).collect(); // tails point to themselves
+        for a in 0..n_a {
+            if !alive_applicant[a] {
+                continue;
+            }
+            let (fa, sa) = (g.f(a), g.s(a));
+            // Applicant -> post arcs: continue through the post iff its degree is 2.
+            for (arc, p) in [(4 * a, fa), (4 * a + 2, sa)] {
+                if alive_post[p] && post_degree[p] == 2 {
+                    let b = other_applicant(p, a);
+                    // Next arc is post -> other applicant b, i.e. b's "incoming" arc.
+                    succ[arc] = if g.f(b) == p { 4 * b + 1 } else { 4 * b + 3 };
+                }
+            }
+            // Post -> applicant arcs: always continue through the applicant to
+            // its other post (alive applicants have degree exactly 2).
+            succ[4 * a + 1] = 4 * a + 2; // arrived from f(a), continue towards s(a)
+            succ[4 * a + 3] = 4 * a; // arrived from s(a), continue towards f(a)
+        }
+
+        // List-rank every arc: distance and endpoint of its walk.
+        let jump = pointer_jump_roots(&succ, tracker);
+
+        // An arc's walk is "valid" when it terminates at an applicant->post
+        // arc whose head post has degree 1 (that post is the v0 endpoint).
+        let tail_post = |arc: usize| -> Option<usize> {
+            let root = jump.root[arc];
+            let (ra, rj) = (root / 4, root % 4);
+            if !alive_applicant[ra] || rj % 2 != 0 {
+                return None;
+            }
+            let p = arc_head(root);
+            (alive_post[p] && post_degree[p] == 1 && succ[root] == root).then_some(p)
+        };
+
+        // Decide matched edges.  Edge (a, p) has an applicant->post arc A and
+        // a post->applicant arc B; if both directions reach a degree-1 post,
+        // the smaller post id is chosen as v0 (the "consider the path once"
+        // rule of the paper).
+        let mut newly_matched: Vec<(usize, usize)> = Vec::new();
+        for a in 0..n_a {
+            if !alive_applicant[a] {
+                continue;
+            }
+            for (arc_ap, arc_pa, p) in [(4 * a, 4 * a + 1, g.f(a)), (4 * a + 2, 4 * a + 3, g.s(a))] {
+                if !alive_post[p] {
+                    continue;
+                }
+                let t_fwd = tail_post(arc_ap);
+                let t_bwd = tail_post(arc_pa);
+                let use_forward = match (t_fwd, t_bwd) {
+                    (Some(x), Some(y)) => x <= y,
+                    (Some(_), None) => true,
+                    (None, Some(_)) => false,
+                    (None, None) => continue,
+                };
+                let dist = if use_forward { jump.dist[arc_ap] } else { jump.dist[arc_pa] };
+                if dist % 2 == 0 && use_forward {
+                    // Even distance and the arc is applicant -> post: the post
+                    // side is nearer the endpoint, so applicant a takes post p.
+                    newly_matched.push((a, p));
+                } else if dist % 2 == 0 && !use_forward {
+                    // Even distance measured from the other endpoint means the
+                    // *applicant* side is nearer that endpoint, which cannot
+                    // happen for an applicant->post edge of an alternating
+                    // path that starts at a post; skip (the partner edge of
+                    // this applicant is the matched one).
+                    continue;
+                }
+            }
+        }
+
+        assert!(
+            !newly_matched.is_empty(),
+            "a degree-1 post exists but no edge was matched (internal error)"
+        );
+
+        // Apply the matches and delete matched vertices.
+        for &(a, p) in &newly_matched {
+            debug_assert!(matched[a].is_none(), "applicant {a} matched twice in one round");
+            debug_assert!(alive_post[p]);
+            matched[a] = Some(p);
+        }
+        tracker.round();
+        tracker.work(newly_matched.len() as u64);
+        for &(a, p) in &newly_matched {
+            alive_applicant[a] = false;
+            alive_post[p] = false;
+        }
+        // Removing an applicant decrements its posts' degrees.
+        for &(a, _p) in &newly_matched {
+            for q in [g.f(a), g.s(a)] {
+                if alive_post[q] {
+                    post_degree[q] = post_degree[q].saturating_sub(1);
+                }
+            }
+        }
+        // Drop isolated posts.
+        for p in 0..n_p {
+            if alive_post[p] && post_degree[p] == 0 {
+                alive_post[p] = false;
+            }
+        }
+    }
+
+    // Every surviving applicant still has degree 2; every surviving post has
+    // degree ≥ 2.  Count and compare (Hall's condition).
+    let alive_as: Vec<usize> = (0..n_a).filter(|&a| alive_applicant[a]).collect();
+    let alive_ps: Vec<usize> = (0..n_p).filter(|&p| alive_post[p]).collect();
+    tracker.round();
+    tracker.work((alive_as.len() + alive_ps.len()) as u64);
+
+    if alive_ps.len() < alive_as.len() {
+        return Algorithm2Outcome { assignment: None, peel_rounds };
+    }
+
+    if !alive_as.is_empty() {
+        // |P| >= |A| together with the degree count forces |P| = |A| and a
+        // 2-regular remainder (see the correctness argument in the paper).
+        debug_assert_eq!(alive_ps.len(), alive_as.len());
+        let mut post_index = vec![usize::MAX; n_p];
+        for (i, &p) in alive_ps.iter().enumerate() {
+            post_index[p] = i;
+        }
+        let mut edges = Vec::with_capacity(2 * alive_as.len());
+        for (i, &a) in alive_as.iter().enumerate() {
+            edges.push((i, post_index[g.f(a)]));
+            edges.push((i, post_index[g.s(a)]));
+        }
+        let remainder = BipartiteGraph::from_edges(alive_as.len(), alive_ps.len(), &edges);
+        let pm = two_regular_perfect_matching_parallel(&remainder, tracker);
+        for (i, &a) in alive_as.iter().enumerate() {
+            let p = alive_ps[pm.left(i).expect("perfect matching")];
+            matched[a] = Some(p);
+        }
+    }
+
+    let assignment = Assignment::new(
+        matched
+            .into_iter()
+            .map(|m| m.expect("all applicants matched"))
+            .collect(),
+    );
+    Algorithm2Outcome { assignment: Some(assignment), peel_rounds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::PrefInstance;
+
+    fn figure1_instance() -> PrefInstance {
+        PrefInstance::new_strict(
+            9,
+            vec![
+                vec![0, 3, 4, 1, 5],
+                vec![3, 4, 6, 1, 7],
+                vec![3, 0, 2, 7],
+                vec![0, 6, 3, 2, 8],
+                vec![4, 0, 6, 1, 5],
+                vec![6, 5],
+                vec![6, 3, 7, 1],
+                vec![6, 3, 0, 4, 8, 2],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn check_applicant_complete(g: &ReducedGraph, m: &Assignment) {
+        for a in 0..g.num_applicants() {
+            let p = m.post(a);
+            assert!(p == g.f(a) || p == g.s(a), "applicant {a} not matched to f or s");
+        }
+        // No post used twice.
+        let mut used = vec![false; g.total_posts()];
+        for a in 0..g.num_applicants() {
+            assert!(!used[m.post(a)], "post {} used twice", m.post(a));
+            used[m.post(a)] = true;
+        }
+    }
+
+    #[test]
+    fn empty_instance() {
+        let inst = PrefInstance::new_strict(0, vec![]).unwrap();
+        let t = DepthTracker::new();
+        let g = ReducedGraph::build_parallel(&inst, &t).unwrap();
+        let out = applicant_complete_matching(&g, &t);
+        assert_eq!(out.assignment.unwrap().num_applicants(), 0);
+        assert_eq!(out.peel_rounds, 0);
+    }
+
+    #[test]
+    fn paper_example_peels_four_pairs_then_matches_cycles() {
+        // Section III-C: the while loop matches (a8,p9), (a6,p6), (a7,p8),
+        // (a5,p5); the remaining graph is the even cycle on
+        // {a1..a4, p1..p4}.
+        let inst = figure1_instance();
+        let t = DepthTracker::new();
+        let g = ReducedGraph::build_parallel(&inst, &t).unwrap();
+        let out = applicant_complete_matching(&g, &t);
+        let m = out.assignment.expect("the paper example has a popular matching");
+        check_applicant_complete(&g, &m);
+
+        // Peeled pairs reported in the paper (0-indexed): a8->p9, a6->p6, a7->p8, a5->p5.
+        assert_eq!(m.post(7), 8);
+        assert_eq!(m.post(5), 5);
+        assert_eq!(m.post(6), 7);
+        assert_eq!(m.post(4), 4);
+        // a1..a4 are matched within {p1, p2, p3, p4} = ids {0,1,2,3}.
+        for a in 0..4 {
+            assert!(m.post(a) <= 3);
+        }
+        assert!(out.peel_rounds >= 1);
+    }
+
+    #[test]
+    fn unsolvable_instance_detected() {
+        // Three applicants all with the single post 0 as first choice and no
+        // other acceptable post: the reduced graph has posts {p0, l(a0),
+        // l(a1), l(a2)}, but p0 can serve only one applicant and the other
+        // two take their last resorts — that IS applicant-complete.  To get a
+        // genuinely unsolvable instance we need more applicants than posts in
+        // some subgraph of G': two applicants with identical two-post lists
+        // where both posts are f-posts of others.
+        //
+        //   a0: p0          (f = p0, s = l0)
+        //   a1: p1          (f = p1, s = l1)
+        //   a2: p0 p1       (f = p0, s = l2)
+        //   a3: p0 p1       (f = p0, s = l3)
+        // Reduced graph: every applicant has its own last resort except that
+        // all of a2, a3 compete for p0 — still solvable via last resorts.
+        // A genuinely unsolvable case needs s-posts to collide:
+        //   a0: p0 p2
+        //   a1: p1 p2
+        //   a2: p0 p2
+        // f-posts {p0, p1}; s(a0)=s(a1)=s(a2)=p2.  G' has applicants {a0,a1,a2}
+        // adjacent to {p0,p2}, {p1,p2}, {p0,p2}.  An applicant-complete
+        // matching needs 3 distinct posts for {a0,a2} ⊂ {p0,p2} — impossible?
+        // a0->p0, a2->p2, a1->p1 works, so that's solvable too.  Use:
+        //   a0: p0 p2
+        //   a1: p0 p2
+        //   a2: p0 p2
+        // f-post {p0}, s = p2 for all three: 3 applicants, 2 posts -> None.
+        let inst = PrefInstance::new_strict(3, vec![vec![0, 2], vec![0, 2], vec![0, 2]]).unwrap();
+        let t = DepthTracker::new();
+        let g = ReducedGraph::build_parallel(&inst, &t).unwrap();
+        let out = applicant_complete_matching(&g, &t);
+        assert!(out.assignment.is_none());
+    }
+
+    #[test]
+    fn single_applicant() {
+        let inst = PrefInstance::new_strict(2, vec![vec![0, 1]]).unwrap();
+        let t = DepthTracker::new();
+        let g = ReducedGraph::build_parallel(&inst, &t).unwrap();
+        let out = applicant_complete_matching(&g, &t);
+        let m = out.assignment.unwrap();
+        check_applicant_complete(&g, &m);
+    }
+
+    #[test]
+    fn pure_even_cycle_instance_needs_no_peeling() {
+        // Two applicants sharing the same f-post and s-post is impossible
+        // (f-posts are distinct from s-posts); build a 4-cycle instead:
+        //   a0: p0 p2..., a1: p1 ... with s(a0)=s(a1) impossible to be a
+        // cycle of length 4 needs: a0 - p0, a0 - p2, a1 - p1 ... Simplest:
+        //   a0: p0 p2
+        //   a1: p2 ... no, p2 must not be an f-post.
+        // Use: a0: p0 p2 ; a1: p1 p2 — f-posts {p0, p1}, s = p2 for both.
+        // G': a0-{p0,p2}, a1-{p1,p2}: a path, not a cycle (p2 has degree 2,
+        // p0 and p1 degree 1) — peeled.  A genuine 2-regular component needs
+        // two applicants sharing BOTH posts: a0: p0 p2, a1: p0 p2 is invalid
+        // (s-post equals for both but f also equal => both posts shared):
+        //   a0: p0 p2
+        //   a1: p0 p2
+        // f-post {p0}, s = p2 for both: cycle a0-p0-a1-p2-a0 of length 4.
+        let inst = PrefInstance::new_strict(3, vec![vec![0, 2], vec![0, 2]]).unwrap();
+        let t = DepthTracker::new();
+        let g = ReducedGraph::build_parallel(&inst, &t).unwrap();
+        let out = applicant_complete_matching(&g, &t);
+        let m = out.assignment.unwrap();
+        check_applicant_complete(&g, &m);
+        assert_eq!(out.peel_rounds, 0, "a pure even cycle needs no peeling");
+        assert_eq!(m.size(&inst), 2);
+    }
+
+    #[test]
+    fn long_path_instances_peel_in_logarithmic_rounds() {
+        // Build an instance whose reduced graph is one long path:
+        //   a_i: p_i p_{i+1}  with p_0 .. p_n, and only p_i are f-posts.
+        // f(a_i) = p_i; s(a_i) = p_{i+1} provided p_{i+1} is not an f-post,
+        // which fails for interior posts.  Instead use the "chain" instance:
+        //   a_i: q_i q_{i+1}   where q_j is never anyone's first choice except
+        // q_i for a_i — then f(a_i) = q_i is an f-post and s(a_i) = q_{i+1}
+        // only if q_{i+1} is not an f-post, again false.  A reliable way to
+        // get long paths is a "ladder": applicants 0..n share s-post chain.
+        // Simpler large test: many disjoint 3-vertex paths — peeling is one
+        // round regardless of n, plus a pseudo-random large instance below.
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        for &n in &[50usize, 500, 5000] {
+            let num_posts = n;
+            let lists: Vec<Vec<usize>> = (0..n)
+                .map(|a| {
+                    let mut l = vec![a % num_posts];
+                    // a few random lower choices
+                    for _ in 0..3 {
+                        let p = rng.random_range(0..num_posts);
+                        if !l.contains(&p) {
+                            l.push(p);
+                        }
+                    }
+                    l
+                })
+                .collect();
+            let inst = PrefInstance::new_strict(num_posts, lists).unwrap();
+            let t = DepthTracker::new();
+            let g = ReducedGraph::build_parallel(&inst, &t).unwrap();
+            let out = applicant_complete_matching(&g, &t);
+            let m = out.assignment.expect("instances with distinct f-posts are solvable");
+            check_applicant_complete(&g, &m);
+            let bound = (n as f64).log2().ceil() as u32 + 1;
+            assert!(
+                out.peel_rounds <= bound,
+                "peel rounds {} exceeded Lemma 2 bound {bound} for n={n}",
+                out.peel_rounds
+            );
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Error types for the popular matching algorithms.
+
+use std::fmt;
+
+/// Errors reported by the popular-matching algorithms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PopularError {
+    /// The instance admits no popular matching (Algorithm 2 failed to find
+    /// an applicant-complete matching of the reduced graph).
+    NoPopularMatching,
+    /// The instance is malformed (empty preference list, out-of-range post,
+    /// duplicated post within one list, …).  The payload describes the
+    /// offending entry.
+    InvalidInstance(String),
+    /// An algorithm that requires strictly-ordered preference lists was given
+    /// an instance with ties (Section III explicitly restricts to the strict
+    /// case; the ties case is handled by the Section V reduction only).
+    TiesNotSupported,
+}
+
+impl fmt::Display for PopularError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PopularError::NoPopularMatching => write!(f, "the instance admits no popular matching"),
+            PopularError::InvalidInstance(msg) => write!(f, "invalid instance: {msg}"),
+            PopularError::TiesNotSupported => {
+                write!(f, "this algorithm requires strictly-ordered preference lists")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PopularError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(PopularError::NoPopularMatching.to_string().contains("no popular matching"));
+        assert!(PopularError::InvalidInstance("bad".into()).to_string().contains("bad"));
+        assert!(PopularError::TiesNotSupported.to_string().contains("strictly-ordered"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        let e: Box<dyn std::error::Error> = Box::new(PopularError::NoPopularMatching);
+        assert!(e.source().is_none());
+    }
+}

@@ -1,0 +1,370 @@
+//! The one-sided preference instance and applicant-complete assignments.
+//!
+//! An instance is a bipartite graph `G = (A ∪ P, E)` where every applicant
+//! `a ∈ A` ranks a non-empty subset of the posts, possibly with ties
+//! (Section II-A).  As in the paper (and in Abraham et al.), every applicant
+//! additionally gets a unique *last-resort* post `l(a)` appended after all
+//! real choices, so that every matching can be treated as applicant-complete
+//! and the *size* of a matching is the number of applicants **not** assigned
+//! to their last resort.
+//!
+//! Post identifiers: real posts are `0..num_posts`; the last resort of
+//! applicant `a` is the *extended* post id `num_posts + a`.
+
+use crate::error::PopularError;
+
+#[cfg(feature = "serde")]
+use serde::{Deserialize, Serialize};
+
+/// A one-sided preference instance with optionally tied preference lists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+pub struct PrefInstance {
+    num_posts: usize,
+    /// `prefs[a]` is applicant `a`'s ranked list of tie groups; each group is
+    /// a non-empty set of real post ids that `a` is indifferent between.
+    prefs: Vec<Vec<Vec<usize>>>,
+}
+
+impl PrefInstance {
+    /// Builds a strictly-ordered instance: `lists[a]` is applicant `a`'s
+    /// preference list, most preferred first, over real posts `< num_posts`.
+    pub fn new_strict(num_posts: usize, lists: Vec<Vec<usize>>) -> Result<Self, PopularError> {
+        let groups = lists
+            .into_iter()
+            .map(|list| list.into_iter().map(|p| vec![p]).collect())
+            .collect();
+        Self::new_with_ties(num_posts, groups)
+    }
+
+    /// Builds an instance whose preference lists may contain ties:
+    /// `groups[a]` is a ranked list of tie groups.
+    pub fn new_with_ties(
+        num_posts: usize,
+        groups: Vec<Vec<Vec<usize>>>,
+    ) -> Result<Self, PopularError> {
+        for (a, list) in groups.iter().enumerate() {
+            if list.is_empty() {
+                return Err(PopularError::InvalidInstance(format!(
+                    "applicant {a} has an empty preference list"
+                )));
+            }
+            let mut seen = vec![false; num_posts];
+            for group in list {
+                if group.is_empty() {
+                    return Err(PopularError::InvalidInstance(format!(
+                        "applicant {a} has an empty tie group"
+                    )));
+                }
+                for &p in group {
+                    if p >= num_posts {
+                        return Err(PopularError::InvalidInstance(format!(
+                            "applicant {a} ranks post {p}, but there are only {num_posts} posts"
+                        )));
+                    }
+                    if seen[p] {
+                        return Err(PopularError::InvalidInstance(format!(
+                            "applicant {a} ranks post {p} twice"
+                        )));
+                    }
+                    seen[p] = true;
+                }
+            }
+        }
+        Ok(Self { num_posts, prefs: groups })
+    }
+
+    /// Number of applicants `|A|`.
+    pub fn num_applicants(&self) -> usize {
+        self.prefs.len()
+    }
+
+    /// Number of real posts `|P|` (excluding last resorts).
+    pub fn num_posts(&self) -> usize {
+        self.num_posts
+    }
+
+    /// Number of extended posts: real posts plus one last resort per
+    /// applicant.
+    pub fn total_posts(&self) -> usize {
+        self.num_posts + self.num_applicants()
+    }
+
+    /// The extended post id of applicant `a`'s last resort `l(a)`.
+    pub fn last_resort(&self, a: usize) -> usize {
+        self.num_posts + a
+    }
+
+    /// True iff the extended post id denotes a last-resort post.
+    pub fn is_last_resort(&self, post: usize) -> bool {
+        post >= self.num_posts
+    }
+
+    /// True iff no preference list contains a tie.
+    pub fn is_strict(&self) -> bool {
+        self.prefs.iter().all(|list| list.iter().all(|g| g.len() == 1))
+    }
+
+    /// Applicant `a`'s ranked tie groups (real posts only; the implicit last
+    /// resort is not included).
+    pub fn groups(&self, a: usize) -> &[Vec<usize>] {
+        &self.prefs[a]
+    }
+
+    /// Applicant `a`'s strict preference list over real posts, if the
+    /// instance is strict for this applicant.
+    pub fn strict_list(&self, a: usize) -> Option<Vec<usize>> {
+        if self.prefs[a].iter().any(|g| g.len() != 1) {
+            return None;
+        }
+        Some(self.prefs[a].iter().map(|g| g[0]).collect())
+    }
+
+    /// Rank of an extended post on applicant `a`'s list: tie-group index for
+    /// real posts, one past the last group for the last resort, `None` if the
+    /// post is not acceptable to `a`.
+    pub fn rank(&self, a: usize, post: usize) -> Option<usize> {
+        if post == self.last_resort(a) {
+            return Some(self.prefs[a].len());
+        }
+        if self.is_last_resort(post) {
+            return None; // another applicant's last resort
+        }
+        self.prefs[a]
+            .iter()
+            .position(|group| group.contains(&post))
+    }
+
+    /// True iff applicant `a` strictly prefers extended post `p` to
+    /// extended post `q`.  Unacceptable posts are worse than anything
+    /// acceptable (and two unacceptable posts are incomparable — `false`).
+    pub fn prefers(&self, a: usize, p: usize, q: usize) -> bool {
+        match (self.rank(a, p), self.rank(a, q)) {
+            (Some(rp), Some(rq)) => rp < rq,
+            (Some(_), None) => true,
+            _ => false,
+        }
+    }
+
+    /// The number of tie groups of applicant `a` (the rank of `l(a)`).
+    pub fn num_ranks(&self, a: usize) -> usize {
+        self.prefs[a].len()
+    }
+
+    /// All `(applicant, real post, rank)` triples — the edge set `E` of `G`
+    /// with its rank partition `E₁ ∪ … ∪ E_r`.
+    pub fn ranked_edges(&self) -> Vec<(usize, usize, usize)> {
+        let mut out = Vec::new();
+        for (a, list) in self.prefs.iter().enumerate() {
+            for (rank, group) in list.iter().enumerate() {
+                for &p in group {
+                    out.push((a, p, rank));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// An applicant-complete assignment: every applicant is matched to exactly
+/// one extended post (possibly its last resort).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+pub struct Assignment {
+    post_of: Vec<usize>,
+}
+
+impl Assignment {
+    /// Wraps a raw applicant → extended-post vector.
+    pub fn new(post_of: Vec<usize>) -> Self {
+        Self { post_of }
+    }
+
+    /// The assignment in which every applicant takes their last resort.
+    pub fn all_last_resort(inst: &PrefInstance) -> Self {
+        Self::new((0..inst.num_applicants()).map(|a| inst.last_resort(a)).collect())
+    }
+
+    /// Number of applicants.
+    pub fn num_applicants(&self) -> usize {
+        self.post_of.len()
+    }
+
+    /// The extended post assigned to applicant `a`.
+    pub fn post(&self, a: usize) -> usize {
+        self.post_of[a]
+    }
+
+    /// Reassigns applicant `a`.
+    pub fn set_post(&mut self, a: usize, post: usize) {
+        self.post_of[a] = post;
+    }
+
+    /// The underlying applicant → extended-post slice.
+    pub fn as_slice(&self) -> &[usize] {
+        &self.post_of
+    }
+
+    /// The size of the matching in the paper's sense: the number of
+    /// applicants **not** matched to their last resort.
+    pub fn size(&self, inst: &PrefInstance) -> usize {
+        self.post_of
+            .iter()
+            .enumerate()
+            .filter(|&(a, &p)| p != inst.last_resort(a))
+            .count()
+    }
+
+    /// Inverse map over extended posts: `applicant_of[p]` is the applicant
+    /// matched to `p`, if any.
+    pub fn applicant_of(&self, inst: &PrefInstance) -> Vec<Option<usize>> {
+        let mut inv = vec![None; inst.total_posts()];
+        for (a, &p) in self.post_of.iter().enumerate() {
+            debug_assert!(inv[p].is_none(), "post {p} assigned twice");
+            inv[p] = Some(a);
+        }
+        inv
+    }
+
+    /// The matched `(applicant, real post)` pairs, excluding last resorts.
+    pub fn real_pairs(&self, inst: &PrefInstance) -> Vec<(usize, usize)> {
+        self.post_of
+            .iter()
+            .enumerate()
+            .filter(|&(_, &p)| !inst.is_last_resort(p))
+            .map(|(a, &p)| (a, p))
+            .collect()
+    }
+
+    /// Validates the assignment against an instance: each applicant gets an
+    /// acceptable post or their own last resort, and no post is used twice.
+    pub fn is_valid(&self, inst: &PrefInstance) -> bool {
+        if self.post_of.len() != inst.num_applicants() {
+            return false;
+        }
+        let mut used = vec![false; inst.total_posts()];
+        for (a, &p) in self.post_of.iter().enumerate() {
+            if p >= inst.total_posts() || used[p] {
+                return false;
+            }
+            if inst.is_last_resort(p) && p != inst.last_resort(a) {
+                return false;
+            }
+            if !inst.is_last_resort(p) && inst.rank(a, p).is_none() {
+                return false;
+            }
+            used[p] = true;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> PrefInstance {
+        PrefInstance::new_strict(3, vec![vec![0, 1], vec![0, 2], vec![1]]).unwrap()
+    }
+
+    #[test]
+    fn construction_and_counts() {
+        let inst = tiny();
+        assert_eq!(inst.num_applicants(), 3);
+        assert_eq!(inst.num_posts(), 3);
+        assert_eq!(inst.total_posts(), 6);
+        assert!(inst.is_strict());
+        assert_eq!(inst.last_resort(2), 5);
+        assert!(inst.is_last_resort(5));
+        assert!(!inst.is_last_resort(2));
+    }
+
+    #[test]
+    fn invalid_instances_are_rejected() {
+        assert!(matches!(
+            PrefInstance::new_strict(2, vec![vec![]]),
+            Err(PopularError::InvalidInstance(_))
+        ));
+        assert!(matches!(
+            PrefInstance::new_strict(2, vec![vec![0, 0]]),
+            Err(PopularError::InvalidInstance(_))
+        ));
+        assert!(matches!(
+            PrefInstance::new_strict(2, vec![vec![2]]),
+            Err(PopularError::InvalidInstance(_))
+        ));
+        assert!(matches!(
+            PrefInstance::new_with_ties(2, vec![vec![vec![]]]),
+            Err(PopularError::InvalidInstance(_))
+        ));
+    }
+
+    #[test]
+    fn ranks_and_preferences() {
+        let inst = tiny();
+        assert_eq!(inst.rank(0, 0), Some(0));
+        assert_eq!(inst.rank(0, 1), Some(1));
+        assert_eq!(inst.rank(0, 2), None);
+        assert_eq!(inst.rank(0, inst.last_resort(0)), Some(2));
+        assert_eq!(inst.rank(0, inst.last_resort(1)), None);
+        assert!(inst.prefers(0, 0, 1));
+        assert!(inst.prefers(0, 1, inst.last_resort(0)));
+        assert!(inst.prefers(0, 0, 2)); // acceptable beats unacceptable
+        assert!(!inst.prefers(0, 2, 0));
+        assert!(!inst.prefers(0, 2, inst.last_resort(1))); // both unranked
+    }
+
+    #[test]
+    fn ties_are_detected() {
+        let tied = PrefInstance::new_with_ties(3, vec![vec![vec![0, 1], vec![2]]]).unwrap();
+        assert!(!tied.is_strict());
+        assert_eq!(tied.rank(0, 0), Some(0));
+        assert_eq!(tied.rank(0, 1), Some(0));
+        assert_eq!(tied.rank(0, 2), Some(1));
+        assert!(tied.strict_list(0).is_none());
+        assert_eq!(tied.num_ranks(0), 2);
+    }
+
+    #[test]
+    fn ranked_edges_enumeration() {
+        let inst = tiny();
+        let edges = inst.ranked_edges();
+        assert_eq!(edges.len(), 5);
+        assert!(edges.contains(&(0, 0, 0)));
+        assert!(edges.contains(&(1, 2, 1)));
+    }
+
+    #[test]
+    fn assignment_size_and_validity() {
+        let inst = tiny();
+        let all_lr = Assignment::all_last_resort(&inst);
+        assert_eq!(all_lr.size(&inst), 0);
+        assert!(all_lr.is_valid(&inst));
+
+        let m = Assignment::new(vec![0, 2, 1]);
+        assert!(m.is_valid(&inst));
+        assert_eq!(m.size(&inst), 3);
+        assert_eq!(m.real_pairs(&inst), vec![(0, 0), (1, 2), (2, 1)]);
+        let inv = m.applicant_of(&inst);
+        assert_eq!(inv[0], Some(0));
+        assert_eq!(inv[3], None);
+
+        // Post 0 used twice.
+        assert!(!Assignment::new(vec![0, 0, 1]).is_valid(&inst));
+        // Applicant 2 does not rank post 0.
+        assert!(!Assignment::new(vec![1, 2, 0]).is_valid(&inst));
+        // Applicant 0 assigned to someone else's last resort.
+        assert!(!Assignment::new(vec![inst.last_resort(1), 0, 1]).is_valid(&inst));
+        // Wrong length.
+        assert!(!Assignment::new(vec![0]).is_valid(&inst));
+    }
+
+    #[test]
+    fn set_post_mutation() {
+        let inst = tiny();
+        let mut m = Assignment::all_last_resort(&inst);
+        m.set_post(0, 0);
+        assert_eq!(m.post(0), 0);
+        assert_eq!(m.size(&inst), 1);
+    }
+}

@@ -1,0 +1,75 @@
+//! NC algorithms for popular matchings in one-sided preference systems.
+//!
+//! This crate is the core contribution of the reproduction of
+//! *Hu & Garg, "NC Algorithms for Popular Matchings in One-Sided Preference
+//! Systems and Related Problems"* (2020).  It implements, with explicit
+//! work/depth instrumentation:
+//!
+//! * [`instance`] — the one-sided preference instance `G = (A ∪ P, E)` with
+//!   ranked (optionally tied) preference lists and implicit last-resort
+//!   posts `l(a)`;
+//! * [`reduced`] — the reduced graph `G'` of f-posts and s-posts
+//!   (Section III-B, line 3 of Algorithm 1);
+//! * [`algorithm2`] — the NC applicant-complete matching routine
+//!   (Algorithm 2: degree-1 path peeling in `O(log n)` rounds, then a
+//!   perfect matching of the remaining disjoint even cycles);
+//! * [`algorithm1`] — the NC popular matching algorithm (Algorithm 1);
+//! * [`sequential`] — the Abraham–Irving–Kavitha–Mehlhorn-style sequential
+//!   baseline the parallel algorithm is validated against;
+//! * [`verify`] — popularity predicates: the Theorem 1 characterisation,
+//!   pairwise "more popular than" comparison and a brute-force check for
+//!   small instances;
+//! * [`switching`] — the switching graph `G_M` (McDermid–Irving), its
+//!   cycles, paths and margins (Section IV);
+//! * [`max_cardinality`] — Algorithm 3, the NC maximum-cardinality popular
+//!   matching;
+//! * [`profile`] / [`optimal`] — matching profiles, the `≻_R` / `≺_F`
+//!   orders, and weighted / rank-maximal / fair popular matchings
+//!   (Section IV-E);
+//! * [`ties`] — the Section V reduction from maximum-cardinality bipartite
+//!   matching to popular matching with ties (Theorem 11, Lemmas 12–13).
+//!
+//! # Quick start
+//!
+//! ```
+//! use pm_popular::instance::PrefInstance;
+//! use pm_popular::algorithm1::popular_matching_nc;
+//! use pm_popular::verify::is_popular_characterization;
+//! use pm_pram::DepthTracker;
+//!
+//! // Three applicants, three posts; everyone loves post 0 most.
+//! let inst = PrefInstance::new_strict(3, vec![
+//!     vec![0, 1],
+//!     vec![0, 2],
+//!     vec![1, 0],
+//! ]).unwrap();
+//!
+//! let tracker = DepthTracker::new();
+//! let matching = popular_matching_nc(&inst, &tracker).expect("this instance has one");
+//! assert!(is_popular_characterization(&inst, &matching));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod algorithm1;
+pub mod algorithm2;
+pub mod error;
+pub mod instance;
+pub mod max_cardinality;
+pub mod optimal;
+pub mod profile;
+pub mod reduced;
+pub mod sequential;
+pub mod switching;
+pub mod ties;
+pub mod verify;
+
+pub use algorithm1::popular_matching_nc;
+pub use error::PopularError;
+pub use instance::{Assignment, PrefInstance};
+pub use max_cardinality::maximum_cardinality_popular_matching_nc;
+pub use reduced::ReducedGraph;
+pub use sequential::popular_matching_sequential;
+pub use switching::SwitchingGraph;
+pub use verify::{is_popular_brute_force, is_popular_characterization, more_popular};

@@ -1,0 +1,309 @@
+//! The reduced graph `G'` of f-posts and s-posts (Section III).
+//!
+//! For a strictly-ordered instance, `f(a)` is the first post on applicant
+//! `a`'s list and `s(a)` is the first *non-f-post* on the list (which always
+//! exists because the last resort `l(a)` is appended and is never an
+//! f-post).  Theorem 1 (Abraham et al.): a matching `M` is popular iff every
+//! f-post is matched and every applicant is matched to `f(a)` or `s(a)` —
+//! so the whole problem lives inside the reduced graph `G'` whose only edges
+//! are `(a, f(a))` and `(a, s(a))`.
+//!
+//! The paper's construction (Section III-B) is three parallel steps: mark
+//! the posts with a rank-1 incident edge, drop non-rank-1 edges at those
+//! posts, and keep for every applicant only the highest-ranked surviving
+//! non-f edge.  [`ReducedGraph::build_parallel`] mirrors those steps (with
+//! the work and rounds charged to the tracker); [`ReducedGraph::build_sequential`]
+//! is the obvious single-threaded construction used for validation.
+
+use rayon::prelude::*;
+
+use pm_graph::BipartiteGraph;
+use pm_pram::tracker::DepthTracker;
+use pm_pram::SEQUENTIAL_CUTOFF;
+
+use crate::error::PopularError;
+use crate::instance::PrefInstance;
+
+/// The reduced graph `G'`: for every applicant its f-post and s-post, plus
+/// the global f-post marking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReducedGraph {
+    num_applicants: usize,
+    num_posts: usize,
+    f: Vec<usize>,
+    s: Vec<usize>,
+    is_f_post: Vec<bool>,
+}
+
+impl ReducedGraph {
+    /// Builds `G'` with the paper's parallel three-step construction.
+    ///
+    /// Returns [`PopularError::TiesNotSupported`] if any list has a tie —
+    /// Section III explicitly restricts to strictly-ordered lists.
+    pub fn build_parallel(
+        inst: &PrefInstance,
+        tracker: &DepthTracker,
+    ) -> Result<Self, PopularError> {
+        if !inst.is_strict() {
+            return Err(PopularError::TiesNotSupported);
+        }
+        let n_a = inst.num_applicants();
+        let n_p = inst.num_posts();
+        tracker.phase();
+
+        // Step 1 (one round): every applicant reads its first choice.
+        tracker.round();
+        tracker.work(n_a as u64);
+        let f: Vec<usize> = if n_a >= SEQUENTIAL_CUTOFF {
+            (0..n_a).into_par_iter().map(|a| inst.groups(a)[0][0]).collect()
+        } else {
+            (0..n_a).map(|a| inst.groups(a)[0][0]).collect()
+        };
+
+        // Step 2 (one concurrent-write round): mark the f-posts.
+        tracker.round();
+        tracker.work(n_a as u64);
+        let mut is_f_post = vec![false; inst.total_posts()];
+        for &p in &f {
+            is_f_post[p] = true;
+        }
+
+        // Step 3 (one round, work = total list length): every applicant scans
+        // its list for the first non-f-post; the last resort is the fallback.
+        let total_len: usize = (0..n_a).map(|a| inst.num_ranks(a)).sum();
+        tracker.round();
+        tracker.work(total_len as u64);
+        let find_s = |a: usize| -> usize {
+            inst.groups(a)
+                .iter()
+                .map(|g| g[0])
+                .find(|&p| !is_f_post[p])
+                .unwrap_or_else(|| inst.last_resort(a))
+        };
+        let s: Vec<usize> = if n_a >= SEQUENTIAL_CUTOFF {
+            (0..n_a).into_par_iter().map(find_s).collect()
+        } else {
+            (0..n_a).map(find_s).collect()
+        };
+
+        Ok(Self { num_applicants: n_a, num_posts: n_p, f, s, is_f_post })
+    }
+
+    /// Sequential construction of `G'` (the validation baseline).
+    pub fn build_sequential(inst: &PrefInstance) -> Result<Self, PopularError> {
+        if !inst.is_strict() {
+            return Err(PopularError::TiesNotSupported);
+        }
+        let n_a = inst.num_applicants();
+        let mut is_f_post = vec![false; inst.total_posts()];
+        let mut f = Vec::with_capacity(n_a);
+        for a in 0..n_a {
+            let fa = inst.groups(a)[0][0];
+            f.push(fa);
+            is_f_post[fa] = true;
+        }
+        let mut s = Vec::with_capacity(n_a);
+        for a in 0..n_a {
+            let sa = inst
+                .groups(a)
+                .iter()
+                .map(|g| g[0])
+                .find(|&p| !is_f_post[p])
+                .unwrap_or_else(|| inst.last_resort(a));
+            s.push(sa);
+        }
+        Ok(Self {
+            num_applicants: n_a,
+            num_posts: inst.num_posts(),
+            f,
+            s,
+            is_f_post,
+        })
+    }
+
+    /// Number of applicants.
+    pub fn num_applicants(&self) -> usize {
+        self.num_applicants
+    }
+
+    /// Number of real posts.
+    pub fn num_posts(&self) -> usize {
+        self.num_posts
+    }
+
+    /// Number of extended posts (real + last resorts).
+    pub fn total_posts(&self) -> usize {
+        self.num_posts + self.num_applicants
+    }
+
+    /// `f(a)`: applicant `a`'s first choice.
+    pub fn f(&self, a: usize) -> usize {
+        self.f[a]
+    }
+
+    /// `s(a)`: applicant `a`'s most preferred non-f-post (possibly `l(a)`).
+    pub fn s(&self, a: usize) -> usize {
+        self.s[a]
+    }
+
+    /// True iff the extended post `p` is an f-post.
+    pub fn is_f_post(&self, p: usize) -> bool {
+        self.is_f_post[p]
+    }
+
+    /// The f-posts, in increasing id order.
+    pub fn f_posts(&self) -> Vec<usize> {
+        (0..self.total_posts()).filter(|&p| self.is_f_post[p]).collect()
+    }
+
+    /// The s-posts (distinct values of `s(a)`), in increasing id order.
+    pub fn s_posts(&self) -> Vec<usize> {
+        let mut mark = vec![false; self.total_posts()];
+        for &p in &self.s {
+            mark[p] = true;
+        }
+        (0..self.total_posts()).filter(|&p| mark[p]).collect()
+    }
+
+    /// `f⁻¹(p)`: the applicants whose first choice is `p`.
+    pub fn f_inverse(&self, p: usize) -> Vec<usize> {
+        (0..self.num_applicants).filter(|&a| self.f[a] == p).collect()
+    }
+
+    /// True iff extended post `p` occurs in the reduced graph (as some
+    /// applicant's f-post or s-post).
+    pub fn in_reduced_graph(&self, p: usize) -> bool {
+        self.is_f_post[p] || self.s.contains(&p)
+    }
+
+    /// The reduced graph as a bipartite graph: left vertices are applicants,
+    /// right vertices are extended posts, and each applicant has exactly the
+    /// two edges `(a, f(a))` and `(a, s(a))`.
+    pub fn to_bipartite(&self) -> BipartiteGraph {
+        let mut edges = Vec::with_capacity(2 * self.num_applicants);
+        for a in 0..self.num_applicants {
+            edges.push((a, self.f[a]));
+            edges.push((a, self.s[a]));
+        }
+        BipartiteGraph::from_edges(self.num_applicants, self.total_posts(), &edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The instance of Figure 1 in the paper (applicants a1..a8, posts
+    /// p1..p9 — zero-indexed here).
+    pub fn figure1_instance() -> PrefInstance {
+        PrefInstance::new_strict(
+            9,
+            vec![
+                vec![0, 3, 4, 1, 5],
+                vec![3, 4, 6, 1, 7],
+                vec![3, 0, 2, 7],
+                vec![0, 6, 3, 2, 8],
+                vec![4, 0, 6, 1, 5],
+                vec![6, 5],
+                vec![6, 3, 7, 1],
+                vec![6, 3, 0, 4, 8, 2],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn figure2_reduced_lists() {
+        // Figure 2(a): the reduced preference lists of the paper's example.
+        let inst = figure1_instance();
+        let t = DepthTracker::new();
+        let g = ReducedGraph::build_parallel(&inst, &t).unwrap();
+
+        // f-posts are {p1, p4, p5, p7} = ids {0, 3, 4, 6}.
+        assert_eq!(g.f_posts(), vec![0, 3, 4, 6]);
+        // s-posts are {p2, p3, p6, p8, p9} = ids {1, 2, 5, 7, 8}.
+        assert_eq!(g.s_posts(), vec![1, 2, 5, 7, 8]);
+
+        let expected: Vec<(usize, usize)> = vec![
+            (0, 1), // a1: p1 p2
+            (3, 1), // a2: p4 p2
+            (3, 2), // a3: p4 p3
+            (0, 2), // a4: p1 p3
+            (4, 1), // a5: p5 p2
+            (6, 5), // a6: p7 p6
+            (6, 7), // a7: p7 p8
+            (6, 8), // a8: p7 p9
+        ];
+        for (a, &(fa, sa)) in expected.iter().enumerate() {
+            assert_eq!(g.f(a), fa, "f(a{})", a + 1);
+            assert_eq!(g.s(a), sa, "s(a{})", a + 1);
+        }
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree() {
+        let inst = figure1_instance();
+        let t = DepthTracker::new();
+        assert_eq!(
+            ReducedGraph::build_parallel(&inst, &t).unwrap(),
+            ReducedGraph::build_sequential(&inst).unwrap()
+        );
+    }
+
+    #[test]
+    fn last_resort_becomes_s_post_when_all_choices_are_f_posts() {
+        // Applicant 1 ranks only post 0, which is an f-post (their own first
+        // choice), so s(1) must be the last resort l(1).
+        let inst = PrefInstance::new_strict(2, vec![vec![0, 1], vec![0]]).unwrap();
+        let t = DepthTracker::new();
+        let g = ReducedGraph::build_parallel(&inst, &t).unwrap();
+        assert_eq!(g.f(1), 0);
+        assert_eq!(g.s(1), inst.last_resort(1));
+        assert!(g.in_reduced_graph(inst.last_resort(1)));
+        assert!(!g.in_reduced_graph(inst.last_resort(0))); // a0 has s(a0) = p1
+        assert_eq!(g.s(0), 1);
+    }
+
+    #[test]
+    fn f_and_s_are_always_distinct() {
+        let inst = figure1_instance();
+        let g = ReducedGraph::build_sequential(&inst).unwrap();
+        for a in 0..inst.num_applicants() {
+            assert_ne!(g.f(a), g.s(a));
+            assert!(g.is_f_post(g.f(a)));
+            assert!(!g.is_f_post(g.s(a)));
+        }
+    }
+
+    #[test]
+    fn ties_are_rejected() {
+        let tied = PrefInstance::new_with_ties(2, vec![vec![vec![0, 1]]]).unwrap();
+        let t = DepthTracker::new();
+        assert_eq!(
+            ReducedGraph::build_parallel(&tied, &t),
+            Err(PopularError::TiesNotSupported)
+        );
+        assert_eq!(
+            ReducedGraph::build_sequential(&tied),
+            Err(PopularError::TiesNotSupported)
+        );
+    }
+
+    #[test]
+    fn f_inverse_and_bipartite_view() {
+        let inst = figure1_instance();
+        let g = ReducedGraph::build_sequential(&inst).unwrap();
+        assert_eq!(g.f_inverse(6), vec![5, 6, 7]); // p7 is first choice of a6, a7, a8
+        assert_eq!(g.f_inverse(4), vec![4]); // p5 only of a5
+        assert!(g.f_inverse(1).is_empty()); // p2 is nobody's first choice
+
+        let bg = g.to_bipartite();
+        assert_eq!(bg.n_left(), 8);
+        assert_eq!(bg.num_edges(), 16);
+        for a in 0..8 {
+            assert_eq!(bg.degree_left(a), 2);
+            assert!(bg.has_edge(a, g.f(a)));
+            assert!(bg.has_edge(a, g.s(a)));
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Sequential baseline for the popular matching problem.
+//!
+//! Abraham, Irving, Kavitha and Mehlhorn give a linear-time sequential
+//! algorithm built on the same Theorem 1 characterisation; as a baseline we
+//! implement the characterisation directly: build the reduced graph `G'`
+//! sequentially, find a maximum matching of `G'` with Hopcroft–Karp, accept
+//! iff it is applicant-complete, and promote applicants onto unmatched
+//! f-posts.  The output satisfies exactly the same characterisation as the
+//! NC algorithm's, so experiment E5 can compare the two implementations on
+//! equal terms (any two outputs are both popular; sizes and validity are
+//! compared, plus wall-clock time).
+
+use pm_matching::hopcroft_karp::hopcroft_karp;
+use pm_pram::tracker::DepthTracker;
+
+use crate::algorithm1::promote_unmatched_f_posts;
+use crate::error::PopularError;
+use crate::instance::{Assignment, PrefInstance};
+use crate::reduced::ReducedGraph;
+
+/// Computes a popular matching with the sequential baseline, or reports that
+/// none exists.
+pub fn popular_matching_sequential(inst: &PrefInstance) -> Result<Assignment, PopularError> {
+    let reduced = ReducedGraph::build_sequential(inst)?;
+    let g = reduced.to_bipartite();
+    let mm = hopcroft_karp(&g);
+    if mm.size() < inst.num_applicants() {
+        return Err(PopularError::NoPopularMatching);
+    }
+    let mut matching = Assignment::new(
+        (0..inst.num_applicants())
+            .map(|a| mm.left(a).expect("applicant-complete"))
+            .collect(),
+    );
+    // The promotion step is shared with Algorithm 1 (it is sequential-friendly:
+    // one pass over the f-posts).
+    let tracker = DepthTracker::new();
+    promote_unmatched_f_posts(&reduced, &mut matching, &tracker);
+    Ok(matching)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm1::popular_matching_nc;
+    use crate::verify::{is_popular_brute_force, is_popular_characterization};
+
+    #[test]
+    fn sequential_and_parallel_agree_on_feasibility_and_popularity() {
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        for _ in 0..200 {
+            let n_a = rng.random_range(1..6);
+            let n_p = rng.random_range(1..6);
+            let lists: Vec<Vec<usize>> = (0..n_a)
+                .map(|_| {
+                    let mut posts: Vec<usize> = (0..n_p).collect();
+                    for i in (1..posts.len()).rev() {
+                        posts.swap(i, rng.random_range(0..=i));
+                    }
+                    posts.truncate(rng.random_range(1..=posts.len()));
+                    posts
+                })
+                .collect();
+            let inst = PrefInstance::new_strict(n_p, lists).unwrap();
+            let t = DepthTracker::new();
+            let par = popular_matching_nc(&inst, &t);
+            let seq = popular_matching_sequential(&inst);
+            match (par, seq) {
+                (Ok(p), Ok(s)) => {
+                    assert!(is_popular_characterization(&inst, &p));
+                    assert!(is_popular_characterization(&inst, &s));
+                    assert!(is_popular_brute_force(&inst, &s));
+                }
+                (Err(PopularError::NoPopularMatching), Err(PopularError::NoPopularMatching)) => {}
+                (p, s) => panic!("feasibility disagreement: parallel={p:?} sequential={s:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn paper_example() {
+        let inst = PrefInstance::new_strict(
+            9,
+            vec![
+                vec![0, 3, 4, 1, 5],
+                vec![3, 4, 6, 1, 7],
+                vec![3, 0, 2, 7],
+                vec![0, 6, 3, 2, 8],
+                vec![4, 0, 6, 1, 5],
+                vec![6, 5],
+                vec![6, 3, 7, 1],
+                vec![6, 3, 0, 4, 8, 2],
+            ],
+        )
+        .unwrap();
+        let m = popular_matching_sequential(&inst).unwrap();
+        assert!(is_popular_characterization(&inst, &m));
+        assert_eq!(m.size(&inst), 8);
+    }
+
+    #[test]
+    fn infeasible_instance() {
+        let inst = PrefInstance::new_strict(2, vec![vec![0, 1], vec![0, 1], vec![0, 1]]).unwrap();
+        assert_eq!(
+            popular_matching_sequential(&inst),
+            Err(PopularError::NoPopularMatching)
+        );
+    }
+}

@@ -1,0 +1,228 @@
+//! Preference lists with ties: the Section V reduction.
+//!
+//! Theorem 11: *maximum-cardinality bipartite matching ≤_NC popular
+//! matching*.  Given an arbitrary bipartite graph `G = (A ∪ B, E)`, build
+//! the popular matching instance in which every edge has rank 1 (each
+//! applicant is indifferent between all its acceptable posts) and **no**
+//! last resorts are added.  Lemma 12: every popular matching of that
+//! instance is a maximum-cardinality matching of `G`; Lemma 13: every
+//! maximum-cardinality matching is popular.  So a popular-matching oracle
+//! for instances with ties immediately solves maximum-cardinality bipartite
+//! matching — which is why the paper leaves the ties case open (it is at
+//! least as hard as bipartite matching, itself not known to be in NC).
+//!
+//! Executable artefacts here:
+//!
+//! * [`rank1_instance`] — the reduction's instance construction;
+//! * [`popular_matching_rank1`] — a popular matching of the rank-1 instance,
+//!   produced through the Lemma 13 oracle (a maximum matching);
+//! * [`is_popular_rank1_brute`] — the definitional popularity check used to
+//!   verify Lemmas 12 and 13 on small graphs (experiment E9).
+
+use pm_graph::BipartiteGraph;
+use pm_matching::hopcroft_karp::hopcroft_karp;
+use pm_matching::matching::Matching;
+
+use crate::error::PopularError;
+use crate::instance::PrefInstance;
+
+/// Builds the rank-1 (single tie group per applicant) instance of Theorem 11
+/// from a bipartite graph.  Left vertices with no incident edge are rejected
+/// (an instance requires non-empty preference lists; such vertices can never
+/// be matched and should simply be dropped by the caller).
+pub fn rank1_instance(g: &BipartiteGraph) -> Result<PrefInstance, PopularError> {
+    let groups: Vec<Vec<Vec<usize>>> = (0..g.n_left())
+        .map(|l| vec![g.neighbors_left(l).to_vec()])
+        .collect();
+    if groups.iter().any(|gr| gr[0].is_empty()) {
+        return Err(PopularError::InvalidInstance(
+            "rank-1 reduction requires every applicant to have at least one acceptable post".into(),
+        ));
+    }
+    PrefInstance::new_with_ties(g.n_right(), groups)
+}
+
+/// A popular matching of the rank-1 instance derived from `g`.
+///
+/// Section V gives no algorithm for popular matchings with ties (that is
+/// exactly the open problem); Lemma 13 guarantees that any
+/// maximum-cardinality matching *is* popular for the rank-1 construction, so
+/// this oracle returns the Hopcroft–Karp maximum matching.  Its popularity
+/// is verified definitionally in the tests via [`is_popular_rank1_brute`].
+pub fn popular_matching_rank1(g: &BipartiteGraph) -> Matching {
+    hopcroft_karp(g)
+}
+
+/// Counts the applicants that prefer `m1` to `m2` in the rank-1 instance:
+/// all edges have the same rank, so an applicant prefers whichever matching
+/// leaves it matched (being matched in both, or in neither, is indifference).
+pub fn compare_rank1(m1: &Matching, m2: &Matching) -> (usize, usize) {
+    let mut prefer1 = 0;
+    let mut prefer2 = 0;
+    for a in 0..m1.n_left() {
+        match (m1.left(a), m2.left(a)) {
+            (Some(_), None) => prefer1 += 1,
+            (None, Some(_)) => prefer2 += 1,
+            _ => {}
+        }
+    }
+    (prefer1, prefer2)
+}
+
+/// Definitional popularity check for the rank-1 instance on small graphs:
+/// enumerates every matching of `g` and verifies none is more popular than
+/// `m`.  Exponential — intended for graphs with at most ~8 left vertices.
+pub fn is_popular_rank1_brute(g: &BipartiteGraph, m: &Matching) -> bool {
+    enumerate_matchings(g)
+        .iter()
+        .all(|other| {
+            let (o, s) = compare_rank1(other, m);
+            o <= s
+        })
+}
+
+/// Lemma 12 check: a popular matching of the rank-1 instance must be a
+/// maximum-cardinality matching of `g`.
+pub fn lemma12_holds(g: &BipartiteGraph, popular: &Matching) -> bool {
+    popular.size() == hopcroft_karp(g).size()
+}
+
+/// Lemma 13 check: a maximum-cardinality matching of `g` must be popular in
+/// the rank-1 instance (verified definitionally, so only for small graphs).
+pub fn lemma13_holds(g: &BipartiteGraph, maximum: &Matching) -> bool {
+    maximum.size() == hopcroft_karp(g).size() && is_popular_rank1_brute(g, maximum)
+}
+
+/// Enumerates every matching of a bipartite graph (including the empty one).
+/// Exponential — small graphs only.
+pub fn enumerate_matchings(g: &BipartiteGraph) -> Vec<Matching> {
+    let mut out = Vec::new();
+    let mut used = vec![false; g.n_right()];
+    let mut current: Vec<Option<usize>> = vec![None; g.n_left()];
+
+    fn rec(
+        g: &BipartiteGraph,
+        l: usize,
+        used: &mut Vec<bool>,
+        current: &mut Vec<Option<usize>>,
+        out: &mut Vec<Matching>,
+    ) {
+        if l == g.n_left() {
+            out.push(Matching::from_left_assignment(current, g.n_right()));
+            return;
+        }
+        current[l] = None;
+        rec(g, l + 1, used, current, out);
+        for &r in g.neighbors_left(l) {
+            if !used[r] {
+                used[r] = true;
+                current[l] = Some(r);
+                rec(g, l + 1, used, current, out);
+                used[r] = false;
+                current[l] = None;
+            }
+        }
+    }
+
+    rec(g, 0, &mut used, &mut current, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn random_graph(rng: &mut impl rand::RngExt, max_n: usize) -> BipartiteGraph {
+        let n_left = rng.random_range(1..=max_n);
+        let n_right = rng.random_range(1..=max_n);
+        let mut edges = Vec::new();
+        for l in 0..n_left {
+            for r in 0..n_right {
+                if rng.random_range(0..3) == 0 {
+                    edges.push((l, r));
+                }
+            }
+        }
+        // Guarantee non-empty lists so the reduction instance is valid.
+        for l in 0..n_left {
+            edges.push((l, l % n_right));
+        }
+        BipartiteGraph::from_edges(n_left, n_right, &edges)
+    }
+
+    #[test]
+    fn reduction_instance_has_one_tie_group_per_applicant() {
+        let g = BipartiteGraph::from_edges(2, 3, &[(0, 0), (0, 2), (1, 1)]);
+        let inst = rank1_instance(&g).unwrap();
+        assert!(!inst.is_strict());
+        assert_eq!(inst.num_applicants(), 2);
+        assert_eq!(inst.groups(0), &[vec![0, 2]]);
+        assert_eq!(inst.groups(1), &[vec![1]]);
+        // All edges have rank 0 (the paper's "rank 1").
+        assert_eq!(inst.rank(0, 0), Some(0));
+        assert_eq!(inst.rank(0, 2), Some(0));
+    }
+
+    #[test]
+    fn reduction_rejects_isolated_applicants() {
+        let g = BipartiteGraph::new(2, 2);
+        assert!(matches!(rank1_instance(&g), Err(PopularError::InvalidInstance(_))));
+    }
+
+    #[test]
+    fn lemma12_and_13_on_random_graphs() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(55);
+        for _ in 0..60 {
+            let g = random_graph(&mut rng, 5);
+            let oracle = popular_matching_rank1(&g);
+
+            // Lemma 13: the maximum matching is popular.
+            assert!(lemma13_holds(&g, &oracle), "Lemma 13 failed on {g:?}");
+
+            // Lemma 12: every popular matching (found by brute force) is maximum.
+            for m in enumerate_matchings(&g) {
+                if is_popular_rank1_brute(&g, &m) {
+                    assert!(lemma12_holds(&g, &m), "Lemma 12 failed on {g:?} / {m:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn popular_always_exists_for_rank1_instances() {
+        // Section V: with the all-rank-1 construction a popular matching
+        // always exists (Lemma 13), in contrast to the strict case.
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(60);
+        for _ in 0..40 {
+            let g = random_graph(&mut rng, 5);
+            let some_popular = enumerate_matchings(&g)
+                .into_iter()
+                .any(|m| is_popular_rank1_brute(&g, &m));
+            assert!(some_popular);
+        }
+    }
+
+    #[test]
+    fn non_maximum_matching_is_not_popular() {
+        // Path a0 - b0 - a1 - b1: the matching {(a1, b0)} of size 1 is not
+        // popular because {(a0, b0), (a1, b1)} makes two applicants better
+        // off (one newly matched) and only ... actually a1 stays matched
+        // (indifferent), a0 becomes matched: 1 vs 0 — more popular.
+        let g = BipartiteGraph::from_edges(2, 2, &[(0, 0), (1, 0), (1, 1)]);
+        let small = Matching::from_pairs(2, 2, &[(1, 0)]);
+        assert!(!is_popular_rank1_brute(&g, &small));
+        let max = popular_matching_rank1(&g);
+        assert_eq!(max.size(), 2);
+        assert!(is_popular_rank1_brute(&g, &max));
+    }
+
+    #[test]
+    fn compare_rank1_counts() {
+        let m1 = Matching::from_pairs(3, 3, &[(0, 0), (1, 1)]);
+        let m2 = Matching::from_pairs(3, 3, &[(1, 2), (2, 0)]);
+        // a0: matched in m1 only; a1: both; a2: m2 only.
+        assert_eq!(compare_rank1(&m1, &m2), (1, 1));
+    }
+}

@@ -1,0 +1,258 @@
+//! Popularity predicates: pairwise comparison, the Theorem 1
+//! characterisation, and brute-force cross-checks for small instances.
+//!
+//! *Definition 1*: `M` is popular iff no matching `M'` satisfies
+//! `|P(M', M)| > |P(M, M')|`, where `P(X, Y)` is the set of applicants that
+//! prefer `X` to `Y`.  *Theorem 1* (Abraham et al.) characterises popular
+//! matchings for strict lists: every f-post is matched and every applicant
+//! is matched to `f(a)` or `s(a)`.  The characterisation is what the NC
+//! algorithms rely on; the brute-force routines are the independent ground
+//! truth used by the test suite (experiment E12).
+
+use crate::instance::{Assignment, PrefInstance};
+use crate::reduced::ReducedGraph;
+
+/// Counts the applicants preferring `m1` to `m2` and vice versa.
+///
+/// An applicant prefers the matching that assigns it a strictly
+/// better-ranked post; the last resort ranks below every acceptable post and
+/// two different last resorts never occur for the same applicant (each
+/// applicant only ever sees its own).
+pub fn compare(inst: &PrefInstance, m1: &Assignment, m2: &Assignment) -> (usize, usize) {
+    let mut prefer1 = 0;
+    let mut prefer2 = 0;
+    for a in 0..inst.num_applicants() {
+        let (p1, p2) = (m1.post(a), m2.post(a));
+        if p1 == p2 {
+            continue;
+        }
+        if inst.prefers(a, p1, p2) {
+            prefer1 += 1;
+        } else if inst.prefers(a, p2, p1) {
+            prefer2 += 1;
+        }
+    }
+    (prefer1, prefer2)
+}
+
+/// True iff `m1` is *more popular than* `m2` (strictly more applicants
+/// prefer `m1`).
+pub fn more_popular(inst: &PrefInstance, m1: &Assignment, m2: &Assignment) -> bool {
+    let (a, b) = compare(inst, m1, m2);
+    a > b
+}
+
+/// Theorem 1 characterisation (strict lists only): `m` is popular iff every
+/// f-post is matched and every applicant is matched to `f(a)` or `s(a)`.
+///
+/// # Panics
+/// Panics if the instance contains ties (the characterisation does not
+/// apply; use the brute-force check instead).
+pub fn is_popular_characterization(inst: &PrefInstance, m: &Assignment) -> bool {
+    let reduced = ReducedGraph::build_sequential(inst)
+        .expect("characterisation requires strictly-ordered preference lists");
+    is_popular_characterization_with(&reduced, m)
+}
+
+/// Same as [`is_popular_characterization`] with a pre-built reduced graph.
+pub fn is_popular_characterization_with(reduced: &ReducedGraph, m: &Assignment) -> bool {
+    if m.num_applicants() != reduced.num_applicants() {
+        return false;
+    }
+    // (ii) every applicant on f(a) or s(a)
+    for a in 0..reduced.num_applicants() {
+        let p = m.post(a);
+        if p != reduced.f(a) && p != reduced.s(a) {
+            return false;
+        }
+    }
+    // (i) every f-post matched
+    let mut matched = vec![false; reduced.total_posts()];
+    for a in 0..reduced.num_applicants() {
+        matched[m.post(a)] = true;
+    }
+    reduced.f_posts().into_iter().all(|p| matched[p])
+}
+
+/// Enumerates every valid applicant-complete assignment of the instance
+/// (each applicant takes an acceptable post or its last resort, no post is
+/// shared).  Exponential — intended for instances with at most ~6 applicants.
+pub fn enumerate_assignments(inst: &PrefInstance) -> Vec<Assignment> {
+    let n = inst.num_applicants();
+    let mut out = Vec::new();
+    let mut used = vec![false; inst.total_posts()];
+    let mut current = vec![0usize; n];
+
+    fn rec(
+        inst: &PrefInstance,
+        a: usize,
+        used: &mut Vec<bool>,
+        current: &mut Vec<usize>,
+        out: &mut Vec<Assignment>,
+    ) {
+        if a == inst.num_applicants() {
+            out.push(Assignment::new(current.clone()));
+            return;
+        }
+        let mut options: Vec<usize> = inst
+            .groups(a)
+            .iter()
+            .flat_map(|g| g.iter().copied())
+            .collect();
+        options.push(inst.last_resort(a));
+        for p in options {
+            if !used[p] {
+                used[p] = true;
+                current[a] = p;
+                rec(inst, a + 1, used, current, out);
+                used[p] = false;
+            }
+        }
+    }
+
+    rec(inst, 0, &mut used, &mut current, &mut out);
+    out
+}
+
+/// Brute-force popularity test: `m` is popular iff no enumerated assignment
+/// is more popular than it.  Exponential — small instances only.
+pub fn is_popular_brute_force(inst: &PrefInstance, m: &Assignment) -> bool {
+    enumerate_assignments(inst)
+        .iter()
+        .all(|other| !more_popular(inst, other, m))
+}
+
+/// Finds some popular matching by exhaustive search, or `None` if the
+/// instance admits none.  Doubly exponential — tiny instances only.
+pub fn brute_force_popular_matching(inst: &PrefInstance) -> Option<Assignment> {
+    let all = enumerate_assignments(inst);
+    all.iter()
+        .find(|cand| all.iter().all(|other| !more_popular(inst, other, cand)))
+        .cloned()
+}
+
+/// The *unpopularity margin* of `m`: the maximum of
+/// `|P(M', M)| − |P(M, M')|` over all assignments `M'` (0 for popular
+/// matchings).  Exponential — small instances only.
+pub fn unpopularity_margin(inst: &PrefInstance, m: &Assignment) -> i64 {
+    enumerate_assignments(inst)
+        .iter()
+        .map(|other| {
+            let (o, s) = compare(inst, other, m);
+            o as i64 - s as i64
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_posts_three_applicants() -> PrefInstance {
+        // The classic no-popular-matching instance: everyone wants p0 then p1.
+        PrefInstance::new_strict(2, vec![vec![0, 1], vec![0, 1], vec![0, 1]]).unwrap()
+    }
+
+    #[test]
+    fn compare_counts_preferences() {
+        let inst = PrefInstance::new_strict(2, vec![vec![0, 1], vec![1, 0]]).unwrap();
+        let m1 = Assignment::new(vec![0, 1]); // both get their favourite
+        let m2 = Assignment::new(vec![1, 0]); // both get their second choice
+        assert_eq!(compare(&inst, &m1, &m2), (2, 0));
+        assert_eq!(compare(&inst, &m2, &m1), (0, 2));
+        assert!(more_popular(&inst, &m1, &m2));
+        assert!(!more_popular(&inst, &m2, &m1));
+        assert_eq!(compare(&inst, &m1, &m1), (0, 0));
+    }
+
+    #[test]
+    fn last_resort_is_worse_than_any_acceptable_post() {
+        let inst = PrefInstance::new_strict(1, vec![vec![0]]).unwrap();
+        let matched = Assignment::new(vec![0]);
+        let unmatched = Assignment::new(vec![inst.last_resort(0)]);
+        assert!(more_popular(&inst, &matched, &unmatched));
+    }
+
+    #[test]
+    fn characterization_on_paper_matching() {
+        let inst = PrefInstance::new_strict(
+            9,
+            vec![
+                vec![0, 3, 4, 1, 5],
+                vec![3, 4, 6, 1, 7],
+                vec![3, 0, 2, 7],
+                vec![0, 6, 3, 2, 8],
+                vec![4, 0, 6, 1, 5],
+                vec![6, 5],
+                vec![6, 3, 7, 1],
+                vec![6, 3, 0, 4, 8, 2],
+            ],
+        )
+        .unwrap();
+        // The popular matching printed in the paper's Section II example.
+        let paper = Assignment::new(vec![0, 1, 3, 2, 4, 6, 7, 8]);
+        assert!(is_popular_characterization(&inst, &paper));
+        // Moving a1 from p1 to p4 (not on its reduced list) breaks it.
+        let broken = Assignment::new(vec![3, 1, 0, 2, 4, 6, 7, 8]);
+        assert!(!is_popular_characterization(&inst, &broken));
+    }
+
+    #[test]
+    fn no_popular_matching_instance_has_none_by_brute_force() {
+        let inst = two_posts_three_applicants();
+        assert!(brute_force_popular_matching(&inst).is_none());
+        // Any concrete assignment has positive unpopularity margin.
+        let m = Assignment::new(vec![0, 1, inst.last_resort(2)]);
+        assert!(!is_popular_brute_force(&inst, &m));
+        assert!(unpopularity_margin(&inst, &m) > 0);
+    }
+
+    #[test]
+    fn brute_force_agrees_with_characterization_on_small_instances() {
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for _ in 0..200 {
+            let n_a = rng.random_range(1..4);
+            let n_p = rng.random_range(1..4);
+            let lists: Vec<Vec<usize>> = (0..n_a)
+                .map(|_| {
+                    let mut posts: Vec<usize> = (0..n_p).collect();
+                    for i in (1..posts.len()).rev() {
+                        posts.swap(i, rng.random_range(0..=i));
+                    }
+                    posts.truncate(rng.random_range(1..=posts.len()));
+                    posts
+                })
+                .collect();
+            let inst = PrefInstance::new_strict(n_p, lists).unwrap();
+            for m in enumerate_assignments(&inst) {
+                assert_eq!(
+                    is_popular_characterization(&inst, &m),
+                    is_popular_brute_force(&inst, &m),
+                    "Theorem 1 disagreement on {inst:?} / {m:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn enumerate_assignments_counts() {
+        // One applicant, one acceptable post: {p0, l(a0)} -> 2 assignments.
+        let inst = PrefInstance::new_strict(1, vec![vec![0]]).unwrap();
+        assert_eq!(enumerate_assignments(&inst).len(), 2);
+        // Two applicants both liking the single post: a0 takes it, a1 takes
+        // it, or neither does -> 1 + 1 + 1 = ... enumerate: a0 in {p0, l0} x
+        // a1 in {p0, l1} minus double-use of p0 = 4 - 1 = 3.
+        let inst = PrefInstance::new_strict(1, vec![vec![0], vec![0]]).unwrap();
+        assert_eq!(enumerate_assignments(&inst).len(), 3);
+    }
+
+    #[test]
+    fn unpopularity_margin_zero_for_popular() {
+        let inst = PrefInstance::new_strict(2, vec![vec![0, 1], vec![1, 0]]).unwrap();
+        let m = Assignment::new(vec![0, 1]);
+        assert_eq!(unpopularity_margin(&inst, &m), 0);
+        assert!(is_popular_brute_force(&inst, &m));
+    }
+}

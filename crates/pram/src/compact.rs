@@ -1,0 +1,119 @@
+//! Stream compaction (parallel filtering with stable order).
+//!
+//! Algorithm 4 of the paper soft-deletes entries of the preference matrices
+//! and then "compresses the preference list using parallel prefix sum
+//! technique"; that compression is exactly the compaction implemented here:
+//! given a keep/drop flag per element, compute with a prefix sum the output
+//! slot of every kept element and write all of them in one parallel round.
+
+use rayon::prelude::*;
+
+use crate::scan::prefix_sum_exclusive;
+use crate::tracker::DepthTracker;
+use crate::SEQUENTIAL_CUTOFF;
+
+/// Returns the indices `i` for which `keep(i)` is true, in increasing order,
+/// using a prefix-sum based compaction (two scan rounds plus one scatter
+/// round on the [`DepthTracker`]).
+pub fn compact_indices<F>(n: usize, keep: F, tracker: &DepthTracker) -> Vec<usize>
+where
+    F: Fn(usize) -> bool + Send + Sync,
+{
+    let flags: Vec<u64> = if n >= SEQUENTIAL_CUTOFF {
+        (0..n).into_par_iter().map(|i| u64::from(keep(i))).collect()
+    } else {
+        (0..n).map(|i| u64::from(keep(i))).collect()
+    };
+    tracker.round();
+    tracker.work(n as u64);
+
+    let (slots, total) = prefix_sum_exclusive(&flags, tracker);
+    let mut out = vec![0usize; total as usize];
+
+    tracker.round();
+    tracker.work(n as u64);
+    if n >= SEQUENTIAL_CUTOFF {
+        // Scatter in parallel: each kept index writes into its private slot.
+        // Slots are distinct, so the unzip-free approach below is race-free;
+        // we realise it by building (slot, index) pairs and writing them.
+        let pairs: Vec<(usize, usize)> = (0..n)
+            .into_par_iter()
+            .filter(|&i| flags[i] == 1)
+            .map(|i| (slots[i] as usize, i))
+            .collect();
+        for (slot, i) in pairs {
+            out[slot] = i;
+        }
+    } else {
+        for i in 0..n {
+            if flags[i] == 1 {
+                out[slots[i] as usize] = i;
+            }
+        }
+    }
+    out
+}
+
+/// Compacts the elements of `xs` for which `keep` returns true, preserving
+/// their relative order, and returns the surviving elements (cloned).
+pub fn compact_with<T, F>(xs: &[T], keep: F, tracker: &DepthTracker) -> Vec<T>
+where
+    T: Clone + Send + Sync,
+    F: Fn(&T) -> bool + Send + Sync,
+{
+    let idx = compact_indices(xs.len(), |i| keep(&xs[i]), tracker);
+    tracker.round();
+    tracker.work(idx.len() as u64);
+    if idx.len() >= SEQUENTIAL_CUTOFF {
+        idx.par_iter().map(|&i| xs[i].clone()).collect()
+    } else {
+        idx.iter().map(|&i| xs[i].clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty() {
+        let t = DepthTracker::new();
+        assert!(compact_indices(0, |_| true, &t).is_empty());
+        let empty: Vec<u32> = Vec::new();
+        assert!(compact_with(&empty, |_| true, &t).is_empty());
+    }
+
+    #[test]
+    fn keep_all_and_none() {
+        let t = DepthTracker::new();
+        let all = compact_indices(10, |_| true, &t);
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+        let none = compact_indices(10, |_| false, &t);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn keep_even_indices() {
+        let t = DepthTracker::new();
+        let idx = compact_indices(9, |i| i % 2 == 0, &t);
+        assert_eq!(idx, vec![0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn compact_values_preserves_order() {
+        let t = DepthTracker::new();
+        let xs: Vec<i32> = (0..10_000).map(|i| i * 7 % 23 - 11).collect();
+        let got = compact_with(&xs, |&x| x > 0, &t);
+        let want: Vec<i32> = xs.iter().copied().filter(|&x| x > 0).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn large_input_matches_sequential_filter() {
+        let t = DepthTracker::new();
+        let n = 100_000;
+        let idx = compact_indices(n, |i| (i * i) % 7 == 1, &t);
+        let want: Vec<usize> = (0..n).filter(|&i| (i * i) % 7 == 1).collect();
+        assert_eq!(idx, want);
+    }
+}

@@ -1,0 +1,62 @@
+//! PRAM-style parallel primitives with work/depth instrumentation.
+//!
+//! The NC algorithms of Hu & Garg (2020) are stated for a CREW/CRCW PRAM.
+//! On a real shared-memory machine we cannot execute a PRAM directly, so this
+//! crate provides the substitution described in `DESIGN.md`:
+//!
+//! * every algorithm is organised as a sequence of *synchronous rounds*
+//!   (a round is one "parallel step" of the PRAM program);
+//! * inside a round, work is executed with [rayon] data parallelism;
+//! * a [`DepthTracker`] records how many rounds were executed (the *depth*)
+//!   and how many elementary operations were performed (the *work*), so the
+//!   complexity claims of the paper (polylogarithmic depth, polynomial work)
+//!   can be verified empirically by the benchmark harness.
+//!
+//! The crate also implements the classic PRAM building blocks the paper
+//! relies on:
+//!
+//! * [`scan`] — parallel prefix sums over an arbitrary associative operation,
+//!   used for list compaction (Section VI of the paper compresses reduced
+//!   preference lists "using parallel prefix sum technique");
+//! * [`pointer`] — pointer jumping / pointer doubling, used to find maximal
+//!   paths of degree-2 vertices in Algorithm 2 ("the doubling trick") and to
+//!   locate roots and cycle representatives in pseudoforests;
+//! * [`compact`] — stream compaction and parallel filtering built on scans;
+//! * [`reduce`] — parallel reductions (sum / min / max / argmin / argmax);
+//! * [`scheduler`] — a small helper for writing round-synchronous loops with
+//!   automatic depth accounting.
+//!
+//! # Example
+//!
+//! ```
+//! use pm_pram::{scan::prefix_sum_exclusive, tracker::DepthTracker};
+//!
+//! let tracker = DepthTracker::new();
+//! let xs = vec![3u64, 1, 4, 1, 5, 9, 2, 6];
+//! let (prefix, total) = prefix_sum_exclusive(&xs, &tracker);
+//! assert_eq!(prefix, vec![0, 3, 4, 8, 9, 14, 23, 25]);
+//! assert_eq!(total, 31);
+//! assert!(tracker.stats().depth >= 1);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod compact;
+pub mod pointer;
+pub mod reduce;
+pub mod scan;
+pub mod scheduler;
+pub mod tracker;
+
+pub use compact::{compact_indices, compact_with};
+pub use pointer::{list_rank, pointer_jump_roots, PointerJumpResult};
+pub use reduce::{par_argmax, par_argmin, par_max, par_min, par_sum};
+pub use scan::{prefix_scan_exclusive, prefix_scan_inclusive, prefix_sum_exclusive, prefix_sum_inclusive};
+pub use scheduler::RoundScheduler;
+pub use tracker::{DepthTracker, PramStats};
+
+/// The threshold below which the primitives fall back to a purely sequential
+/// implementation.  Parallelising tiny inputs costs more than it saves; the
+/// outputs are identical either way.
+pub const SEQUENTIAL_CUTOFF: usize = 2048;

@@ -1,0 +1,249 @@
+//! Pointer jumping (pointer doubling) and list ranking.
+//!
+//! Algorithm 2 of the paper finds *maximal paths* of degree-2 vertices "by
+//! the doubling trick in polylog time", and Section IV finds roots/cycles in
+//! pseudoforests.  Both reduce to the classic pointer-jumping primitive: each
+//! vertex holds a pointer to a successor, and in `O(log n)` synchronous
+//! rounds every vertex learns the end of its pointer chain and its distance
+//! to it, by repeatedly replacing `ptr[v]` with `ptr[ptr[v]]`.
+
+use rayon::prelude::*;
+
+use crate::tracker::DepthTracker;
+use crate::SEQUENTIAL_CUTOFF;
+
+/// The result of [`pointer_jump_roots`]: for every vertex, the root (fixed
+/// point) its pointer chain reaches and the number of hops to get there.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PointerJumpResult {
+    /// `root[v]` is the unique vertex `r` with `parent[r] == r` reachable
+    /// from `v` by following parent pointers.
+    pub root: Vec<usize>,
+    /// `dist[v]` is the number of parent-pointer hops from `v` to `root[v]`.
+    pub dist: Vec<u64>,
+    /// Number of doubling rounds executed.
+    pub rounds: u32,
+}
+
+/// Finds, for every vertex of a *rooted forest* given by `parent` pointers
+/// (roots satisfy `parent[r] == r`), the root of its tree and its depth,
+/// using pointer doubling in `⌈log₂ n⌉` rounds.
+///
+/// # Panics
+///
+/// Debug builds assert that the input is indeed a forest (no vertex is left
+/// unresolved after `⌈log₂ n⌉` rounds).  In release builds a cyclic input
+/// yields pointers that still sit on their cycle, with `dist` equal to the
+/// number of hops performed; callers that may hand in functional graphs with
+/// cycles should use the cycle-detection routines in `pm-graph` instead.
+pub fn pointer_jump_roots(parent: &[usize], tracker: &DepthTracker) -> PointerJumpResult {
+    let n = parent.len();
+    assert!(
+        parent.iter().all(|&p| p < n.max(1)),
+        "parent pointer out of range"
+    );
+    let mut ptr: Vec<usize> = parent.to_vec();
+    let mut dist: Vec<u64> = parent
+        .iter()
+        .enumerate()
+        .map(|(v, &p)| u64::from(p != v))
+        .collect();
+
+    let max_rounds = if n <= 1 { 0 } else { usize::BITS - (n - 1).leading_zeros() };
+    let mut rounds = 0u32;
+    for _ in 0..max_rounds {
+        rounds += 1;
+        tracker.round();
+        tracker.work(n as u64);
+        let (new_ptr, new_dist): (Vec<usize>, Vec<u64>) = if n >= SEQUENTIAL_CUTOFF {
+            (0..n)
+                .into_par_iter()
+                .map(|v| jump_one(v, &ptr, &dist))
+                .unzip()
+        } else {
+            (0..n).map(|v| jump_one(v, &ptr, &dist)).unzip()
+        };
+        ptr = new_ptr;
+        dist = new_dist;
+        // Stop early once every pointer already points at a fixed point.
+        if ptr.iter().all(|&p| ptr[p] == p) {
+            break;
+        }
+    }
+
+    debug_assert!(
+        ptr.iter().all(|&p| parent[p] == p) || has_cycle(parent),
+        "pointer jumping did not converge on an acyclic input"
+    );
+
+    PointerJumpResult { root: ptr, dist, rounds }
+}
+
+/// One synchronous pointer-doubling step for vertex `v`:
+/// `ptr'[v] = ptr[ptr[v]]`, `dist'[v] = dist[v] + dist[ptr[v]]`.
+/// When `ptr[v]` is already a root its `dist` is 0, so the update is a no-op
+/// on the distance, which keeps the value exact at convergence.
+#[inline]
+fn jump_one(v: usize, ptr: &[usize], dist: &[u64]) -> (usize, u64) {
+    let p = ptr[v];
+    (ptr[p], dist[v] + dist[p])
+}
+
+fn has_cycle(parent: &[usize]) -> bool {
+    // Simple sequential check used only in debug assertions.
+    let n = parent.len();
+    let mut colour = vec![0u8; n]; // 0 = white, 1 = grey, 2 = black
+    for s in 0..n {
+        if colour[s] != 0 {
+            continue;
+        }
+        let mut path = Vec::new();
+        let mut v = s;
+        loop {
+            if colour[v] == 1 {
+                return true;
+            }
+            if colour[v] == 2 {
+                break;
+            }
+            colour[v] = 1;
+            path.push(v);
+            if parent[v] == v {
+                break;
+            }
+            v = parent[v];
+        }
+        for u in path {
+            colour[u] = 2;
+        }
+    }
+    false
+}
+
+/// Ranks the elements of one or more linked lists: `succ[v]` is the successor
+/// of `v` (or `None` for a list tail).  Returns for every element the number
+/// of hops to its tail, computed by pointer doubling in `O(log n)` rounds.
+///
+/// This is the textbook list-ranking problem; Algorithm 2 uses it to compute
+/// the distance of every edge of a maximal path from the degree-1 endpoint,
+/// which decides whether the edge joins the matching ("each edge at an even
+/// distance from `v0` is added to `M`").
+pub fn list_rank(succ: &[Option<usize>], tracker: &DepthTracker) -> Vec<u64> {
+    let parent: Vec<usize> = succ
+        .iter()
+        .enumerate()
+        .map(|(v, s)| s.unwrap_or(v))
+        .collect();
+    let result = pointer_jump_roots(&parent, tracker);
+    result.dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_root_dist(parent: &[usize]) -> (Vec<usize>, Vec<u64>) {
+        let n = parent.len();
+        let mut root = vec![0usize; n];
+        let mut dist = vec![0u64; n];
+        for v in 0..n {
+            let mut u = v;
+            let mut d = 0u64;
+            while parent[u] != u {
+                u = parent[u];
+                d += 1;
+                assert!(d as usize <= n, "cycle in test input");
+            }
+            root[v] = u;
+            dist[v] = d;
+        }
+        (root, dist)
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let t = DepthTracker::new();
+        let r = pointer_jump_roots(&[], &t);
+        assert!(r.root.is_empty());
+        let r = pointer_jump_roots(&[0], &t);
+        assert_eq!(r.root, vec![0]);
+        assert_eq!(r.dist, vec![0]);
+    }
+
+    #[test]
+    fn single_path() {
+        // 0 <- 1 <- 2 <- 3 <- 4 (parent points towards 0)
+        let parent = vec![0, 0, 1, 2, 3];
+        let t = DepthTracker::new();
+        let r = pointer_jump_roots(&parent, &t);
+        let (root, dist) = naive_root_dist(&parent);
+        assert_eq!(r.root, root);
+        assert_eq!(r.dist, dist);
+    }
+
+    #[test]
+    fn star_and_forest() {
+        // star rooted at 0 plus a separate chain rooted at 5
+        let parent = vec![0, 0, 0, 0, 0, 5, 5, 6, 7];
+        let t = DepthTracker::new();
+        let r = pointer_jump_roots(&parent, &t);
+        let (root, dist) = naive_root_dist(&parent);
+        assert_eq!(r.root, root);
+        assert_eq!(r.dist, dist);
+    }
+
+    #[test]
+    fn long_path_logarithmic_rounds() {
+        let n = 100_000usize;
+        // path: parent[i] = i - 1, parent[0] = 0
+        let parent: Vec<usize> = (0..n).map(|i| i.saturating_sub(1)).collect();
+        let t = DepthTracker::new();
+        let r = pointer_jump_roots(&parent, &t);
+        let (root, dist) = naive_root_dist(&parent);
+        assert_eq!(r.root, root);
+        assert_eq!(r.dist, dist);
+        // Rounds must be logarithmic, not linear.
+        assert!(r.rounds <= 18, "rounds = {}", r.rounds);
+    }
+
+    #[test]
+    fn random_forest_matches_naive() {
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        for n in [2usize, 3, 10, 257, 5000] {
+            // Build a random forest: parent[i] <= i, with some self-roots.
+            let parent: Vec<usize> = (0..n)
+                .map(|i| {
+                    if i == 0 || rng.random_range(0..4) == 0 {
+                        i
+                    } else {
+                        rng.random_range(0..i)
+                    }
+                })
+                .collect();
+            let t = DepthTracker::new();
+            let r = pointer_jump_roots(&parent, &t);
+            let (root, dist) = naive_root_dist(&parent);
+            assert_eq!(r.root, root, "n = {n}");
+            assert_eq!(r.dist, dist, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn list_rank_simple_list() {
+        // list 0 -> 1 -> 2 -> 3 -> None
+        let succ = vec![Some(1), Some(2), Some(3), None];
+        let t = DepthTracker::new();
+        let ranks = list_rank(&succ, &t);
+        assert_eq!(ranks, vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn list_rank_multiple_lists() {
+        // two lists: 0->1->None, 2->3->4->None, plus isolated 5
+        let succ = vec![Some(1), None, Some(3), Some(4), None, None];
+        let t = DepthTracker::new();
+        let ranks = list_rank(&succ, &t);
+        assert_eq!(ranks, vec![1, 0, 2, 1, 0, 0]);
+    }
+}

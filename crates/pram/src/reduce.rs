@@ -1,0 +1,169 @@
+//! Parallel reductions with depth accounting.
+//!
+//! Reductions (sum, min, max, argmin, argmax) are single-round parallel
+//! steps on a PRAM (logarithmic depth in the strict circuit sense, charged
+//! here as `⌈log₂ n⌉` depth to stay faithful to the model).  Algorithm 3 uses
+//! them to pick, per tree component, the switching path with the largest
+//! margin.
+
+use rayon::prelude::*;
+
+use crate::tracker::DepthTracker;
+use crate::SEQUENTIAL_CUTOFF;
+
+fn charge(n: usize, tracker: &DepthTracker) {
+    let depth = if n <= 1 { 1 } else { (usize::BITS - (n - 1).leading_zeros()) as u64 };
+    tracker.rounds(depth.max(1));
+    tracker.work(n as u64);
+}
+
+/// Parallel sum of a slice of `u64`.
+pub fn par_sum(xs: &[u64], tracker: &DepthTracker) -> u64 {
+    charge(xs.len(), tracker);
+    if xs.len() >= SEQUENTIAL_CUTOFF {
+        xs.par_iter().sum()
+    } else {
+        xs.iter().sum()
+    }
+}
+
+/// Parallel minimum; `None` on an empty slice.
+pub fn par_min<T: Ord + Copy + Send + Sync>(xs: &[T], tracker: &DepthTracker) -> Option<T> {
+    charge(xs.len(), tracker);
+    if xs.len() >= SEQUENTIAL_CUTOFF {
+        xs.par_iter().copied().min()
+    } else {
+        xs.iter().copied().min()
+    }
+}
+
+/// Parallel maximum; `None` on an empty slice.
+pub fn par_max<T: Ord + Copy + Send + Sync>(xs: &[T], tracker: &DepthTracker) -> Option<T> {
+    charge(xs.len(), tracker);
+    if xs.len() >= SEQUENTIAL_CUTOFF {
+        xs.par_iter().copied().max()
+    } else {
+        xs.iter().copied().max()
+    }
+}
+
+/// Index of the minimum element (ties broken towards the smaller index, so
+/// the result is deterministic); `None` on an empty slice.
+pub fn par_argmin<T: Ord + Copy + Send + Sync>(xs: &[T], tracker: &DepthTracker) -> Option<usize> {
+    charge(xs.len(), tracker);
+    if xs.is_empty() {
+        return None;
+    }
+    let better = |a: (usize, T), b: (usize, T)| -> (usize, T) {
+        match b.1.cmp(&a.1) {
+            std::cmp::Ordering::Less => b,
+            std::cmp::Ordering::Equal if b.0 < a.0 => b,
+            _ => a,
+        }
+    };
+    if xs.len() >= SEQUENTIAL_CUTOFF {
+        xs.par_iter()
+            .copied()
+            .enumerate()
+            .reduce_with(|a, b| better(a, b))
+            .map(|(i, _)| i)
+    } else {
+        xs.iter()
+            .copied()
+            .enumerate()
+            .fold(None, |acc: Option<(usize, T)>, cur| {
+                Some(match acc {
+                    None => cur,
+                    Some(a) => better(a, cur),
+                })
+            })
+            .map(|(i, _)| i)
+    }
+}
+
+/// Index of the maximum element (ties broken towards the smaller index);
+/// `None` on an empty slice.
+pub fn par_argmax<T: Ord + Copy + Send + Sync>(xs: &[T], tracker: &DepthTracker) -> Option<usize> {
+    charge(xs.len(), tracker);
+    if xs.is_empty() {
+        return None;
+    }
+    let better = |a: (usize, T), b: (usize, T)| -> (usize, T) {
+        match b.1.cmp(&a.1) {
+            std::cmp::Ordering::Greater => b,
+            std::cmp::Ordering::Equal if b.0 < a.0 => b,
+            _ => a,
+        }
+    };
+    if xs.len() >= SEQUENTIAL_CUTOFF {
+        xs.par_iter()
+            .copied()
+            .enumerate()
+            .reduce_with(|a, b| better(a, b))
+            .map(|(i, _)| i)
+    } else {
+        xs.iter()
+            .copied()
+            .enumerate()
+            .fold(None, |acc: Option<(usize, T)>, cur| {
+                Some(match acc {
+                    None => cur,
+                    Some(a) => better(a, cur),
+                })
+            })
+            .map(|(i, _)| i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sums_and_extrema() {
+        let t = DepthTracker::new();
+        let xs: Vec<u64> = (1..=100).collect();
+        assert_eq!(par_sum(&xs, &t), 5050);
+        assert_eq!(par_min(&xs, &t), Some(1));
+        assert_eq!(par_max(&xs, &t), Some(100));
+    }
+
+    #[test]
+    fn empty_slices() {
+        let t = DepthTracker::new();
+        assert_eq!(par_sum(&[], &t), 0);
+        assert_eq!(par_min::<u64>(&[], &t), None);
+        assert_eq!(par_max::<u64>(&[], &t), None);
+        assert_eq!(par_argmin::<u64>(&[], &t), None);
+        assert_eq!(par_argmax::<u64>(&[], &t), None);
+    }
+
+    #[test]
+    fn argmin_argmax_tie_breaking() {
+        let t = DepthTracker::new();
+        let xs = vec![5, 1, 3, 1, 5];
+        assert_eq!(par_argmin(&xs, &t), Some(1));
+        assert_eq!(par_argmax(&xs, &t), Some(0));
+    }
+
+    #[test]
+    fn large_parallel_matches_sequential() {
+        let t = DepthTracker::new();
+        let xs: Vec<u64> = (0..200_000).map(|i| (i * 48271) % 65537).collect();
+        assert_eq!(par_sum(&xs, &t), xs.iter().sum::<u64>());
+        assert_eq!(par_min(&xs, &t), xs.iter().copied().min());
+        assert_eq!(par_max(&xs, &t), xs.iter().copied().max());
+        let am = par_argmax(&xs, &t).unwrap();
+        assert_eq!(xs[am], *xs.iter().max().unwrap());
+        // Deterministic tie-break towards the first occurrence.
+        assert_eq!(am, xs.iter().position(|&x| x == xs[am]).unwrap());
+    }
+
+    #[test]
+    fn depth_charged_logarithmically() {
+        let t = DepthTracker::new();
+        let xs: Vec<u64> = (0..1024).collect();
+        par_sum(&xs, &t);
+        assert_eq!(t.stats().depth, 10);
+    }
+}

@@ -1,0 +1,234 @@
+//! Parallel prefix scans (prefix sums).
+//!
+//! Prefix sums are the workhorse primitive of PRAM algorithms: the paper uses
+//! them to compress soft-deleted preference lists in Algorithm 4 ("we can
+//! compress the preference list using parallel prefix sum technique") and we
+//! use them throughout for stream compaction and for assigning slots when
+//! building graphs in parallel.
+//!
+//! The implementation is the standard two-pass blocked scan: the input is
+//! divided into chunks, each chunk is reduced in parallel, the chunk totals
+//! are scanned sequentially (there are only `O(n / chunk)` of them), and a
+//! second parallel pass produces the final prefix values.  This is the
+//! work-optimal O(n) / depth O(log n) scheme of Blelloch, with the depth
+//! charged as two rounds on the [`DepthTracker`].
+
+use rayon::prelude::*;
+
+use crate::tracker::DepthTracker;
+use crate::SEQUENTIAL_CUTOFF;
+
+/// Minimum chunk length used by the blocked parallel scan.
+const MIN_CHUNK: usize = 4096;
+
+/// Generic exclusive prefix scan under an associative operation `op` with
+/// identity `identity`.
+///
+/// Returns the vector of prefixes (`out[i] = op(x[0], ..., x[i-1])`, with
+/// `out[0] = identity`) and the total reduction of the whole input.
+///
+/// The operation must be associative; it does not need to be commutative.
+pub fn prefix_scan_exclusive<T, F>(
+    xs: &[T],
+    identity: T,
+    op: F,
+    tracker: &DepthTracker,
+) -> (Vec<T>, T)
+where
+    T: Clone + Send + Sync,
+    F: Fn(&T, &T) -> T + Send + Sync,
+{
+    tracker.work(xs.len() as u64);
+    if xs.is_empty() {
+        tracker.round();
+        return (Vec::new(), identity);
+    }
+    if xs.len() < SEQUENTIAL_CUTOFF {
+        tracker.round();
+        return sequential_exclusive(xs, identity, &op);
+    }
+
+    let chunk = MIN_CHUNK.max(xs.len() / (rayon::current_num_threads() * 4).max(1));
+
+    // Round 1: reduce each chunk in parallel.
+    tracker.round();
+    let chunk_totals: Vec<T> = xs
+        .par_chunks(chunk)
+        .map(|c| {
+            let mut acc = c[0].clone();
+            for x in &c[1..] {
+                acc = op(&acc, x);
+            }
+            acc
+        })
+        .collect();
+
+    // Sequential scan over the (few) chunk totals.
+    let mut offsets = Vec::with_capacity(chunk_totals.len());
+    let mut acc = identity.clone();
+    for t in &chunk_totals {
+        offsets.push(acc.clone());
+        acc = op(&acc, t);
+    }
+    let total = acc;
+
+    // Round 2: rescan each chunk in parallel, seeded with its offset.
+    tracker.round();
+    let mut out: Vec<T> = vec![identity; xs.len()];
+    out.par_chunks_mut(chunk)
+        .zip(xs.par_chunks(chunk))
+        .zip(offsets.into_par_iter())
+        .for_each(|((o, c), seed)| {
+            let mut acc = seed;
+            for (oi, x) in o.iter_mut().zip(c.iter()) {
+                *oi = acc.clone();
+                acc = op(&acc, x);
+            }
+        });
+
+    (out, total)
+}
+
+/// Generic inclusive prefix scan: `out[i] = op(x[0], ..., x[i])`.
+pub fn prefix_scan_inclusive<T, F>(
+    xs: &[T],
+    identity: T,
+    op: F,
+    tracker: &DepthTracker,
+) -> Vec<T>
+where
+    T: Clone + Send + Sync,
+    F: Fn(&T, &T) -> T + Send + Sync,
+{
+    let (mut ex, _total) = prefix_scan_exclusive(xs, identity, &op, tracker);
+    tracker.round();
+    tracker.work(xs.len() as u64);
+    ex.par_iter_mut().zip(xs.par_iter()).for_each(|(e, x)| {
+        *e = op(e, x);
+    });
+    ex
+}
+
+/// Exclusive prefix sum over `u64` values; returns the prefixes and the total.
+pub fn prefix_sum_exclusive(xs: &[u64], tracker: &DepthTracker) -> (Vec<u64>, u64) {
+    prefix_scan_exclusive(xs, 0u64, |a, b| a + b, tracker)
+}
+
+/// Inclusive prefix sum over `u64` values.
+pub fn prefix_sum_inclusive(xs: &[u64], tracker: &DepthTracker) -> Vec<u64> {
+    prefix_scan_inclusive(xs, 0u64, |a, b| a + b, tracker)
+}
+
+/// Exclusive prefix sum over `usize` counts, the form most graph-building
+/// code wants (CSR row offsets).  Returns the offsets and the total.
+pub fn offsets_from_counts(counts: &[usize], tracker: &DepthTracker) -> (Vec<usize>, usize) {
+    let as64: Vec<u64> = counts.iter().map(|&c| c as u64).collect();
+    let (pref, total) = prefix_sum_exclusive(&as64, tracker);
+    (pref.into_iter().map(|x| x as usize).collect(), total as usize)
+}
+
+fn sequential_exclusive<T, F>(xs: &[T], identity: T, op: &F) -> (Vec<T>, T)
+where
+    T: Clone,
+    F: Fn(&T, &T) -> T,
+{
+    let mut out = Vec::with_capacity(xs.len());
+    let mut acc = identity;
+    for x in xs {
+        out.push(acc.clone());
+        acc = op(&acc, x);
+    }
+    (out, acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_exclusive(xs: &[u64]) -> (Vec<u64>, u64) {
+        let mut out = Vec::with_capacity(xs.len());
+        let mut acc = 0;
+        for &x in xs {
+            out.push(acc);
+            acc += x;
+        }
+        (out, acc)
+    }
+
+    #[test]
+    fn empty_input() {
+        let t = DepthTracker::new();
+        let (p, total) = prefix_sum_exclusive(&[], &t);
+        assert!(p.is_empty());
+        assert_eq!(total, 0);
+    }
+
+    #[test]
+    fn single_element() {
+        let t = DepthTracker::new();
+        let (p, total) = prefix_sum_exclusive(&[7], &t);
+        assert_eq!(p, vec![0]);
+        assert_eq!(total, 7);
+    }
+
+    #[test]
+    fn small_matches_naive() {
+        let t = DepthTracker::new();
+        let xs = vec![3, 1, 4, 1, 5, 9, 2, 6];
+        assert_eq!(prefix_sum_exclusive(&xs, &t), naive_exclusive(&xs));
+    }
+
+    #[test]
+    fn large_matches_naive() {
+        let t = DepthTracker::new();
+        let xs: Vec<u64> = (0..100_000).map(|i| (i * 2654435761u64) % 97).collect();
+        assert_eq!(prefix_sum_exclusive(&xs, &t), naive_exclusive(&xs));
+        // Large input goes through the two-round blocked path.
+        assert!(t.stats().depth >= 2);
+    }
+
+    #[test]
+    fn inclusive_is_exclusive_shifted() {
+        let t = DepthTracker::new();
+        let xs: Vec<u64> = (0..50_000).map(|i| i % 13).collect();
+        let inc = prefix_sum_inclusive(&xs, &t);
+        let (exc, total) = prefix_sum_exclusive(&xs, &t);
+        for i in 0..xs.len() {
+            assert_eq!(inc[i], exc[i] + xs[i]);
+        }
+        assert_eq!(*inc.last().unwrap(), total);
+    }
+
+    #[test]
+    fn non_commutative_operation_string_concat() {
+        // String concatenation is associative but not commutative; the scan
+        // must preserve order.
+        let t = DepthTracker::new();
+        let xs: Vec<String> = (0..3000).map(|i| format!("{},", i % 10)).collect();
+        let (scanned, total) =
+            prefix_scan_exclusive(&xs, String::new(), |a, b| format!("{a}{b}"), &t);
+        let mut acc = String::new();
+        for (i, x) in xs.iter().enumerate() {
+            assert_eq!(scanned[i], acc, "prefix {i}");
+            acc.push_str(x);
+        }
+        assert_eq!(total, acc);
+    }
+
+    #[test]
+    fn offsets_from_counts_builds_csr_offsets() {
+        let t = DepthTracker::new();
+        let counts = vec![2usize, 0, 3, 1];
+        let (off, total) = offsets_from_counts(&counts, &t);
+        assert_eq!(off, vec![0, 2, 2, 5]);
+        assert_eq!(total, 6);
+    }
+
+    #[test]
+    fn max_scan_monoid() {
+        let t = DepthTracker::new();
+        let xs: Vec<u64> = vec![1, 5, 3, 9, 2, 9, 11, 0];
+        let inc = prefix_scan_inclusive(&xs, u64::MIN, |a, b| *a.max(b), &t);
+        assert_eq!(inc, vec![1, 5, 5, 9, 9, 9, 11, 11]);
+    }
+}

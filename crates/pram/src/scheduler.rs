@@ -1,0 +1,132 @@
+//! Round-synchronous execution helper.
+//!
+//! PRAM algorithms are naturally written as a loop of *rounds*: in each
+//! round every processor reads shared memory as it was at the start of the
+//! round, computes, and writes.  [`RoundScheduler`] packages that pattern —
+//! double-buffered state plus automatic depth accounting — so the algorithm
+//! crates (`pm-popular`, `pm-stable`, `pm-graph`) can express their loops
+//! declaratively and the benchmark harness can read the realised round
+//! counts straight off the tracker.
+
+use crate::tracker::DepthTracker;
+
+/// Controls a round-synchronous loop over a state of type `S`.
+///
+/// The scheduler owns the state and, on every [`step`](RoundScheduler::step),
+/// hands the caller an immutable view of the *previous* state together with a
+/// mutable scratch state to fill in; afterwards the scratch becomes current.
+/// This mirrors the CREW PRAM convention that all reads in a round observe
+/// the memory as of the beginning of the round.
+#[derive(Debug)]
+pub struct RoundScheduler<'a, S> {
+    current: S,
+    scratch: S,
+    tracker: &'a DepthTracker,
+    rounds: u64,
+    max_rounds: u64,
+}
+
+impl<'a, S: Clone> RoundScheduler<'a, S> {
+    /// Creates a scheduler with the given initial state.  `max_rounds` is a
+    /// hard safety limit; exceeding it indicates the algorithm failed to
+    /// converge (a bug) and [`step`](RoundScheduler::step) will panic.
+    pub fn new(initial: S, max_rounds: u64, tracker: &'a DepthTracker) -> Self {
+        let scratch = initial.clone();
+        Self { current: initial, scratch, tracker, rounds: 0, max_rounds }
+    }
+
+    /// Executes one synchronous round.  `f` receives the state at the start
+    /// of the round and a mutable scratch (initialised to a clone of that
+    /// state) and returns `true` to continue iterating or `false` when the
+    /// algorithm has converged.
+    ///
+    /// Returns `false` once the loop should stop.
+    pub fn step<F>(&mut self, work: u64, f: F) -> bool
+    where
+        F: FnOnce(&S, &mut S) -> bool,
+    {
+        assert!(
+            self.rounds < self.max_rounds,
+            "round-synchronous loop exceeded its bound of {} rounds",
+            self.max_rounds
+        );
+        self.rounds += 1;
+        self.tracker.round();
+        self.tracker.work(work);
+        self.scratch.clone_from(&self.current);
+        let cont = f(&self.current, &mut self.scratch);
+        std::mem::swap(&mut self.current, &mut self.scratch);
+        cont
+    }
+
+    /// Runs `f` until it signals convergence and returns the final state.
+    pub fn run_to_fixpoint<F>(mut self, work_per_round: u64, mut f: F) -> (S, u64)
+    where
+        F: FnMut(&S, &mut S) -> bool,
+    {
+        while self.step(work_per_round, &mut f) {}
+        (self.current, self.rounds)
+    }
+
+    /// Number of rounds executed so far.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// The current state.
+    pub fn state(&self) -> &S {
+        &self.current
+    }
+
+    /// Consumes the scheduler and returns the current state and round count.
+    pub fn into_state(self) -> (S, u64) {
+        (self.current, self.rounds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_rounds_and_stops() {
+        let t = DepthTracker::new();
+        // Repeatedly halve every entry until all are zero.
+        let state: Vec<u64> = vec![8, 5, 16, 1];
+        let sched = RoundScheduler::new(state, 64, &t);
+        let (final_state, rounds) = sched.run_to_fixpoint(4, |prev, next| {
+            for (n, p) in next.iter_mut().zip(prev.iter()) {
+                *n = p / 2;
+            }
+            next.iter().any(|&x| x > 0)
+        });
+        assert_eq!(final_state, vec![0, 0, 0, 0]);
+        assert_eq!(rounds, 5); // 16 -> 8 -> 4 -> 2 -> 1 -> 0
+        assert_eq!(t.stats().depth, 5);
+        assert_eq!(t.stats().work, 20);
+    }
+
+    #[test]
+    fn reads_see_start_of_round_state() {
+        let t = DepthTracker::new();
+        // Shift-left by one each round; if reads saw partially-updated state
+        // the result would differ.
+        let state = vec![1u64, 2, 3, 4];
+        let mut sched = RoundScheduler::new(state, 10, &t);
+        sched.step(4, |prev, next| {
+            for i in 0..prev.len() {
+                next[i] = if i + 1 < prev.len() { prev[i + 1] } else { 0 };
+            }
+            false
+        });
+        assert_eq!(sched.state(), &vec![2, 3, 4, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeded its bound")]
+    fn exceeding_round_bound_panics() {
+        let t = DepthTracker::new();
+        let sched = RoundScheduler::new(0u64, 3, &t);
+        let _ = sched.run_to_fixpoint(1, |_, _| true);
+    }
+}

@@ -1,0 +1,191 @@
+//! Work/depth accounting for the PRAM simulation.
+//!
+//! The paper's NC claims are statements about the *depth* (number of
+//! synchronous parallel rounds) and *work* (total number of elementary
+//! operations) of an algorithm.  Every algorithm in this repository accepts a
+//! [`DepthTracker`] and reports into it, which lets the benchmark harness
+//! verify, e.g., that the while-loop of Algorithm 2 runs `O(log n)` rounds
+//! (Lemma 2) and that the overall work stays polynomial.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A snapshot of the counters held by a [`DepthTracker`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PramStats {
+    /// Number of synchronous parallel rounds executed (the PRAM depth).
+    pub depth: u64,
+    /// Total number of elementary operations charged (the PRAM work).
+    pub work: u64,
+    /// Number of "phases": coarse algorithm sections (e.g. "build reduced
+    /// graph", "peel degree-1 paths", "match even cycles").  Useful for
+    /// per-phase reporting in the harness.
+    pub phases: u64,
+}
+
+impl PramStats {
+    /// Returns `work / depth`, the average parallelism exposed by the
+    /// algorithm, or 0 when no rounds were executed.
+    pub fn average_parallelism(&self) -> f64 {
+        if self.depth == 0 {
+            0.0
+        } else {
+            self.work as f64 / self.depth as f64
+        }
+    }
+}
+
+/// Thread-safe counter of PRAM rounds and work.
+///
+/// `DepthTracker` is deliberately tiny: charging work is a relaxed atomic
+/// add, and advancing a round is a single atomic increment performed by the
+/// coordinating thread between rounds.  The tracker therefore does not
+/// perturb the wall-clock benchmarks in any measurable way.
+#[derive(Debug, Default)]
+pub struct DepthTracker {
+    depth: AtomicU64,
+    work: AtomicU64,
+    phases: AtomicU64,
+}
+
+impl DepthTracker {
+    /// Creates a tracker with all counters at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one synchronous parallel round (one unit of depth).
+    pub fn round(&self) {
+        self.depth.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` synchronous parallel rounds at once.
+    pub fn rounds(&self, n: u64) {
+        self.depth.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Charges `n` units of work (elementary operations).
+    pub fn work(&self, n: u64) {
+        self.work.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Marks the beginning of a new coarse phase of the algorithm.
+    pub fn phase(&self) {
+        self.phases.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Returns a snapshot of the counters.
+    pub fn stats(&self) -> PramStats {
+        PramStats {
+            depth: self.depth.load(Ordering::Relaxed),
+            work: self.work.load(Ordering::Relaxed),
+            phases: self.phases.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&self) {
+        self.depth.store(0, Ordering::Relaxed);
+        self.work.store(0, Ordering::Relaxed);
+        self.phases.store(0, Ordering::Relaxed);
+    }
+
+    /// Runs `f` as one synchronous round: increments the depth by one before
+    /// executing `f`, and charges `work` units of work.
+    pub fn in_round<R>(&self, work: u64, f: impl FnOnce() -> R) -> R {
+        self.round();
+        self.work(work);
+        f()
+    }
+}
+
+impl Clone for DepthTracker {
+    fn clone(&self) -> Self {
+        let s = self.stats();
+        let t = DepthTracker::new();
+        t.depth.store(s.depth, Ordering::Relaxed);
+        t.work.store(s.work, Ordering::Relaxed);
+        t.phases.store(s.phases, Ordering::Relaxed);
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_tracker_is_zeroed() {
+        let t = DepthTracker::new();
+        assert_eq!(t.stats(), PramStats::default());
+        assert_eq!(t.stats().average_parallelism(), 0.0);
+    }
+
+    #[test]
+    fn round_and_work_accumulate() {
+        let t = DepthTracker::new();
+        t.round();
+        t.round();
+        t.work(10);
+        t.work(5);
+        t.phase();
+        let s = t.stats();
+        assert_eq!(s.depth, 2);
+        assert_eq!(s.work, 15);
+        assert_eq!(s.phases, 1);
+        assert!((s.average_parallelism() - 7.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rounds_bulk_increment() {
+        let t = DepthTracker::new();
+        t.rounds(7);
+        assert_eq!(t.stats().depth, 7);
+    }
+
+    #[test]
+    fn reset_clears_counters() {
+        let t = DepthTracker::new();
+        t.round();
+        t.work(3);
+        t.phase();
+        t.reset();
+        assert_eq!(t.stats(), PramStats::default());
+    }
+
+    #[test]
+    fn in_round_charges_and_returns() {
+        let t = DepthTracker::new();
+        let v = t.in_round(42, || 7usize);
+        assert_eq!(v, 7);
+        assert_eq!(t.stats().depth, 1);
+        assert_eq!(t.stats().work, 42);
+    }
+
+    #[test]
+    fn clone_preserves_counters() {
+        let t = DepthTracker::new();
+        t.rounds(3);
+        t.work(9);
+        let u = t.clone();
+        assert_eq!(u.stats(), t.stats());
+        u.round();
+        assert_ne!(u.stats(), t.stats());
+    }
+
+    #[test]
+    fn concurrent_work_charges_are_not_lost() {
+        use std::sync::Arc;
+        let t = Arc::new(DepthTracker::new());
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let t = Arc::clone(&t);
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        t.work(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(t.stats().work, 8000);
+    }
+}

@@ -1,0 +1,346 @@
+//! Algorithm 4: all "next" stable matchings of a given stable matching, in NC.
+//!
+//! Given a stable matching `M`, the algorithm produces `M\ρ` for every
+//! rotation `ρ` exposed in `M`, or reports that `M` is the woman-optimal
+//! matching (Theorem 16).  The steps mirror the paper exactly:
+//!
+//! 1. ranking matrices `mr`, `wr` — already part of [`SmInstance`]
+//!    (constant parallel steps);
+//! 2. *reduced preference lists*: for every woman soft-delete the men she
+//!    ranks below her partner, then compress every man's list with a
+//!    prefix-sum compaction ([`pm_pram::compact`]); after this pass
+//!    `p_M(m)` is the first entry of `m`'s list and `s_M(m)` the second;
+//! 3. build the switching graph `H_M` (one vertex per man, an edge
+//!    `m → next_M(m)`), a functional graph;
+//! 4. find all of its cycles with the NC cycle finder
+//!    ([`FunctionalGraph::cycles_parallel`]) — each cycle is an exposed
+//!    rotation (Lemma 17 / Definition 7);
+//! 5. eliminate every rotation (one parallel step per rotation, all
+//!    independent).
+
+use rayon::prelude::*;
+
+use pm_graph::functional::FunctionalGraph;
+use pm_pram::compact::compact_indices;
+use pm_pram::tracker::DepthTracker;
+use pm_pram::SEQUENTIAL_CUTOFF;
+
+use crate::instance::{SmInstance, StableMatching};
+use crate::rotations::Rotation;
+
+/// The result of Algorithm 4.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NextStableOutcome {
+    /// `M` is the woman-optimal matching: no rotation is exposed.
+    WomanOptimal,
+    /// The exposed rotations and, for each, the stable matching `M\ρ`.
+    Next(Vec<(Rotation, StableMatching)>),
+}
+
+impl NextStableOutcome {
+    /// The successor matchings, if any.
+    pub fn matchings(&self) -> Vec<StableMatching> {
+        match self {
+            NextStableOutcome::WomanOptimal => Vec::new(),
+            NextStableOutcome::Next(v) => v.iter().map(|(_, m)| m.clone()).collect(),
+        }
+    }
+}
+
+/// The reduced preference lists of the men with respect to `M` (Figure 6 of
+/// the paper): man `m`'s list keeps exactly the women `w` with
+/// `w = p_M(m)` or `w` preferring `m` to `p_M(w)`, in `m`'s original order.
+pub fn reduced_men_lists(
+    inst: &SmInstance,
+    matching: &StableMatching,
+    tracker: &DepthTracker,
+) -> Vec<Vec<usize>> {
+    let n = inst.n();
+    let husbands = matching.husbands();
+    tracker.phase();
+
+    let reduce_one = |m: usize| -> Vec<usize> {
+        // Soft-deletion + compaction of one man's list: the keep-flags are
+        // computed in parallel (conceptually one PRAM round over all n²
+        // entries) and the surviving entries are compacted with a prefix sum.
+        let list = inst.man_list(m);
+        let keep = |i: usize| -> bool {
+            let w = list[i];
+            w == matching.wife(m) || inst.woman_prefers(w, m, husbands[w])
+        };
+        compact_indices(n, keep, tracker)
+            .into_iter()
+            .map(|i| list[i])
+            .collect()
+    };
+
+    if n >= SEQUENTIAL_CUTOFF {
+        (0..n).into_par_iter().map(reduce_one).collect()
+    } else {
+        (0..n).map(reduce_one).collect()
+    }
+}
+
+/// Builds the switching graph `H_M`: vertex `m` has an edge to
+/// `next_M(m) = p_M(s_M(m))` whenever `s_M(m)` (the second entry of `m`'s
+/// reduced list) exists.
+pub fn switching_graph_hm(
+    inst: &SmInstance,
+    matching: &StableMatching,
+    tracker: &DepthTracker,
+) -> FunctionalGraph {
+    let reduced = reduced_men_lists(inst, matching, tracker);
+    let husbands = matching.husbands();
+    tracker.round();
+    tracker.work(inst.n() as u64);
+    let succ: Vec<Option<usize>> = reduced
+        .iter()
+        .map(|list| list.get(1).map(|&w| husbands[w]))
+        .collect();
+    FunctionalGraph::new(succ)
+}
+
+/// Runs Algorithm 4: returns every exposed rotation together with `M\ρ`, or
+/// [`NextStableOutcome::WomanOptimal`].
+///
+/// # Panics
+/// Panics if `matching` is not stable for `inst` — the structures of
+/// Section VI are only defined for stable matchings.
+pub fn next_stable_matchings(
+    inst: &SmInstance,
+    matching: &StableMatching,
+    tracker: &DepthTracker,
+) -> NextStableOutcome {
+    assert!(inst.is_stable(matching), "Algorithm 4 requires a stable matching as input");
+    let reduced = reduced_men_lists(inst, matching, tracker);
+    let husbands = matching.husbands();
+
+    // The first entry of every reduced list must be p_M(m) (as argued in the
+    // paper: anything above it would be a blocking pair).
+    for m in 0..inst.n() {
+        debug_assert_eq!(reduced[m][0], matching.wife(m));
+    }
+
+    tracker.round();
+    tracker.work(inst.n() as u64);
+    let succ: Vec<Option<usize>> = reduced
+        .iter()
+        .map(|list| list.get(1).map(|&w| husbands[w]))
+        .collect();
+    let hm = FunctionalGraph::new(succ);
+
+    let cycles = hm.cycles_parallel(tracker);
+    if cycles.is_empty() {
+        return NextStableOutcome::WomanOptimal;
+    }
+
+    // Each cycle of H_M is a rotation; eliminate all of them (independent
+    // parallel steps — the rotations are vertex-disjoint).
+    tracker.round();
+    tracker.work(cycles.iter().map(Vec::len).sum::<usize>() as u64);
+    let results: Vec<(Rotation, StableMatching)> = cycles
+        .into_iter()
+        .map(|men| {
+            let rotation = Rotation {
+                pairs: men.iter().map(|&m| (m, matching.wife(m))).collect(),
+            };
+            let next = rotation.eliminate(matching);
+            (rotation, next)
+        })
+        .collect();
+    NextStableOutcome::Next(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::figure5_instance;
+    use crate::rotations::exposed_rotations_sequential;
+
+    #[test]
+    fn figure6_reduced_lists_match_the_paper() {
+        let (inst, m) = figure5_instance();
+        let t = DepthTracker::new();
+        let reduced = reduced_men_lists(&inst, &m, &t);
+        // Figure 6 (0-indexed women):
+        let expected: Vec<Vec<usize>> = vec![
+            vec![7, 2],             // m1: w8 w3
+            vec![2, 5],             // m2: w3 w6
+            vec![4, 0, 5, 1],       // m3: w5 w1 w6 w2
+            vec![5, 7, 4],          // m4: w6 w8 w5
+            vec![6, 1, 0, 2, 5],    // m5: w7 w2 w1 w3 w6
+            vec![0, 4, 1, 2],       // m6: w1 w5 w2 w3
+            vec![1, 4, 6, 7, 0],    // m7: w2 w5 w7 w8 w1
+            vec![3, 1, 5],          // m8: w4 w2 w6
+        ];
+        assert_eq!(reduced, expected);
+    }
+
+    #[test]
+    fn figure7_switching_graph_structure() {
+        let (inst, m) = figure5_instance();
+        let t = DepthTracker::new();
+        let hm = switching_graph_hm(&inst, &m, &t);
+        // Every man has s_M(m) here, so out-degree is exactly one (Lemma 17 (i)).
+        assert!((0..8).all(|v| hm.successor(v).is_some()));
+        // Successors follow Figure 7: m1->m2, m2->m4, m3->m6, m4->m1,
+        // m5->m7, m6->m3, m7->m3, m8->m7.
+        let expected = [1usize, 3, 5, 0, 6, 2, 2, 6];
+        for (man, &nm) in expected.iter().enumerate() {
+            assert_eq!(hm.successor(man), Some(nm));
+        }
+        // Two cycles (Lemma 17 (ii) allows one per component; here there are
+        // two components containing cycles).
+        let cycles = hm.cycles_parallel(&t);
+        assert_eq!(cycles.len(), 2);
+        assert_eq!(cycles[0], vec![0, 1, 3]);
+        assert_eq!(cycles[1], vec![2, 5]);
+    }
+
+    #[test]
+    fn algorithm4_matches_sequential_rotation_finder_on_figure5() {
+        let (inst, m) = figure5_instance();
+        let t = DepthTracker::new();
+        let outcome = next_stable_matchings(&inst, &m, &t);
+        let NextStableOutcome::Next(results) = outcome else {
+            panic!("Figure 5's matching is not woman-optimal");
+        };
+        let sequential = exposed_rotations_sequential(&inst, &m);
+        assert_eq!(results.len(), sequential.len());
+        for ((rot, next), seq_rot) in results.iter().zip(sequential.iter()) {
+            assert_eq!(rot.men(), seq_rot.men());
+            assert!(inst.is_stable(next));
+            assert!(m.strictly_dominates(next, &inst));
+        }
+    }
+
+    #[test]
+    fn woman_optimal_is_detected() {
+        let (inst, _) = figure5_instance();
+        let t = DepthTracker::new();
+        let mz = inst.woman_optimal();
+        assert_eq!(next_stable_matchings(&inst, &mz, &t), NextStableOutcome::WomanOptimal);
+        assert!(next_stable_matchings(&inst, &mz, &t).matchings().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a stable matching")]
+    fn unstable_input_is_rejected() {
+        let (inst, m) = figure5_instance();
+        let t = DepthTracker::new();
+        // Swap two wives to create a (very likely) unstable matching.
+        let mut v = m.as_slice().to_vec();
+        v.swap(0, 1);
+        let bad = StableMatching::new(v);
+        if inst.is_stable(&bad) {
+            // In the unlikely event the swap stayed stable, force the panic
+            // message the test expects.
+            panic!("requires a stable matching (swap unexpectedly stable)");
+        }
+        let _ = next_stable_matchings(&inst, &bad, &t);
+    }
+
+    #[test]
+    fn lemma15_no_stable_matching_strictly_between() {
+        // On random small instances, check Lemma 15: M immediately dominates
+        // M\ρ — brute-force all stable matchings and verify none sits
+        // strictly between them.
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        for _ in 0..30 {
+            let n = 5;
+            let mut gen = || {
+                (0..n)
+                    .map(|_| {
+                        let mut l: Vec<usize> = (0..n).collect();
+                        l.shuffle(&mut rng);
+                        l
+                    })
+                    .collect::<Vec<_>>()
+            };
+            let inst = SmInstance::new(gen(), gen());
+            let all_stable = brute_force_stable(&inst);
+            let t = DepthTracker::new();
+            let m0 = inst.man_optimal();
+            if let NextStableOutcome::Next(results) = next_stable_matchings(&inst, &m0, &t) {
+                for (_, next) in results {
+                    for other in &all_stable {
+                        let strictly_between = m0.strictly_dominates(other, &inst)
+                            && other.strictly_dominates(&next, &inst);
+                        assert!(!strictly_between, "Lemma 15 violated");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_and_sequential_rotation_finders_agree_on_random_instances() {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        for n in [2usize, 4, 8, 16, 33] {
+            for _ in 0..10 {
+                let mut gen = || {
+                    (0..n)
+                        .map(|_| {
+                            let mut l: Vec<usize> = (0..n).collect();
+                            l.shuffle(&mut rng);
+                            l
+                        })
+                        .collect::<Vec<_>>()
+                };
+                let inst = SmInstance::new(gen(), gen());
+                let t = DepthTracker::new();
+                // Walk a few steps down the lattice so we test interior
+                // matchings, not just M0.
+                let mut current = inst.man_optimal();
+                loop {
+                    let seq = exposed_rotations_sequential(&inst, &current);
+                    match next_stable_matchings(&inst, &current, &t) {
+                        NextStableOutcome::WomanOptimal => {
+                            assert!(seq.is_empty(), "n={n}");
+                            break;
+                        }
+                        NextStableOutcome::Next(results) => {
+                            assert_eq!(
+                                results.iter().map(|(r, _)| r.men()).collect::<Vec<_>>(),
+                                seq.iter().map(|r| r.men()).collect::<Vec<_>>(),
+                                "n={n}"
+                            );
+                            for (rot, next) in &results {
+                                assert!(rot.is_exposed_in(&inst, &current));
+                                assert!(inst.is_stable(next));
+                            }
+                            current = results[0].1.clone();
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// All stable matchings by brute force (permutations), n ≤ 6 only.
+    fn brute_force_stable(inst: &SmInstance) -> Vec<StableMatching> {
+        fn permutations(n: usize) -> Vec<Vec<usize>> {
+            if n == 0 {
+                return vec![vec![]];
+            }
+            let mut out = Vec::new();
+            for rest in permutations(n - 1) {
+                for pos in 0..=rest.len() {
+                    let mut p = rest.clone();
+                    p.insert(pos, n - 1);
+                    out.push(p);
+                }
+            }
+            out
+        }
+        permutations(inst.n())
+            .into_iter()
+            .map(StableMatching::new)
+            .filter(|m| inst.is_stable(m))
+            .collect()
+    }
+}

@@ -1,0 +1,97 @@
+//! Housing allocation: the one-sided market the paper's introduction cites
+//! ("families to government-owned housing").
+//!
+//! A city allocates houses to families.  Each family ranks the houses it
+//! finds acceptable; houses have no preferences.  We want an allocation no
+//! majority of families would vote to replace — a popular matching — and,
+//! among those, one that houses as many families as possible
+//! (maximum-cardinality), treats scarce first choices fairly
+//! (rank-maximal / fair), and we want to know when no popular allocation
+//! exists at all.
+//!
+//! ```text
+//! cargo run --release --example housing_allocation [num_families]
+//! ```
+
+use popular_matchings::prelude::*;
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2_000);
+
+    // A realistic housing market: a few highly desirable buildings (hot
+    // posts) and longer tails; every family lists 6 acceptable houses.
+    let cfg = GeneratorConfig { num_applicants: n, num_posts: n + n / 10, list_len: 6, seed: 7 };
+    let contended = generators::clustered(&cfg, (n / 20).max(1));
+    println!(
+        "housing market: {} families, {} houses",
+        contended.num_applicants(),
+        contended.num_posts()
+    );
+
+    let tracker = DepthTracker::new();
+    let inst = match popular_matching_run(&contended, &tracker) {
+        Ok(_) => contended,
+        Err(PopularError::NoPopularMatching) => {
+            println!("no popular allocation exists in the heavily contended market:");
+            println!("  too many families chase the same few homes (see EXPERIMENTS.md, E5).");
+            println!("  The city relaxes the shortlists (distinct first choices) and retries.\n");
+            generators::last_resort_pressure(&cfg, 0.3)
+        }
+        Err(e) => panic!("unexpected error: {e}"),
+    };
+
+    match popular_matching_run(&inst, &tracker) {
+        Err(PopularError::NoPopularMatching) => {
+            println!("no popular allocation exists even in the relaxed market");
+        }
+        Err(e) => panic!("unexpected error: {e}"),
+        Ok(run) => {
+            let matching = &run.matching;
+            println!("popular allocation found:");
+            println!("  families housed (not on last resort): {}", matching.size(&inst));
+            println!("  degree-1 peeling rounds: {} (Lemma 2 bound: {})",
+                run.peel_rounds,
+                (n as f64).log2().ceil() as u32 + 1);
+
+            let max = maximum_cardinality_popular_matching_nc(&inst, &tracker).unwrap();
+            println!("  maximum-cardinality popular allocation houses: {}", max.size(&inst));
+
+            let fair = fair_popular_matching(&inst, &tracker).unwrap();
+            let rank_maximal = rank_maximal_popular_matching(&inst, &tracker).unwrap();
+            let profile_fair = Profile::of(&inst, &fair);
+            let profile_rm = Profile::of(&inst, &rank_maximal);
+            println!("  fair popular allocation profile (first 4 ranks): {:?}", &profile_fair.0[..4.min(profile_fair.0.len())]);
+            println!("  rank-maximal allocation profile (first 4 ranks): {:?}", &profile_rm.0[..4.min(profile_rm.0.len())]);
+            println!(
+                "  families with their first choice: fair = {}, rank-maximal = {}",
+                profile_fair.0[0], profile_rm.0[0]
+            );
+        }
+    }
+
+    // Compare against the sequential baseline to show both give popular
+    // allocations of identical size.
+    if let (Ok(par), Ok(seq)) = (
+        popular_matching_nc(&inst, &tracker),
+        popular_matching_sequential(&inst),
+    ) {
+        assert!(is_popular_characterization(&inst, &par));
+        assert!(is_popular_characterization(&inst, &seq));
+        println!(
+            "parallel vs sequential baseline: both popular, sizes {} / {}",
+            par.size(&inst),
+            seq.size(&inst)
+        );
+    }
+
+    let stats = tracker.stats();
+    println!(
+        "PRAM accounting over the whole run: depth = {}, work = {}, avg parallelism = {:.1}",
+        stats.depth,
+        stats.work,
+        stats.average_parallelism()
+    );
+}

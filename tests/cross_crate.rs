@@ -1,0 +1,132 @@
+//! Integration tests that exercise multiple crates together through the
+//! public facade: the ties reduction against the Hopcroft–Karp referee
+//! (E9), the pseudoforest cycle finders against each other (E7), the
+//! optimal popular matchings against Algorithm 3 (E8), and the instance
+//! text format round-trip through the full pipeline.
+
+use popular_matchings::graph::cycle::{
+    cycle_vertices_via_cc, cycle_vertices_via_closure, cycle_vertices_via_rank,
+};
+use popular_matchings::matching::hopcroft_karp::hopcroft_karp;
+use popular_matchings::popular::optimal::{
+    fair_popular_matching as fair, maximum_cardinality_via_weights,
+    rank_maximal_popular_matching as rank_maximal,
+};
+use popular_matchings::popular::ties::{
+    is_popular_rank1_brute, lemma12_holds, lemma13_holds, popular_matching_rank1, rank1_instance,
+};
+use popular_matchings::prelude::*;
+
+/// E9 — the Section V reduction: on random bipartite graphs, the rank-1
+/// popular matching oracle and Hopcroft–Karp agree on cardinality, and the
+/// lemmas hold definitionally on small graphs.
+#[test]
+fn e9_ties_reduction_against_hopcroft_karp() {
+    for seed in 0..10 {
+        let g = generators::random_bipartite(7, 6, 0.25, seed);
+        let inst = rank1_instance(&g).unwrap();
+        assert!(!inst.is_strict());
+
+        let oracle = popular_matching_rank1(&g);
+        let hk = hopcroft_karp(&g);
+        assert_eq!(oracle.size(), hk.size());
+        assert!(lemma13_holds(&g, &oracle));
+        assert!(lemma12_holds(&g, &oracle));
+        assert!(is_popular_rank1_brute(&g, &oracle));
+    }
+
+    // Larger graphs: only the cardinality agreement (brute force is
+    // exponential).
+    for seed in 0..3 {
+        let g = generators::random_bipartite(300, 280, 0.01, 100 + seed);
+        let oracle = popular_matching_rank1(&g);
+        assert_eq!(oracle.size(), hopcroft_karp(&g).size());
+    }
+}
+
+/// E7 — all four cycle finders agree on random pseudoforests, including the
+/// switching graphs produced by real popular matchings.
+#[test]
+fn e7_cycle_finders_agree() {
+    let tracker = DepthTracker::new();
+    for seed in 0..8 {
+        let fg = generators::random_functional_graph(60, 0.2, seed);
+        let reference = fg.on_cycle_sequential();
+        assert_eq!(cycle_vertices_via_closure(&fg, &tracker), reference);
+        assert_eq!(cycle_vertices_via_rank(&fg, &tracker), reference);
+        assert_eq!(cycle_vertices_via_cc(&fg, &tracker), reference);
+        assert_eq!(fg.on_cycle_parallel(&tracker), reference);
+    }
+
+    // Switching graphs of real instances are pseudoforests too.
+    let cfg = GeneratorConfig { num_applicants: 40, num_posts: 45, list_len: 4, seed: 5 };
+    let inst = generators::solvable(&cfg);
+    let run = popular_matching_run(&inst, &tracker).unwrap();
+    let sg = SwitchingGraph::build(&run.reduced, &run.matching, &tracker);
+    let fg = sg.functional_graph();
+    assert_eq!(fg.on_cycle_parallel(&tracker), fg.on_cycle_sequential());
+    let undirected = popular_matchings::graph::cycle::undirected_view(&fg);
+    assert!(undirected.is_pseudoforest());
+}
+
+/// E8 — the optimal popular matching family: weight-based maximum
+/// cardinality equals Algorithm 3, fair matchings are maximum cardinality,
+/// and rank-maximal matchings put at least as many applicants on their first
+/// choice as any other popular matching the algorithms produce.
+#[test]
+fn e8_optimal_variants_are_consistent() {
+    let tracker = DepthTracker::new();
+    for seed in 0..6 {
+        let cfg = GeneratorConfig { num_applicants: 60, num_posts: 70, list_len: 5, seed };
+        let inst = generators::last_resort_pressure(&cfg, 0.4);
+
+        let alg3 = maximum_cardinality_popular_matching_nc(&inst, &tracker).unwrap();
+        let weighted = maximum_cardinality_via_weights(&inst, &tracker).unwrap();
+        assert_eq!(alg3.size(&inst), weighted.size(&inst));
+
+        let fair_m = fair(&inst, &tracker).unwrap();
+        assert_eq!(fair_m.size(&inst), alg3.size(&inst), "fair is maximum cardinality");
+
+        let rm = rank_maximal(&inst, &tracker).unwrap();
+        let arbitrary = popular_matching_nc(&inst, &tracker).unwrap();
+        let rm_profile = Profile::of(&inst, &rm);
+        let arb_profile = Profile::of(&inst, &arbitrary);
+        assert!(rm_profile.0[0] >= arb_profile.0[0], "rank-maximal maximises first choices");
+        assert!(is_popular_characterization(&inst, &rm));
+        assert!(is_popular_characterization(&inst, &fair_m));
+    }
+}
+
+/// The plain-text instance format survives a full round trip through the
+/// solver pipeline.
+#[test]
+fn text_format_roundtrip_through_pipeline() {
+    let inst = paper::figure1_instance();
+    let text = popular_matchings::instances::io::to_text(&inst);
+    let parsed = popular_matchings::instances::io::from_text(&text).unwrap();
+    assert_eq!(inst, parsed);
+
+    let tracker = DepthTracker::new();
+    let m1 = popular_matching_nc(&inst, &tracker).unwrap();
+    let m2 = popular_matching_nc(&parsed, &tracker).unwrap();
+    assert_eq!(m1, m2);
+}
+
+/// The work/depth tracker sees polylogarithmic depth for the popular
+/// matching pipeline: doubling the instance size must not double the depth.
+#[test]
+fn depth_grows_sublinearly() {
+    let depth_for = |n: usize| {
+        let cfg = GeneratorConfig { num_applicants: n, num_posts: n + 8, list_len: 5, seed: 3 };
+        let inst = generators::solvable(&cfg);
+        let tracker = DepthTracker::new();
+        let _ = maximum_cardinality_popular_matching_nc(&inst, &tracker).unwrap();
+        tracker.stats().depth
+    };
+    let d1 = depth_for(1_000);
+    let d2 = depth_for(16_000);
+    assert!(
+        (d2 as f64) < 2.0 * d1 as f64,
+        "depth should grow logarithmically: depth(1k) = {d1}, depth(16k) = {d2}"
+    );
+}

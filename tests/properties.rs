@@ -1,0 +1,178 @@
+//! Property-based integration tests (experiments E11 and E12): structural
+//! invariants of the switching graph, popularity of every algorithm output,
+//! and agreement between the parallel algorithms and their sequential
+//! baselines, on randomly generated instances.
+
+use proptest::prelude::*;
+
+use popular_matchings::popular::algorithm1::popular_matching_run;
+use popular_matchings::popular::max_cardinality::{
+    improve_to_maximum_cardinality, maximum_cardinality_popular_matching_nc,
+};
+use popular_matchings::popular::switching::ComponentKind;
+use popular_matchings::popular::verify::{
+    enumerate_assignments, is_popular_brute_force, is_popular_characterization,
+};
+use popular_matchings::prelude::*;
+
+/// Strategy: a random strict preference instance with up to `max_a`
+/// applicants and `max_p` posts.
+fn strict_instance(max_a: usize, max_p: usize) -> impl Strategy<Value = PrefInstance> {
+    (1..=max_a, 1..=max_p).prop_flat_map(move |(n_a, n_p)| {
+        proptest::collection::vec(proptest::collection::vec(0..n_p, 1..=n_p), n_a).prop_map(
+            move |raw_lists| {
+                let lists: Vec<Vec<usize>> = raw_lists
+                    .into_iter()
+                    .map(|mut l| {
+                        // Dedup while keeping first occurrences, so the list is
+                        // a valid strict preference list.
+                        let mut seen = vec![false; n_p];
+                        l.retain(|&p| {
+                            let keep = !seen[p];
+                            seen[p] = true;
+                            keep
+                        });
+                        l
+                    })
+                    .collect();
+                PrefInstance::new_strict(n_p, lists).expect("deduped lists are valid")
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// E12 — every matching produced by Algorithm 1 is popular, both by the
+    /// Theorem 1 characterisation and by the definitional brute-force check.
+    #[test]
+    fn algorithm1_outputs_are_popular(inst in strict_instance(5, 5)) {
+        let tracker = DepthTracker::new();
+        match popular_matching_nc(&inst, &tracker) {
+            Ok(m) => {
+                prop_assert!(m.is_valid(&inst));
+                prop_assert!(is_popular_characterization(&inst, &m));
+                prop_assert!(is_popular_brute_force(&inst, &m));
+            }
+            Err(PopularError::NoPopularMatching) => {
+                // No valid assignment may be popular.
+                for cand in enumerate_assignments(&inst) {
+                    prop_assert!(!is_popular_brute_force(&inst, &cand));
+                }
+            }
+            Err(e) => prop_assert!(false, "unexpected error {e}"),
+        }
+    }
+
+    /// The parallel algorithm and the sequential baseline agree on
+    /// feasibility, and their outputs have equal size (both are popular, and
+    /// all popular matchings that Algorithm 1 produces are "arbitrary", so
+    /// only the popularity and validity are compared, plus feasibility).
+    #[test]
+    fn parallel_and_sequential_feasibility_agree(inst in strict_instance(6, 6)) {
+        let tracker = DepthTracker::new();
+        let par = popular_matching_nc(&inst, &tracker);
+        let seq = popular_matching_sequential(&inst);
+        match (par, seq) {
+            (Ok(p), Ok(s)) => {
+                prop_assert!(is_popular_characterization(&inst, &p));
+                prop_assert!(is_popular_characterization(&inst, &s));
+            }
+            (Err(PopularError::NoPopularMatching), Err(PopularError::NoPopularMatching)) => {}
+            (p, s) => prop_assert!(false, "disagreement: {p:?} vs {s:?}"),
+        }
+    }
+
+    /// E11 — switching graph structural invariants (Lemma 4): out-degree at
+    /// most one, sinks are exactly the unmatched reduced posts and are all
+    /// s-posts, and every component contains a single sink or a single cycle.
+    #[test]
+    fn switching_graph_invariants(inst in strict_instance(6, 6)) {
+        let tracker = DepthTracker::new();
+        if let Ok(run) = popular_matching_run(&inst, &tracker) {
+            let sg = SwitchingGraph::build(&run.reduced, &run.matching, &tracker);
+
+            // Sinks are unmatched s-posts.
+            for p in sg.sinks() {
+                prop_assert!(sg.is_s_post(p));
+                prop_assert!(sg.applicant_at(p).is_none());
+            }
+
+            // Each component: exactly one sink (tree) or exactly one cycle.
+            for comp in sg.components(&tracker) {
+                let sinks_inside = comp
+                    .posts
+                    .iter()
+                    .filter(|&&p| sg.successor(p).is_none())
+                    .count();
+                match comp.kind {
+                    ComponentKind::Tree { .. } => prop_assert_eq!(sinks_inside, 1),
+                    ComponentKind::Cycle(ref cycle) => {
+                        prop_assert_eq!(sinks_inside, 0);
+                        prop_assert!(cycle.len() >= 2);
+                        // The cycle is closed under successors.
+                        for (i, &p) in cycle.iter().enumerate() {
+                            let next = cycle[(i + 1) % cycle.len()];
+                            prop_assert_eq!(sg.successor(p), Some(next));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Algorithm 3 never decreases the size, its output is popular, and it
+    /// matches the brute-force maximum on small instances.
+    #[test]
+    fn algorithm3_maximises_cardinality(inst in strict_instance(5, 5)) {
+        let tracker = DepthTracker::new();
+        if let Ok(run) = popular_matching_run(&inst, &tracker) {
+            let improved = improve_to_maximum_cardinality(&run.reduced, &run.matching, &tracker);
+            prop_assert!(improved.size(&inst) >= run.matching.size(&inst));
+            prop_assert!(is_popular_characterization(&inst, &improved));
+
+            let best = enumerate_assignments(&inst)
+                .into_iter()
+                .filter(|m| is_popular_characterization(&inst, m))
+                .map(|m| m.size(&inst))
+                .max()
+                .unwrap();
+            prop_assert_eq!(improved.size(&inst), best);
+
+            let direct = maximum_cardinality_popular_matching_nc(&inst, &tracker).unwrap();
+            prop_assert_eq!(direct.size(&inst), best);
+        }
+    }
+
+    /// Algorithm 4 invariants on random stable-marriage instances: every
+    /// produced matching is stable, strictly dominated by its predecessor,
+    /// and the woman-optimal matching is the unique fixed point.
+    #[test]
+    fn algorithm4_invariants(n in 1usize..8, seed in 0u64..1000) {
+        let inst = generators::random_sm_instance(n, seed);
+        let tracker = DepthTracker::new();
+        let mut current = inst.man_optimal();
+        let mz = inst.woman_optimal();
+        let mut guard = 0;
+        loop {
+            match next_stable_matchings(&inst, &current, &tracker) {
+                NextStableOutcome::WomanOptimal => {
+                    prop_assert_eq!(&current, &mz);
+                    break;
+                }
+                NextStableOutcome::Next(results) => {
+                    prop_assert!(!results.is_empty());
+                    for (rotation, next) in &results {
+                        prop_assert!(rotation.len() >= 2);
+                        prop_assert!(inst.is_stable(next));
+                        prop_assert!(current.strictly_dominates(next, &inst));
+                    }
+                    current = results[0].1.clone();
+                }
+            }
+            guard += 1;
+            prop_assert!(guard <= n * n + 2, "lattice walk too long");
+        }
+    }
+}
