@@ -32,9 +32,11 @@ fn bench_popular_matching(c: &mut Criterion) {
                 popular_matching_nc(inst, &tracker).unwrap()
             })
         });
-        group.bench_with_input(BenchmarkId::new("sequential_baseline", n), &inst, |b, inst| {
-            b.iter(|| popular_matching_sequential(inst).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("sequential_baseline", n),
+            &inst,
+            |b, inst| b.iter(|| popular_matching_sequential(inst).unwrap()),
+        );
     }
     group.finish();
 }
@@ -58,7 +60,8 @@ fn bench_algorithm2(c: &mut Criterion) {
             },
         );
     }
-    for &n in &[50_000usize] {
+    {
+        let n = 50_000usize;
         let inst = workloads::solvable_uniform(n);
         let tracker = DepthTracker::new();
         let reduced = ReducedGraph::build_parallel(&inst, &tracker).unwrap();
@@ -76,7 +79,8 @@ fn bench_algorithm2(c: &mut Criterion) {
 /// Algorithm 1.
 fn bench_reduced_graph(c: &mut Criterion) {
     let mut group = c.benchmark_group("e5_reduced_graph");
-    for &n in &[50_000usize] {
+    {
+        let n = 50_000usize;
         let inst = workloads::solvable_uniform(n);
         group.bench_with_input(BenchmarkId::new("parallel", n), &inst, |b, inst| {
             b.iter(|| {

@@ -69,17 +69,22 @@ fn bench_cycle_finding(c: &mut Criterion) {
 /// union–find (the Theorem 8 substrate).
 fn bench_connected_components(c: &mut Criterion) {
     let mut group = c.benchmark_group("substrate_connected_components");
-    for &n in &[100_000usize] {
+    {
+        let n = 100_000usize;
         // A long path plus random chords: worst case diameter for naive label
         // propagation, easy for hooking + shortcutting.
         let mut edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
         edges.extend((0..n / 10).map(|i| (i * 7 % n, (i * 13 + 1) % n)));
-        group.bench_with_input(BenchmarkId::new("parallel_hooking", n), &edges, |b, edges| {
-            b.iter(|| {
-                let tracker = DepthTracker::new();
-                connected_components_parallel(n, edges, &tracker).count
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("parallel_hooking", n),
+            &edges,
+            |b, edges| {
+                b.iter(|| {
+                    let tracker = DepthTracker::new();
+                    connected_components_parallel(n, edges, &tracker).count
+                })
+            },
+        );
         group.bench_with_input(BenchmarkId::new("union_find", n), &edges, |b, edges| {
             b.iter(|| connected_components_union_find(n, edges).count)
         });
@@ -90,7 +95,8 @@ fn bench_connected_components(c: &mut Criterion) {
 /// PRAM primitives: prefix sums and pointer jumping.
 fn bench_primitives(c: &mut Criterion) {
     let mut group = c.benchmark_group("substrate_primitives");
-    for &n in &[1_000_000usize] {
+    {
+        let n = 1_000_000usize;
         let xs: Vec<u64> = (0..n as u64).map(|i| i % 97).collect();
         group.bench_with_input(BenchmarkId::new("prefix_sum", n), &xs, |b, xs| {
             b.iter(|| {
@@ -99,12 +105,16 @@ fn bench_primitives(c: &mut Criterion) {
             })
         });
         let parent: Vec<usize> = (0..n).map(|i| i.saturating_sub(1)).collect();
-        group.bench_with_input(BenchmarkId::new("pointer_jumping_path", n), &parent, |b, parent| {
-            b.iter(|| {
-                let tracker = DepthTracker::new();
-                pointer_jump_roots(parent, &tracker).rounds
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("pointer_jumping_path", n),
+            &parent,
+            |b, parent| {
+                b.iter(|| {
+                    let tracker = DepthTracker::new();
+                    pointer_jump_roots(parent, &tracker).rounds
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -39,9 +39,11 @@ fn bench_max_cardinality(c: &mut Criterion) {
                 })
             },
         );
-        group.bench_with_input(BenchmarkId::new("sequential_end_to_end", n), &inst, |b, inst| {
-            b.iter(|| maximum_cardinality_popular_matching_sequential(inst).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("sequential_end_to_end", n),
+            &inst,
+            |b, inst| b.iter(|| maximum_cardinality_popular_matching_sequential(inst).unwrap()),
+        );
     }
     group.finish();
 }
@@ -49,7 +51,8 @@ fn bench_max_cardinality(c: &mut Criterion) {
 /// E6 — building the switching graph and decomposing it into components.
 fn bench_switching_graph(c: &mut Criterion) {
     let mut group = c.benchmark_group("e6_switching_graph");
-    for &n in &[50_000usize] {
+    {
+        let n = 50_000usize;
         let inst = workloads::pressured(n, 0.4);
         let tracker = DepthTracker::new();
         let run = popular_matching_run(&inst, &tracker).unwrap();
@@ -60,7 +63,10 @@ fn bench_switching_graph(c: &mut Criterion) {
                 b.iter(|| {
                     let tracker = DepthTracker::new();
                     let sg = SwitchingGraph::build(reduced, matching, &tracker);
-                    (sg.components(&tracker).len(), sg.margins_to_sink(&tracker).len())
+                    (
+                        sg.components(&tracker).len(),
+                        sg.margins_to_sink(&tracker).len(),
+                    )
                 })
             },
         );

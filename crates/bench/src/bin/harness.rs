@@ -1,15 +1,15 @@
 //! The experiment harness: regenerates every table of EXPERIMENTS.md.
 //!
 //! ```text
-//! cargo run --release -p pm-bench --bin harness            # full sweep
-//! cargo run --release -p pm-bench --bin harness -- --quick # smaller sizes
+//! cargo run --release -p pm_bench --bin harness            # full sweep
+//! cargo run --release -p pm_bench --bin harness -- --quick # smaller sizes
 //! ```
 //!
 //! Output is GitHub-flavoured Markdown, one table per experiment (E1–E10),
 //! designed to be pasted directly into EXPERIMENTS.md.
 
-use pm_bench::{ms, time_best, Table};
 use pm_bench::workloads;
+use pm_bench::{ms, time_best, Table};
 
 use pm_graph::cycle::{
     cycle_vertices_via_cc, cycle_vertices_via_closure, cycle_vertices_via_rank, undirected_view,
@@ -33,7 +33,10 @@ use pm_stable::rotations::exposed_rotations_sequential;
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let threads = rayon::current_num_threads();
-    println!("<!-- harness run: {} rayon threads, quick = {quick} -->\n", threads);
+    println!(
+        "<!-- harness run: {} rayon threads, quick = {quick} -->\n",
+        threads
+    );
 
     e1_e2_paper_popular_example();
     e3_paper_stable_example();
@@ -55,7 +58,13 @@ fn e1_e2_paper_popular_example() {
 
     let mut t = Table::new(
         "E1 — Figures 1–3: reduced graph and popular matching of the paper's example",
-        &["applicant", "f(a)", "s(a)", "matched to", "paper's matching"],
+        &[
+            "applicant",
+            "f(a)",
+            "s(a)",
+            "matched to",
+            "paper's matching",
+        ],
     );
     let paper_m = paper::figure1_popular_matching();
     for a in 0..inst.num_applicants() {
@@ -85,10 +94,9 @@ fn e1_e2_paper_popular_example() {
     );
     for (i, c) in comps.iter().enumerate() {
         let (kind, starts) = match &c.kind {
-            ComponentKind::Cycle(cycle) => (
-                format!("cycle of length {}", cycle.len()),
-                "-".to_string(),
-            ),
+            ComponentKind::Cycle(cycle) => {
+                (format!("cycle of length {}", cycle.len()), "-".to_string())
+            }
             ComponentKind::Tree { sink } => {
                 let starts: Vec<String> = c
                     .posts
@@ -96,13 +104,20 @@ fn e1_e2_paper_popular_example() {
                     .filter(|&&q| q != *sink && sg.is_s_post(q))
                     .map(|&q| post(&inst, q))
                     .collect();
-                (format!("tree with sink {}", post(&inst, *sink)), starts.join(" "))
+                (
+                    format!("tree with sink {}", post(&inst, *sink)),
+                    starts.join(" "),
+                )
             }
         };
         t2.row(vec![
             format!("{}", i + 1),
             kind,
-            c.posts.iter().map(|&p| post(&inst, p)).collect::<Vec<_>>().join(" "),
+            c.posts
+                .iter()
+                .map(|&p| post(&inst, p))
+                .collect::<Vec<_>>()
+                .join(" "),
             starts,
         ]);
     }
@@ -123,7 +138,11 @@ fn e3_paper_stable_example() {
         for (i, (rot, next)) in results.iter().enumerate() {
             t.row(vec![
                 format!("rho{}", i + 1),
-                rot.men().iter().map(|m| format!("m{}", m + 1)).collect::<Vec<_>>().join(" "),
+                rot.men()
+                    .iter()
+                    .map(|m| format!("m{}", m + 1))
+                    .collect::<Vec<_>>()
+                    .join(" "),
                 (0..inst.n())
                     .map(|man| format!("m{}-w{}", man + 1, next.wife(man) + 1))
                     .collect::<Vec<_>>()
@@ -133,7 +152,10 @@ fn e3_paper_stable_example() {
     }
     t.print();
     let all = pm_stable::lattice::all_stable_matchings(&inst, &tracker);
-    println!("- the Figure 5 instance has {} stable matchings in total\n", all.len());
+    println!(
+        "- the Figure 5 instance has {} stable matchings in total\n",
+        all.len()
+    );
 }
 
 // --------------------------------------------------------------------- E4
@@ -141,7 +163,13 @@ fn e3_paper_stable_example() {
 fn e4_peel_rounds(quick: bool) {
     let mut t = Table::new(
         "E4 — Lemma 2: degree-1 peeling rounds of Algorithm 2",
-        &["workload", "n (applicants)", "peel rounds", "⌈log2 n⌉ + 1 bound", "within bound"],
+        &[
+            "workload",
+            "n (applicants)",
+            "peel rounds",
+            "⌈log2 n⌉ + 1 bound",
+            "within bound",
+        ],
     );
     let mut row = |label: &str, inst: &PrefInstance| {
         let tracker = DepthTracker::new();
@@ -156,11 +184,19 @@ fn e4_peel_rounds(quick: bool) {
             (run.peel_rounds <= bound).to_string(),
         ]);
     };
-    let uniform_sizes: Vec<usize> = if quick { vec![1_000, 16_000] } else { vec![1_024, 16_384, 262_144] };
+    let uniform_sizes: Vec<usize> = if quick {
+        vec![1_000, 16_000]
+    } else {
+        vec![1_024, 16_384, 262_144]
+    };
     for &n in &uniform_sizes {
         row("uniform (solvable)", &workloads::solvable_uniform(n));
     }
-    let depths: Vec<usize> = if quick { vec![6, 10, 14] } else { vec![6, 10, 14, 17] };
+    let depths: Vec<usize> = if quick {
+        vec![6, 10, 14]
+    } else {
+        vec![6, 10, 14, 17]
+    };
     for &d in &depths {
         row("binary-tree worst case", &workloads::peeling_tree(d));
     }
@@ -178,7 +214,16 @@ fn e5_parallel_vs_sequential(quick: bool) {
     let reps = if quick { 2 } else { 3 };
     let mut t = Table::new(
         "E5 — Theorem 3: NC popular matching vs sequential baseline (solvable uniform workload)",
-        &["n", "sequential ms", "parallel ms", "seq/par", "PRAM depth", "PRAM work", "both popular", "size"],
+        &[
+            "n",
+            "sequential ms",
+            "parallel ms",
+            "seq/par",
+            "PRAM depth",
+            "PRAM work",
+            "both popular",
+            "size",
+        ],
     );
     for &n in &sizes {
         let inst = workloads::solvable_uniform(n);
@@ -222,7 +267,11 @@ fn e5_parallel_vs_sequential(quick: bool) {
             Err(PopularError::NoPopularMatching) => "no",
             Err(_) => "error",
         };
-        t2.row(vec![inst.num_applicants().to_string(), exists.to_string(), ms(par_t)]);
+        t2.row(vec![
+            inst.num_applicants().to_string(),
+            exists.to_string(),
+            ms(par_t),
+        ]);
     }
     t2.print();
 }
@@ -230,7 +279,11 @@ fn e5_parallel_vs_sequential(quick: bool) {
 // --------------------------------------------------------------------- E6
 
 fn e6_max_cardinality(quick: bool) {
-    let sizes: Vec<usize> = if quick { vec![1_000, 8_000] } else { vec![4_000, 16_000, 64_000, 256_000] };
+    let sizes: Vec<usize> = if quick {
+        vec![1_000, 8_000]
+    } else {
+        vec![4_000, 16_000, 64_000, 256_000]
+    };
     let mut t = Table::new(
         "E6 — Theorem 10: maximum-cardinality popular matching (Algorithm 3), paired-pressure workload",
         &["n (applicants)", "minimum popular size", "Algorithm 1 size", "maximum popular size", "spread", "algorithm 3 ms", "PRAM depth"],
@@ -277,10 +330,21 @@ fn e6_max_cardinality(quick: bool) {
 // --------------------------------------------------------------------- E7
 
 fn e7_pseudoforest_cycles(quick: bool) {
-    let sizes: Vec<usize> = if quick { vec![64, 256, 1_024] } else { workloads::pseudoforest_sizes() };
+    let sizes: Vec<usize> = if quick {
+        vec![64, 256, 1_024]
+    } else {
+        workloads::pseudoforest_sizes()
+    };
     let mut t = Table::new(
         "E7 — Section IV-A: cycle finding in pseudoforests (ms)",
-        &["n", "pointer doubling", "transitive closure", "incidence rank", "component counting", "sequential"],
+        &[
+            "n",
+            "pointer doubling",
+            "transitive closure",
+            "incidence rank",
+            "component counting",
+            "sequential",
+        ],
     );
     for &n in &sizes {
         let fg = workloads::pseudoforest(n);
@@ -298,8 +362,14 @@ fn e7_pseudoforest_cycles(quick: bool) {
         assert_eq!(c, reference);
         // rank / cc methods return edge-derived vertex marks; agreement was
         // unit-tested, here we only check counts to avoid re-deriving.
-        assert_eq!(r.iter().filter(|&&b| b).count(), reference.iter().filter(|&&b| b).count());
-        assert_eq!(cc.iter().filter(|&&b| b).count(), reference.iter().filter(|&&b| b).count());
+        assert_eq!(
+            r.iter().filter(|&&b| b).count(),
+            reference.iter().filter(|&&b| b).count()
+        );
+        assert_eq!(
+            cc.iter().filter(|&&b| b).count(),
+            reference.iter().filter(|&&b| b).count()
+        );
 
         t.row(vec![
             n.to_string(),
@@ -316,10 +386,22 @@ fn e7_pseudoforest_cycles(quick: bool) {
 // --------------------------------------------------------------------- E8
 
 fn e8_optimal_variants(quick: bool) {
-    let sizes: Vec<usize> = if quick { vec![1_000, 8_000] } else { vec![4_000, 16_000, 64_000] };
+    let sizes: Vec<usize> = if quick {
+        vec![1_000, 8_000]
+    } else {
+        vec![4_000, 16_000, 64_000]
+    };
     let mut t = Table::new(
         "E8 — Section IV-E: optimal popular matchings (A1 fraction 0.4)",
-        &["n", "first choices (arbitrary)", "first choices (rank-maximal)", "last resorts (arbitrary)", "last resorts (fair)", "rank-maximal ms", "fair ms"],
+        &[
+            "n",
+            "first choices (arbitrary)",
+            "first choices (rank-maximal)",
+            "last resorts (arbitrary)",
+            "last resorts (fair)",
+            "rank-maximal ms",
+            "fair ms",
+        ],
     );
     for &n in &sizes {
         let inst = workloads::pressured(n, 0.4);
@@ -352,10 +434,20 @@ fn e8_optimal_variants(quick: bool) {
 // --------------------------------------------------------------------- E9
 
 fn e9_ties_reduction(quick: bool) {
-    let sizes: Vec<usize> = if quick { vec![1_000, 8_000] } else { vec![4_000, 16_000, 64_000, 256_000] };
+    let sizes: Vec<usize> = if quick {
+        vec![1_000, 8_000]
+    } else {
+        vec![4_000, 16_000, 64_000, 256_000]
+    };
     let mut t = Table::new(
         "E9 — Theorem 11: ties reduction vs Hopcroft–Karp (expected degree 4)",
-        &["n (per side)", "maximum matching size", "rank-1 popular oracle size", "sizes equal", "HK ms"],
+        &[
+            "n (per side)",
+            "maximum matching size",
+            "rank-1 popular oracle size",
+            "sizes equal",
+            "HK ms",
+        ],
     );
     for &n in &sizes {
         let g = workloads::bipartite(n);
@@ -375,10 +467,20 @@ fn e9_ties_reduction(quick: bool) {
 // -------------------------------------------------------------------- E10
 
 fn e10_next_stable(quick: bool) {
-    let sizes: Vec<usize> = if quick { vec![64, 256] } else { workloads::stable_sizes() };
+    let sizes: Vec<usize> = if quick {
+        vec![64, 256]
+    } else {
+        workloads::stable_sizes()
+    };
     let mut t = Table::new(
         "E10 — Theorem 16: next stable matching (Algorithm 4) at the man-optimal matching",
-        &["n", "exposed rotations", "algorithm 4 ms", "sequential finder ms", "lattice size (n ≤ 256)"],
+        &[
+            "n",
+            "exposed rotations",
+            "algorithm 4 ms",
+            "sequential finder ms",
+            "lattice size (n ≤ 256)",
+        ],
     );
     for &n in &sizes {
         let inst = workloads::stable_marriage(n);
@@ -395,7 +497,9 @@ fn e10_next_stable(quick: bool) {
         assert_eq!(rotations, seq.len());
         let lattice = if n <= 256 {
             let tracker = DepthTracker::new();
-            pm_stable::lattice::all_stable_matchings(&inst, &tracker).len().to_string()
+            pm_stable::lattice::all_stable_matchings(&inst, &tracker)
+                .len()
+                .to_string()
         } else {
             "-".to_string()
         };

@@ -57,7 +57,11 @@ pub fn connected_components_parallel(
     tracker: &DepthTracker,
 ) -> ComponentLabels {
     if n == 0 {
-        return ComponentLabels { label: Vec::new(), count: 0, rounds: 0 };
+        return ComponentLabels {
+            label: Vec::new(),
+            count: 0,
+            rounds: 0,
+        };
     }
     for &(u, v) in edges {
         assert!(u < n && v < n, "edge endpoint out of range");
@@ -113,7 +117,11 @@ pub fn connected_components_parallel(
     // minimum vertex of each component.
     debug_assert!(label.iter().all(|&l| label[l] == l));
     let count = label.iter().enumerate().filter(|&(v, &l)| v == l).count();
-    ComponentLabels { label, count, rounds }
+    ComponentLabels {
+        label,
+        count,
+        rounds,
+    }
 }
 
 /// Sequential union–find baseline with canonical (min-vertex) labels.
@@ -140,11 +148,15 @@ pub fn connected_components_union_find(n: usize, edges: &[(usize, usize)]) -> Co
     }
 
     let mut label = vec![0usize; n];
-    for v in 0..n {
-        label[v] = find(&mut parent, v);
+    for (v, l) in label.iter_mut().enumerate() {
+        *l = find(&mut parent, v);
     }
     let count = label.iter().enumerate().filter(|&(v, &l)| v == l).count();
-    ComponentLabels { label, count, rounds: 0 }
+    ComponentLabels {
+        label,
+        count,
+        rounds: 0,
+    }
 }
 
 /// Number of connected components (sequential).

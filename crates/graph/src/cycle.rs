@@ -213,7 +213,11 @@ mod tests {
             let g = FunctionalGraph::new(succ);
             let t = DepthTracker::new();
             let reference = g.on_cycle_sequential();
-            assert_eq!(cycle_vertices_via_closure(&g, &t), reference, "closure n={n}");
+            assert_eq!(
+                cycle_vertices_via_closure(&g, &t),
+                reference,
+                "closure n={n}"
+            );
             assert_eq!(cycle_vertices_via_rank(&g, &t), reference, "rank n={n}");
             assert_eq!(cycle_vertices_via_cc(&g, &t), reference, "cc n={n}");
         }

@@ -77,7 +77,11 @@ impl FunctionalGraph {
         }
         // Sinks become fixed points so iteration is total.
         let mut ptr: Vec<usize> = (0..n).map(|v| self.succ[v].unwrap_or(v)).collect();
-        let rounds = if n <= 1 { 0 } else { usize::BITS - (n - 1).leading_zeros() };
+        let rounds = if n <= 1 {
+            0
+        } else {
+            usize::BITS - (n - 1).leading_zeros()
+        };
         for _ in 0..rounds {
             tracker.round();
             tracker.work(n as u64);
@@ -263,7 +267,9 @@ mod tests {
     fn long_path_no_cycle() {
         let t = DepthTracker::new();
         let n = 50_000;
-        let succ: Vec<Option<usize>> = (0..n).map(|v| if v + 1 < n { Some(v + 1) } else { None }).collect();
+        let succ: Vec<Option<usize>> = (0..n)
+            .map(|v| if v + 1 < n { Some(v + 1) } else { None })
+            .collect();
         let g = fg(succ);
         assert!(g.on_cycle_parallel(&t).iter().all(|&b| !b));
         assert!(g.cycles_parallel(&t).is_empty());

@@ -27,6 +27,8 @@ pub mod functional;
 pub mod pseudoforest;
 
 pub use bipartite::BipartiteGraph;
-pub use connected::{connected_components_parallel, connected_components_union_find, ComponentLabels};
+pub use connected::{
+    connected_components_parallel, connected_components_union_find, ComponentLabels,
+};
 pub use functional::FunctionalGraph;
 pub use pseudoforest::UndirectedGraph;

@@ -21,7 +21,11 @@ pub struct UndirectedGraph {
 impl UndirectedGraph {
     /// Creates an empty graph on `n` vertices.
     pub fn new(n: usize) -> Self {
-        Self { n, edges: Vec::new(), adj: vec![Vec::new(); n] }
+        Self {
+            n,
+            edges: Vec::new(),
+            adj: vec![Vec::new(); n],
+        }
     }
 
     /// Builds a graph from an edge list.

@@ -33,7 +33,12 @@ pub struct GeneratorConfig {
 impl GeneratorConfig {
     /// A reasonable default: as many posts as applicants, lists of length 5.
     pub fn new(n: usize, seed: u64) -> Self {
-        Self { num_applicants: n, num_posts: n, list_len: 5, seed }
+        Self {
+            num_applicants: n,
+            num_posts: n,
+            list_len: 5,
+            seed,
+        }
     }
 
     fn clamped_len(&self) -> usize {
@@ -291,7 +296,12 @@ mod tests {
     use pm_pram::DepthTracker;
 
     fn cfg(n: usize) -> GeneratorConfig {
-        GeneratorConfig { num_applicants: n, num_posts: n, list_len: 4, seed: 42 }
+        GeneratorConfig {
+            num_applicants: n,
+            num_posts: n,
+            list_len: 4,
+            seed: 42,
+        }
     }
 
     #[test]
@@ -299,7 +309,10 @@ mod tests {
         let a = uniform_strict(&cfg(50));
         let b = uniform_strict(&cfg(50));
         assert_eq!(a, b);
-        let c = uniform_strict(&GeneratorConfig { seed: 43, ..cfg(50) });
+        let c = uniform_strict(&GeneratorConfig {
+            seed: 43,
+            ..cfg(50)
+        });
         assert_ne!(a, c);
     }
 
@@ -344,7 +357,13 @@ mod tests {
 
     #[test]
     fn last_resort_pressure_creates_a1_applicants() {
-        let inst = last_resort_pressure(&GeneratorConfig { list_len: 3, ..cfg(50) }, 0.5);
+        let inst = last_resort_pressure(
+            &GeneratorConfig {
+                list_len: 3,
+                ..cfg(50)
+            },
+            0.5,
+        );
         let g = ReducedGraph::build_sequential(&inst).unwrap();
         let a1 = (0..50).filter(|&a| g.s(a) == inst.last_resort(a)).count();
         assert!(a1 >= 20, "a1 = {a1}");

@@ -23,7 +23,12 @@ pub fn to_text(inst: &PrefInstance) -> String {
         let line = inst
             .groups(a)
             .iter()
-            .map(|g| g.iter().map(|p| p.to_string()).collect::<Vec<_>>().join(" "))
+            .map(|g| {
+                g.iter()
+                    .map(|p| p.to_string())
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            })
             .collect::<Vec<_>>()
             .join(" | ");
         out.push_str(&line);
@@ -41,9 +46,7 @@ pub fn from_text(text: &str) -> Result<PrefInstance, PopularError> {
     let num_posts: usize = header
         .strip_prefix("posts ")
         .and_then(|s| s.trim().parse().ok())
-        .ok_or_else(|| {
-            PopularError::InvalidInstance(format!("bad header line: {header:?}"))
-        })?;
+        .ok_or_else(|| PopularError::InvalidInstance(format!("bad header line: {header:?}")))?;
 
     let mut groups = Vec::new();
     for (i, line) in lines.enumerate() {
@@ -87,7 +90,12 @@ mod tests {
 
     #[test]
     fn roundtrip_generated_instances() {
-        let cfg = GeneratorConfig { num_applicants: 30, num_posts: 25, list_len: 6, seed: 1 };
+        let cfg = GeneratorConfig {
+            num_applicants: 30,
+            num_posts: 25,
+            list_len: 6,
+            seed: 1,
+        };
         for inst in [uniform_strict(&cfg), with_ties(&cfg, 3)] {
             let back = from_text(&to_text(&inst)).unwrap();
             assert_eq!(inst, back);
@@ -96,8 +104,14 @@ mod tests {
 
     #[test]
     fn parse_errors_are_reported() {
-        assert!(matches!(from_text(""), Err(PopularError::InvalidInstance(_))));
-        assert!(matches!(from_text("nonsense\n1 2"), Err(PopularError::InvalidInstance(_))));
+        assert!(matches!(
+            from_text(""),
+            Err(PopularError::InvalidInstance(_))
+        ));
+        assert!(matches!(
+            from_text("nonsense\n1 2"),
+            Err(PopularError::InvalidInstance(_))
+        ));
         assert!(matches!(
             from_text("posts 2\n0 zebra"),
             Err(PopularError::InvalidInstance(_))

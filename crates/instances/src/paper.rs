@@ -53,7 +53,7 @@ pub fn figure2_reduced_lists() -> Vec<(usize, usize)> {
 }
 
 /// The stable marriage instance of Figure 5 and the stable matching `M`
-/// marked in it (re-exported from `pm-stable`).
+/// marked in it (re-exported from `pm_stable`).
 pub fn figure5_instance() -> (SmInstance, StableMatching) {
     pm_stable::instance::figure5_instance()
 }

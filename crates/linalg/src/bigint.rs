@@ -135,7 +135,11 @@ impl BigUint {
     /// or path in the optimal-popular-matching algorithm.
     pub fn par_sum(values: &[BigUint], tracker: &DepthTracker) -> BigUint {
         let n = values.len();
-        let depth = if n <= 1 { 1 } else { (usize::BITS - (n - 1).leading_zeros()) as u64 };
+        let depth = if n <= 1 {
+            1
+        } else {
+            (usize::BITS - (n - 1).leading_zeros()) as u64
+        };
         tracker.rounds(depth);
         tracker.work(n as u64);
         values
@@ -252,7 +256,10 @@ mod tests {
     fn mul_and_pow() {
         assert_eq!(BigUint::from_u64(12).mul_u64(12).to_u64(), Some(144));
         assert_eq!(BigUint::pow_u64(2, 64).to_decimal(), "18446744073709551616");
-        assert_eq!(BigUint::pow_u64(10, 25).to_decimal(), "10000000000000000000000000");
+        assert_eq!(
+            BigUint::pow_u64(10, 25).to_decimal(),
+            "10000000000000000000000000"
+        );
         assert_eq!(BigUint::pow_u64(5, 0).to_u64(), Some(1));
         assert_eq!(BigUint::pow_u64(0, 3).to_u64(), Some(0));
     }
@@ -270,7 +277,9 @@ mod tests {
     #[test]
     fn parallel_sum_matches_sequential() {
         let t = DepthTracker::new();
-        let values: Vec<BigUint> = (0..500u64).map(|i| BigUint::pow_u64(3, (i % 20) as u32)).collect();
+        let values: Vec<BigUint> = (0..500u64)
+            .map(|i| BigUint::pow_u64(3, (i % 20) as u32))
+            .collect();
         let par = BigUint::par_sum(&values, &t);
         let seq = values.iter().fold(BigUint::zero(), |acc, v| acc.add(v));
         assert_eq!(par, seq);
@@ -290,6 +299,9 @@ mod tests {
     fn decimal_of_simple_values() {
         assert_eq!(BigUint::zero().to_decimal(), "0");
         assert_eq!(BigUint::from_u64(42).to_decimal(), "42");
-        assert_eq!(BigUint::from_u64(u64::MAX).to_decimal(), "18446744073709551615");
+        assert_eq!(
+            BigUint::from_u64(u64::MAX).to_decimal(),
+            "18446744073709551615"
+        );
     }
 }

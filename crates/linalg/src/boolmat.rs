@@ -22,7 +22,11 @@ impl BoolMatrix {
     /// Creates the `n × n` all-zero matrix.
     pub fn zero(n: usize) -> Self {
         let words_per_row = n.div_ceil(64);
-        Self { n, words_per_row, rows: vec![0; n * words_per_row] }
+        Self {
+            n,
+            words_per_row,
+            rows: vec![0; n * words_per_row],
+        }
     }
 
     /// Creates the `n × n` identity matrix.
@@ -99,7 +103,11 @@ impl BoolMatrix {
         assert_eq!(self.n, other.n, "dimension mismatch");
         let n = self.n;
         let wpr = self.words_per_row;
-        let depth = if n <= 1 { 1 } else { (usize::BITS - (n - 1).leading_zeros()) as u64 };
+        let depth = if n <= 1 {
+            1
+        } else {
+            (usize::BITS - (n - 1).leading_zeros()) as u64
+        };
         tracker.rounds(depth);
         tracker.work((n as u64) * (n as u64) * (wpr as u64).max(1));
 
@@ -162,6 +170,7 @@ impl BoolMatrix {
 mod tests {
     use super::*;
 
+    #[allow(clippy::needless_range_loop)] // triple index loop is the clearest Floyd-Warshall
     fn naive_closure(n: usize, edges: &[(usize, usize)]) -> Vec<Vec<bool>> {
         // Floyd–Warshall style strict closure.
         let mut reach = vec![vec![false; n]; n];
@@ -222,9 +231,9 @@ mod tests {
         let a = BoolMatrix::from_edges(5, &edges);
         let closure = a.strict_transitive_closure(&t);
         let naive = naive_closure(5, &edges);
-        for i in 0..5 {
-            for j in 0..5 {
-                assert_eq!(closure.get(i, j), naive[i][j], "({i},{j})");
+        for (i, naive_row) in naive.iter().enumerate() {
+            for (j, &expected) in naive_row.iter().enumerate() {
+                assert_eq!(closure.get(i, j), expected, "({i},{j})");
             }
         }
         // Cycle membership test from the paper: i on a cycle iff G*(i, i).
@@ -249,9 +258,9 @@ mod tests {
             let a = BoolMatrix::from_edges(n, &edges);
             let closure = a.strict_transitive_closure(&t);
             let naive = naive_closure(n, &edges);
-            for i in 0..n {
-                for j in 0..n {
-                    assert_eq!(closure.get(i, j), naive[i][j], "n={n} ({i},{j})");
+            for (i, naive_row) in naive.iter().enumerate() {
+                for (j, &expected) in naive_row.iter().enumerate() {
+                    assert_eq!(closure.get(i, j), expected, "n={n} ({i},{j})");
                 }
             }
         }

@@ -24,7 +24,12 @@ impl Gf2Matrix {
     /// Creates the `rows × cols` zero matrix.
     pub fn zero(rows: usize, cols: usize) -> Self {
         let words_per_row = cols.div_ceil(64).max(1);
-        Self { rows, cols, words_per_row, data: vec![0; rows * words_per_row] }
+        Self {
+            rows,
+            cols,
+            words_per_row,
+            data: vec![0; rows * words_per_row],
+        }
     }
 
     /// Builds a matrix from a predicate.
@@ -208,7 +213,7 @@ mod tests {
         // Lemma 6: rank(I_G) = n - cc(G).
         let cases: Vec<(usize, Vec<(usize, usize)>)> = vec![
             (5, vec![(0, 1), (1, 2), (3, 4)]),
-            (4, vec![(0, 1), (1, 2), (2, 0)]),                   // triangle + isolated
+            (4, vec![(0, 1), (1, 2), (2, 0)]), // triangle + isolated
             (6, vec![(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]), // two triangles
             (3, vec![]),
             (7, vec![(0, 1), (1, 2), (2, 3), (3, 0), (0, 2), (4, 5)]),

@@ -32,7 +32,12 @@ impl GfpMatrix {
     pub fn zero(rows: usize, cols: usize, p: u64) -> Self {
         assert!(p >= 2, "modulus must be at least 2");
         assert!(p < (1 << 32), "modulus must fit in 32 bits");
-        Self { rows, cols, p, data: vec![0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            p,
+            data: vec![0; rows * cols],
+        }
     }
 
     /// Creates the zero matrix over GF(2³¹ − 1).
@@ -41,7 +46,12 @@ impl GfpMatrix {
     }
 
     /// Builds a matrix from signed integer entries (reduced mod p).
-    pub fn from_fn(rows: usize, cols: usize, p: u64, mut f: impl FnMut(usize, usize) -> i64) -> Self {
+    pub fn from_fn(
+        rows: usize,
+        cols: usize,
+        p: u64,
+        mut f: impl FnMut(usize, usize) -> i64,
+    ) -> Self {
         let mut m = Self::zero(rows, cols, p);
         for i in 0..rows {
             for j in 0..cols {

@@ -13,7 +13,7 @@
 //!    [`gf2`] and [`gfp`] provide the rank oracles.  (We substitute Gaussian
 //!    elimination for Mulmuley's NC rank algorithm — the *value* of the rank
 //!    is identical, see DESIGN.md.)
-//! 3. **Connected components** (Theorem 8) — implemented in `pm-graph`.
+//! 3. **Connected components** (Theorem 8) — implemented in `pm_graph`.
 //!
 //! Section IV-E needs weights as large as `n₁^(n₂+1)` (Õ(n) bits) for the
 //! rank-maximal and fair popular matching reductions; [`bigint`] provides the

@@ -5,7 +5,7 @@
 //! precisely the CC-complete obstacle (Mayr–Subramanian) the paper recalls.
 //! This sequential routine supplies that starting matching (man-optimal `M₀`
 //! or woman-optimal `M_z`) and the stability checker used throughout the
-//! `pm-stable` tests.
+//! `pm_stable` tests.
 
 /// Runs man-proposing deferred acceptance and returns `matching[m] = w`.
 ///
@@ -75,11 +75,7 @@ pub fn gale_shapley_woman_optimal(
 
 /// True iff `matching` (as `matching[m] = w`) is stable: no man and woman
 /// prefer each other to their assigned partners (Definition 5).
-pub fn is_stable(
-    men_prefs: &[Vec<usize>],
-    women_prefs: &[Vec<usize>],
-    matching: &[usize],
-) -> bool {
+pub fn is_stable(men_prefs: &[Vec<usize>], women_prefs: &[Vec<usize>], matching: &[usize]) -> bool {
     let n = men_prefs.len();
     if matching.len() != n {
         return false;
@@ -128,7 +124,10 @@ fn validate_prefs(prefs: &[Vec<usize>], n: usize) {
         assert_eq!(list.len(), n, "preference list of {p} has wrong length");
         let mut seen = vec![false; n];
         for &q in list {
-            assert!(q < n && !seen[q], "preference list of {p} is not a permutation");
+            assert!(
+                q < n && !seen[q],
+                "preference list of {p} is not a permutation"
+            );
             seen[q] = true;
         }
     }
@@ -182,12 +181,22 @@ mod tests {
     fn detects_unstable_matching() {
         let (men, women) = classic_instance();
         // Find a perfect matching that is not stable by brute force.
-        let perms = [[0, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]];
+        let perms = [
+            [0, 1, 2],
+            [0, 2, 1],
+            [1, 0, 2],
+            [1, 2, 0],
+            [2, 0, 1],
+            [2, 1, 0],
+        ];
         let unstable: Vec<_> = perms
             .iter()
             .filter(|p| !is_stable(&men, &women, &p[..]))
             .collect();
-        assert!(!unstable.is_empty(), "this instance has unstable permutations");
+        assert!(
+            !unstable.is_empty(),
+            "this instance has unstable permutations"
+        );
     }
 
     #[test]
@@ -222,7 +231,10 @@ mod tests {
             // Man-optimality: every man weakly prefers M0 to Mz.
             let men_rank = rank_matrix(&men);
             for man in 0..n {
-                assert!(men_rank[man][m0[man]] <= men_rank[man][mz[man]], "n={n} man={man}");
+                assert!(
+                    men_rank[man][m0[man]] <= men_rank[man][mz[man]],
+                    "n={n} man={man}"
+                );
             }
         }
     }

@@ -30,4 +30,6 @@ pub use gale_shapley::{gale_shapley_man_optimal, gale_shapley_woman_optimal, is_
 pub use hopcroft_karp::hopcroft_karp;
 pub use matching::Matching;
 pub use regular::regular_perfect_matching;
-pub use two_regular::{two_regular_perfect_matching_parallel, two_regular_perfect_matching_sequential};
+pub use two_regular::{
+    two_regular_perfect_matching_parallel, two_regular_perfect_matching_sequential,
+};

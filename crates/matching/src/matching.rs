@@ -48,8 +48,14 @@ impl Matching {
     /// # Panics
     /// Panics if either endpoint is already matched or out of range.
     pub fn add(&mut self, l: usize, r: usize) {
-        assert!(self.left_to_right[l].is_none(), "left vertex {l} already matched");
-        assert!(self.right_to_left[r].is_none(), "right vertex {r} already matched");
+        assert!(
+            self.left_to_right[l].is_none(),
+            "left vertex {l} already matched"
+        );
+        assert!(
+            self.right_to_left[r].is_none(),
+            "right vertex {r} already matched"
+        );
         self.left_to_right[l] = Some(r);
         self.right_to_left[r] = Some(l);
     }

@@ -22,7 +22,11 @@ use crate::two_regular::two_regular_perfect_matching_parallel;
 /// side sizes, otherwise `None`.
 pub fn regularity(g: &BipartiteGraph) -> Option<usize> {
     if g.n_left() != g.n_right() || g.n_left() == 0 {
-        return if g.n_left() == g.n_right() { Some(0) } else { None };
+        return if g.n_left() == g.n_right() {
+            Some(0)
+        } else {
+            None
+        };
     }
     let d = g.degree_left(0);
     let ok = (0..g.n_left()).all(|l| g.degree_left(l) == d)
@@ -42,7 +46,10 @@ pub fn regular_perfect_matching(g: &BipartiteGraph, tracker: &DepthTracker) -> M
         return Matching::empty(0, 0);
     }
     assert!(d > 0, "0-regular non-empty graph has no perfect matching");
-    assert!(d.is_power_of_two(), "degree must be a power of two (got {d})");
+    assert!(
+        d.is_power_of_two(),
+        "degree must be a power of two (got {d})"
+    );
 
     let mut edges = g.edges();
     let mut degree = d;

@@ -34,7 +34,10 @@ pub fn two_regular_perfect_matching_parallel(
     g: &BipartiteGraph,
     tracker: &DepthTracker,
 ) -> Matching {
-    assert!(is_two_regular(g), "graph must be 2-regular with equal sides");
+    assert!(
+        is_two_regular(g),
+        "graph must be 2-regular with equal sides"
+    );
     let n = g.n_left();
     if n == 0 {
         return Matching::empty(0, 0);
@@ -116,7 +119,10 @@ pub fn two_regular_perfect_matching_parallel(
 /// # Panics
 /// Panics if `g` is not 2-regular with `n_left == n_right`.
 pub fn two_regular_perfect_matching_sequential(g: &BipartiteGraph) -> Matching {
-    assert!(is_two_regular(g), "graph must be 2-regular with equal sides");
+    assert!(
+        is_two_regular(g),
+        "graph must be 2-regular with equal sides"
+    );
     let n = g.n_left();
     let mut m = Matching::empty(n, n);
     let mut visited = vec![false; n];

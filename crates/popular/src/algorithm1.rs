@@ -37,14 +37,20 @@ pub fn popular_matching_run(
     tracker: &DepthTracker,
 ) -> Result<PopularMatchingRun, PopularError> {
     let reduced = ReducedGraph::build_parallel(inst, tracker)?;
-    let Algorithm2Outcome { assignment, peel_rounds } =
-        applicant_complete_matching(&reduced, tracker);
+    let Algorithm2Outcome {
+        assignment,
+        peel_rounds,
+    } = applicant_complete_matching(&reduced, tracker);
     let Some(mut matching) = assignment else {
         return Err(PopularError::NoPopularMatching);
     };
 
     promote_unmatched_f_posts(&reduced, &mut matching, tracker);
-    Ok(PopularMatchingRun { reduced, matching, peel_rounds })
+    Ok(PopularMatchingRun {
+        reduced,
+        matching,
+        peel_rounds,
+    })
 }
 
 /// Runs Algorithm 1 and returns just the popular matching.
@@ -149,14 +155,20 @@ mod tests {
         // style counterexample): no popular matching exists.
         let inst = PrefInstance::new_strict(3, vec![vec![0, 2], vec![0, 2], vec![0, 2]]).unwrap();
         let t = DepthTracker::new();
-        assert_eq!(popular_matching_nc(&inst, &t), Err(PopularError::NoPopularMatching));
+        assert_eq!(
+            popular_matching_nc(&inst, &t),
+            Err(PopularError::NoPopularMatching)
+        );
     }
 
     #[test]
     fn ties_rejected() {
         let tied = PrefInstance::new_with_ties(2, vec![vec![vec![0, 1]]]).unwrap();
         let t = DepthTracker::new();
-        assert_eq!(popular_matching_nc(&tied, &t), Err(PopularError::TiesNotSupported));
+        assert_eq!(
+            popular_matching_nc(&tied, &t),
+            Err(PopularError::TiesNotSupported)
+        );
     }
 
     #[test]
@@ -206,6 +218,9 @@ mod tests {
                 Err(e) => panic!("unexpected error: {e}"),
             }
         }
-        assert!(found > 50, "expected plenty of solvable instances, got {found}");
+        assert!(
+            found > 50,
+            "expected plenty of solvable instances, got {found}"
+        );
     }
 }

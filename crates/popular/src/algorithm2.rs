@@ -40,16 +40,16 @@ pub struct Algorithm2Outcome {
 }
 
 /// Runs Algorithm 2 on a reduced graph.
-pub fn applicant_complete_matching(
-    g: &ReducedGraph,
-    tracker: &DepthTracker,
-) -> Algorithm2Outcome {
+pub fn applicant_complete_matching(g: &ReducedGraph, tracker: &DepthTracker) -> Algorithm2Outcome {
     let n_a = g.num_applicants();
     let n_p = g.total_posts();
     tracker.phase();
 
     if n_a == 0 {
-        return Algorithm2Outcome { assignment: Some(Assignment::new(Vec::new())), peel_rounds: 0 };
+        return Algorithm2Outcome {
+            assignment: Some(Assignment::new(Vec::new())),
+            peel_rounds: 0,
+        };
     }
 
     // Static adjacency of the reduced graph: post -> incident applicants.
@@ -144,11 +144,12 @@ pub fn applicant_complete_matching(
         // the smaller post id is chosen as v0 (the "consider the path once"
         // rule of the paper).
         let mut newly_matched: Vec<(usize, usize)> = Vec::new();
-        for a in 0..n_a {
-            if !alive_applicant[a] {
+        for (a, &a_alive) in alive_applicant.iter().enumerate() {
+            if !a_alive {
                 continue;
             }
-            for (arc_ap, arc_pa, p) in [(4 * a, 4 * a + 1, g.f(a)), (4 * a + 2, 4 * a + 3, g.s(a))] {
+            for (arc_ap, arc_pa, p) in [(4 * a, 4 * a + 1, g.f(a)), (4 * a + 2, 4 * a + 3, g.s(a))]
+            {
                 if !alive_post[p] {
                     continue;
                 }
@@ -160,7 +161,11 @@ pub fn applicant_complete_matching(
                     (None, Some(_)) => false,
                     (None, None) => continue,
                 };
-                let dist = if use_forward { jump.dist[arc_ap] } else { jump.dist[arc_pa] };
+                let dist = if use_forward {
+                    jump.dist[arc_ap]
+                } else {
+                    jump.dist[arc_pa]
+                };
                 if dist % 2 == 0 && use_forward {
                     // Even distance and the arc is applicant -> post: the post
                     // side is nearer the endpoint, so applicant a takes post p.
@@ -183,7 +188,10 @@ pub fn applicant_complete_matching(
 
         // Apply the matches and delete matched vertices.
         for &(a, p) in &newly_matched {
-            debug_assert!(matched[a].is_none(), "applicant {a} matched twice in one round");
+            debug_assert!(
+                matched[a].is_none(),
+                "applicant {a} matched twice in one round"
+            );
             debug_assert!(alive_post[p]);
             matched[a] = Some(p);
         }
@@ -217,7 +225,10 @@ pub fn applicant_complete_matching(
     tracker.work((alive_as.len() + alive_ps.len()) as u64);
 
     if alive_ps.len() < alive_as.len() {
-        return Algorithm2Outcome { assignment: None, peel_rounds };
+        return Algorithm2Outcome {
+            assignment: None,
+            peel_rounds,
+        };
     }
 
     if !alive_as.is_empty() {
@@ -247,7 +258,10 @@ pub fn applicant_complete_matching(
             .map(|m| m.expect("all applicants matched"))
             .collect(),
     );
-    Algorithm2Outcome { assignment: Some(assignment), peel_rounds }
+    Algorithm2Outcome {
+        assignment: Some(assignment),
+        peel_rounds,
+    }
 }
 
 #[cfg(test)]
@@ -275,7 +289,10 @@ mod tests {
     fn check_applicant_complete(g: &ReducedGraph, m: &Assignment) {
         for a in 0..g.num_applicants() {
             let p = m.post(a);
-            assert!(p == g.f(a) || p == g.s(a), "applicant {a} not matched to f or s");
+            assert!(
+                p == g.f(a) || p == g.s(a),
+                "applicant {a} not matched to f or s"
+            );
         }
         // No post used twice.
         let mut used = vec![false; g.total_posts()];
@@ -304,7 +321,9 @@ mod tests {
         let t = DepthTracker::new();
         let g = ReducedGraph::build_parallel(&inst, &t).unwrap();
         let out = applicant_complete_matching(&g, &t);
-        let m = out.assignment.expect("the paper example has a popular matching");
+        let m = out
+            .assignment
+            .expect("the paper example has a popular matching");
         check_applicant_complete(&g, &m);
 
         // Peeled pairs reported in the paper (0-indexed): a8->p9, a6->p6, a7->p8, a5->p5.
@@ -423,7 +442,9 @@ mod tests {
             let t = DepthTracker::new();
             let g = ReducedGraph::build_parallel(&inst, &t).unwrap();
             let out = applicant_complete_matching(&g, &t);
-            let m = out.assignment.expect("instances with distinct f-posts are solvable");
+            let m = out
+                .assignment
+                .expect("instances with distinct f-posts are solvable");
             check_applicant_complete(&g, &m);
             let bound = (n as f64).log2().ceil() as u32 + 1;
             assert!(

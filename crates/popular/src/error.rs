@@ -24,7 +24,10 @@ impl fmt::Display for PopularError {
             PopularError::NoPopularMatching => write!(f, "the instance admits no popular matching"),
             PopularError::InvalidInstance(msg) => write!(f, "invalid instance: {msg}"),
             PopularError::TiesNotSupported => {
-                write!(f, "this algorithm requires strictly-ordered preference lists")
+                write!(
+                    f,
+                    "this algorithm requires strictly-ordered preference lists"
+                )
             }
         }
     }
@@ -38,9 +41,15 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(PopularError::NoPopularMatching.to_string().contains("no popular matching"));
-        assert!(PopularError::InvalidInstance("bad".into()).to_string().contains("bad"));
-        assert!(PopularError::TiesNotSupported.to_string().contains("strictly-ordered"));
+        assert!(PopularError::NoPopularMatching
+            .to_string()
+            .contains("no popular matching"));
+        assert!(PopularError::InvalidInstance("bad".into())
+            .to_string()
+            .contains("bad"));
+        assert!(PopularError::TiesNotSupported
+            .to_string()
+            .contains("strictly-ordered"));
     }
 
     #[test]

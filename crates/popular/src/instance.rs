@@ -71,7 +71,10 @@ impl PrefInstance {
                 }
             }
         }
-        Ok(Self { num_posts, prefs: groups })
+        Ok(Self {
+            num_posts,
+            prefs: groups,
+        })
     }
 
     /// Number of applicants `|A|`.
@@ -102,7 +105,9 @@ impl PrefInstance {
 
     /// True iff no preference list contains a tie.
     pub fn is_strict(&self) -> bool {
-        self.prefs.iter().all(|list| list.iter().all(|g| g.len() == 1))
+        self.prefs
+            .iter()
+            .all(|list| list.iter().all(|g| g.len() == 1))
     }
 
     /// Applicant `a`'s ranked tie groups (real posts only; the implicit last
@@ -130,9 +135,7 @@ impl PrefInstance {
         if self.is_last_resort(post) {
             return None; // another applicant's last resort
         }
-        self.prefs[a]
-            .iter()
-            .position(|group| group.contains(&post))
+        self.prefs[a].iter().position(|group| group.contains(&post))
     }
 
     /// True iff applicant `a` strictly prefers extended post `p` to
@@ -182,7 +185,11 @@ impl Assignment {
 
     /// The assignment in which every applicant takes their last resort.
     pub fn all_last_resort(inst: &PrefInstance) -> Self {
-        Self::new((0..inst.num_applicants()).map(|a| inst.last_resort(a)).collect())
+        Self::new(
+            (0..inst.num_applicants())
+                .map(|a| inst.last_resort(a))
+                .collect(),
+        )
     }
 
     /// Number of applicants.

@@ -71,7 +71,11 @@ pub fn maximum_cardinality_popular_matching_nc(
     tracker: &DepthTracker,
 ) -> Result<Assignment, PopularError> {
     let run = popular_matching_run(inst, tracker)?;
-    Ok(improve_to_maximum_cardinality(&run.reduced, &run.matching, tracker))
+    Ok(improve_to_maximum_cardinality(
+        &run.reduced,
+        &run.matching,
+        tracker,
+    ))
 }
 
 /// Sequential baseline for Algorithm 3: identical component logic but every
@@ -190,7 +194,9 @@ mod tests {
         for _ in 0..50 {
             let inst = random_instance(&mut rng, 5, 5);
             let t = DepthTracker::new();
-            let Ok(run) = popular_matching_run(&inst, &t) else { continue };
+            let Ok(run) = popular_matching_run(&inst, &t) else {
+                continue;
+            };
             let sg = SwitchingGraph::build(&run.reduced, &run.matching, &t);
             for comp in sg.components(&t) {
                 if let ComponentKind::Cycle(cycle) = comp.kind {

@@ -134,7 +134,9 @@ where
                     if q == *sink || !sg.is_s_post(q) || sg.successor(q).is_none() {
                         continue;
                     }
-                    let sw = suffix_switch[q].clone().expect("tree vertex has suffix sums");
+                    let sw = suffix_switch[q]
+                        .clone()
+                        .expect("tree vertex has suffix sums");
                     let st = suffix_stay[q].clone().expect("tree vertex has suffix sums");
                     let is_better = match &best {
                         None => true,
@@ -240,7 +242,12 @@ pub fn fair_popular_matching(
     inst: &PrefInstance,
     tracker: &DepthTracker,
 ) -> Result<Assignment, PopularError> {
-    optimal_popular_matching(inst, |a, p| fair_weight(inst, a, p), Objective::Minimize, tracker)
+    optimal_popular_matching(
+        inst,
+        |a, p| fair_weight(inst, a, p),
+        Objective::Minimize,
+        tracker,
+    )
 }
 
 /// Maximum-cardinality popular matching expressed as a weight problem
@@ -303,7 +310,9 @@ mod tests {
         for _ in 0..150 {
             let inst = random_instance(&mut rng, 5, 4);
             let t = DepthTracker::new();
-            let Ok(rm) = rank_maximal_popular_matching(&inst, &t) else { continue };
+            let Ok(rm) = rank_maximal_popular_matching(&inst, &t) else {
+                continue;
+            };
             assert!(is_popular_characterization(&inst, &rm));
             let best = popular_matchings(&inst)
                 .iter()
@@ -328,7 +337,9 @@ mod tests {
         for _ in 0..150 {
             let inst = random_instance(&mut rng, 5, 4);
             let t = DepthTracker::new();
-            let Ok(fair) = fair_popular_matching(&inst, &t) else { continue };
+            let Ok(fair) = fair_popular_matching(&inst, &t) else {
+                continue;
+            };
             assert!(is_popular_characterization(&inst, &fair));
             let best = popular_matchings(&inst)
                 .iter()
@@ -389,7 +400,11 @@ mod tests {
                 .map(|m| total_weight(&inst, m, w))
                 .max()
                 .unwrap();
-            assert_eq!(total_weight(&inst, &opt, w), best, "weight mismatch for {inst:?}");
+            assert_eq!(
+                total_weight(&inst, &opt, w),
+                best,
+                "weight mismatch for {inst:?}"
+            );
             checked += 1;
         }
         assert!(checked > 30);
@@ -401,7 +416,9 @@ mod tests {
         // Better ranks get strictly larger rank-maximal weights …
         assert!(rank_maximal_weight(&inst, 0, 0) > rank_maximal_weight(&inst, 0, 1));
         assert!(rank_maximal_weight(&inst, 0, 1) > rank_maximal_weight(&inst, 0, 2));
-        assert!(rank_maximal_weight(&inst, 0, 2) > rank_maximal_weight(&inst, 0, inst.last_resort(0)));
+        assert!(
+            rank_maximal_weight(&inst, 0, 2) > rank_maximal_weight(&inst, 0, inst.last_resort(0))
+        );
         // … and strictly smaller fair weights.
         assert!(fair_weight(&inst, 0, 0) < fair_weight(&inst, 0, 1));
         assert!(fair_weight(&inst, 0, 2) < fair_weight(&inst, 0, inst.last_resort(0)));
@@ -416,6 +433,9 @@ mod tests {
             rank_maximal_popular_matching(&infeasible, &t),
             Err(PopularError::NoPopularMatching)
         );
-        assert_eq!(fair_popular_matching(&infeasible, &t), Err(PopularError::NoPopularMatching));
+        assert_eq!(
+            fair_popular_matching(&infeasible, &t),
+            Err(PopularError::NoPopularMatching)
+        );
     }
 }

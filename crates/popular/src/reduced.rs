@@ -55,7 +55,10 @@ impl ReducedGraph {
         tracker.round();
         tracker.work(n_a as u64);
         let f: Vec<usize> = if n_a >= SEQUENTIAL_CUTOFF {
-            (0..n_a).into_par_iter().map(|a| inst.groups(a)[0][0]).collect()
+            (0..n_a)
+                .into_par_iter()
+                .map(|a| inst.groups(a)[0][0])
+                .collect()
         } else {
             (0..n_a).map(|a| inst.groups(a)[0][0]).collect()
         };
@@ -86,7 +89,13 @@ impl ReducedGraph {
             (0..n_a).map(find_s).collect()
         };
 
-        Ok(Self { num_applicants: n_a, num_posts: n_p, f, s, is_f_post })
+        Ok(Self {
+            num_applicants: n_a,
+            num_posts: n_p,
+            f,
+            s,
+            is_f_post,
+        })
     }
 
     /// Sequential construction of `G'` (the validation baseline).
@@ -153,7 +162,9 @@ impl ReducedGraph {
 
     /// The f-posts, in increasing id order.
     pub fn f_posts(&self) -> Vec<usize> {
-        (0..self.total_posts()).filter(|&p| self.is_f_post[p]).collect()
+        (0..self.total_posts())
+            .filter(|&p| self.is_f_post[p])
+            .collect()
     }
 
     /// The s-posts (distinct values of `s(a)`), in increasing id order.
@@ -167,7 +178,9 @@ impl ReducedGraph {
 
     /// `f⁻¹(p)`: the applicants whose first choice is `p`.
     pub fn f_inverse(&self, p: usize) -> Vec<usize> {
-        (0..self.num_applicants).filter(|&a| self.f[a] == p).collect()
+        (0..self.num_applicants)
+            .filter(|&a| self.f[a] == p)
+            .collect()
     }
 
     /// True iff extended post `p` occurs in the reduced graph (as some

@@ -91,7 +91,11 @@ impl SwitchingGraph {
                 m == reduced.f(a) || m == reduced.s(a),
                 "switching graph requires a Theorem 1 matching"
             );
-            let other = if m == reduced.f(a) { reduced.s(a) } else { reduced.f(a) };
+            let other = if m == reduced.f(a) {
+                reduced.s(a)
+            } else {
+                reduced.f(a)
+            };
             debug_assert!(succ[m].is_none(), "post {m} matched to two applicants");
             succ[m] = Some(other);
             out_applicant[m] = Some(a);
@@ -280,10 +284,20 @@ impl SwitchingGraph {
             })
             .collect();
         let mut acc: Vec<i64> = (0..n)
-            .map(|p| if !on_cycle[p] && self.succ[p].is_some() { self.edge_margin(p) } else { 0 })
+            .map(|p| {
+                if !on_cycle[p] && self.succ[p].is_some() {
+                    self.edge_margin(p)
+                } else {
+                    0
+                }
+            })
             .collect();
 
-        let rounds = if n <= 1 { 0 } else { usize::BITS - (n - 1).leading_zeros() };
+        let rounds = if n <= 1 {
+            0
+        } else {
+            usize::BITS - (n - 1).leading_zeros()
+        };
         for _ in 0..rounds {
             tracker.round();
             tracker.work(n as u64);
@@ -462,8 +476,11 @@ mod tests {
                     assert!(c.posts.iter().all(|&p| sg.successor(p).is_some()));
                 }
                 ComponentKind::Tree { sink } => {
-                    let sink_count =
-                        c.posts.iter().filter(|&&p| sg.successor(p).is_none()).count();
+                    let sink_count = c
+                        .posts
+                        .iter()
+                        .filter(|&&p| sg.successor(p).is_none())
+                        .count();
                     assert_eq!(sink_count, 1);
                     assert!(sg.successor(*sink).is_none());
                 }
@@ -544,12 +561,14 @@ mod tests {
                 .collect();
             let inst = PrefInstance::new_strict(n_p, lists).unwrap();
             let t = DepthTracker::new();
-            let Ok(run) = crate::algorithm1::popular_matching_run(&inst, &t) else { continue };
+            let Ok(run) = crate::algorithm1::popular_matching_run(&inst, &t) else {
+                continue;
+            };
             let sg = SwitchingGraph::build(&run.reduced, &run.matching, &t);
             let doubled = sg.margins_to_sink(&t);
-            for q in 0..run.reduced.total_posts() {
+            for (q, &margin) in doubled.iter().enumerate() {
                 if let Some(expected) = sg.path_margin(q) {
-                    assert_eq!(doubled[q], expected, "margin mismatch at post {q}");
+                    assert_eq!(margin, expected, "margin mismatch at post {q}");
                 }
             }
         }
@@ -575,7 +594,9 @@ mod tests {
                 .collect();
             let inst = PrefInstance::new_strict(n_p, lists).unwrap();
             let t = DepthTracker::new();
-            let Ok(run) = crate::algorithm1::popular_matching_run(&inst, &t) else { continue };
+            let Ok(run) = crate::algorithm1::popular_matching_run(&inst, &t) else {
+                continue;
+            };
             let sg = SwitchingGraph::build(&run.reduced, &run.matching, &t);
 
             // All matchings produced by Theorem 9 moves...
@@ -595,7 +616,10 @@ mod tests {
                 .collect();
             brute.sort_unstable();
 
-            assert_eq!(generated, brute, "Theorem 9 enumeration mismatch for {inst:?}");
+            assert_eq!(
+                generated, brute,
+                "Theorem 9 enumeration mismatch for {inst:?}"
+            );
 
             // And every generated matching is genuinely popular.
             for m in sg.enumerate_popular_matchings(&run.matching, &t) {

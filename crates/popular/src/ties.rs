@@ -73,12 +73,10 @@ pub fn compare_rank1(m1: &Matching, m2: &Matching) -> (usize, usize) {
 /// enumerates every matching of `g` and verifies none is more popular than
 /// `m`.  Exponential — intended for graphs with at most ~8 left vertices.
 pub fn is_popular_rank1_brute(g: &BipartiteGraph, m: &Matching) -> bool {
-    enumerate_matchings(g)
-        .iter()
-        .all(|other| {
-            let (o, s) = compare_rank1(other, m);
-            o <= s
-        })
+    enumerate_matchings(g).iter().all(|other| {
+        let (o, s) = compare_rank1(other, m);
+        o <= s
+    })
 }
 
 /// Lemma 12 check: a popular matching of the rank-1 instance must be a
@@ -166,7 +164,10 @@ mod tests {
     #[test]
     fn reduction_rejects_isolated_applicants() {
         let g = BipartiteGraph::new(2, 2);
-        assert!(matches!(rank1_instance(&g), Err(PopularError::InvalidInstance(_))));
+        assert!(matches!(
+            rank1_instance(&g),
+            Err(PopularError::InvalidInstance(_))
+        ));
     }
 
     #[test]

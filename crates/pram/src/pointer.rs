@@ -35,7 +35,7 @@ pub struct PointerJumpResult {
 /// unresolved after `⌈log₂ n⌉` rounds).  In release builds a cyclic input
 /// yields pointers that still sit on their cycle, with `dist` equal to the
 /// number of hops performed; callers that may hand in functional graphs with
-/// cycles should use the cycle-detection routines in `pm-graph` instead.
+/// cycles should use the cycle-detection routines in `pm_graph` instead.
 pub fn pointer_jump_roots(parent: &[usize], tracker: &DepthTracker) -> PointerJumpResult {
     let n = parent.len();
     assert!(
@@ -49,7 +49,11 @@ pub fn pointer_jump_roots(parent: &[usize], tracker: &DepthTracker) -> PointerJu
         .map(|(v, &p)| u64::from(p != v))
         .collect();
 
-    let max_rounds = if n <= 1 { 0 } else { usize::BITS - (n - 1).leading_zeros() };
+    let max_rounds = if n <= 1 {
+        0
+    } else {
+        usize::BITS - (n - 1).leading_zeros()
+    };
     let mut rounds = 0u32;
     for _ in 0..max_rounds {
         rounds += 1;
@@ -76,7 +80,11 @@ pub fn pointer_jump_roots(parent: &[usize], tracker: &DepthTracker) -> PointerJu
         "pointer jumping did not converge on an acyclic input"
     );
 
-    PointerJumpResult { root: ptr, dist, rounds }
+    PointerJumpResult {
+        root: ptr,
+        dist,
+        rounds,
+    }
 }
 
 /// One synchronous pointer-doubling step for vertex `v`:

@@ -12,7 +12,11 @@ use crate::tracker::DepthTracker;
 use crate::SEQUENTIAL_CUTOFF;
 
 fn charge(n: usize, tracker: &DepthTracker) {
-    let depth = if n <= 1 { 1 } else { (usize::BITS - (n - 1).leading_zeros()) as u64 };
+    let depth = if n <= 1 {
+        1
+    } else {
+        (usize::BITS - (n - 1).leading_zeros()) as u64
+    };
     tracker.rounds(depth.max(1));
     tracker.work(n as u64);
 }
@@ -65,7 +69,7 @@ pub fn par_argmin<T: Ord + Copy + Send + Sync>(xs: &[T], tracker: &DepthTracker)
         xs.par_iter()
             .copied()
             .enumerate()
-            .reduce_with(|a, b| better(a, b))
+            .reduce_with(&better)
             .map(|(i, _)| i)
     } else {
         xs.iter()
@@ -99,7 +103,7 @@ pub fn par_argmax<T: Ord + Copy + Send + Sync>(xs: &[T], tracker: &DepthTracker)
         xs.par_iter()
             .copied()
             .enumerate()
-            .reduce_with(|a, b| better(a, b))
+            .reduce_with(&better)
             .map(|(i, _)| i)
     } else {
         xs.iter()

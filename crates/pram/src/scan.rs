@@ -90,12 +90,7 @@ where
 }
 
 /// Generic inclusive prefix scan: `out[i] = op(x[0], ..., x[i])`.
-pub fn prefix_scan_inclusive<T, F>(
-    xs: &[T],
-    identity: T,
-    op: F,
-    tracker: &DepthTracker,
-) -> Vec<T>
+pub fn prefix_scan_inclusive<T, F>(xs: &[T], identity: T, op: F, tracker: &DepthTracker) -> Vec<T>
 where
     T: Clone + Send + Sync,
     F: Fn(&T, &T) -> T + Send + Sync,
@@ -124,7 +119,10 @@ pub fn prefix_sum_inclusive(xs: &[u64], tracker: &DepthTracker) -> Vec<u64> {
 pub fn offsets_from_counts(counts: &[usize], tracker: &DepthTracker) -> (Vec<usize>, usize) {
     let as64: Vec<u64> = counts.iter().map(|&c| c as u64).collect();
     let (pref, total) = prefix_sum_exclusive(&as64, tracker);
-    (pref.into_iter().map(|x| x as usize).collect(), total as usize)
+    (
+        pref.into_iter().map(|x| x as usize).collect(),
+        total as usize,
+    )
 }
 
 fn sequential_exclusive<T, F>(xs: &[T], identity: T, op: &F) -> (Vec<T>, T)

@@ -4,7 +4,7 @@
 //! round every processor reads shared memory as it was at the start of the
 //! round, computes, and writes.  [`RoundScheduler`] packages that pattern —
 //! double-buffered state plus automatic depth accounting — so the algorithm
-//! crates (`pm-popular`, `pm-stable`, `pm-graph`) can express their loops
+//! crates (`pm_popular`, `pm_stable`, `pm_graph`) can express their loops
 //! declaratively and the benchmark harness can read the realised round
 //! counts straight off the tracker.
 
@@ -32,7 +32,13 @@ impl<'a, S: Clone> RoundScheduler<'a, S> {
     /// converge (a bug) and [`step`](RoundScheduler::step) will panic.
     pub fn new(initial: S, max_rounds: u64, tracker: &'a DepthTracker) -> Self {
         let scratch = initial.clone();
-        Self { current: initial, scratch, tracker, rounds: 0, max_rounds }
+        Self {
+            current: initial,
+            scratch,
+            tracker,
+            rounds: 0,
+            max_rounds,
+        }
     }
 
     /// Executes one synchronous round.  `f` receives the state at the start

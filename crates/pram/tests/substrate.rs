@@ -1,0 +1,270 @@
+//! Substrate-level tests for the PRAM primitives: every primitive is checked
+//! against its obvious sequential counterpart on seeded random inputs, and
+//! the `DepthTracker` round counts are confirmed to grow logarithmically —
+//! the empirical form of the paper's NC depth claims.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use pm_pram::compact::{compact_indices, compact_with};
+use pm_pram::pointer::{list_rank, pointer_jump_roots};
+use pm_pram::reduce::{par_argmax, par_argmin, par_max, par_min, par_sum};
+use pm_pram::scan::{prefix_scan_exclusive, prefix_sum_exclusive, prefix_sum_inclusive};
+use pm_pram::tracker::DepthTracker;
+
+/// Sizes spanning both sides of `SEQUENTIAL_CUTOFF` (2048), so both the
+/// sequential fallback and the blocked parallel path are exercised.
+const SIZES: [usize; 6] = [1, 100, 2047, 2048, 40_000, 130_000];
+
+fn random_vec(rng: &mut StdRng, n: usize, modulus: u64) -> Vec<u64> {
+    (0..n).map(|_| rng.random_range(0..modulus)).collect()
+}
+
+// ---------------------------------------------------------------- scans ----
+
+#[test]
+fn prefix_sums_match_sequential_fold() {
+    let mut rng = StdRng::seed_from_u64(0x5CA7);
+    for n in SIZES {
+        let xs = random_vec(&mut rng, n, 1 << 20);
+        let tracker = DepthTracker::new();
+        let (exclusive, total) = prefix_sum_exclusive(&xs, &tracker);
+        let inclusive = prefix_sum_inclusive(&xs, &tracker);
+
+        let mut acc = 0u64;
+        for i in 0..n {
+            assert_eq!(exclusive[i], acc, "exclusive prefix {i} of {n}");
+            acc += xs[i];
+            assert_eq!(inclusive[i], acc, "inclusive prefix {i} of {n}");
+        }
+        assert_eq!(total, acc, "total of {n}");
+    }
+}
+
+#[test]
+fn generic_scan_respects_order_of_non_commutative_ops() {
+    // 2x2 matrix product mod a small prime: associative, non-commutative.
+    type M = [u64; 4];
+    const P: u64 = 10_007;
+    let mul = |a: &M, b: &M| -> M {
+        [
+            (a[0] * b[0] + a[1] * b[2]) % P,
+            (a[0] * b[1] + a[1] * b[3]) % P,
+            (a[2] * b[0] + a[3] * b[2]) % P,
+            (a[2] * b[1] + a[3] * b[3]) % P,
+        ]
+    };
+    let identity: M = [1, 0, 0, 1];
+
+    let mut rng = StdRng::seed_from_u64(0x3A7);
+    for n in [5usize, 2048, 10_000] {
+        let xs: Vec<M> = (0..n)
+            .map(|_| std::array::from_fn(|_| rng.random_range(0..P)))
+            .collect();
+        let tracker = DepthTracker::new();
+        let (scanned, total) = prefix_scan_exclusive(&xs, identity, mul, &tracker);
+        let mut acc = identity;
+        for i in 0..n {
+            assert_eq!(scanned[i], acc, "prefix {i} of {n}");
+            acc = mul(&acc, &xs[i]);
+        }
+        assert_eq!(total, acc);
+    }
+}
+
+#[test]
+fn scan_depth_is_constant_rounds_regardless_of_size() {
+    // The blocked scan is two parallel rounds however large the input gets:
+    // depth must not grow with n (that is what makes it a PRAM primitive).
+    let mut depths = Vec::new();
+    for n in [4096usize, 65_536, 1_048_576] {
+        let xs = vec![1u64; n];
+        let tracker = DepthTracker::new();
+        let _ = prefix_sum_exclusive(&xs, &tracker);
+        depths.push(tracker.stats().depth);
+    }
+    assert!(
+        depths.windows(2).all(|w| w[0] == w[1]),
+        "scan depth grew with input size: {depths:?}"
+    );
+}
+
+// ------------------------------------------------------- pointer jumping ----
+
+fn naive_root_dist(parent: &[usize]) -> (Vec<usize>, Vec<u64>) {
+    let n = parent.len();
+    let mut root = vec![0usize; n];
+    let mut dist = vec![0u64; n];
+    for v in 0..n {
+        let (mut u, mut d) = (v, 0u64);
+        while parent[u] != u {
+            u = parent[u];
+            d += 1;
+            assert!((d as usize) <= n, "cycle in generated forest");
+        }
+        root[v] = u;
+        dist[v] = d;
+    }
+    (root, dist)
+}
+
+/// A random rooted pseudoforest in parent-pointer form: a functional graph
+/// whose every cycle is a self-loop (the fixed points are the roots).  Built
+/// by sampling a random parent for every vertex under a random relabelling,
+/// so trees of all shapes (chains, stars, bushy trees) occur.
+fn random_rooted_pseudoforest(rng: &mut StdRng, n: usize) -> Vec<usize> {
+    use rand::seq::SliceRandom;
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(rng);
+    // rank_of[v] = position of v in the random order; each vertex picks its
+    // parent among vertices of strictly smaller rank (or is a root).
+    let mut rank_of = vec![0usize; n];
+    for (r, &v) in order.iter().enumerate() {
+        rank_of[v] = r;
+    }
+    (0..n)
+        .map(|v| {
+            let r = rank_of[v];
+            if r == 0 || rng.random_range(0..5) == 0 {
+                v // root: self-loop
+            } else {
+                order[rng.random_range(0..r)]
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn pointer_jumping_matches_naive_on_random_pseudoforests() {
+    let mut rng = StdRng::seed_from_u64(0xF0857);
+    for n in SIZES {
+        let parent = random_rooted_pseudoforest(&mut rng, n);
+        let tracker = DepthTracker::new();
+        let result = pointer_jump_roots(&parent, &tracker);
+        let (root, dist) = naive_root_dist(&parent);
+        assert_eq!(result.root, root, "roots for n = {n}");
+        assert_eq!(result.dist, dist, "distances for n = {n}");
+        // Every reported root really is a fixed point.
+        assert!(result.root.iter().all(|&r| parent[r] == r));
+    }
+}
+
+#[test]
+fn pointer_jumping_rounds_are_logarithmic() {
+    // Worst case (a single path) at geometrically growing sizes: the round
+    // count must track ceil(log2 n), i.e. grow by ~1 per doubling, never
+    // linearly.
+    let mut prev_rounds = 0u32;
+    for k in [10u32, 12, 14, 16, 17] {
+        let n = 1usize << k;
+        let parent: Vec<usize> = (0..n).map(|i| i.saturating_sub(1)).collect();
+        let tracker = DepthTracker::new();
+        let result = pointer_jump_roots(&parent, &tracker);
+        assert_eq!(result.root, vec![0; n]);
+        // Exactly the doubling bound: ceil(log2 n) rounds suffice.
+        assert!(
+            result.rounds <= k,
+            "path of 2^{k} vertices took {} rounds, doubling bound is {k}",
+            result.rounds
+        );
+        assert!(
+            result.rounds >= prev_rounds,
+            "rounds should be monotone in n"
+        );
+        prev_rounds = result.rounds;
+        // The tracker sees the same logarithmic depth.
+        assert!(tracker.stats().depth <= u64::from(k));
+    }
+}
+
+#[test]
+fn list_rank_matches_naive_on_random_lists() {
+    use rand::seq::SliceRandom;
+    let mut rng = StdRng::seed_from_u64(0x115);
+    for n in [1usize, 17, 2048, 30_000] {
+        // A random permutation cut into random segments gives disjoint lists
+        // covering all n elements.
+        let mut perm: Vec<usize> = (0..n).collect();
+        perm.shuffle(&mut rng);
+        let mut succ: Vec<Option<usize>> = vec![None; n];
+        for w in perm.windows(2) {
+            if rng.random_range(0..4) > 0 {
+                succ[w[0]] = Some(w[1]);
+            }
+        }
+        let tracker = DepthTracker::new();
+        let ranks = list_rank(&succ, &tracker);
+        for (v, &rank) in ranks.iter().enumerate() {
+            let (mut u, mut d) = (v, 0u64);
+            while let Some(s) = succ[u] {
+                u = s;
+                d += 1;
+            }
+            assert_eq!(rank, d, "rank of {v} for n = {n}");
+        }
+    }
+}
+
+// ------------------------------------------------------------ compaction ----
+
+#[test]
+fn compaction_matches_sequential_filter() {
+    let mut rng = StdRng::seed_from_u64(0xC0A7);
+    for n in SIZES {
+        let keep: Vec<bool> = (0..n).map(|_| rng.random_range(0..3) != 0).collect();
+        let tracker = DepthTracker::new();
+        let indices = compact_indices(n, |i| keep[i], &tracker);
+        let expected: Vec<usize> = (0..n).filter(|&i| keep[i]).collect();
+        assert_eq!(indices, expected, "indices for n = {n}");
+
+        let values: Vec<u64> = random_vec(&mut rng, n, 1000);
+        let survivors = compact_with(&values, |&v| v % 2 == 0, &tracker);
+        let expected: Vec<u64> = values.iter().copied().filter(|&v| v % 2 == 0).collect();
+        assert_eq!(survivors, expected, "values for n = {n}");
+    }
+}
+
+// ------------------------------------------------------------ reductions ----
+
+#[test]
+fn reductions_match_sequential_folds() {
+    let mut rng = StdRng::seed_from_u64(0x2ED);
+    for n in SIZES {
+        let xs = random_vec(&mut rng, n, 1 << 30);
+        let tracker = DepthTracker::new();
+        assert_eq!(
+            par_sum(&xs, &tracker),
+            xs.iter().sum::<u64>(),
+            "sum for n = {n}"
+        );
+        assert_eq!(
+            par_min(&xs, &tracker),
+            xs.iter().copied().min(),
+            "min for n = {n}"
+        );
+        assert_eq!(
+            par_max(&xs, &tracker),
+            xs.iter().copied().max(),
+            "max for n = {n}"
+        );
+
+        let argmin = par_argmin(&xs, &tracker).unwrap();
+        let argmax = par_argmax(&xs, &tracker).unwrap();
+        // Value-correct and first-occurrence tie-breaking, as documented.
+        assert_eq!(xs[argmin], xs.iter().copied().min().unwrap());
+        assert_eq!(argmin, xs.iter().position(|&x| x == xs[argmin]).unwrap());
+        assert_eq!(xs[argmax], xs.iter().copied().max().unwrap());
+        assert_eq!(argmax, xs.iter().position(|&x| x == xs[argmax]).unwrap());
+    }
+}
+
+#[test]
+fn reduction_depth_is_charged_logarithmically() {
+    // par_sum charges ceil(log2 n) rounds: doubling n adds exactly one.
+    for k in [8u64, 9, 10, 16] {
+        let xs = vec![1u64; 1 << k];
+        let tracker = DepthTracker::new();
+        let _ = par_sum(&xs, &tracker);
+        assert_eq!(tracker.stats().depth, k, "depth for n = 2^{k}");
+    }
+}

@@ -44,7 +44,12 @@ impl SmInstance {
         }
         let men_rank = rank_matrix(&men_prefs);
         let women_rank = rank_matrix(&women_prefs);
-        Self { men_prefs, women_prefs, men_rank, women_rank }
+        Self {
+            men_prefs,
+            women_prefs,
+            men_rank,
+            women_rank,
+        }
     }
 
     /// Number of men (= number of women).
@@ -109,7 +114,10 @@ impl SmInstance {
 
     /// The woman-optimal stable matching `M_z` (women proposing).
     pub fn woman_optimal(&self) -> StableMatching {
-        StableMatching::new(gale_shapley_woman_optimal(&self.men_prefs, &self.women_prefs))
+        StableMatching::new(gale_shapley_woman_optimal(
+            &self.men_prefs,
+            &self.women_prefs,
+        ))
     }
 
     /// True iff `matching` is stable for this instance (Definition 5).
@@ -213,7 +221,10 @@ mod tests {
     #[test]
     fn figure5_matching_is_stable() {
         let (inst, m) = figure5_instance();
-        assert!(inst.is_stable(&m), "the matching underlined in Figure 5 must be stable");
+        assert!(
+            inst.is_stable(&m),
+            "the matching underlined in Figure 5 must be stable"
+        );
     }
 
     #[test]

@@ -111,14 +111,17 @@ pub fn next_stable_matchings(
     matching: &StableMatching,
     tracker: &DepthTracker,
 ) -> NextStableOutcome {
-    assert!(inst.is_stable(matching), "Algorithm 4 requires a stable matching as input");
+    assert!(
+        inst.is_stable(matching),
+        "Algorithm 4 requires a stable matching as input"
+    );
     let reduced = reduced_men_lists(inst, matching, tracker);
     let husbands = matching.husbands();
 
     // The first entry of every reduced list must be p_M(m) (as argued in the
     // paper: anything above it would be a blocking pair).
-    for m in 0..inst.n() {
-        debug_assert_eq!(reduced[m][0], matching.wife(m));
+    for (m, list) in reduced.iter().enumerate() {
+        debug_assert_eq!(list[0], matching.wife(m));
     }
 
     tracker.round();
@@ -164,14 +167,14 @@ mod tests {
         let reduced = reduced_men_lists(&inst, &m, &t);
         // Figure 6 (0-indexed women):
         let expected: Vec<Vec<usize>> = vec![
-            vec![7, 2],             // m1: w8 w3
-            vec![2, 5],             // m2: w3 w6
-            vec![4, 0, 5, 1],       // m3: w5 w1 w6 w2
-            vec![5, 7, 4],          // m4: w6 w8 w5
-            vec![6, 1, 0, 2, 5],    // m5: w7 w2 w1 w3 w6
-            vec![0, 4, 1, 2],       // m6: w1 w5 w2 w3
-            vec![1, 4, 6, 7, 0],    // m7: w2 w5 w7 w8 w1
-            vec![3, 1, 5],          // m8: w4 w2 w6
+            vec![7, 2],          // m1: w8 w3
+            vec![2, 5],          // m2: w3 w6
+            vec![4, 0, 5, 1],    // m3: w5 w1 w6 w2
+            vec![5, 7, 4],       // m4: w6 w8 w5
+            vec![6, 1, 0, 2, 5], // m5: w7 w2 w1 w3 w6
+            vec![0, 4, 1, 2],    // m6: w1 w5 w2 w3
+            vec![1, 4, 6, 7, 0], // m7: w2 w5 w7 w8 w1
+            vec![3, 1, 5],       // m8: w4 w2 w6
         ];
         assert_eq!(reduced, expected);
     }
@@ -219,7 +222,10 @@ mod tests {
         let (inst, _) = figure5_instance();
         let t = DepthTracker::new();
         let mz = inst.woman_optimal();
-        assert_eq!(next_stable_matchings(&inst, &mz, &t), NextStableOutcome::WomanOptimal);
+        assert_eq!(
+            next_stable_matchings(&inst, &mz, &t),
+            NextStableOutcome::WomanOptimal
+        );
         assert!(next_stable_matchings(&inst, &mz, &t).matchings().is_empty());
     }
 

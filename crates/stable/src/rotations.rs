@@ -88,10 +88,7 @@ pub fn next_m(inst: &SmInstance, matching: &StableMatching, m: usize) -> Option<
 /// sequential method: build the successor function `m → next_M(m)` and walk
 /// it to extract its cycles.  This is the baseline Algorithm 4 is compared
 /// against in experiment E10.
-pub fn exposed_rotations_sequential(
-    inst: &SmInstance,
-    matching: &StableMatching,
-) -> Vec<Rotation> {
+pub fn exposed_rotations_sequential(inst: &SmInstance, matching: &StableMatching) -> Vec<Rotation> {
     let n = inst.n();
     let succ: Vec<Option<usize>> = (0..n).map(|m| next_m(inst, matching, m)).collect();
 
@@ -218,7 +215,10 @@ mod tests {
         let mut steps = 0;
         while current != mz {
             let rs = exposed_rotations_sequential(&inst, &current);
-            assert!(!rs.is_empty(), "non-woman-optimal matching must expose a rotation");
+            assert!(
+                !rs.is_empty(),
+                "non-woman-optimal matching must expose a rotation"
+            );
             current = rs[0].eliminate(&current);
             assert!(inst.is_stable(&current));
             steps += 1;
@@ -236,9 +236,13 @@ mod tests {
     #[test]
     fn non_exposed_rotation_is_rejected() {
         let (inst, m) = figure5_instance();
-        let bogus = Rotation { pairs: vec![(0, m.wife(0)), (4, m.wife(4))] };
+        let bogus = Rotation {
+            pairs: vec![(0, m.wife(0)), (4, m.wife(4))],
+        };
         assert!(!bogus.is_exposed_in(&inst, &m));
-        let too_short = Rotation { pairs: vec![(0, m.wife(0))] };
+        let too_short = Rotation {
+            pairs: vec![(0, m.wife(0))],
+        };
         assert!(!too_short.is_exposed_in(&inst, &m));
         assert!(!too_short.is_empty());
         assert_eq!(too_short.len(), 1);

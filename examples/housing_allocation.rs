@@ -23,7 +23,12 @@ fn main() {
 
     // A realistic housing market: a few highly desirable buildings (hot
     // posts) and longer tails; every family lists 6 acceptable houses.
-    let cfg = GeneratorConfig { num_applicants: n, num_posts: n + n / 10, list_len: 6, seed: 7 };
+    let cfg = GeneratorConfig {
+        num_applicants: n,
+        num_posts: n + n / 10,
+        list_len: 6,
+        seed: 7,
+    };
     let contended = generators::clustered(&cfg, (n / 20).max(1));
     println!(
         "housing market: {} families, {} houses",
@@ -51,20 +56,34 @@ fn main() {
         Ok(run) => {
             let matching = &run.matching;
             println!("popular allocation found:");
-            println!("  families housed (not on last resort): {}", matching.size(&inst));
-            println!("  degree-1 peeling rounds: {} (Lemma 2 bound: {})",
+            println!(
+                "  families housed (not on last resort): {}",
+                matching.size(&inst)
+            );
+            println!(
+                "  degree-1 peeling rounds: {} (Lemma 2 bound: {})",
                 run.peel_rounds,
-                (n as f64).log2().ceil() as u32 + 1);
+                (n as f64).log2().ceil() as u32 + 1
+            );
 
             let max = maximum_cardinality_popular_matching_nc(&inst, &tracker).unwrap();
-            println!("  maximum-cardinality popular allocation houses: {}", max.size(&inst));
+            println!(
+                "  maximum-cardinality popular allocation houses: {}",
+                max.size(&inst)
+            );
 
             let fair = fair_popular_matching(&inst, &tracker).unwrap();
             let rank_maximal = rank_maximal_popular_matching(&inst, &tracker).unwrap();
             let profile_fair = Profile::of(&inst, &fair);
             let profile_rm = Profile::of(&inst, &rank_maximal);
-            println!("  fair popular allocation profile (first 4 ranks): {:?}", &profile_fair.0[..4.min(profile_fair.0.len())]);
-            println!("  rank-maximal allocation profile (first 4 ranks): {:?}", &profile_rm.0[..4.min(profile_rm.0.len())]);
+            println!(
+                "  fair popular allocation profile (first 4 ranks): {:?}",
+                &profile_fair.0[..4.min(profile_fair.0.len())]
+            );
+            println!(
+                "  rank-maximal allocation profile (first 4 ranks): {:?}",
+                &profile_rm.0[..4.min(profile_rm.0.len())]
+            );
             println!(
                 "  families with their first choice: fair = {}, rank-maximal = {}",
                 profile_fair.0[0], profile_rm.0[0]

@@ -8,20 +8,38 @@
 //! cargo run --example quickstart
 //! ```
 
-use popular_matchings::prelude::*;
 use popular_matchings::popular::switching::ComponentKind;
+use popular_matchings::prelude::*;
 
 fn main() {
     let inst = paper::figure1_instance();
-    println!("Figure 1 instance: {} applicants, {} posts", inst.num_applicants(), inst.num_posts());
+    println!(
+        "Figure 1 instance: {} applicants, {} posts",
+        inst.num_applicants(),
+        inst.num_posts()
+    );
 
     // Algorithm 1 ------------------------------------------------------
     let tracker = DepthTracker::new();
     let run = popular_matching_run(&inst, &tracker).expect("Figure 1 admits a popular matching");
 
     println!("\nReduced graph (Figure 2):");
-    println!("  f-posts: {:?}", run.reduced.f_posts().iter().map(|p| format!("p{}", p + 1)).collect::<Vec<_>>());
-    println!("  s-posts: {:?}", run.reduced.s_posts().iter().map(|p| post_name(&inst, *p)).collect::<Vec<_>>());
+    println!(
+        "  f-posts: {:?}",
+        run.reduced
+            .f_posts()
+            .iter()
+            .map(|p| format!("p{}", p + 1))
+            .collect::<Vec<_>>()
+    );
+    println!(
+        "  s-posts: {:?}",
+        run.reduced
+            .s_posts()
+            .iter()
+            .map(|p| post_name(&inst, *p))
+            .collect::<Vec<_>>()
+    );
     for a in 0..inst.num_applicants() {
         println!(
             "  a{}: f = p{}, s = {}",
@@ -31,7 +49,10 @@ fn main() {
         );
     }
 
-    println!("\nPopular matching found by Algorithm 1 (peel rounds = {}):", run.peel_rounds);
+    println!(
+        "\nPopular matching found by Algorithm 1 (peel rounds = {}):",
+        run.peel_rounds
+    );
     for a in 0..inst.num_applicants() {
         println!("  a{} -> {}", a + 1, post_name(&inst, run.matching.post(a)));
     }
@@ -46,7 +67,10 @@ fn main() {
         match &c.kind {
             ComponentKind::Cycle(cycle) => println!(
                 "  cycle component on {:?}",
-                cycle.iter().map(|p| post_name(&inst, *p)).collect::<Vec<_>>()
+                cycle
+                    .iter()
+                    .map(|p| post_name(&inst, *p))
+                    .collect::<Vec<_>>()
             ),
             ComponentKind::Tree { sink } => println!(
                 "  tree component with sink {} ({} posts)",
@@ -58,7 +82,10 @@ fn main() {
 
     // Algorithm 3 ------------------------------------------------------
     let max = maximum_cardinality_popular_matching_nc(&inst, &tracker).unwrap();
-    println!("\nMaximum-cardinality popular matching has size {}", max.size(&inst));
+    println!(
+        "\nMaximum-cardinality popular matching has size {}",
+        max.size(&inst)
+    );
 
     let stats = tracker.stats();
     println!(

@@ -19,7 +19,10 @@ fn main() {
     let tracker = DepthTracker::new();
 
     println!("Figure 5 instance (8 men, 8 women)");
-    println!("stable matching M from the figure: {:?}", pretty(&figure5_m));
+    println!(
+        "stable matching M from the figure: {:?}",
+        pretty(&figure5_m)
+    );
 
     match next_stable_matchings(&inst, &figure5_m, &tracker) {
         NextStableOutcome::WomanOptimal => println!("M is woman-optimal (unexpected!)"),
@@ -28,7 +31,11 @@ fn main() {
             for (rotation, next) in &results {
                 println!(
                     "  rotation on men {:?}  =>  M\\rho = {:?}",
-                    rotation.men().iter().map(|m| format!("m{}", m + 1)).collect::<Vec<_>>(),
+                    rotation
+                        .men()
+                        .iter()
+                        .map(|m| format!("m{}", m + 1))
+                        .collect::<Vec<_>>(),
                     pretty(next)
                 );
             }
@@ -54,7 +61,9 @@ fn main() {
 }
 
 fn pretty(m: &StableMatching) -> Vec<String> {
-    (0..m.n()).map(|man| format!("m{}-w{}", man + 1, m.wife(man) + 1)).collect()
+    (0..m.n())
+        .map(|man| format!("m{}-w{}", man + 1, m.wife(man) + 1))
+        .collect()
 }
 
 fn annotate(inst: &SmInstance, m: &StableMatching) -> &'static str {

@@ -1,0 +1,277 @@
+//! Sequential drop-in stand-in for the subset of [rayon] this workspace uses.
+//!
+//! The build environment has no network access to crates.io, so the real
+//! rayon cannot be vendored.  This crate mirrors the rayon API surface the
+//! workspace calls (`par_iter`, `par_iter_mut`, `par_chunks`,
+//! `par_chunks_mut`, `into_par_iter`, the usual combinators, and
+//! [`current_num_threads`]) and executes everything sequentially.  Results
+//! are bit-for-bit identical to a one-thread rayon pool; only wall-clock
+//! parallelism is lost.  Swapping in the real rayon is a one-line
+//! `Cargo.toml` change — no source edits are required.
+//!
+//! [rayon]: https://docs.rs/rayon
+
+/// The combinators and conversion traits, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParIter, ParallelSlice, ParallelSliceMut};
+}
+
+/// Number of worker threads in the (virtual) pool.  Always 1: this shim
+/// executes everything on the calling thread.
+pub fn current_num_threads() -> usize {
+    1
+}
+
+/// A "parallel" iterator: a thin wrapper over a sequential [`Iterator`]
+/// exposing rayon's method names (notably rayon's two-argument
+/// [`reduce`](ParIter::reduce), which differs from `Iterator::reduce`).
+pub struct ParIter<I>(I);
+
+/// Types convertible into a [`ParIter`]; mirrors
+/// `rayon::iter::IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    /// Element type of the resulting iterator.
+    type Item;
+    /// Underlying sequential iterator type.
+    type SeqIter: Iterator<Item = Self::Item>;
+    /// Convert `self` into a (sequentially executed) parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::SeqIter>;
+}
+
+impl<I: Iterator> IntoParallelIterator for ParIter<I> {
+    type Item = I::Item;
+    type SeqIter = I;
+    fn into_par_iter(self) -> ParIter<I> {
+        self
+    }
+}
+
+impl<T> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type SeqIter = std::vec::IntoIter<T>;
+    fn into_par_iter(self) -> ParIter<Self::SeqIter> {
+        ParIter(self.into_iter())
+    }
+}
+
+impl<T> IntoParallelIterator for std::ops::Range<T>
+where
+    std::ops::Range<T>: Iterator<Item = T>,
+{
+    type Item = T;
+    type SeqIter = std::ops::Range<T>;
+    fn into_par_iter(self) -> ParIter<Self::SeqIter> {
+        ParIter(self)
+    }
+}
+
+impl<'a, T> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    type SeqIter = std::slice::Iter<'a, T>;
+    fn into_par_iter(self) -> ParIter<Self::SeqIter> {
+        ParIter(self.iter())
+    }
+}
+
+impl<'a, T> IntoParallelIterator for &'a mut [T] {
+    type Item = &'a mut T;
+    type SeqIter = std::slice::IterMut<'a, T>;
+    fn into_par_iter(self) -> ParIter<Self::SeqIter> {
+        ParIter(self.iter_mut())
+    }
+}
+
+/// `par_iter` / `par_chunks` on slices; mirrors `rayon::slice::ParallelSlice`
+/// plus the by-reference iterator entry points.
+pub trait ParallelSlice<T> {
+    /// Parallel iterator over shared references.
+    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>>;
+    /// Parallel iterator over non-overlapping chunks of length `size`.
+    fn par_chunks(&self, size: usize) -> ParIter<std::slice::Chunks<'_, T>>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>> {
+        ParIter(self.iter())
+    }
+    fn par_chunks(&self, size: usize) -> ParIter<std::slice::Chunks<'_, T>> {
+        ParIter(self.chunks(size))
+    }
+}
+
+/// `par_iter_mut` / `par_chunks_mut` on slices; mirrors
+/// `rayon::slice::ParallelSliceMut`.
+pub trait ParallelSliceMut<T> {
+    /// Parallel iterator over exclusive references.
+    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>>;
+    /// Parallel iterator over non-overlapping mutable chunks of length `size`.
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<std::slice::ChunksMut<'_, T>>;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>> {
+        ParIter(self.iter_mut())
+    }
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<std::slice::ChunksMut<'_, T>> {
+        ParIter(self.chunks_mut(size))
+    }
+}
+
+impl<I: Iterator> ParIter<I> {
+    /// Map every element through `f`.
+    pub fn map<B, F: FnMut(I::Item) -> B>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
+        ParIter(self.0.map(f))
+    }
+
+    /// Keep only elements matching the predicate.
+    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> ParIter<std::iter::Filter<I, F>> {
+        ParIter(self.0.filter(f))
+    }
+
+    /// Pair every element with its index.
+    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
+        ParIter(self.0.enumerate())
+    }
+
+    /// Zip with another parallel iterator (or anything convertible to one).
+    pub fn zip<Z: IntoParallelIterator>(self, other: Z) -> ParIter<std::iter::Zip<I, Z::SeqIter>> {
+        ParIter(self.0.zip(other.into_par_iter().0))
+    }
+
+    /// Run `f` on every element.
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.0.for_each(f)
+    }
+
+    /// Collect into any `FromIterator` collection.
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+
+    /// Sum the elements.
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+
+    /// Count the elements.
+    pub fn count(self) -> usize {
+        self.0.count()
+    }
+
+    /// Minimum element, `None` if empty.
+    pub fn min(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.0.min()
+    }
+
+    /// Maximum element, `None` if empty.
+    pub fn max(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.0.max()
+    }
+
+    /// rayon-style reduce: fold from `identity()` with `op`.  Note the
+    /// two-argument signature, unlike `Iterator::reduce`.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        OP: FnMut(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(identity(), op)
+    }
+
+    /// Reduce without an identity; `None` if empty.
+    pub fn reduce_with<OP>(self, op: OP) -> Option<I::Item>
+    where
+        OP: FnMut(I::Item, I::Item) -> I::Item,
+    {
+        self.0.reduce(op)
+    }
+
+    /// Split pair elements into two collections.
+    pub fn unzip<A, B, FromA, FromB>(self) -> (FromA, FromB)
+    where
+        I: Iterator<Item = (A, B)>,
+        FromA: Default + Extend<A>,
+        FromB: Default + Extend<B>,
+    {
+        self.0.unzip()
+    }
+
+    /// Chain another parallel iterator after this one.
+    pub fn chain<Z>(self, other: Z) -> ParIter<std::iter::Chain<I, Z::SeqIter>>
+    where
+        Z: IntoParallelIterator<Item = I::Item>,
+    {
+        ParIter(self.0.chain(other.into_par_iter().0))
+    }
+
+    /// Hint ignored by the sequential shim; present for rayon parity.
+    pub fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+}
+
+impl<'a, T: 'a + Clone, I: Iterator<Item = &'a T>> ParIter<I> {
+    /// Clone every referenced element.
+    pub fn cloned(self) -> ParIter<std::iter::Cloned<I>> {
+        ParIter(self.0.cloned())
+    }
+}
+
+impl<'a, T: 'a + Copy, I: Iterator<Item = &'a T>> ParIter<I> {
+    /// Copy every referenced element.
+    pub fn copied(self) -> ParIter<std::iter::Copied<I>> {
+        ParIter(self.0.copied())
+    }
+}
+
+/// Run two closures (sequentially here) and return both results; mirrors
+/// `rayon::join`.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_roundtrip() {
+        let v: Vec<usize> = (0..10usize).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v, (0..10).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn two_arg_reduce_matches_fold() {
+        let xs = [1u64, 2, 3, 4];
+        let s = xs.par_iter().copied().reduce(|| 0, |a, b| a + b);
+        assert_eq!(s, 10);
+    }
+
+    #[test]
+    fn chunks_zip_unzip() {
+        let mut out = vec![0u64; 8];
+        let xs = [1u64; 8];
+        out.par_chunks_mut(3)
+            .zip(xs.par_chunks(3))
+            .for_each(|(o, c)| {
+                for (oi, x) in o.iter_mut().zip(c) {
+                    *oi = *x + 1;
+                }
+            });
+        assert_eq!(out, vec![2u64; 8]);
+        let (a, b): (Vec<usize>, Vec<usize>) =
+            (0..4usize).into_par_iter().map(|i| (i, i * i)).unzip();
+        assert_eq!(a, vec![0, 1, 2, 3]);
+        assert_eq!(b, vec![0, 1, 4, 9]);
+    }
+}

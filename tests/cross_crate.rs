@@ -59,7 +59,12 @@ fn e7_cycle_finders_agree() {
     }
 
     // Switching graphs of real instances are pseudoforests too.
-    let cfg = GeneratorConfig { num_applicants: 40, num_posts: 45, list_len: 4, seed: 5 };
+    let cfg = GeneratorConfig {
+        num_applicants: 40,
+        num_posts: 45,
+        list_len: 4,
+        seed: 5,
+    };
     let inst = generators::solvable(&cfg);
     let run = popular_matching_run(&inst, &tracker).unwrap();
     let sg = SwitchingGraph::build(&run.reduced, &run.matching, &tracker);
@@ -77,7 +82,12 @@ fn e7_cycle_finders_agree() {
 fn e8_optimal_variants_are_consistent() {
     let tracker = DepthTracker::new();
     for seed in 0..6 {
-        let cfg = GeneratorConfig { num_applicants: 60, num_posts: 70, list_len: 5, seed };
+        let cfg = GeneratorConfig {
+            num_applicants: 60,
+            num_posts: 70,
+            list_len: 5,
+            seed,
+        };
         let inst = generators::last_resort_pressure(&cfg, 0.4);
 
         let alg3 = maximum_cardinality_popular_matching_nc(&inst, &tracker).unwrap();
@@ -85,13 +95,20 @@ fn e8_optimal_variants_are_consistent() {
         assert_eq!(alg3.size(&inst), weighted.size(&inst));
 
         let fair_m = fair(&inst, &tracker).unwrap();
-        assert_eq!(fair_m.size(&inst), alg3.size(&inst), "fair is maximum cardinality");
+        assert_eq!(
+            fair_m.size(&inst),
+            alg3.size(&inst),
+            "fair is maximum cardinality"
+        );
 
         let rm = rank_maximal(&inst, &tracker).unwrap();
         let arbitrary = popular_matching_nc(&inst, &tracker).unwrap();
         let rm_profile = Profile::of(&inst, &rm);
         let arb_profile = Profile::of(&inst, &arbitrary);
-        assert!(rm_profile.0[0] >= arb_profile.0[0], "rank-maximal maximises first choices");
+        assert!(
+            rm_profile.0[0] >= arb_profile.0[0],
+            "rank-maximal maximises first choices"
+        );
         assert!(is_popular_characterization(&inst, &rm));
         assert!(is_popular_characterization(&inst, &fair_m));
     }
@@ -117,7 +134,12 @@ fn text_format_roundtrip_through_pipeline() {
 #[test]
 fn depth_grows_sublinearly() {
     let depth_for = |n: usize| {
-        let cfg = GeneratorConfig { num_applicants: n, num_posts: n + 8, list_len: 5, seed: 3 };
+        let cfg = GeneratorConfig {
+            num_applicants: n,
+            num_posts: n + 8,
+            list_len: 5,
+            seed: 3,
+        };
         let inst = generators::solvable(&cfg);
         let tracker = DepthTracker::new();
         let _ = maximum_cardinality_popular_matching_nc(&inst, &tracker).unwrap();

@@ -2,7 +2,30 @@
 //! (experiments E1, E2, E3 of EXPERIMENTS.md) through the public facade.
 
 use popular_matchings::popular::switching::ComponentKind;
+use popular_matchings::popular::verify::is_popular_brute_force;
 use popular_matchings::prelude::*;
+
+/// Ground truth for E1, checked definitionally rather than through the
+/// Theorem 1 characterisation: the size-8 matching printed in Section II of
+/// the paper is popular under the brute-force "no assignment is preferred by
+/// a majority" definition, and so is the matching Algorithm 1 computes.
+/// This pins the assertions below to the paper, not to the implementation.
+#[test]
+fn e1_figure1_ground_truth_via_brute_force() {
+    let inst = paper::figure1_instance();
+    let paper_matching = pm_instances::paper::figure1_popular_matching();
+    assert!(paper_matching.is_valid(&inst));
+    assert_eq!(
+        paper_matching.size(&inst),
+        8,
+        "the paper's matching is applicant-perfect"
+    );
+    assert!(is_popular_brute_force(&inst, &paper_matching));
+
+    let tracker = DepthTracker::new();
+    let run = popular_matching_run(&inst, &tracker).expect("Figure 1 is solvable");
+    assert!(is_popular_brute_force(&inst, &run.matching));
+}
 
 /// E1 — Figures 1–3: reduced graph, Algorithm 2 peeling, popular matching.
 #[test]
@@ -15,7 +38,10 @@ fn e1_figure1_to_figure3_pipeline() {
     let run = popular_matching_run(&inst, &tracker).expect("Figure 1 is solvable");
     assert_eq!(run.reduced.f_posts(), vec![0, 3, 4, 6]);
     assert_eq!(run.reduced.s_posts(), vec![1, 2, 5, 7, 8]);
-    for (a, (f, s)) in pm_instances::paper::figure2_reduced_lists().into_iter().enumerate() {
+    for (a, (f, s)) in pm_instances::paper::figure2_reduced_lists()
+        .into_iter()
+        .enumerate()
+    {
         assert_eq!(run.reduced.f(a), f);
         assert_eq!(run.reduced.s(a), s);
     }
@@ -24,8 +50,8 @@ fn e1_figure1_to_figure3_pipeline() {
     assert_eq!(run.matching.post(7), 8);
     assert_eq!(run.matching.post(5 - 1), 4); // a5 -> p5
     assert_eq!(run.matching.post(6 - 1), 6); // after promotion a6 ends on p7 or p6
-    // (a6 is matched to p6 by peeling and may be the applicant promoted to p7;
-    //  either way the matching is popular — checked below.)
+                                             // (a6 is matched to p6 by peeling and may be the applicant promoted to p7;
+                                             //  either way the matching is popular — checked below.)
 
     // Figure 3: after peeling, a1..a4 are matched within {p1..p4}.
     for a in 0..4 {
@@ -79,7 +105,10 @@ fn e2_figure4_switching_graph() {
     // Two switching paths, starting at the s-posts p8 and p9.
     assert!(sg.switching_path(7).is_some());
     assert!(sg.switching_path(8).is_some());
-    assert!(sg.switching_path(4).is_none(), "p5 is an f-post, not a path start");
+    assert!(
+        sg.switching_path(4).is_none(),
+        "p5 is an f-post, not a path start"
+    );
 
     // All margins are zero on this instance, so the matching is already
     // maximum-cardinality.

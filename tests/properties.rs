@@ -2,8 +2,13 @@
 //! invariants of the switching graph, popularity of every algorithm output,
 //! and agreement between the parallel algorithms and their sequential
 //! baselines, on randomly generated instances.
+//!
+//! These used to be `proptest` strategies; they are now plain seeded-`rand`
+//! loops so the suite has no dependencies the offline build cannot provide.
+//! Every case is deterministic per seed, so failures reproduce exactly.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
 
 use popular_matchings::popular::algorithm1::popular_matching_run;
 use popular_matchings::popular::max_cardinality::{
@@ -15,141 +20,209 @@ use popular_matchings::popular::verify::{
 };
 use popular_matchings::prelude::*;
 
-/// Strategy: a random strict preference instance with up to `max_a`
-/// applicants and `max_p` posts.
-fn strict_instance(max_a: usize, max_p: usize) -> impl Strategy<Value = PrefInstance> {
-    (1..=max_a, 1..=max_p).prop_flat_map(move |(n_a, n_p)| {
-        proptest::collection::vec(proptest::collection::vec(0..n_p, 1..=n_p), n_a).prop_map(
-            move |raw_lists| {
-                let lists: Vec<Vec<usize>> = raw_lists
-                    .into_iter()
-                    .map(|mut l| {
-                        // Dedup while keeping first occurrences, so the list is
-                        // a valid strict preference list.
-                        let mut seen = vec![false; n_p];
-                        l.retain(|&p| {
-                            let keep = !seen[p];
-                            seen[p] = true;
-                            keep
-                        });
-                        l
-                    })
-                    .collect();
-                PrefInstance::new_strict(n_p, lists).expect("deduped lists are valid")
-            },
-        )
-    })
+const CASES: usize = 96;
+
+/// A random strict preference instance with up to `max_a` applicants and
+/// `max_p` posts: every list is a random non-empty sequence of posts, deduped
+/// keeping first occurrences so it is a valid strict preference list.
+fn strict_instance(rng: &mut StdRng, max_a: usize, max_p: usize) -> PrefInstance {
+    let n_a = rng.random_range(1..=max_a);
+    let n_p = rng.random_range(1..=max_p);
+    let lists: Vec<Vec<usize>> = (0..n_a)
+        .map(|_| {
+            let len = rng.random_range(1..=n_p);
+            let mut seen = vec![false; n_p];
+            let mut list = Vec::with_capacity(len);
+            for _ in 0..len {
+                let p = rng.random_range(0..n_p);
+                if !seen[p] {
+                    seen[p] = true;
+                    list.push(p);
+                }
+            }
+            list
+        })
+        .collect();
+    PrefInstance::new_strict(n_p, lists).expect("deduped lists are valid")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    /// E12 — every matching produced by Algorithm 1 is popular, both by the
-    /// Theorem 1 characterisation and by the definitional brute-force check.
-    #[test]
-    fn algorithm1_outputs_are_popular(inst in strict_instance(5, 5)) {
+/// E12 — every matching produced by Algorithm 1 is popular, both by the
+/// Theorem 1 characterisation and by the definitional brute-force check.
+#[test]
+fn algorithm1_outputs_are_popular() {
+    let mut rng = StdRng::seed_from_u64(0xE12);
+    for case in 0..CASES {
+        let inst = strict_instance(&mut rng, 5, 5);
         let tracker = DepthTracker::new();
         match popular_matching_nc(&inst, &tracker) {
             Ok(m) => {
-                prop_assert!(m.is_valid(&inst));
-                prop_assert!(is_popular_characterization(&inst, &m));
-                prop_assert!(is_popular_brute_force(&inst, &m));
+                assert!(m.is_valid(&inst), "case {case}");
+                assert!(is_popular_characterization(&inst, &m), "case {case}");
+                assert!(is_popular_brute_force(&inst, &m), "case {case}");
             }
             Err(PopularError::NoPopularMatching) => {
                 // No valid assignment may be popular.
                 for cand in enumerate_assignments(&inst) {
-                    prop_assert!(!is_popular_brute_force(&inst, &cand));
+                    assert!(!is_popular_brute_force(&inst, &cand), "case {case}");
                 }
             }
-            Err(e) => prop_assert!(false, "unexpected error {e}"),
+            Err(e) => panic!("case {case}: unexpected error {e}"),
         }
     }
+}
 
-    /// The parallel algorithm and the sequential baseline agree on
-    /// feasibility, and their outputs have equal size (both are popular, and
-    /// all popular matchings that Algorithm 1 produces are "arbitrary", so
-    /// only the popularity and validity are compared, plus feasibility).
-    #[test]
-    fn parallel_and_sequential_feasibility_agree(inst in strict_instance(6, 6)) {
+/// The parallel algorithm and the sequential baseline agree on feasibility,
+/// and both outputs are popular (Algorithm 1 returns an *arbitrary* popular
+/// matching, so only popularity and validity are compared).
+#[test]
+fn parallel_and_sequential_feasibility_agree() {
+    let mut rng = StdRng::seed_from_u64(0xFEA5);
+    for case in 0..CASES {
+        let inst = strict_instance(&mut rng, 6, 6);
         let tracker = DepthTracker::new();
         let par = popular_matching_nc(&inst, &tracker);
         let seq = popular_matching_sequential(&inst);
         match (par, seq) {
             (Ok(p), Ok(s)) => {
-                prop_assert!(is_popular_characterization(&inst, &p));
-                prop_assert!(is_popular_characterization(&inst, &s));
+                assert!(is_popular_characterization(&inst, &p), "case {case}");
+                assert!(is_popular_characterization(&inst, &s), "case {case}");
             }
             (Err(PopularError::NoPopularMatching), Err(PopularError::NoPopularMatching)) => {}
-            (p, s) => prop_assert!(false, "disagreement: {p:?} vs {s:?}"),
+            (p, s) => panic!("case {case}: disagreement: {p:?} vs {s:?}"),
         }
     }
+}
 
-    /// E11 — switching graph structural invariants (Lemma 4): out-degree at
-    /// most one, sinks are exactly the unmatched reduced posts and are all
-    /// s-posts, and every component contains a single sink or a single cycle.
-    #[test]
-    fn switching_graph_invariants(inst in strict_instance(6, 6)) {
+/// The NC algorithm, the sequential baseline, and the definitional
+/// brute-force check all agree on existence, and every produced matching is
+/// popular by brute force, on random strict instances with up to 10
+/// applicants and posts.
+#[test]
+fn nc_sequential_and_brute_force_agree_on_popularity() {
+    let mut rng = StdRng::seed_from_u64(0xA62EE);
+    for case in 0..CASES {
+        // Brute force enumerates all assignments: keep the instance small
+        // (the enumeration is exponential in the number of applicants).
+        let inst = strict_instance(&mut rng, 4, 10);
         let tracker = DepthTracker::new();
-        if let Ok(run) = popular_matching_run(&inst, &tracker) {
-            let sg = SwitchingGraph::build(&run.reduced, &run.matching, &tracker);
+        let nc = popular_matching_nc(&inst, &tracker);
+        let seq = popular_matching_sequential(&inst);
+        // Enumerate once and compare pairwise (is_popular_brute_force would
+        // re-enumerate all assignments for every candidate).
+        let candidates = enumerate_assignments(&inst);
+        let brute_exists = candidates.iter().any(|m| {
+            candidates
+                .iter()
+                .all(|other| !more_popular(&inst, other, m))
+        });
+        assert_eq!(
+            nc.is_ok(),
+            brute_exists,
+            "case {case}: NC vs brute force existence"
+        );
+        assert_eq!(
+            seq.is_ok(),
+            brute_exists,
+            "case {case}: sequential vs brute force existence"
+        );
+        if let Ok(m) = nc {
+            assert!(
+                is_popular_brute_force(&inst, &m),
+                "case {case}: NC output popular"
+            );
+        }
+        if let Ok(m) = seq {
+            assert!(
+                is_popular_brute_force(&inst, &m),
+                "case {case}: sequential output popular"
+            );
+        }
+    }
+}
 
-            // Sinks are unmatched s-posts.
-            for p in sg.sinks() {
-                prop_assert!(sg.is_s_post(p));
-                prop_assert!(sg.applicant_at(p).is_none());
-            }
+/// E11 — switching graph structural invariants (Lemma 4): out-degree at most
+/// one, sinks are exactly the unmatched reduced posts and are all s-posts,
+/// and every component contains a single sink or a single cycle.
+#[test]
+fn switching_graph_invariants() {
+    let mut rng = StdRng::seed_from_u64(0xE11);
+    for case in 0..CASES {
+        let inst = strict_instance(&mut rng, 6, 6);
+        let tracker = DepthTracker::new();
+        let Ok(run) = popular_matching_run(&inst, &tracker) else {
+            continue;
+        };
+        let sg = SwitchingGraph::build(&run.reduced, &run.matching, &tracker);
 
-            // Each component: exactly one sink (tree) or exactly one cycle.
-            for comp in sg.components(&tracker) {
-                let sinks_inside = comp
-                    .posts
-                    .iter()
-                    .filter(|&&p| sg.successor(p).is_none())
-                    .count();
-                match comp.kind {
-                    ComponentKind::Tree { .. } => prop_assert_eq!(sinks_inside, 1),
-                    ComponentKind::Cycle(ref cycle) => {
-                        prop_assert_eq!(sinks_inside, 0);
-                        prop_assert!(cycle.len() >= 2);
-                        // The cycle is closed under successors.
-                        for (i, &p) in cycle.iter().enumerate() {
-                            let next = cycle[(i + 1) % cycle.len()];
-                            prop_assert_eq!(sg.successor(p), Some(next));
-                        }
+        // Sinks are unmatched s-posts.
+        for p in sg.sinks() {
+            assert!(sg.is_s_post(p), "case {case}");
+            assert!(sg.applicant_at(p).is_none(), "case {case}");
+        }
+
+        // Each component: exactly one sink (tree) or exactly one cycle.
+        for comp in sg.components(&tracker) {
+            let sinks_inside = comp
+                .posts
+                .iter()
+                .filter(|&&p| sg.successor(p).is_none())
+                .count();
+            match comp.kind {
+                ComponentKind::Tree { .. } => assert_eq!(sinks_inside, 1, "case {case}"),
+                ComponentKind::Cycle(ref cycle) => {
+                    assert_eq!(sinks_inside, 0, "case {case}");
+                    assert!(cycle.len() >= 2, "case {case}");
+                    // The cycle is closed under successors.
+                    for (i, &p) in cycle.iter().enumerate() {
+                        let next = cycle[(i + 1) % cycle.len()];
+                        assert_eq!(sg.successor(p), Some(next), "case {case}");
                     }
                 }
             }
         }
     }
+}
 
-    /// Algorithm 3 never decreases the size, its output is popular, and it
-    /// matches the brute-force maximum on small instances.
-    #[test]
-    fn algorithm3_maximises_cardinality(inst in strict_instance(5, 5)) {
+/// Algorithm 3 never decreases the size, its output is popular, and it
+/// matches the brute-force maximum on small instances.
+#[test]
+fn algorithm3_maximises_cardinality() {
+    let mut rng = StdRng::seed_from_u64(0xA13);
+    for case in 0..CASES {
+        let inst = strict_instance(&mut rng, 5, 5);
         let tracker = DepthTracker::new();
-        if let Ok(run) = popular_matching_run(&inst, &tracker) {
-            let improved = improve_to_maximum_cardinality(&run.reduced, &run.matching, &tracker);
-            prop_assert!(improved.size(&inst) >= run.matching.size(&inst));
-            prop_assert!(is_popular_characterization(&inst, &improved));
+        let Ok(run) = popular_matching_run(&inst, &tracker) else {
+            continue;
+        };
+        let improved = improve_to_maximum_cardinality(&run.reduced, &run.matching, &tracker);
+        assert!(
+            improved.size(&inst) >= run.matching.size(&inst),
+            "case {case}"
+        );
+        assert!(is_popular_characterization(&inst, &improved), "case {case}");
 
-            let best = enumerate_assignments(&inst)
-                .into_iter()
-                .filter(|m| is_popular_characterization(&inst, m))
-                .map(|m| m.size(&inst))
-                .max()
-                .unwrap();
-            prop_assert_eq!(improved.size(&inst), best);
+        let best = enumerate_assignments(&inst)
+            .into_iter()
+            .filter(|m| is_popular_characterization(&inst, m))
+            .map(|m| m.size(&inst))
+            .max()
+            .unwrap();
+        assert_eq!(improved.size(&inst), best, "case {case}");
 
-            let direct = maximum_cardinality_popular_matching_nc(&inst, &tracker).unwrap();
-            prop_assert_eq!(direct.size(&inst), best);
-        }
+        let direct = maximum_cardinality_popular_matching_nc(&inst, &tracker).unwrap();
+        assert_eq!(direct.size(&inst), best, "case {case}");
     }
+}
 
-    /// Algorithm 4 invariants on random stable-marriage instances: every
-    /// produced matching is stable, strictly dominated by its predecessor,
-    /// and the woman-optimal matching is the unique fixed point.
-    #[test]
-    fn algorithm4_invariants(n in 1usize..8, seed in 0u64..1000) {
+/// Algorithm 4 invariants on random stable-marriage instances: every
+/// produced matching is stable, strictly dominated by its predecessor, and
+/// the woman-optimal matching is the unique fixed point.
+#[test]
+fn algorithm4_invariants() {
+    let mut rng = StdRng::seed_from_u64(0xA14);
+    for case in 0..CASES {
+        let n = rng.random_range(1..8usize);
+        let seed = rng.random_range(0..1000u64);
         let inst = generators::random_sm_instance(n, seed);
         let tracker = DepthTracker::new();
         let mut current = inst.man_optimal();
@@ -158,21 +231,21 @@ proptest! {
         loop {
             match next_stable_matchings(&inst, &current, &tracker) {
                 NextStableOutcome::WomanOptimal => {
-                    prop_assert_eq!(&current, &mz);
+                    assert_eq!(&current, &mz, "case {case}");
                     break;
                 }
                 NextStableOutcome::Next(results) => {
-                    prop_assert!(!results.is_empty());
+                    assert!(!results.is_empty(), "case {case}");
                     for (rotation, next) in &results {
-                        prop_assert!(rotation.len() >= 2);
-                        prop_assert!(inst.is_stable(next));
-                        prop_assert!(current.strictly_dominates(next, &inst));
+                        assert!(rotation.len() >= 2, "case {case}");
+                        assert!(inst.is_stable(next), "case {case}");
+                        assert!(current.strictly_dominates(next, &inst), "case {case}");
                     }
                     current = results[0].1.clone();
                 }
             }
             guard += 1;
-            prop_assert!(guard <= n * n + 2, "lattice walk too long");
+            assert!(guard <= n * n + 2, "case {case}: lattice walk too long");
         }
     }
 }
