@@ -1,12 +1,21 @@
-//! The experiment harness: regenerates every table of EXPERIMENTS.md.
+//! The experiment harness: regenerates every table of EXPERIMENTS.md and
+//! records the machine-readable perf trajectory.
 //!
 //! ```text
 //! cargo run --release -p pm_bench --bin harness            # full sweep
 //! cargo run --release -p pm_bench --bin harness -- --quick # smaller sizes
+//! cargo run --release -p pm_bench --bin harness -- --json  # BENCH_popular.json
 //! ```
 //!
-//! Output is GitHub-flavoured Markdown, one table per experiment (E1–E10),
-//! designed to be pasted directly into EXPERIMENTS.md.
+//! Markdown output (one table per experiment, E1–E10) is designed to be
+//! pasted directly into EXPERIMENTS.md.  `--json` instead times the
+//! production pipeline workloads (Algorithm 1, Algorithm 3, the switching
+//! graph, the ties reduction) and writes `BENCH_popular.json` — the perf
+//! trajectory file every perf PR measures itself against.  An existing
+//! `"baseline"` object in the output file is preserved verbatim, so the
+//! pre-refactor reference numbers survive regeneration.  `--json-out PATH`
+//! overrides the output path; `--quick` shrinks the size sweep in both
+//! modes.
 
 use pm_bench::workloads;
 use pm_bench::{ms, time_best, Table};
@@ -31,7 +40,17 @@ use pm_stable::next::{next_stable_matchings, NextStableOutcome};
 use pm_stable::rotations::exposed_rotations_sequential;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    if args.iter().any(|a| a == "--json") {
+        let out_path = args
+            .iter()
+            .position(|a| a == "--json-out")
+            .and_then(|i| args.get(i + 1))
+            .map_or("BENCH_popular.json", String::as_str);
+        json_trajectory(quick, out_path);
+        return;
+    }
     let threads = rayon::current_num_threads();
     println!(
         "<!-- harness run: {} rayon threads, quick = {quick} -->\n",
@@ -512,6 +531,177 @@ fn e10_next_stable(quick: bool) {
         ]);
     }
     t.print();
+}
+
+// ---------------------------------------------------- perf trajectory JSON
+
+/// One measured point on the perf trajectory.
+struct JsonResult {
+    workload: &'static str,
+    n: usize,
+    wall_ms: f64,
+    /// Realised PRAM (depth, work) of the timed call, where tracked.
+    pram: Option<(u64, u64)>,
+}
+
+/// Times the production pipeline workloads and writes `BENCH_popular.json`.
+///
+/// Wall clock is the `time_best`-of-3 protocol the Markdown tables use;
+/// depth/work are read off a fresh tracker for the same call.  The sizes go
+/// up to 10^6 applicants in the full sweep (10^5 under `--quick`, which is
+/// what the CI bench-smoke job runs).
+fn json_trajectory(quick: bool, out_path: &str) {
+    let reps = if quick { 2 } else { 3 };
+    let mut results: Vec<JsonResult> = Vec::new();
+
+    let popular_sizes: &[usize] = if quick {
+        &[10_000, 100_000]
+    } else {
+        &[10_000, 100_000, 1_000_000]
+    };
+    for &n in popular_sizes {
+        let inst = workloads::solvable_uniform(n);
+        let tracker = DepthTracker::new();
+        let _ = popular_matching_run(&inst, &tracker).expect("solvable workload");
+        let stats = tracker.stats();
+        let (_, t) = time_best(reps, || {
+            let tr = DepthTracker::new();
+            popular_matching_run(&inst, &tr).unwrap()
+        });
+        results.push(JsonResult {
+            workload: "popular_matching_run/uniform",
+            n,
+            wall_ms: t.as_secs_f64() * 1e3,
+            pram: Some((stats.depth, stats.work)),
+        });
+    }
+
+    let deep_sizes: &[usize] = if quick {
+        &[100_000]
+    } else {
+        &[100_000, 1_000_000]
+    };
+    for &n in deep_sizes {
+        let inst = workloads::paired_pressure(n / 2);
+        let tracker = DepthTracker::new();
+        let _ = maximum_cardinality_popular_matching_nc(&inst, &tracker).expect("solvable");
+        let stats = tracker.stats();
+        let (_, t) = time_best(reps, || {
+            let tr = DepthTracker::new();
+            maximum_cardinality_popular_matching_nc(&inst, &tr).unwrap()
+        });
+        results.push(JsonResult {
+            workload: "max_cardinality/paired",
+            n,
+            wall_ms: t.as_secs_f64() * 1e3,
+            pram: Some((stats.depth, stats.work)),
+        });
+    }
+
+    for &n in deep_sizes {
+        let inst = workloads::solvable_uniform(n);
+        let tracker = DepthTracker::new();
+        let run = popular_matching_run(&inst, &tracker).expect("solvable workload");
+        let sg_tracker = DepthTracker::new();
+        {
+            let sg = SwitchingGraph::build(&run.reduced, &run.matching, &sg_tracker);
+            let _ = sg.components(&sg_tracker);
+            let _ = sg.margins_to_sink(&sg_tracker);
+        }
+        let stats = sg_tracker.stats();
+        let (_, t) = time_best(reps, || {
+            let tr = DepthTracker::new();
+            let sg = SwitchingGraph::build(&run.reduced, &run.matching, &tr);
+            let comps = sg.components(&tr);
+            let margins = sg.margins_to_sink(&tr);
+            std::hint::black_box((comps.len(), margins.len()))
+        });
+        results.push(JsonResult {
+            workload: "switching_graph/uniform",
+            n,
+            wall_ms: t.as_secs_f64() * 1e3,
+            pram: Some((stats.depth, stats.work)),
+        });
+    }
+
+    for &n in deep_sizes {
+        let g = workloads::bipartite(n);
+        let (_, t) = time_best(reps, || {
+            let inst = pm_popular::ties::rank1_instance(&g).unwrap();
+            std::hint::black_box(inst.num_edges());
+            popular_matching_rank1(&g).size()
+        });
+        results.push(JsonResult {
+            workload: "ties_rank1/bipartite",
+            n,
+            wall_ms: t.as_secs_f64() * 1e3,
+            pram: None,
+        });
+    }
+
+    let baseline = std::fs::read_to_string(out_path)
+        .ok()
+        .and_then(|old| extract_object(&old, "baseline"));
+    let json = render_json(quick, &results, baseline.as_deref());
+    std::fs::write(out_path, &json).expect("write BENCH json");
+    eprintln!("wrote {out_path}");
+    println!("{json}");
+}
+
+fn render_json(quick: bool, results: &[JsonResult], baseline: Option<&str>) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": 1,\n");
+    out.push_str("  \"harness\": \"pm_bench --json\",\n");
+    out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str(&format!(
+        "  \"rayon_threads\": {},\n",
+        rayon::current_num_threads()
+    ));
+    out.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let pram = match r.pram {
+            Some((depth, work)) => format!(", \"depth\": {depth}, \"work\": {work}"),
+            None => String::new(),
+        };
+        out.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"n\": {}, \"wall_ms\": {:.3}{}}}{}\n",
+            r.workload,
+            r.n,
+            r.wall_ms,
+            pram,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]");
+    if let Some(b) = baseline {
+        out.push_str(",\n  \"baseline\": ");
+        out.push_str(b);
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+/// Extracts the balanced-brace JSON object bound to the given top-level key
+/// from `text`, e.g. `extract_object(s, "baseline")` returns the `{...}`
+/// after `"baseline":`.  Good enough for the harness's own output format
+/// (no braces inside strings).
+fn extract_object(text: &str, key: &str) -> Option<String> {
+    let at = text.find(&format!("\"{key}\""))?;
+    let start = at + text[at..].find('{')?;
+    let mut depth = 0usize;
+    for (i, c) in text[start..].char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(text[start..=start + i].to_string());
+                }
+            }
+            _ => {}
+        }
+    }
+    None
 }
 
 // ------------------------------------------------------------------ utils

@@ -3,22 +3,30 @@
 //!
 //! The popular matching instance is a bipartite graph `G = (A ∪ P, E)`; the
 //! reduced graph `G'` of Section III is another bipartite graph over the
-//! same vertex sets.  This module stores adjacency for both sides so degree
-//! queries from either side — Algorithm 2 constantly asks for post degrees —
-//! are O(1).
+//! same vertex sets.  Adjacency is stored in a flat CSR layout for *both*
+//! sides — one offsets array plus one flat neighbour array per side — so
+//! degree queries from either side are O(1), neighbourhoods are contiguous
+//! slices, and Hopcroft–Karp's BFS/DFS sweeps stream through memory instead
+//! of hopping between per-vertex heap allocations.  Graphs are built in one
+//! shot ([`from_edges`](BipartiteGraph::from_edges) or the allocation-lean
+//! [`from_left_csr`](BipartiteGraph::from_left_csr)) and are immutable
+//! afterwards.
 
 use rayon::prelude::*;
 
 /// A simple undirected bipartite graph with `n_left` left vertices and
-/// `n_right` right vertices.  Parallel edges are not stored (inserting a
-/// duplicate edge is a no-op).
+/// `n_right` right vertices, in CSR form.  Parallel edges are not stored
+/// (duplicates in the input edge list are dropped).
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct BipartiteGraph {
     n_left: usize,
     n_right: usize,
-    adj_left: Vec<Vec<usize>>,
-    adj_right: Vec<Vec<usize>>,
-    m: usize,
+    /// Left CSR: neighbours of `l` are `left_adj[left_off[l]..left_off[l+1]]`.
+    left_off: Vec<usize>,
+    left_adj: Vec<usize>,
+    /// Right CSR: neighbours of `r` are `right_adj[right_off[r]..right_off[r+1]]`.
+    right_off: Vec<usize>,
+    right_adj: Vec<usize>,
 }
 
 impl BipartiteGraph {
@@ -27,36 +35,109 @@ impl BipartiteGraph {
         Self {
             n_left,
             n_right,
-            adj_left: vec![Vec::new(); n_left],
-            adj_right: vec![Vec::new(); n_right],
-            m: 0,
+            left_off: vec![0; n_left + 1],
+            left_adj: Vec::new(),
+            right_off: vec![0; n_right + 1],
+            right_adj: Vec::new(),
         }
     }
 
-    /// Builds a graph from an edge list of `(left, right)` pairs.
+    /// Builds a graph from an edge list of `(left, right)` pairs.  Duplicate
+    /// pairs are dropped; per-vertex neighbour order follows the first
+    /// occurrence of each edge in the list.
     ///
     /// # Panics
     /// Panics if an endpoint is out of range.
     pub fn from_edges(n_left: usize, n_right: usize, edges: &[(usize, usize)]) -> Self {
-        let mut g = Self::new(n_left, n_right);
         for &(l, r) in edges {
-            g.add_edge(l, r);
+            assert!(l < n_left, "left endpoint {l} out of range");
+            assert!(r < n_right, "right endpoint {r} out of range");
         }
-        g
+        // Dedup keeping first occurrences, then two counting-sort passes.
+        let mut seen = std::collections::HashSet::with_capacity(edges.len());
+        let deduped: Vec<(usize, usize)> =
+            edges.iter().copied().filter(|&e| seen.insert(e)).collect();
+
+        let mut counts = vec![0usize; n_left];
+        for &(l, _) in &deduped {
+            counts[l] += 1;
+        }
+        let left_off = bounds_from_counts(&counts);
+        let mut cursor = left_off[..n_left].to_vec();
+        let mut left_adj = vec![0usize; deduped.len()];
+        for &(l, r) in &deduped {
+            left_adj[cursor[l]] = r;
+            cursor[l] += 1;
+        }
+        let (right_off, right_adj) = transpose(n_right, &deduped);
+        Self {
+            n_left,
+            n_right,
+            left_off,
+            left_adj,
+            right_off,
+            right_adj,
+        }
     }
 
-    /// Adds the edge `(left, right)` if not already present.  Returns whether
-    /// the edge was newly inserted.
-    pub fn add_edge(&mut self, left: usize, right: usize) -> bool {
-        assert!(left < self.n_left, "left endpoint {left} out of range");
-        assert!(right < self.n_right, "right endpoint {right} out of range");
-        if self.adj_left[left].contains(&right) {
-            return false;
+    /// Builds a graph directly from a left-side CSR adjacency: the
+    /// neighbours of left vertex `l` are `flat[offsets[l]..offsets[l + 1]]`.
+    /// This is the fast path for callers that already hold flat adjacency
+    /// (the reduced graph, Algorithm 2's remainder, the ties reduction) —
+    /// no edge-list materialisation and no dedup hashing.
+    ///
+    /// # Panics
+    /// Panics if `offsets` is not a monotone boundary array over `flat`, or
+    /// if a neighbour is out of range.  Duplicate neighbours within one left
+    /// vertex are the caller's responsibility (checked in debug builds).
+    pub fn from_left_csr(
+        n_left: usize,
+        n_right: usize,
+        offsets: Vec<usize>,
+        flat: Vec<usize>,
+    ) -> Self {
+        assert_eq!(offsets.len(), n_left + 1, "offsets length mismatch");
+        assert_eq!(
+            *offsets.last().unwrap(),
+            flat.len(),
+            "offsets/flat mismatch"
+        );
+        assert!(
+            offsets.windows(2).all(|w| w[0] <= w[1]),
+            "offsets must be monotone"
+        );
+        assert!(
+            flat.iter().all(|&r| r < n_right),
+            "right endpoint out of range"
+        );
+        debug_assert!(
+            (0..n_left).all(|l| {
+                let s = &flat[offsets[l]..offsets[l + 1]];
+                s.iter().all(|r| s.iter().filter(|&x| x == r).count() == 1)
+            }),
+            "duplicate neighbour in CSR input"
+        );
+        let mut counts = vec![0usize; n_right];
+        for &r in &flat {
+            counts[r] += 1;
         }
-        self.adj_left[left].push(right);
-        self.adj_right[right].push(left);
-        self.m += 1;
-        true
+        let right_off = bounds_from_counts(&counts);
+        let mut cursor = right_off[..n_right].to_vec();
+        let mut right_adj = vec![0usize; flat.len()];
+        for l in 0..n_left {
+            for &r in &flat[offsets[l]..offsets[l + 1]] {
+                right_adj[cursor[r]] = l;
+                cursor[r] += 1;
+            }
+        }
+        Self {
+            n_left,
+            n_right,
+            left_off: offsets,
+            left_adj: flat,
+            right_off,
+            right_adj,
+        }
     }
 
     /// Number of left vertices (applicants).
@@ -71,39 +152,46 @@ impl BipartiteGraph {
 
     /// Number of edges.
     pub fn num_edges(&self) -> usize {
-        self.m
+        self.left_adj.len()
     }
 
     /// Degree of a left vertex.
     pub fn degree_left(&self, l: usize) -> usize {
-        self.adj_left[l].len()
+        self.left_off[l + 1] - self.left_off[l]
     }
 
     /// Degree of a right vertex.
     pub fn degree_right(&self, r: usize) -> usize {
-        self.adj_right[r].len()
+        self.right_off[r + 1] - self.right_off[r]
     }
 
     /// Neighbours (right vertices) of a left vertex, in insertion order.
     pub fn neighbors_left(&self, l: usize) -> &[usize] {
-        &self.adj_left[l]
+        &self.left_adj[self.left_off[l]..self.left_off[l + 1]]
     }
 
     /// Neighbours (left vertices) of a right vertex, in insertion order.
     pub fn neighbors_right(&self, r: usize) -> &[usize] {
-        &self.adj_right[r]
+        &self.right_adj[self.right_off[r]..self.right_off[r + 1]]
+    }
+
+    /// The left-side CSR arrays `(offsets, flat)` — the raw layout, for
+    /// callers (like the ties reduction) that re-wrap the adjacency without
+    /// materialising per-vertex vectors.
+    pub fn left_csr(&self) -> (&[usize], &[usize]) {
+        (&self.left_off, &self.left_adj)
     }
 
     /// True iff the edge `(left, right)` is present.
     pub fn has_edge(&self, left: usize, right: usize) -> bool {
-        self.adj_left[left].contains(&right)
+        self.neighbors_left(left).contains(&right)
     }
 
     /// All edges as `(left, right)` pairs, grouped by left vertex.
     pub fn edges(&self) -> Vec<(usize, usize)> {
-        let mut out = Vec::with_capacity(self.m);
-        for (l, adj) in self.adj_left.iter().enumerate() {
-            for &r in adj {
+        let mut out = Vec::with_capacity(self.left_adj.len());
+        for l in 0..self.n_left {
+            for &r in self.neighbors_left(l) {
                 out.push((l, r));
             }
         }
@@ -138,11 +226,43 @@ impl BipartiteGraph {
     /// work); convenient for Algorithm 2's "some post has degree 1" tests.
     pub fn right_degrees(&self) -> Vec<usize> {
         if self.n_right >= pm_pram::SEQUENTIAL_CUTOFF {
-            self.adj_right.par_iter().map(Vec::len).collect()
+            (0..self.n_right)
+                .into_par_iter()
+                .map(|r| self.right_off[r + 1] - self.right_off[r])
+                .collect()
         } else {
-            self.adj_right.iter().map(Vec::len).collect()
+            self.right_off.windows(2).map(|w| w[1] - w[0]).collect()
         }
     }
+}
+
+/// `n + 1` CSR boundaries from per-vertex counts (sequential; the callers
+/// charging PRAM rounds use `pm_pram::scan::csr_offsets` instead).
+fn bounds_from_counts(counts: &[usize]) -> Vec<usize> {
+    let mut off = Vec::with_capacity(counts.len() + 1);
+    let mut acc = 0usize;
+    off.push(0);
+    for &c in counts {
+        acc += c;
+        off.push(acc);
+    }
+    off
+}
+
+/// Right-side CSR of a (deduplicated) edge list.
+fn transpose(n_right: usize, edges: &[(usize, usize)]) -> (Vec<usize>, Vec<usize>) {
+    let mut counts = vec![0usize; n_right];
+    for &(_, r) in edges {
+        counts[r] += 1;
+    }
+    let off = bounds_from_counts(&counts);
+    let mut cursor = off[..n_right].to_vec();
+    let mut adj = vec![0usize; edges.len()];
+    for &(l, r) in edges {
+        adj[cursor[r]] = l;
+        cursor[r] += 1;
+    }
+    (off, adj)
 }
 
 #[cfg(test)]
@@ -156,27 +276,26 @@ mod tests {
         assert_eq!(g.n_right(), 2);
         assert_eq!(g.num_edges(), 0);
         assert!(g.edges().is_empty());
+        assert_eq!(g.degree_left(2), 0);
+        assert_eq!(g.degree_right(1), 0);
     }
 
     #[test]
-    fn add_edges_and_duplicates() {
-        let mut g = BipartiteGraph::new(2, 2);
-        assert!(g.add_edge(0, 0));
-        assert!(g.add_edge(0, 1));
-        assert!(!g.add_edge(0, 0), "duplicate must be a no-op");
+    fn duplicate_edges_are_dropped() {
+        let g = BipartiteGraph::from_edges(2, 2, &[(0, 0), (0, 1), (0, 0)]);
         assert_eq!(g.num_edges(), 2);
         assert_eq!(g.degree_left(0), 2);
         assert_eq!(g.degree_left(1), 0);
         assert_eq!(g.degree_right(0), 1);
         assert!(g.has_edge(0, 1));
         assert!(!g.has_edge(1, 1));
+        assert_eq!(g.neighbors_left(0), &[0, 1]);
     }
 
     #[test]
     #[should_panic(expected = "out of range")]
     fn out_of_range_edge_panics() {
-        let mut g = BipartiteGraph::new(1, 1);
-        g.add_edge(0, 5);
+        let _ = BipartiteGraph::from_edges(1, 1, &[(0, 5)]);
     }
 
     #[test]
@@ -185,6 +304,24 @@ mod tests {
         let g = BipartiteGraph::from_edges(3, 3, &edges);
         assert_eq!(g.edges(), edges);
         assert_eq!(g.right_degrees(), vec![1, 2, 1]);
+        assert_eq!(g.neighbors_right(1), &[0, 2]);
+    }
+
+    #[test]
+    fn from_left_csr_matches_from_edges() {
+        let edges = vec![(0, 1), (0, 2), (1, 0), (2, 2)];
+        let via_edges = BipartiteGraph::from_edges(3, 3, &edges);
+        let via_csr = BipartiteGraph::from_left_csr(3, 3, vec![0, 2, 3, 4], vec![1, 2, 0, 2]);
+        assert_eq!(via_edges, via_csr);
+        let (off, flat) = via_csr.left_csr();
+        assert_eq!(off, &[0, 2, 3, 4]);
+        assert_eq!(flat, &[1, 2, 0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "offsets/flat mismatch")]
+    fn from_left_csr_checks_boundaries() {
+        let _ = BipartiteGraph::from_left_csr(1, 1, vec![0, 2], vec![0]);
     }
 
     #[test]

@@ -70,6 +70,11 @@ pub fn connected_components_parallel(
     let parent: Vec<AtomicUsize> = (0..n).map(AtomicUsize::new).collect();
     let mut rounds = 0u64;
 
+    // Round-scratch buffers, reused across all hooking rounds (every cell is
+    // rewritten at the start of each round).
+    let mut snapshot = vec![0usize; n];
+    let mut grand = vec![0usize; n];
+
     loop {
         rounds += 1;
         tracker.round();
@@ -77,8 +82,12 @@ pub fn connected_components_parallel(
 
         // Snapshot of the grandparent function at the start of the round
         // (CREW-style reads against a consistent state).
-        let snapshot: Vec<usize> = parent.iter().map(|p| p.load(Ordering::Relaxed)).collect();
-        let grand: Vec<usize> = snapshot.iter().map(|&p| snapshot[p]).collect();
+        for (s, p) in snapshot.iter_mut().zip(parent.iter()) {
+            *s = p.load(Ordering::Relaxed);
+        }
+        for (g, &p) in grand.iter_mut().zip(snapshot.iter()) {
+            *g = snapshot[p];
+        }
 
         // Hooking: every edge tries to pull both endpoints' (grand)parents
         // down to the smaller grandparent; min-writes commute, so the result
@@ -101,8 +110,10 @@ pub fn connected_components_parallel(
 
         // Converged when every vertex points at a fixed point and hooking
         // changed nothing this round.
-        let now: Vec<usize> = parent.iter().map(|p| p.load(Ordering::Relaxed)).collect();
-        let stable = now == snapshot;
+        let stable = parent
+            .iter()
+            .zip(snapshot.iter())
+            .all(|(p, &s)| p.load(Ordering::Relaxed) == s);
         if stable {
             break;
         }

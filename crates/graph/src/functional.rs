@@ -75,8 +75,11 @@ impl FunctionalGraph {
         if n == 0 {
             return Vec::new();
         }
-        // Sinks become fixed points so iteration is total.
+        // Sinks become fixed points so iteration is total.  The doubling
+        // ping-pongs two preallocated buffers (every cell is overwritten
+        // each round, so no per-round allocation or clearing).
         let mut ptr: Vec<usize> = (0..n).map(|v| self.succ[v].unwrap_or(v)).collect();
+        let mut scratch = vec![0usize; n];
         let rounds = if n <= 1 {
             0
         } else {
@@ -85,11 +88,17 @@ impl FunctionalGraph {
         for _ in 0..rounds {
             tracker.round();
             tracker.work(n as u64);
-            ptr = if n >= SEQUENTIAL_CUTOFF {
-                (0..n).into_par_iter().map(|v| ptr[ptr[v]]).collect()
+            if n >= SEQUENTIAL_CUTOFF {
+                scratch
+                    .par_iter_mut()
+                    .enumerate()
+                    .for_each(|(v, s)| *s = ptr[ptr[v]]);
             } else {
-                (0..n).map(|v| ptr[ptr[v]]).collect()
-            };
+                for (v, s) in scratch.iter_mut().enumerate() {
+                    *s = ptr[ptr[v]];
+                }
+            }
+            std::mem::swap(&mut ptr, &mut scratch);
         }
 
         // Image computation: one concurrent-write round.

@@ -22,7 +22,6 @@ pub fn to_text(inst: &PrefInstance) -> String {
     for a in 0..inst.num_applicants() {
         let line = inst
             .groups(a)
-            .iter()
             .map(|g| {
                 g.iter()
                     .map(|p| p.to_string())
@@ -127,7 +126,7 @@ mod tests {
     fn blank_lines_and_empty_groups_are_ignored() {
         let inst = from_text("posts 3\n\n0 | | 1\n\n2\n").unwrap();
         assert_eq!(inst.num_applicants(), 2);
-        assert_eq!(inst.groups(0), &[vec![0], vec![1]]);
-        assert_eq!(inst.groups(1), &[vec![2]]);
+        assert_eq!(inst.groups(0).collect::<Vec<_>>(), vec![&[0][..], &[1][..]]);
+        assert_eq!(inst.groups(1).collect::<Vec<_>>(), vec![&[2][..]]);
     }
 }

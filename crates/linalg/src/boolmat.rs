@@ -139,8 +139,11 @@ impl BoolMatrix {
         out
     }
 
-    /// Reflexive-transitive closure `(I ∨ A)^n`, computed by `⌈log₂ n⌉`
-    /// repeated squarings (paper Theorem 5).
+    /// Reflexive-transitive closure `(I ∨ A)^n`, computed by at most
+    /// `⌈log₂ n⌉` repeated squarings (paper Theorem 5).  Squaring stops as
+    /// soon as the accumulator reaches a fixpoint — reachability closes
+    /// after the longest shortest path is covered, which is usually far
+    /// before `n` — so shallow graphs pay for only the squarings they need.
     pub fn transitive_closure(&self, tracker: &DepthTracker) -> BoolMatrix {
         let n = self.n;
         if n == 0 {
@@ -149,8 +152,12 @@ impl BoolMatrix {
         let mut acc = self.or(&BoolMatrix::identity(n));
         let mut power = 1usize;
         while power < n {
-            acc = acc.multiply(&acc, tracker);
+            let next = acc.multiply(&acc, tracker);
             power *= 2;
+            if next == acc {
+                break; // fixpoint: further squaring cannot add entries
+            }
+            acc = next;
         }
         acc
     }
@@ -278,7 +285,32 @@ mod tests {
         let t = DepthTracker::new();
         let a = BoolMatrix::from_edges(128, &[(0, 1)]);
         let _ = a.transitive_closure(&t);
-        // 7 squarings × ⌈log₂ 128⌉ = 7 depth each.
-        assert_eq!(t.stats().depth, 49);
+        // At most 7 squarings × ⌈log₂ 128⌉ = 7 depth each; the fixpoint
+        // early-exit may stop well before the full ⌈log₂ n⌉ squarings.
+        assert!(t.stats().depth <= 49, "depth = {}", t.stats().depth);
+    }
+
+    #[test]
+    fn closure_early_exits_at_fixpoint() {
+        // A single edge closes after one squaring: (I ∨ A)² = I ∨ A, so the
+        // loop must stop after detecting the fixpoint (2 multiplies of depth
+        // 7 each) instead of running all 7 squarings.
+        let t = DepthTracker::new();
+        let a = BoolMatrix::from_edges(128, &[(0, 1)]);
+        let closure = a.transitive_closure(&t);
+        assert!(closure.get(0, 1) && closure.get(0, 0));
+        assert_eq!(t.stats().depth, 7, "one squaring detects the fixpoint");
+
+        // A long path needs the full ladder; the result stays exact.
+        let t2 = DepthTracker::new();
+        let edges: Vec<(usize, usize)> = (0..127).map(|i| (i, i + 1)).collect();
+        let path = BoolMatrix::from_edges(128, &edges);
+        let closure = path.transitive_closure(&t2);
+        assert!(closure.get(0, 127));
+        assert_eq!(
+            t2.stats().depth,
+            49,
+            "a diameter-127 path needs 7 squarings"
+        );
     }
 }

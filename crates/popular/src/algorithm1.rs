@@ -66,7 +66,10 @@ pub fn popular_matching_nc(
 /// id for determinism) and move it from `s(a)` to `p = f(a)`.
 ///
 /// The sets `f⁻¹(p)` are disjoint across f-posts, so all promotions are
-/// independent and the step is a single parallel round.
+/// independent and the step is a single parallel round: one concurrent-write
+/// pass elects the smallest applicant of every `f⁻¹(p)` simultaneously
+/// (rather than one `f⁻¹` scan per unmatched post, which is quadratic when
+/// many f-posts are left unmatched).
 pub fn promote_unmatched_f_posts(
     reduced: &ReducedGraph,
     matching: &mut Assignment,
@@ -75,18 +78,23 @@ pub fn promote_unmatched_f_posts(
     tracker.round();
     tracker.work(reduced.num_applicants() as u64);
 
+    let n_a = reduced.num_applicants();
     let mut post_matched = vec![false; reduced.total_posts()];
-    for a in 0..reduced.num_applicants() {
+    for a in 0..n_a {
         post_matched[matching.post(a)] = true;
     }
-    for p in reduced.f_posts() {
-        if post_matched[p] {
+    // candidate[p] = the smallest applicant with f(a) = p (reverse traversal
+    // makes the smallest id the last, winning, write).
+    let mut candidate = vec![usize::MAX; reduced.total_posts()];
+    for a in (0..n_a).rev() {
+        candidate[reduced.f(a)] = a;
+    }
+    for p in 0..reduced.total_posts() {
+        if !reduced.is_f_post(p) || post_matched[p] {
             continue;
         }
-        let a = *reduced
-            .f_inverse(p)
-            .first()
-            .expect("an f-post has at least one applicant ranking it first");
+        let a = candidate[p];
+        debug_assert_ne!(a, usize::MAX, "an f-post has a first-choice applicant");
         debug_assert_eq!(matching.post(a), reduced.s(a));
         matching.set_post(a, p);
         post_matched[p] = true;

@@ -23,6 +23,7 @@
 use pm_graph::BipartiteGraph;
 use pm_matching::two_regular::two_regular_perfect_matching_parallel;
 use pm_pram::pointer::pointer_jump_roots;
+use pm_pram::scan::csr_offsets;
 use pm_pram::tracker::DepthTracker;
 
 use crate::instance::Assignment;
@@ -52,21 +53,38 @@ pub fn applicant_complete_matching(g: &ReducedGraph, tracker: &DepthTracker) -> 
         };
     }
 
-    // Static adjacency of the reduced graph: post -> incident applicants.
-    let mut post_adj: Vec<Vec<usize>> = vec![Vec::new(); n_p];
+    // Static adjacency of the reduced graph, post -> incident applicants, in
+    // flat CSR form: one counting round, one prefix scan, one fill round —
+    // no per-post vectors.
+    let mut counts = vec![0usize; n_p];
     for a in 0..n_a {
-        post_adj[g.f(a)].push(a);
-        post_adj[g.s(a)].push(a);
+        counts[g.f(a)] += 1;
+        counts[g.s(a)] += 1;
     }
+    let adj_off = csr_offsets(&counts, tracker);
+    let mut cursor = adj_off[..n_p].to_vec();
+    let mut adj_flat = vec![0usize; 2 * n_a];
+    for a in 0..n_a {
+        for p in [g.f(a), g.s(a)] {
+            adj_flat[cursor[p]] = a;
+            cursor[p] += 1;
+        }
+    }
+    let post_adj = |p: usize| -> &[usize] { &adj_flat[adj_off[p]..adj_off[p + 1]] };
 
     let mut alive_applicant = vec![true; n_a];
     // A post participates only if it occurs in the reduced graph.
-    let mut alive_post: Vec<bool> = (0..n_p).map(|p| !post_adj[p].is_empty()).collect();
-    let mut post_degree: Vec<usize> = (0..n_p).map(|p| post_adj[p].len()).collect();
+    let mut alive_post: Vec<bool> = (0..n_p).map(|p| counts[p] != 0).collect();
+    let mut post_degree: Vec<usize> = counts;
 
     // matched[a] = the post applicant `a` was matched to during peeling.
     let mut matched: Vec<Option<usize>> = vec![None; n_a];
     let mut peel_rounds = 0u32;
+
+    // Scratch buffers reused across peeling rounds: the arc successor array
+    // is fully rewritten every round, and the matched-edge list is drained.
+    let mut succ: Vec<usize> = Vec::new();
+    let mut newly_matched: Vec<(usize, usize)> = Vec::new();
 
     // Arc encoding: 4a+0 = a -> f(a), 4a+1 = f(a) -> a,
     //               4a+2 = a -> s(a), 4a+3 = s(a) -> a.
@@ -96,26 +114,34 @@ pub fn applicant_complete_matching(g: &ReducedGraph, tracker: &DepthTracker) -> 
 
         // Other alive applicant incident to a degree-2 post, given one of them.
         let other_applicant = |p: usize, not_a: usize| -> usize {
-            post_adj[p]
+            post_adj(p)
                 .iter()
                 .copied()
                 .find(|&b| b != not_a && alive_applicant[b])
                 .expect("degree-2 post has a second alive applicant")
         };
 
-        // Build the arc successor structure for this round.
-        let mut succ: Vec<usize> = (0..num_arcs).collect(); // tails point to themselves
-        for a in 0..n_a {
-            if !alive_applicant[a] {
+        // (Re)build the arc successor structure for this round in the reused
+        // scratch buffer: every arc is written exactly once (dead applicants'
+        // arcs become self-pointing tails), so no clearing pass is needed.
+        succ.resize(num_arcs, 0);
+        for (a, &a_alive) in alive_applicant.iter().enumerate() {
+            if !a_alive {
+                for j in 0..4 {
+                    succ[4 * a + j] = 4 * a + j;
+                }
                 continue;
             }
             let (fa, sa) = (g.f(a), g.s(a));
-            // Applicant -> post arcs: continue through the post iff its degree is 2.
+            // Applicant -> post arcs: continue through the post iff its degree
+            // is 2; otherwise the arc is a tail (self-pointer).
             for (arc, p) in [(4 * a, fa), (4 * a + 2, sa)] {
                 if alive_post[p] && post_degree[p] == 2 {
                     let b = other_applicant(p, a);
                     // Next arc is post -> other applicant b, i.e. b's "incoming" arc.
                     succ[arc] = if g.f(b) == p { 4 * b + 1 } else { 4 * b + 3 };
+                } else {
+                    succ[arc] = arc;
                 }
             }
             // Post -> applicant arcs: always continue through the applicant to
@@ -143,7 +169,7 @@ pub fn applicant_complete_matching(g: &ReducedGraph, tracker: &DepthTracker) -> 
         // a post->applicant arc B; if both directions reach a degree-1 post,
         // the smaller post id is chosen as v0 (the "consider the path once"
         // rule of the paper).
-        let mut newly_matched: Vec<(usize, usize)> = Vec::new();
+        newly_matched.clear();
         for (a, &a_alive) in alive_applicant.iter().enumerate() {
             if !a_alive {
                 continue;
@@ -239,12 +265,14 @@ pub fn applicant_complete_matching(g: &ReducedGraph, tracker: &DepthTracker) -> 
         for (i, &p) in alive_ps.iter().enumerate() {
             post_index[p] = i;
         }
-        let mut edges = Vec::with_capacity(2 * alive_as.len());
-        for (i, &a) in alive_as.iter().enumerate() {
-            edges.push((i, post_index[g.f(a)]));
-            edges.push((i, post_index[g.s(a)]));
+        let offsets: Vec<usize> = (0..=alive_as.len()).map(|i| 2 * i).collect();
+        let mut flat = Vec::with_capacity(2 * alive_as.len());
+        for &a in &alive_as {
+            flat.push(post_index[g.f(a)]);
+            flat.push(post_index[g.s(a)]);
         }
-        let remainder = BipartiteGraph::from_edges(alive_as.len(), alive_ps.len(), &edges);
+        let remainder =
+            BipartiteGraph::from_left_csr(alive_as.len(), alive_ps.len(), offsets, flat);
         let pm = two_regular_perfect_matching_parallel(&remainder, tracker);
         for (i, &a) in alive_as.iter().enumerate() {
             let p = alive_ps[pm.left(i).expect("perfect matching")];

@@ -10,31 +10,113 @@
 //!
 //! Post identifiers: real posts are `0..num_posts`; the last resort of
 //! applicant `a` is the *extended* post id `num_posts + a`.
+//!
+//! # Storage: flat CSR, built once at validation time
+//!
+//! Preference lists are stored in a compressed sparse row (CSR) layout
+//! rather than nested vectors: one flat array with all ranked posts in
+//! preference order (applicant-major), a parallel array with each entry's
+//! tie-group index (its *rank*), and two offset arrays delimiting the
+//! applicants and the tie groups.  Every accessor hands out contiguous
+//! slices of these arrays, so the hot loops of the reduced-graph
+//! construction, Algorithm 2 and the ties reduction stream through memory
+//! instead of chasing `Vec<Vec<Vec<usize>>>` pointers.  The layout is fixed
+//! at construction; instances are immutable afterwards.
 
 use crate::error::PopularError;
 
 #[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 
-/// A one-sided preference instance with optionally tied preference lists.
+/// A one-sided preference instance with optionally tied preference lists,
+/// stored as a flat CSR structure (see the module docs).
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct PrefInstance {
     num_posts: usize,
-    /// `prefs[a]` is applicant `a`'s ranked list of tie groups; each group is
-    /// a non-empty set of real post ids that `a` is indifferent between.
-    prefs: Vec<Vec<Vec<usize>>>,
+    /// Every ranked post, applicant-major, in preference order.
+    post_flat: Vec<usize>,
+    /// `rank_flat[i]` is the tie-group index of `post_flat[i]` on its
+    /// applicant's list.
+    rank_flat: Vec<u32>,
+    /// Applicant `a`'s entries are `post_flat[list_off[a]..list_off[a + 1]]`;
+    /// length `num_applicants + 1`.
+    list_off: Vec<usize>,
+    /// Flat tie-group boundaries: group `g` (globally numbered) spans
+    /// `post_flat[group_off[g]..group_off[g + 1]]`; length `groups + 1`.
+    group_off: Vec<usize>,
+    /// Applicant `a`'s tie groups are the global group ids
+    /// `group_idx[a]..group_idx[a + 1]`; length `num_applicants + 1`.
+    group_idx: Vec<usize>,
+}
+
+/// Shared validation state: `owner[p]` is the applicant currently being
+/// scanned if it has already listed `p` (epoch marking — one O(|P|)
+/// allocation for the whole construction instead of one per applicant).
+struct DupCheck {
+    owner: Vec<usize>,
+}
+
+impl DupCheck {
+    fn new(num_posts: usize) -> Self {
+        Self {
+            owner: vec![usize::MAX; num_posts],
+        }
+    }
+
+    fn check(&mut self, a: usize, p: usize, num_posts: usize) -> Result<(), PopularError> {
+        if p >= num_posts {
+            return Err(PopularError::InvalidInstance(format!(
+                "applicant {a} ranks post {p}, but there are only {num_posts} posts"
+            )));
+        }
+        if self.owner[p] == a {
+            return Err(PopularError::InvalidInstance(format!(
+                "applicant {a} ranks post {p} twice"
+            )));
+        }
+        self.owner[p] = a;
+        Ok(())
+    }
 }
 
 impl PrefInstance {
     /// Builds a strictly-ordered instance: `lists[a]` is applicant `a`'s
     /// preference list, most preferred first, over real posts `< num_posts`.
+    ///
+    /// The CSR arrays are filled directly from the lists — no intermediate
+    /// per-entry singleton groups are materialised.
     pub fn new_strict(num_posts: usize, lists: Vec<Vec<usize>>) -> Result<Self, PopularError> {
-        let groups = lists
-            .into_iter()
-            .map(|list| list.into_iter().map(|p| vec![p]).collect())
-            .collect();
-        Self::new_with_ties(num_posts, groups)
+        let total: usize = lists.iter().map(Vec::len).sum();
+        let mut post_flat = Vec::with_capacity(total);
+        let mut rank_flat = Vec::with_capacity(total);
+        let mut list_off = Vec::with_capacity(lists.len() + 1);
+        list_off.push(0);
+        let mut dup = DupCheck::new(num_posts);
+        for (a, list) in lists.iter().enumerate() {
+            if list.is_empty() {
+                return Err(PopularError::InvalidInstance(format!(
+                    "applicant {a} has an empty preference list"
+                )));
+            }
+            for (r, &p) in list.iter().enumerate() {
+                dup.check(a, p, num_posts)?;
+                post_flat.push(p);
+                rank_flat.push(r as u32);
+            }
+            list_off.push(post_flat.len());
+        }
+        // Strict lists: every entry is its own tie group.
+        let group_off = (0..=total).collect();
+        let group_idx = list_off.clone();
+        Ok(Self {
+            num_posts,
+            post_flat,
+            rank_flat,
+            list_off,
+            group_off,
+            group_idx,
+        })
     }
 
     /// Builds an instance whose preference lists may contain ties:
@@ -43,43 +125,92 @@ impl PrefInstance {
         num_posts: usize,
         groups: Vec<Vec<Vec<usize>>>,
     ) -> Result<Self, PopularError> {
+        let mut post_flat = Vec::new();
+        let mut rank_flat = Vec::new();
+        let mut list_off = Vec::with_capacity(groups.len() + 1);
+        list_off.push(0);
+        let mut group_off = vec![0];
+        let mut group_idx = Vec::with_capacity(groups.len() + 1);
+        group_idx.push(0);
+        let mut dup = DupCheck::new(num_posts);
         for (a, list) in groups.iter().enumerate() {
             if list.is_empty() {
                 return Err(PopularError::InvalidInstance(format!(
                     "applicant {a} has an empty preference list"
                 )));
             }
-            let mut seen = vec![false; num_posts];
-            for group in list {
+            for (r, group) in list.iter().enumerate() {
                 if group.is_empty() {
                     return Err(PopularError::InvalidInstance(format!(
                         "applicant {a} has an empty tie group"
                     )));
                 }
                 for &p in group {
-                    if p >= num_posts {
-                        return Err(PopularError::InvalidInstance(format!(
-                            "applicant {a} ranks post {p}, but there are only {num_posts} posts"
-                        )));
-                    }
-                    if seen[p] {
-                        return Err(PopularError::InvalidInstance(format!(
-                            "applicant {a} ranks post {p} twice"
-                        )));
-                    }
-                    seen[p] = true;
+                    dup.check(a, p, num_posts)?;
+                    post_flat.push(p);
+                    rank_flat.push(r as u32);
                 }
+                group_off.push(post_flat.len());
+            }
+            group_idx.push(group_off.len() - 1);
+            list_off.push(post_flat.len());
+        }
+        Ok(Self {
+            num_posts,
+            post_flat,
+            rank_flat,
+            list_off,
+            group_off,
+            group_idx,
+        })
+    }
+
+    /// Builds the rank-1 instance of the Section V ties reduction straight
+    /// from a CSR adjacency (`offsets`/`flat` as produced by
+    /// `pm_graph::BipartiteGraph::left_csr`): applicant `a`'s single tie
+    /// group is `flat[offsets[a]..offsets[a + 1]]`.  No nested vectors are
+    /// materialised on the way in.  Invalid *preference data* (an empty
+    /// list, an out-of-range or repeated post) is reported as
+    /// [`PopularError::InvalidInstance`].
+    ///
+    /// # Panics
+    /// Panics if `offsets` is not a CSR boundary array over `flat`
+    /// (`offsets` empty or its last entry ≠ `flat.len()`) — a malformed
+    /// *container*, not a malformed instance.
+    pub fn new_rank1(
+        num_posts: usize,
+        offsets: &[usize],
+        flat: &[usize],
+    ) -> Result<Self, PopularError> {
+        assert!(
+            !offsets.is_empty() && *offsets.last().unwrap() == flat.len(),
+            "offsets must be a CSR boundary array over flat"
+        );
+        let n_a = offsets.len() - 1;
+        let mut dup = DupCheck::new(num_posts);
+        for a in 0..n_a {
+            if offsets[a] == offsets[a + 1] {
+                return Err(PopularError::InvalidInstance(format!(
+                    "applicant {a} has an empty preference list"
+                )));
+            }
+            for &p in &flat[offsets[a]..offsets[a + 1]] {
+                dup.check(a, p, num_posts)?;
             }
         }
         Ok(Self {
             num_posts,
-            prefs: groups,
+            post_flat: flat.to_vec(),
+            rank_flat: vec![0; flat.len()],
+            list_off: offsets.to_vec(),
+            group_off: offsets.to_vec(),
+            group_idx: (0..=n_a).collect(),
         })
     }
 
     /// Number of applicants `|A|`.
     pub fn num_applicants(&self) -> usize {
-        self.prefs.len()
+        self.list_off.len() - 1
     }
 
     /// Number of real posts `|P|` (excluding last resorts).
@@ -93,6 +224,12 @@ impl PrefInstance {
         self.num_posts + self.num_applicants()
     }
 
+    /// Number of `(applicant, real post)` preference pairs — the edge count
+    /// `|E|` of the underlying bipartite graph.
+    pub fn num_edges(&self) -> usize {
+        self.post_flat.len()
+    }
+
     /// The extended post id of applicant `a`'s last resort `l(a)`.
     pub fn last_resort(&self, a: usize) -> usize {
         self.num_posts + a
@@ -103,39 +240,68 @@ impl PrefInstance {
         post >= self.num_posts
     }
 
-    /// True iff no preference list contains a tie.
+    /// True iff no preference list contains a tie (every tie group is a
+    /// singleton, i.e. there are as many groups as entries).
     pub fn is_strict(&self) -> bool {
-        self.prefs
-            .iter()
-            .all(|list| list.iter().all(|g| g.len() == 1))
+        self.group_off.len() - 1 == self.post_flat.len()
     }
 
-    /// Applicant `a`'s ranked tie groups (real posts only; the implicit last
-    /// resort is not included).
-    pub fn groups(&self, a: usize) -> &[Vec<usize>] {
-        &self.prefs[a]
+    /// Applicant `a`'s ranked posts as one flat slice, most preferred first
+    /// (ties appear consecutively; the implicit last resort is not included).
+    pub fn flat_list(&self, a: usize) -> &[usize] {
+        &self.post_flat[self.list_off[a]..self.list_off[a + 1]]
+    }
+
+    /// The tie-group indices parallel to [`flat_list`](Self::flat_list):
+    /// `flat_ranks(a)[i]` is the rank of `flat_list(a)[i]` on `a`'s list.
+    pub fn flat_ranks(&self, a: usize) -> &[u32] {
+        &self.rank_flat[self.list_off[a]..self.list_off[a + 1]]
+    }
+
+    /// Applicant `a`'s tie group of the given rank, as a slice of real posts.
+    pub fn group_slice(&self, a: usize, rank: usize) -> &[usize] {
+        let g = self.group_idx[a] + rank;
+        debug_assert!(g < self.group_idx[a + 1], "rank {rank} out of range");
+        &self.post_flat[self.group_off[g]..self.group_off[g + 1]]
+    }
+
+    /// Applicant `a`'s ranked tie groups, most preferred first, as slices
+    /// into the flat storage (real posts only; the implicit last resort is
+    /// not included).
+    pub fn groups(&self, a: usize) -> impl ExactSizeIterator<Item = &[usize]> + '_ {
+        (0..self.num_ranks(a)).map(move |r| self.group_slice(a, r))
+    }
+
+    /// Applicant `a`'s single most-preferred post: the first entry of the
+    /// top tie group (for strict instances, *the* first choice `f`-candidate).
+    pub fn first_choice(&self, a: usize) -> usize {
+        self.post_flat[self.list_off[a]]
     }
 
     /// Applicant `a`'s strict preference list over real posts, if the
     /// instance is strict for this applicant.
     pub fn strict_list(&self, a: usize) -> Option<Vec<usize>> {
-        if self.prefs[a].iter().any(|g| g.len() != 1) {
+        if self.num_ranks(a) != self.flat_list(a).len() {
             return None;
         }
-        Some(self.prefs[a].iter().map(|g| g[0]).collect())
+        Some(self.flat_list(a).to_vec())
     }
 
     /// Rank of an extended post on applicant `a`'s list: tie-group index for
     /// real posts, one past the last group for the last resort, `None` if the
-    /// post is not acceptable to `a`.
+    /// post is not acceptable to `a`.  One linear scan of `a`'s flat slice.
     pub fn rank(&self, a: usize, post: usize) -> Option<usize> {
         if post == self.last_resort(a) {
-            return Some(self.prefs[a].len());
+            return Some(self.num_ranks(a));
         }
         if self.is_last_resort(post) {
             return None; // another applicant's last resort
         }
-        self.prefs[a].iter().position(|group| group.contains(&post))
+        let lo = self.list_off[a];
+        self.post_flat[lo..self.list_off[a + 1]]
+            .iter()
+            .position(|&p| p == post)
+            .map(|i| self.rank_flat[lo + i] as usize)
     }
 
     /// True iff applicant `a` strictly prefers extended post `p` to
@@ -151,18 +317,17 @@ impl PrefInstance {
 
     /// The number of tie groups of applicant `a` (the rank of `l(a)`).
     pub fn num_ranks(&self, a: usize) -> usize {
-        self.prefs[a].len()
+        self.group_idx[a + 1] - self.group_idx[a]
     }
 
     /// All `(applicant, real post, rank)` triples — the edge set `E` of `G`
     /// with its rank partition `E₁ ∪ … ∪ E_r`.
     pub fn ranked_edges(&self) -> Vec<(usize, usize, usize)> {
-        let mut out = Vec::new();
-        for (a, list) in self.prefs.iter().enumerate() {
-            for (rank, group) in list.iter().enumerate() {
-                for &p in group {
-                    out.push((a, p, rank));
-                }
+        let mut out = Vec::with_capacity(self.post_flat.len());
+        for a in 0..self.num_applicants() {
+            let (lo, hi) = (self.list_off[a], self.list_off[a + 1]);
+            for i in lo..hi {
+                out.push((a, self.post_flat[i], self.rank_flat[i] as usize));
             }
         }
         out
@@ -280,6 +445,7 @@ mod tests {
         assert_eq!(inst.num_applicants(), 3);
         assert_eq!(inst.num_posts(), 3);
         assert_eq!(inst.total_posts(), 6);
+        assert_eq!(inst.num_edges(), 5);
         assert!(inst.is_strict());
         assert_eq!(inst.last_resort(2), 5);
         assert!(inst.is_last_resort(5));
@@ -304,6 +470,8 @@ mod tests {
             PrefInstance::new_with_ties(2, vec![vec![vec![]]]),
             Err(PopularError::InvalidInstance(_))
         ));
+        // A post may be repeated across *different* applicants.
+        assert!(PrefInstance::new_strict(2, vec![vec![0], vec![0]]).is_ok());
     }
 
     #[test]
@@ -330,6 +498,46 @@ mod tests {
         assert_eq!(tied.rank(0, 2), Some(1));
         assert!(tied.strict_list(0).is_none());
         assert_eq!(tied.num_ranks(0), 2);
+    }
+
+    #[test]
+    fn csr_accessors_expose_flat_slices() {
+        let tied =
+            PrefInstance::new_with_ties(4, vec![vec![vec![0, 1], vec![2]], vec![vec![3]]]).unwrap();
+        assert_eq!(tied.flat_list(0), &[0, 1, 2]);
+        assert_eq!(tied.flat_ranks(0), &[0, 0, 1]);
+        assert_eq!(tied.group_slice(0, 0), &[0, 1]);
+        assert_eq!(tied.group_slice(0, 1), &[2]);
+        assert_eq!(tied.flat_list(1), &[3]);
+        assert_eq!(tied.group_slice(1, 0), &[3]);
+        assert_eq!(tied.first_choice(0), 0);
+        assert_eq!(tied.first_choice(1), 3);
+        let groups: Vec<&[usize]> = tied.groups(0).collect();
+        assert_eq!(groups, vec![&[0, 1][..], &[2][..]]);
+
+        let strict = tiny();
+        assert_eq!(strict.flat_list(1), &[0, 2]);
+        assert_eq!(strict.strict_list(1), Some(vec![0, 2]));
+        assert_eq!(strict.group_slice(1, 1), &[2]);
+        assert_eq!(strict.first_choice(2), 1);
+    }
+
+    #[test]
+    fn rank1_constructor_matches_new_with_ties() {
+        // CSR input: applicant 0 -> {0, 2}, applicant 1 -> {1}.
+        let direct = PrefInstance::new_rank1(3, &[0, 2, 3], &[0, 2, 1]).unwrap();
+        let nested = PrefInstance::new_with_ties(3, vec![vec![vec![0, 2]], vec![vec![1]]]).unwrap();
+        assert_eq!(direct, nested);
+        // Empty lists are rejected.
+        assert!(matches!(
+            PrefInstance::new_rank1(3, &[0, 0, 1], &[0]),
+            Err(PopularError::InvalidInstance(_))
+        ));
+        // Duplicates within one applicant are rejected.
+        assert!(matches!(
+            PrefInstance::new_rank1(3, &[0, 2], &[1, 1]),
+            Err(PopularError::InvalidInstance(_))
+        ));
     }
 
     #[test]

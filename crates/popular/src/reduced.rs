@@ -51,16 +51,17 @@ impl ReducedGraph {
         let n_p = inst.num_posts();
         tracker.phase();
 
-        // Step 1 (one round): every applicant reads its first choice.
+        // Step 1 (one round): every applicant reads its first choice straight
+        // off the flat CSR storage.
         tracker.round();
         tracker.work(n_a as u64);
         let f: Vec<usize> = if n_a >= SEQUENTIAL_CUTOFF {
             (0..n_a)
                 .into_par_iter()
-                .map(|a| inst.groups(a)[0][0])
+                .map(|a| inst.first_choice(a))
                 .collect()
         } else {
-            (0..n_a).map(|a| inst.groups(a)[0][0]).collect()
+            (0..n_a).map(|a| inst.first_choice(a)).collect()
         };
 
         // Step 2 (one concurrent-write round): mark the f-posts.
@@ -72,14 +73,14 @@ impl ReducedGraph {
         }
 
         // Step 3 (one round, work = total list length): every applicant scans
-        // its list for the first non-f-post; the last resort is the fallback.
-        let total_len: usize = (0..n_a).map(|a| inst.num_ranks(a)).sum();
+        // its (strict, hence flat) list for the first non-f-post; the last
+        // resort is the fallback.
         tracker.round();
-        tracker.work(total_len as u64);
+        tracker.work(inst.num_edges() as u64);
         let find_s = |a: usize| -> usize {
-            inst.groups(a)
+            inst.flat_list(a)
                 .iter()
-                .map(|g| g[0])
+                .copied()
                 .find(|&p| !is_f_post[p])
                 .unwrap_or_else(|| inst.last_resort(a))
         };
@@ -107,16 +108,16 @@ impl ReducedGraph {
         let mut is_f_post = vec![false; inst.total_posts()];
         let mut f = Vec::with_capacity(n_a);
         for a in 0..n_a {
-            let fa = inst.groups(a)[0][0];
+            let fa = inst.first_choice(a);
             f.push(fa);
             is_f_post[fa] = true;
         }
         let mut s = Vec::with_capacity(n_a);
         for a in 0..n_a {
             let sa = inst
-                .groups(a)
+                .flat_list(a)
                 .iter()
-                .map(|g| g[0])
+                .copied()
                 .find(|&p| !is_f_post[p])
                 .unwrap_or_else(|| inst.last_resort(a));
             s.push(sa);
@@ -191,14 +192,16 @@ impl ReducedGraph {
 
     /// The reduced graph as a bipartite graph: left vertices are applicants,
     /// right vertices are extended posts, and each applicant has exactly the
-    /// two edges `(a, f(a))` and `(a, s(a))`.
+    /// two edges `(a, f(a))` and `(a, s(a))`.  Built through the CSR fast
+    /// path — every applicant's row is the two-element slice `[f(a), s(a)]`.
     pub fn to_bipartite(&self) -> BipartiteGraph {
-        let mut edges = Vec::with_capacity(2 * self.num_applicants);
+        let offsets: Vec<usize> = (0..=self.num_applicants).map(|a| 2 * a).collect();
+        let mut flat = Vec::with_capacity(2 * self.num_applicants);
         for a in 0..self.num_applicants {
-            edges.push((a, self.f[a]));
-            edges.push((a, self.s[a]));
+            flat.push(self.f[a]);
+            flat.push(self.s[a]);
         }
-        BipartiteGraph::from_edges(self.num_applicants, self.total_posts(), &edges)
+        BipartiteGraph::from_left_csr(self.num_applicants, self.total_posts(), offsets, flat)
     }
 }
 

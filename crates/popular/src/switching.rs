@@ -18,6 +18,8 @@
 
 use pm_graph::connected::ComponentLabels;
 use pm_graph::functional::FunctionalGraph;
+use pm_pram::scan::csr_offsets;
+use pm_pram::scheduler::RoundScheduler;
 use pm_pram::tracker::DepthTracker;
 use pm_pram::SEQUENTIAL_CUTOFF;
 
@@ -172,19 +174,33 @@ impl SwitchingGraph {
             cycle_of_label[l] = Some(cycle);
         }
 
-        let mut posts_of_label: Vec<Vec<usize>> = vec![Vec::new(); self.total_posts];
+        // Bucket the reduced-graph posts by component label in one flat CSR
+        // pass: counts, prefix scan, slotted fill.  Filling in increasing
+        // post order keeps each bucket sorted, as the component contract
+        // requires.
+        let mut counts = vec![0usize; self.total_posts];
         for p in 0..self.total_posts {
             if self.in_graph[p] {
-                posts_of_label[labels.label[p]].push(p);
+                counts[labels.label[p]] += 1;
+            }
+        }
+        let bucket_off = csr_offsets(&counts, tracker);
+        let mut cursor = bucket_off[..self.total_posts].to_vec();
+        let mut bucket_flat = vec![0usize; *bucket_off.last().unwrap_or(&0)];
+        for p in 0..self.total_posts {
+            if self.in_graph[p] {
+                let l = labels.label[p];
+                bucket_flat[cursor[l]] = p;
+                cursor[l] += 1;
             }
         }
 
         let mut out = Vec::new();
         for l in 0..self.total_posts {
-            if posts_of_label[l].is_empty() {
+            let posts = &bucket_flat[bucket_off[l]..bucket_off[l + 1]];
+            if posts.is_empty() {
                 continue;
             }
-            let posts = std::mem::take(&mut posts_of_label[l]);
             let kind = match cycle_of_label[l].take() {
                 Some(cycle) => ComponentKind::Cycle(cycle),
                 None => {
@@ -196,7 +212,10 @@ impl SwitchingGraph {
                     ComponentKind::Tree { sink }
                 }
             };
-            out.push(SwitchingComponent { posts, kind });
+            out.push(SwitchingComponent {
+                posts: posts.to_vec(),
+                kind,
+            });
         }
         out
     }
@@ -277,13 +296,13 @@ impl SwitchingGraph {
         // frozen (weight 0, self-pointer) so tree vertices hanging off a
         // cycle accumulate only up to the cycle entry, and true tree
         // components accumulate up to their sink.
-        let mut ptr: Vec<usize> = (0..n)
+        let ptr: Vec<usize> = (0..n)
             .map(|p| match self.succ[p] {
                 Some(q) if !on_cycle[p] => q,
                 _ => p,
             })
             .collect();
-        let mut acc: Vec<i64> = (0..n)
+        let acc: Vec<i64> = (0..n)
             .map(|p| {
                 if !on_cycle[p] && self.succ[p].is_some() {
                     self.edge_margin(p)
@@ -296,24 +315,33 @@ impl SwitchingGraph {
         let rounds = if n <= 1 {
             0
         } else {
-            usize::BITS - (n - 1).leading_zeros()
+            u64::from(usize::BITS - (n - 1).leading_zeros())
         };
+        // Every doubling round overwrites every (ptr, acc) cell, so the
+        // round scheduler's overwrite step ping-pongs two preallocated
+        // buffers with no per-round allocation or cloning.
+        let mut sched = RoundScheduler::new((ptr, acc), rounds, tracker);
         for _ in 0..rounds {
-            tracker.round();
-            tracker.work(n as u64);
-            let step = |p: usize| -> (usize, i64) {
-                let q = ptr[p];
-                (ptr[q], acc[p] + acc[q])
-            };
-            let (new_ptr, new_acc): (Vec<usize>, Vec<i64>) = if n >= SEQUENTIAL_CUTOFF {
-                (0..n).into_par_iter().map(step).unzip()
-            } else {
-                (0..n).map(step).unzip()
-            };
-            ptr = new_ptr;
-            acc = new_acc;
+            sched.step_overwrite(n as u64, |(ptr, acc), (nptr, nacc)| {
+                let write = |p: usize, np: &mut usize, na: &mut i64| {
+                    let q = ptr[p];
+                    *np = ptr[q];
+                    *na = acc[p] + acc[q];
+                };
+                if n >= SEQUENTIAL_CUTOFF {
+                    nptr.par_iter_mut()
+                        .zip(nacc.par_iter_mut())
+                        .enumerate()
+                        .for_each(|(p, (np, na))| write(p, np, na));
+                } else {
+                    for (p, (np, na)) in nptr.iter_mut().zip(nacc.iter_mut()).enumerate() {
+                        write(p, np, na);
+                    }
+                }
+                true
+            });
         }
-        acc
+        sched.into_state().0 .1
     }
 
     /// Applies the switching cycle through `cycle_posts` to `matching`:

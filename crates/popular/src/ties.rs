@@ -30,16 +30,17 @@ use crate::instance::PrefInstance;
 /// from a bipartite graph.  Left vertices with no incident edge are rejected
 /// (an instance requires non-empty preference lists; such vertices can never
 /// be matched and should simply be dropped by the caller).
+///
+/// The graph's flat CSR adjacency is handed to the instance constructor
+/// as-is — no nested per-applicant group vectors are materialised.
 pub fn rank1_instance(g: &BipartiteGraph) -> Result<PrefInstance, PopularError> {
-    let groups: Vec<Vec<Vec<usize>>> = (0..g.n_left())
-        .map(|l| vec![g.neighbors_left(l).to_vec()])
-        .collect();
-    if groups.iter().any(|gr| gr[0].is_empty()) {
+    if (0..g.n_left()).any(|l| g.degree_left(l) == 0) {
         return Err(PopularError::InvalidInstance(
             "rank-1 reduction requires every applicant to have at least one acceptable post".into(),
         ));
     }
-    PrefInstance::new_with_ties(g.n_right(), groups)
+    let (offsets, flat) = g.left_csr();
+    PrefInstance::new_rank1(g.n_right(), offsets, flat)
 }
 
 /// A popular matching of the rank-1 instance derived from `g`.
@@ -154,8 +155,9 @@ mod tests {
         let inst = rank1_instance(&g).unwrap();
         assert!(!inst.is_strict());
         assert_eq!(inst.num_applicants(), 2);
-        assert_eq!(inst.groups(0), &[vec![0, 2]]);
-        assert_eq!(inst.groups(1), &[vec![1]]);
+        assert_eq!(inst.group_slice(0, 0), &[0, 2]);
+        assert_eq!(inst.num_ranks(0), 1);
+        assert_eq!(inst.group_slice(1, 0), &[1]);
         // All edges have rank 0 (the paper's "rank 1").
         assert_eq!(inst.rank(0, 0), Some(0));
         assert_eq!(inst.rank(0, 2), Some(0));

@@ -94,11 +94,7 @@ pub fn enumerate_assignments(inst: &PrefInstance) -> Vec<Assignment> {
             out.push(Assignment::new(current.clone()));
             return;
         }
-        let mut options: Vec<usize> = inst
-            .groups(a)
-            .iter()
-            .flat_map(|g| g.iter().copied())
-            .collect();
+        let mut options: Vec<usize> = inst.flat_list(a).to_vec();
         options.push(inst.last_resort(a));
         for p in options {
             if !used[p] {

@@ -53,7 +53,8 @@ pub use compact::{compact_indices, compact_with};
 pub use pointer::{list_rank, pointer_jump_roots, PointerJumpResult};
 pub use reduce::{par_argmax, par_argmin, par_max, par_min, par_sum};
 pub use scan::{
-    prefix_scan_exclusive, prefix_scan_inclusive, prefix_sum_exclusive, prefix_sum_inclusive,
+    csr_offsets, offsets_from_counts, prefix_scan_exclusive, prefix_scan_inclusive,
+    prefix_sum_exclusive, prefix_sum_inclusive,
 };
 pub use scheduler::RoundScheduler;
 pub use tracker::{DepthTracker, PramStats};

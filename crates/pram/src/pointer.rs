@@ -55,20 +55,31 @@ pub fn pointer_jump_roots(parent: &[usize], tracker: &DepthTracker) -> PointerJu
         usize::BITS - (n - 1).leading_zeros()
     };
     let mut rounds = 0u32;
+    // Double-buffered scratch, reused across all doubling rounds: every cell
+    // is overwritten each round, so no per-round allocation is needed.
+    let mut ptr_scratch = vec![0usize; n];
+    let mut dist_scratch = vec![0u64; n];
     for _ in 0..max_rounds {
         rounds += 1;
         tracker.round();
         tracker.work(n as u64);
-        let (new_ptr, new_dist): (Vec<usize>, Vec<u64>) = if n >= SEQUENTIAL_CUTOFF {
-            (0..n)
-                .into_par_iter()
-                .map(|v| jump_one(v, &ptr, &dist))
-                .unzip()
+        if n >= SEQUENTIAL_CUTOFF {
+            ptr_scratch
+                .par_iter_mut()
+                .zip(dist_scratch.par_iter_mut())
+                .enumerate()
+                .for_each(|(v, (np, nd))| (*np, *nd) = jump_one(v, &ptr, &dist));
         } else {
-            (0..n).map(|v| jump_one(v, &ptr, &dist)).unzip()
-        };
-        ptr = new_ptr;
-        dist = new_dist;
+            for (v, (np, nd)) in ptr_scratch
+                .iter_mut()
+                .zip(dist_scratch.iter_mut())
+                .enumerate()
+            {
+                (*np, *nd) = jump_one(v, &ptr, &dist);
+            }
+        }
+        std::mem::swap(&mut ptr, &mut ptr_scratch);
+        std::mem::swap(&mut dist, &mut dist_scratch);
         // Stop early once every pointer already points at a fixed point.
         if ptr.iter().all(|&p| ptr[p] == p) {
             break;

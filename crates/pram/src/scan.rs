@@ -116,13 +116,21 @@ pub fn prefix_sum_inclusive(xs: &[u64], tracker: &DepthTracker) -> Vec<u64> {
 
 /// Exclusive prefix sum over `usize` counts, the form most graph-building
 /// code wants (CSR row offsets).  Returns the offsets and the total.
+///
+/// Scans the counts directly through the generic blocked scan — no widening
+/// round-trip, so the only allocation is the output vector itself.
 pub fn offsets_from_counts(counts: &[usize], tracker: &DepthTracker) -> (Vec<usize>, usize) {
-    let as64: Vec<u64> = counts.iter().map(|&c| c as u64).collect();
-    let (pref, total) = prefix_sum_exclusive(&as64, tracker);
-    (
-        pref.into_iter().map(|x| x as usize).collect(),
-        total as usize,
-    )
+    prefix_scan_exclusive(counts, 0usize, |a, b| a + b, tracker)
+}
+
+/// CSR row-boundary array for the given per-row counts: `n + 1` offsets with
+/// `out[i]` the start of row `i` and `out[n]` the total.  Row `i`'s slice of
+/// the flat payload is `flat[out[i]..out[i + 1]]` — the form every flat
+/// adjacency builder in the workspace consumes.
+pub fn csr_offsets(counts: &[usize], tracker: &DepthTracker) -> Vec<usize> {
+    let (mut offsets, total) = offsets_from_counts(counts, tracker);
+    offsets.push(total);
+    offsets
 }
 
 fn sequential_exclusive<T, F>(xs: &[T], identity: T, op: &F) -> (Vec<T>, T)
@@ -220,6 +228,22 @@ mod tests {
         let (off, total) = offsets_from_counts(&counts, &t);
         assert_eq!(off, vec![0, 2, 2, 5]);
         assert_eq!(total, 6);
+        assert_eq!(csr_offsets(&counts, &t), vec![0, 2, 2, 5, 6]);
+        assert_eq!(csr_offsets(&[], &t), vec![0]);
+    }
+
+    #[test]
+    fn offsets_from_counts_matches_naive_on_large_input() {
+        // Exercises the blocked two-round path on native usize counts.
+        let t = DepthTracker::new();
+        let counts: Vec<usize> = (0..70_000).map(|i| (i * 31) % 11).collect();
+        let (off, total) = offsets_from_counts(&counts, &t);
+        let mut acc = 0usize;
+        for (i, &c) in counts.iter().enumerate() {
+            assert_eq!(off[i], acc, "offset {i}");
+            acc += c;
+        }
+        assert_eq!(total, acc);
     }
 
     #[test]

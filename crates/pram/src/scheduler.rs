@@ -65,6 +65,37 @@ impl<'a, S: Clone> RoundScheduler<'a, S> {
         cont
     }
 
+    /// Like [`step`](RoundScheduler::step), but the scratch state is handed
+    /// over **as-is** (holding whatever the round before last produced)
+    /// instead of being refreshed with a full `clone_from` of the current
+    /// state.  Rounds that overwrite every cell they later read — pointer
+    /// doubling, dense relabelling, anything of the form `next[i] =
+    /// g(prev, i)` for all `i` — pay for the clone without ever observing
+    /// it; this variant skips that O(|S|) copy so the two buffers are reused
+    /// allocation-free for the whole loop.
+    ///
+    /// The caller contract is strict: `f` must treat the scratch as
+    /// uninitialised and assign every location it (or any later round) will
+    /// read.  If a round only updates *some* cells, use
+    /// [`step`](RoundScheduler::step), which guarantees the untouched cells
+    /// carry over from the current state.
+    pub fn step_overwrite<F>(&mut self, work: u64, f: F) -> bool
+    where
+        F: FnOnce(&S, &mut S) -> bool,
+    {
+        assert!(
+            self.rounds < self.max_rounds,
+            "round-synchronous loop exceeded its bound of {} rounds",
+            self.max_rounds
+        );
+        self.rounds += 1;
+        self.tracker.round();
+        self.tracker.work(work);
+        let cont = f(&self.current, &mut self.scratch);
+        std::mem::swap(&mut self.current, &mut self.scratch);
+        cont
+    }
+
     /// Runs `f` until it signals convergence and returns the final state.
     pub fn run_to_fixpoint<F>(mut self, work_per_round: u64, mut f: F) -> (S, u64)
     where
@@ -126,6 +157,34 @@ mod tests {
             false
         });
         assert_eq!(sched.state(), &vec![2, 3, 4, 0]);
+    }
+
+    #[test]
+    fn step_overwrite_matches_step_when_every_cell_is_written() {
+        // The same shift-left loop, run once with the cloning step and once
+        // with the overwrite step: identical results, identical accounting.
+        let run = |overwrite: bool| {
+            let t = DepthTracker::new();
+            let mut sched = RoundScheduler::new(vec![1u64, 2, 3, 4], 10, &t);
+            for _ in 0..3 {
+                let f = |prev: &Vec<u64>, next: &mut Vec<u64>| {
+                    for i in 0..prev.len() {
+                        next[i] = if i + 1 < prev.len() { prev[i + 1] } else { 0 };
+                    }
+                    true
+                };
+                if overwrite {
+                    sched.step_overwrite(4, f);
+                } else {
+                    sched.step(4, f);
+                }
+            }
+            let depth = t.stats().depth;
+            let (state, rounds) = sched.into_state();
+            (state, rounds, depth)
+        };
+        assert_eq!(run(false), run(true));
+        assert_eq!(run(true), (vec![4, 0, 0, 0], 3, 3));
     }
 
     #[test]

@@ -14,6 +14,7 @@ use popular_matchings::popular::algorithm1::popular_matching_run;
 use popular_matchings::popular::max_cardinality::{
     improve_to_maximum_cardinality, maximum_cardinality_popular_matching_nc,
 };
+use popular_matchings::popular::reduced::ReducedGraph;
 use popular_matchings::popular::switching::ComponentKind;
 use popular_matchings::popular::verify::{
     enumerate_assignments, is_popular_brute_force, is_popular_characterization,
@@ -137,6 +138,135 @@ fn nc_sequential_and_brute_force_agree_on_popularity() {
                 "case {case}: sequential output popular"
             );
         }
+    }
+}
+
+/// The flat-CSR instance storage is observationally identical to the nested
+/// `Vec<Vec<Vec<usize>>>` layout it replaced: every accessor reproduces the
+/// nested input, and the whole pipeline (reduced graph, matching, switching
+/// components) is byte-identical to a reference computed straight from the
+/// nested lists — on random strict *and* tied instances, including the
+/// last-resort edge cases (lists whose every entry is an f-post).
+#[test]
+fn csr_layout_agrees_with_nested_reference() {
+    let mut rng = StdRng::seed_from_u64(0xC52);
+    for case in 0..CASES {
+        // Random tied lists, nested form: the ground truth.
+        let n_p = rng.random_range(1..=6usize);
+        let n_a = rng.random_range(1..=6usize);
+        let nested: Vec<Vec<Vec<usize>>> = (0..n_a)
+            .map(|_| {
+                let len = rng.random_range(1..=n_p);
+                let mut seen = vec![false; n_p];
+                let mut posts = Vec::new();
+                for _ in 0..len {
+                    let p = rng.random_range(0..n_p);
+                    if !seen[p] {
+                        seen[p] = true;
+                        posts.push(p);
+                    }
+                }
+                // Split into consecutive tie groups of random sizes.
+                let mut groups = Vec::new();
+                let mut rest = posts.as_slice();
+                while !rest.is_empty() {
+                    let take = rng.random_range(1..=rest.len());
+                    groups.push(rest[..take].to_vec());
+                    rest = &rest[take..];
+                }
+                groups
+            })
+            .collect();
+        let inst = PrefInstance::new_with_ties(n_p, nested.clone()).expect("valid lists");
+
+        // Accessors reproduce the nested layout exactly.
+        for (a, list) in nested.iter().enumerate() {
+            assert_eq!(inst.num_ranks(a), list.len(), "case {case}");
+            let flat: Vec<usize> = list.iter().flatten().copied().collect();
+            assert_eq!(inst.flat_list(a), flat.as_slice(), "case {case}");
+            assert_eq!(inst.first_choice(a), list[0][0], "case {case}");
+            for (r, group) in list.iter().enumerate() {
+                assert_eq!(inst.group_slice(a, r), group.as_slice(), "case {case}");
+                for &p in group {
+                    assert_eq!(inst.rank(a, p), Some(r), "case {case}");
+                }
+            }
+            let collected: Vec<&[usize]> = inst.groups(a).collect();
+            let expected: Vec<&[usize]> = list.iter().map(Vec::as_slice).collect();
+            assert_eq!(collected, expected, "case {case}");
+            // Unranked posts and foreign last resorts stay unranked.
+            for p in 0..n_p {
+                if !flat.contains(&p) {
+                    assert_eq!(inst.rank(a, p), None, "case {case}");
+                }
+            }
+            assert_eq!(inst.rank(a, inst.last_resort(a)), Some(list.len()));
+        }
+
+        // Strict projection: pipeline agreement against a reference reduced
+        // graph computed directly from the nested lists (the seed semantics).
+        let strict_lists: Vec<Vec<usize>> = nested
+            .iter()
+            .map(|list| list.iter().flatten().copied().collect())
+            .collect();
+        let strict = PrefInstance::new_strict(n_p, strict_lists.clone()).unwrap();
+        let tracker = DepthTracker::new();
+        let par = ReducedGraph::build_parallel(&strict, &tracker).unwrap();
+        let seq = ReducedGraph::build_sequential(&strict).unwrap();
+        assert_eq!(par, seq, "case {case}");
+        // Reference f/s from the nested lists: f(a) is the list head; s(a)
+        // is the first non-f entry, falling back to the last resort.
+        let f_ref: Vec<usize> = strict_lists.iter().map(|l| l[0]).collect();
+        for (a, list) in strict_lists.iter().enumerate() {
+            assert_eq!(par.f(a), list[0], "case {case}");
+            let s_ref = list
+                .iter()
+                .copied()
+                .find(|p| !f_ref.contains(p))
+                .unwrap_or_else(|| strict.last_resort(a));
+            assert_eq!(par.s(a), s_ref, "case {case}");
+        }
+
+        // Matching and switching components are deterministic functions of
+        // the reduced graph: identical across repeated runs and across the
+        // parallel/sequential reduced-graph constructions.
+        if let Ok(run) = popular_matching_run(&strict, &tracker) {
+            let rerun = popular_matching_run(&strict, &DepthTracker::new()).unwrap();
+            assert_eq!(run.matching, rerun.matching, "case {case}");
+            let sg_par = SwitchingGraph::build(&run.reduced, &run.matching, &tracker);
+            let sg_seq = SwitchingGraph::build(&seq, &run.matching, &tracker);
+            let comps_par = sg_par.components(&tracker);
+            let comps_seq = sg_seq.components(&tracker);
+            assert_eq!(comps_par.len(), comps_seq.len(), "case {case}");
+            for (cp, cs) in comps_par.iter().zip(comps_seq.iter()) {
+                assert_eq!(cp.posts, cs.posts, "case {case}");
+                assert_eq!(cp.kind, cs.kind, "case {case}");
+            }
+        }
+    }
+
+    // The ties path: the CSR-built rank-1 instance is identical to the one
+    // built from nested single-group lists (the seed construction).
+    let mut rng = StdRng::seed_from_u64(0xC53);
+    for case in 0..CASES {
+        let n_l = rng.random_range(1..=6usize);
+        let n_r = rng.random_range(1..=6usize);
+        let mut edges = Vec::new();
+        for l in 0..n_l {
+            edges.push((l, rng.random_range(0..n_r)));
+            for r in 0..n_r {
+                if rng.random_range(0..3) == 0 {
+                    edges.push((l, r));
+                }
+            }
+        }
+        let g = BipartiteGraph::from_edges(n_l, n_r, &edges);
+        let via_csr = popular_matchings::popular::ties::rank1_instance(&g).unwrap();
+        let nested: Vec<Vec<Vec<usize>>> = (0..n_l)
+            .map(|l| vec![g.neighbors_left(l).to_vec()])
+            .collect();
+        let via_nested = PrefInstance::new_with_ties(n_r, nested).unwrap();
+        assert_eq!(via_csr, via_nested, "case {case}");
     }
 }
 
