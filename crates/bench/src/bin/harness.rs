@@ -11,11 +11,14 @@
 //! pasted directly into EXPERIMENTS.md.  `--json` instead times the
 //! production pipeline workloads (Algorithm 1, Algorithm 3, the switching
 //! graph, the ties reduction) and writes `BENCH_popular.json` — the perf
-//! trajectory file every perf PR measures itself against.  An existing
-//! `"baseline"` object in the output file is preserved verbatim, so the
-//! pre-refactor reference numbers survive regeneration.  `--json-out PATH`
-//! overrides the output path; `--quick` shrinks the size sweep in both
-//! modes.
+//! trajectory file every perf PR measures itself against.  Each workload is
+//! swept across thread counts (default `1,2,4`; override with
+//! `--threads 1,8`) by pinning the executor width per measurement, so the
+//! file records the wall clock per thread count and the speedup of the
+//! widest configuration over one thread.  An existing `"baseline"` object
+//! in the output file is preserved verbatim, so the pre-refactor reference
+//! numbers survive regeneration.  `--json-out PATH` overrides the output
+//! path; `--quick` shrinks the size sweep in both modes.
 
 use pm_bench::workloads;
 use pm_bench::{ms, time_best, Table};
@@ -48,7 +51,24 @@ fn main() {
             .position(|a| a == "--json-out")
             .and_then(|i| args.get(i + 1))
             .map_or("BENCH_popular.json", String::as_str);
-        json_trajectory(quick, out_path);
+        let threads: Vec<usize> = args
+            .iter()
+            .position(|a| a == "--threads")
+            .and_then(|i| args.get(i + 1))
+            .map_or_else(
+                || vec![1, 2, 4],
+                |list| {
+                    list.split(',')
+                        .map(|t| t.trim().parse().expect("--threads takes e.g. 1,2,4"))
+                        .collect()
+                },
+            );
+        assert!(
+            threads.first() == Some(&1) && threads.windows(2).all(|w| w[0] < w[1]),
+            "--threads must be strictly increasing and start at 1 \
+             (speedup_vs_1 compares the first and last entries)"
+        );
+        json_trajectory(quick, &threads, out_path);
         return;
     }
     let threads = rayon::current_num_threads();
@@ -539,18 +559,51 @@ fn e10_next_stable(quick: bool) {
 struct JsonResult {
     workload: &'static str,
     n: usize,
-    wall_ms: f64,
+    /// Best-of-N wall clock per executor width, in `--threads` order (the
+    /// first entry is the 1-thread reference).
+    wall_ms_by_threads: Vec<(usize, f64)>,
     /// Realised PRAM (depth, work) of the timed call, where tracked.
     pram: Option<(u64, u64)>,
 }
 
+impl JsonResult {
+    /// The 1-thread wall clock — the trajectory number comparable with the
+    /// pre-executor history of this file.
+    fn wall_ms_1(&self) -> f64 {
+        self.wall_ms_by_threads[0].1
+    }
+
+    /// Speedup of the widest swept configuration over one thread.
+    fn speedup_vs_1(&self) -> f64 {
+        self.wall_ms_1() / self.wall_ms_by_threads.last().expect("non-empty sweep").1
+    }
+}
+
+/// Runs `f` under each executor width in `threads` (best of `reps` each)
+/// and returns the per-width wall clocks in milliseconds.
+fn sweep_threads<R>(threads: &[usize], reps: usize, mut f: impl FnMut() -> R) -> Vec<(usize, f64)> {
+    threads
+        .iter()
+        .map(|&t| {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(t)
+                .build()
+                .expect("shim pools always build");
+            let (_, d) = pool.install(|| time_best(reps, &mut f));
+            (t, d.as_secs_f64() * 1e3)
+        })
+        .collect()
+}
+
 /// Times the production pipeline workloads and writes `BENCH_popular.json`.
 ///
-/// Wall clock is the `time_best`-of-3 protocol the Markdown tables use;
-/// depth/work are read off a fresh tracker for the same call.  The sizes go
-/// up to 10^6 applicants in the full sweep (10^5 under `--quick`, which is
-/// what the CI bench-smoke job runs).
-fn json_trajectory(quick: bool, out_path: &str) {
+/// Wall clock is the `time_best`-of-3 protocol the Markdown tables use, run
+/// once per entry of the `--threads` sweep; depth/work are read off a fresh
+/// tracker for the same call (they are executor-independent, which the
+/// determinism tests assert).  The sizes go up to 10^6 applicants in the
+/// full sweep (10^5 under `--quick`, which is what the CI bench-smoke job
+/// runs).
+fn json_trajectory(quick: bool, threads: &[usize], out_path: &str) {
     let reps = if quick { 2 } else { 3 };
     let mut results: Vec<JsonResult> = Vec::new();
 
@@ -564,14 +617,14 @@ fn json_trajectory(quick: bool, out_path: &str) {
         let tracker = DepthTracker::new();
         let _ = popular_matching_run(&inst, &tracker).expect("solvable workload");
         let stats = tracker.stats();
-        let (_, t) = time_best(reps, || {
+        let wall_ms_by_threads = sweep_threads(threads, reps, || {
             let tr = DepthTracker::new();
             popular_matching_run(&inst, &tr).unwrap()
         });
         results.push(JsonResult {
             workload: "popular_matching_run/uniform",
             n,
-            wall_ms: t.as_secs_f64() * 1e3,
+            wall_ms_by_threads,
             pram: Some((stats.depth, stats.work)),
         });
     }
@@ -586,14 +639,14 @@ fn json_trajectory(quick: bool, out_path: &str) {
         let tracker = DepthTracker::new();
         let _ = maximum_cardinality_popular_matching_nc(&inst, &tracker).expect("solvable");
         let stats = tracker.stats();
-        let (_, t) = time_best(reps, || {
+        let wall_ms_by_threads = sweep_threads(threads, reps, || {
             let tr = DepthTracker::new();
             maximum_cardinality_popular_matching_nc(&inst, &tr).unwrap()
         });
         results.push(JsonResult {
             workload: "max_cardinality/paired",
             n,
-            wall_ms: t.as_secs_f64() * 1e3,
+            wall_ms_by_threads,
             pram: Some((stats.depth, stats.work)),
         });
     }
@@ -609,7 +662,7 @@ fn json_trajectory(quick: bool, out_path: &str) {
             let _ = sg.margins_to_sink(&sg_tracker);
         }
         let stats = sg_tracker.stats();
-        let (_, t) = time_best(reps, || {
+        let wall_ms_by_threads = sweep_threads(threads, reps, || {
             let tr = DepthTracker::new();
             let sg = SwitchingGraph::build(&run.reduced, &run.matching, &tr);
             let comps = sg.components(&tr);
@@ -619,14 +672,14 @@ fn json_trajectory(quick: bool, out_path: &str) {
         results.push(JsonResult {
             workload: "switching_graph/uniform",
             n,
-            wall_ms: t.as_secs_f64() * 1e3,
+            wall_ms_by_threads,
             pram: Some((stats.depth, stats.work)),
         });
     }
 
     for &n in deep_sizes {
         let g = workloads::bipartite(n);
-        let (_, t) = time_best(reps, || {
+        let wall_ms_by_threads = sweep_threads(threads, reps, || {
             let inst = pm_popular::ties::rank1_instance(&g).unwrap();
             std::hint::black_box(inst.num_edges());
             popular_matching_rank1(&g).size()
@@ -634,7 +687,7 @@ fn json_trajectory(quick: bool, out_path: &str) {
         results.push(JsonResult {
             workload: "ties_rank1/bipartite",
             n,
-            wall_ms: t.as_secs_f64() * 1e3,
+            wall_ms_by_threads,
             pram: None,
         });
     }
@@ -642,20 +695,33 @@ fn json_trajectory(quick: bool, out_path: &str) {
     let baseline = std::fs::read_to_string(out_path)
         .ok()
         .and_then(|old| extract_object(&old, "baseline"));
-    let json = render_json(quick, &results, baseline.as_deref());
+    let json = render_json(quick, threads, &results, baseline.as_deref());
     std::fs::write(out_path, &json).expect("write BENCH json");
     eprintln!("wrote {out_path}");
     println!("{json}");
 }
 
-fn render_json(quick: bool, results: &[JsonResult], baseline: Option<&str>) -> String {
+fn render_json(
+    quick: bool,
+    threads: &[usize],
+    results: &[JsonResult],
+    baseline: Option<&str>,
+) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": 1,\n");
+    out.push_str("  \"schema\": 2,\n");
     out.push_str("  \"harness\": \"pm_bench --json\",\n");
     out.push_str(&format!("  \"quick\": {quick},\n"));
     out.push_str(&format!(
         "  \"rayon_threads\": {},\n",
         rayon::current_num_threads()
+    ));
+    out.push_str(&format!(
+        "  \"thread_sweep\": [{}],\n",
+        threads
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(", ")
     ));
     out.push_str("  \"results\": [\n");
     for (i, r) in results.iter().enumerate() {
@@ -663,11 +729,22 @@ fn render_json(quick: bool, results: &[JsonResult], baseline: Option<&str>) -> S
             Some((depth, work)) => format!(", \"depth\": {depth}, \"work\": {work}"),
             None => String::new(),
         };
+        // `wall_ms` stays the 1-thread number so the trajectory remains
+        // comparable with the sequential-shim history of this file.
+        let by_threads = r
+            .wall_ms_by_threads
+            .iter()
+            .map(|(t, ms)| format!("\"{t}\": {ms:.3}"))
+            .collect::<Vec<_>>()
+            .join(", ");
         out.push_str(&format!(
-            "    {{\"workload\": \"{}\", \"n\": {}, \"wall_ms\": {:.3}{}}}{}\n",
+            "    {{\"workload\": \"{}\", \"n\": {}, \"wall_ms\": {:.3}, \
+             \"wall_ms_by_threads\": {{{}}}, \"speedup_vs_1\": {:.2}{}}}{}\n",
             r.workload,
             r.n,
-            r.wall_ms,
+            r.wall_ms_1(),
+            by_threads,
+            r.speedup_vs_1(),
             pram,
             if i + 1 < results.len() { "," } else { "" }
         ));

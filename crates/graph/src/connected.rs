@@ -101,10 +101,18 @@ pub fn connected_components_parallel(
             parent[v].fetch_min(m, Ordering::Relaxed);
         });
 
-        // Shortcutting: parent[v] <- grandparent.
+        // Shortcutting: parent[v] <- grandparent, read against a post-hook
+        // snapshot (reusing `grand`, which is free after hooking).  Reading
+        // live `parent[p]` here would race with p's own shortcut write and
+        // make the per-round state — and hence the round count charged on
+        // the tracker — depend on chunk scheduling; the snapshot keeps the
+        // round a pure function of its inputs, so depth accounting stays
+        // bit-for-bit identical across thread counts.
+        for (g, p) in grand.iter_mut().zip(parent.iter()) {
+            *g = p.load(Ordering::Relaxed);
+        }
         (0..n).into_par_iter().for_each(|v| {
-            let p = parent[v].load(Ordering::Relaxed);
-            let gp = parent[p].load(Ordering::Relaxed);
+            let gp = grand[grand[v]];
             parent[v].fetch_min(gp, Ordering::Relaxed);
         });
 

@@ -52,8 +52,11 @@ pub fn cycle_edges_via_rank(g: &UndirectedGraph, tracker: &DepthTracker) -> Vec<
     let base_rank = incidence.rank(tracker);
     tracker.round();
     tracker.work(g.num_edges() as u64);
+    // One rank computation per edge: heavy items, so let even a handful of
+    // edges fan out instead of waiting for the default minimum chunk size.
     (0..g.num_edges())
         .into_par_iter()
+        .with_min_len(1)
         .map(|e| {
             let (u, v) = g.edges()[e];
             if u == v {
@@ -72,8 +75,10 @@ pub fn cycle_edges_via_cc(g: &UndirectedGraph, tracker: &DepthTracker) -> Vec<bo
     let base = count_components(g.n(), g.edges());
     tracker.round();
     tracker.work((g.num_edges() * (g.n() + g.num_edges())) as u64);
+    // One component count per edge — heavy items, as above.
     (0..g.num_edges())
         .into_par_iter()
+        .with_min_len(1)
         .map(|e| {
             let (u, v) = g.edges()[e];
             if u == v {

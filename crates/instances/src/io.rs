@@ -1,4 +1,4 @@
-//! A small plain-text format for popular-matching instances.
+//! A self-contained plain-text round-trip for popular-matching instances.
 //!
 //! No external serialisation crates are needed: an instance is stored as a
 //! header line with the post count followed by one line per applicant, with
@@ -11,33 +11,61 @@
 //! 3 | 4 | 6 | 1 | 7
 //! ...
 //! ```
+//!
+//! [`text`] wraps an instance in a [`std::fmt::Display`] adapter (so
+//! `io::text(&inst).to_string()` — or any `write!` sink — renders it), and
+//! [`parse`] reads the format back:
+//!
+//! ```
+//! use pm_instances::{io, paper};
+//!
+//! let inst = paper::figure1_instance();
+//! let round_tripped = io::parse(&io::text(&inst).to_string()).unwrap();
+//! assert_eq!(inst, round_tripped);
+//! ```
+
+use std::fmt;
 
 use pm_popular::error::PopularError;
 use pm_popular::instance::PrefInstance;
 
-/// Serialises an instance to the plain-text format.
-pub fn to_text(inst: &PrefInstance) -> String {
-    let mut out = String::new();
-    out.push_str(&format!("posts {}\n", inst.num_posts()));
-    for a in 0..inst.num_applicants() {
-        let line = inst
-            .groups(a)
-            .map(|g| {
-                g.iter()
-                    .map(|p| p.to_string())
-                    .collect::<Vec<_>>()
-                    .join(" ")
-            })
-            .collect::<Vec<_>>()
-            .join(" | ");
-        out.push_str(&line);
-        out.push('\n');
-    }
-    out
+/// [`Display`](fmt::Display) adapter rendering an instance in the
+/// plain-text format; obtain one via [`text`].
+pub struct TextFormat<'a>(&'a PrefInstance);
+
+/// Wraps an instance for plain-text rendering: `text(&inst).to_string()`
+/// is the serialised form, and [`parse`] is its inverse.
+pub fn text(inst: &PrefInstance) -> TextFormat<'_> {
+    TextFormat(inst)
 }
 
-/// Parses an instance from the plain-text format.
-pub fn from_text(text: &str) -> Result<PrefInstance, PopularError> {
+impl fmt::Display for TextFormat<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "posts {}", self.0.num_posts())?;
+        for a in 0..self.0.num_applicants() {
+            let mut first_group = true;
+            for g in self.0.groups(a) {
+                if !first_group {
+                    f.write_str(" | ")?;
+                }
+                first_group = false;
+                let mut first_post = true;
+                for p in g {
+                    if !first_post {
+                        f.write_str(" ")?;
+                    }
+                    first_post = false;
+                    write!(f, "{p}")?;
+                }
+            }
+            f.write_str("\n")?;
+        }
+        Ok(())
+    }
+}
+
+/// Parses an instance from the plain-text format (inverse of [`text`]).
+pub fn parse(text: &str) -> Result<PrefInstance, PopularError> {
     let mut lines = text.lines().filter(|l| !l.trim().is_empty());
     let header = lines
         .next()
@@ -80,8 +108,8 @@ mod tests {
     #[test]
     fn roundtrip_paper_instance() {
         let inst = figure1_instance();
-        let text = to_text(&inst);
-        let back = from_text(&text).unwrap();
+        let text = super::text(&inst).to_string();
+        let back = parse(&text).unwrap();
         assert_eq!(inst, back);
         assert!(text.starts_with("posts 9\n"));
         assert!(text.contains("0 | 3 | 4 | 1 | 5"));
@@ -96,35 +124,32 @@ mod tests {
             seed: 1,
         };
         for inst in [uniform_strict(&cfg), with_ties(&cfg, 3)] {
-            let back = from_text(&to_text(&inst)).unwrap();
+            let back = parse(&super::text(&inst).to_string()).unwrap();
             assert_eq!(inst, back);
         }
     }
 
     #[test]
     fn parse_errors_are_reported() {
+        assert!(matches!(parse(""), Err(PopularError::InvalidInstance(_))));
         assert!(matches!(
-            from_text(""),
+            parse("nonsense\n1 2"),
             Err(PopularError::InvalidInstance(_))
         ));
         assert!(matches!(
-            from_text("nonsense\n1 2"),
-            Err(PopularError::InvalidInstance(_))
-        ));
-        assert!(matches!(
-            from_text("posts 2\n0 zebra"),
+            parse("posts 2\n0 zebra"),
             Err(PopularError::InvalidInstance(_))
         ));
         // Out-of-range post ids are caught by instance validation.
         assert!(matches!(
-            from_text("posts 2\n0 5"),
+            parse("posts 2\n0 5"),
             Err(PopularError::InvalidInstance(_))
         ));
     }
 
     #[test]
     fn blank_lines_and_empty_groups_are_ignored() {
-        let inst = from_text("posts 3\n\n0 | | 1\n\n2\n").unwrap();
+        let inst = parse("posts 3\n\n0 | | 1\n\n2\n").unwrap();
         assert_eq!(inst.num_applicants(), 2);
         assert_eq!(inst.groups(0).collect::<Vec<_>>(), vec![&[0][..], &[1][..]]);
         assert_eq!(inst.groups(1).collect::<Vec<_>>(), vec![&[2][..]]);

@@ -112,20 +112,23 @@ impl BoolMatrix {
         tracker.work((n as u64) * (n as u64) * (wpr as u64).max(1));
 
         let mut out = BoolMatrix::zero(n);
-        out.rows
-            .par_chunks_mut(wpr)
-            .enumerate()
-            .for_each(|(i, out_row)| {
-                let self_row = self.row(i);
-                for k in 0..n {
-                    if (self_row[k / 64] >> (k % 64)) & 1 == 1 {
-                        let other_row = other.row(k);
-                        for (o, &w) in out_row.iter_mut().zip(other_row.iter()) {
-                            *o |= w;
-                        }
+        let one_row = |(i, out_row): (usize, &mut [u64])| {
+            let self_row = self.row(i);
+            for k in 0..n {
+                if (self_row[k / 64] >> (k % 64)) & 1 == 1 {
+                    let other_row = other.row(k);
+                    for (o, &w) in out_row.iter_mut().zip(other_row.iter()) {
+                        *o |= w;
                     }
                 }
-            });
+            }
+        };
+        // The product touches n²·wpr words; fan out only when that pays.
+        if n * n * wpr >= crate::PAR_CELLS_CUTOFF {
+            out.rows.par_chunks_mut(wpr).enumerate().for_each(one_row);
+        } else {
+            out.rows.chunks_mut(wpr).enumerate().for_each(one_row);
+        }
         out
     }
 

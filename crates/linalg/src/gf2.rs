@@ -124,13 +124,18 @@ impl Gf2Matrix {
             // Eliminate the column from every other row below the pivot.
             let (pivot_rows, rest) = m.data.split_at_mut((row_start + 1) * wpr);
             let pivot_row = &pivot_rows[row_start * wpr..(row_start + 1) * wpr];
-            rest.par_chunks_mut(wpr).for_each(|row| {
+            let eliminate = |row: &mut [u64]| {
                 if row[word] & bit != 0 {
                     for (r, &p) in row.iter_mut().zip(pivot_row.iter()) {
                         *r ^= p;
                     }
                 }
-            });
+            };
+            if rest.len() >= crate::PAR_CELLS_CUTOFF {
+                rest.par_chunks_mut(wpr).for_each(eliminate);
+            } else {
+                rest.chunks_mut(wpr).for_each(eliminate);
+            }
 
             rank += 1;
             row_start += 1;

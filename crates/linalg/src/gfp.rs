@@ -160,7 +160,7 @@ impl GfpMatrix {
             // Eliminate below the pivot (parallel over rows).
             let (pivot_rows, rest) = m.data.split_at_mut((row_start + 1) * cols);
             let pivot_row = &pivot_rows[row_start * cols..(row_start + 1) * cols];
-            rest.par_chunks_mut(cols).for_each(|row| {
+            let eliminate = |row: &mut [u64]| {
                 let factor = row[col];
                 if factor != 0 {
                     for (r, &pv) in row.iter_mut().zip(pivot_row.iter()).skip(col) {
@@ -168,7 +168,12 @@ impl GfpMatrix {
                         *r = (*r + p - sub) % p;
                     }
                 }
-            });
+            };
+            if rest.len() >= crate::PAR_CELLS_CUTOFF {
+                rest.par_chunks_mut(cols).for_each(eliminate);
+            } else {
+                rest.chunks_mut(cols).for_each(eliminate);
+            }
 
             rank += 1;
             row_start += 1;

@@ -27,6 +27,13 @@ pub mod boolmat;
 pub mod gf2;
 pub mod gfp;
 
+/// Minimum number of matrix cells (words for the bit-packed kernels) a
+/// row-parallel pass must touch before it fans out to the thread pool;
+/// below this, pool dispatch costs more than the elimination itself.
+/// Matters since the rank oracles run one pass *per pivot*: a small
+/// matrix would otherwise pay the fan-out `rank` times.
+pub(crate) const PAR_CELLS_CUTOFF: usize = 1 << 14;
+
 pub use bigint::BigUint;
 pub use boolmat::BoolMatrix;
 pub use gf2::Gf2Matrix;

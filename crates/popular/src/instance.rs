@@ -25,13 +25,9 @@
 
 use crate::error::PopularError;
 
-#[cfg(feature = "serde")]
-use serde::{Deserialize, Serialize};
-
 /// A one-sided preference instance with optionally tied preference lists,
 /// stored as a flat CSR structure (see the module docs).
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct PrefInstance {
     num_posts: usize,
     /// Every ranked post, applicant-major, in preference order.
@@ -337,7 +333,6 @@ impl PrefInstance {
 /// An applicant-complete assignment: every applicant is matched to exactly
 /// one extended post (possibly its last resort).
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct Assignment {
     post_of: Vec<usize>,
 }

@@ -63,3 +63,19 @@ pub use tracker::{DepthTracker, PramStats};
 /// implementation.  Parallelising tiny inputs costs more than it saves; the
 /// outputs are identical either way.
 pub const SEQUENTIAL_CUTOFF: usize = 2048;
+
+/// Chunk length for blocked parallel passes over `len` elements: ceil-divides
+/// the input over the pool's fan-out (threads × a small over-partition
+/// factor) and clamps to `min_chunk` from below.
+///
+/// The ceil division guarantees the partition never produces a degenerate
+/// trailing chunk beyond the intended fan-out, and the `min_chunk` clamp
+/// keeps small inputs in a handful of chunks (or one), so tiny instances do
+/// not pay fan-out overhead and no chunk is ever empty.  The result depends
+/// only on `len` and the configured thread count — never on scheduling — so
+/// chunked algorithms built on it stay deterministic; with an associative
+/// combining operator the outputs are identical for every thread count.
+pub fn par_chunk_len(len: usize, min_chunk: usize) -> usize {
+    let fan_out = (rayon::current_num_threads() * 4).max(1);
+    len.div_ceil(fan_out).max(min_chunk).max(1)
+}

@@ -48,7 +48,7 @@ where
         return sequential_exclusive(xs, identity, &op);
     }
 
-    let chunk = MIN_CHUNK.max(xs.len() / (rayon::current_num_threads() * 4).max(1));
+    let chunk = crate::par_chunk_len(xs.len(), MIN_CHUNK);
 
     // Round 1: reduce each chunk in parallel.
     tracker.round();

@@ -268,3 +268,32 @@ fn reduction_depth_is_charged_logarithmically() {
         assert_eq!(tracker.stats().depth, k, "depth for n = 2^{k}");
     }
 }
+
+#[test]
+fn substrate_primitives_are_identical_across_thread_counts() {
+    // The primitives reuse double-buffered scratch under concurrent chunk
+    // writers; pinning the executor to 1 and 4 threads in-process must
+    // yield identical outputs *and* identical depth/work accounting.
+    let mut rng = StdRng::seed_from_u64(99);
+    let xs: Vec<u64> = (0..10_000).map(|_| rng.random_range(0..1_000)).collect();
+    let parent: Vec<usize> = (0..10_000)
+        .map(|i| if i == 0 { 0 } else { rng.random_range(0..i) })
+        .collect();
+
+    let run = |threads: usize| {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("shim pools always build");
+        pool.install(|| {
+            let tracker = DepthTracker::new();
+            let scan = prefix_sum_exclusive(&xs, &tracker);
+            let jump = pointer_jump_roots(&parent, &tracker);
+            let kept = compact_indices(xs.len(), |i| xs[i].is_multiple_of(3), &tracker);
+            let sum = par_sum(&xs, &tracker);
+            let argmin = par_argmin(&xs, &tracker);
+            (scan, jump, kept, sum, argmin, tracker.stats())
+        })
+    };
+    assert_eq!(run(1), run(4));
+}

@@ -5,9 +5,6 @@ use pm_matching::gale_shapley::{
     gale_shapley_man_optimal, gale_shapley_woman_optimal, is_stable, rank_matrix,
 };
 
-#[cfg(feature = "serde")]
-use serde::{Deserialize, Serialize};
-
 /// A stable marriage instance with `n` men and `n` women, each with a
 /// complete, strictly-ordered preference list over the other side.
 ///
@@ -15,7 +12,6 @@ use serde::{Deserialize, Serialize};
 /// preference matrices: who is ranked at position `i`) and `mr`/`wr` (the
 /// ranking matrices: at what position is person `q` ranked).
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct SmInstance {
     men_prefs: Vec<Vec<usize>>,
     women_prefs: Vec<Vec<usize>>,
@@ -128,7 +124,6 @@ impl SmInstance {
 
 /// A perfect matching between men and women, stored as `man → woman`.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
-#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct StableMatching {
     man_to_woman: Vec<usize>,
 }

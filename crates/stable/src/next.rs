@@ -75,7 +75,13 @@ pub fn reduced_men_lists(
     };
 
     if n >= SEQUENTIAL_CUTOFF {
-        (0..n).into_par_iter().map(reduce_one).collect()
+        // Each item compacts a full Θ(n) list — heavy enough that even a
+        // few dozen men per chunk keep every pool thread busy.
+        (0..n)
+            .into_par_iter()
+            .with_min_len(64)
+            .map(reduce_one)
+            .collect()
     } else {
         (0..n).map(reduce_one).collect()
     }

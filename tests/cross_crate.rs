@@ -119,8 +119,8 @@ fn e8_optimal_variants_are_consistent() {
 #[test]
 fn text_format_roundtrip_through_pipeline() {
     let inst = paper::figure1_instance();
-    let text = popular_matchings::instances::io::to_text(&inst);
-    let parsed = popular_matchings::instances::io::from_text(&text).unwrap();
+    let text = popular_matchings::instances::io::text(&inst).to_string();
+    let parsed = popular_matchings::instances::io::parse(&text).unwrap();
     assert_eq!(inst, parsed);
 
     let tracker = DepthTracker::new();
