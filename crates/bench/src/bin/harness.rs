@@ -5,23 +5,80 @@
 //! cargo run --release -p pm_bench --bin harness            # full sweep
 //! cargo run --release -p pm_bench --bin harness -- --quick # smaller sizes
 //! cargo run --release -p pm_bench --bin harness -- --json  # BENCH_popular.json
+//! cargo run --release -p pm_bench --bin harness -- --json --workloads 'served/*'
 //! ```
 //!
 //! Markdown output (one table per experiment, E1–E10) is designed to be
 //! pasted directly into EXPERIMENTS.md.  `--json` instead times the
 //! production pipeline workloads (Algorithm 1, Algorithm 3, the switching
-//! graph, the ties reduction) and writes `BENCH_popular.json` — the perf
-//! trajectory file every perf PR measures itself against.  Each workload is
-//! swept across thread counts (default `1,2,4`; override with
-//! `--threads 1,8`) by pinning the executor width per measurement, so the
-//! file records the wall clock per thread count and the speedup of the
+//! graph, the ties reduction) plus the `served/` family — repeated warm
+//! solves on a reused [`PopularSolver`], the cold free-function path for
+//! comparison, and batched throughput, all reported as amortized
+//! per-request milliseconds — and writes schema-3 `BENCH_popular.json`,
+//! the perf trajectory file every perf PR measures itself against.
+//!
+//! The harness binary installs a **counting global allocator**; the warm
+//! `served/` measurement runs a width-1 warm solve under it and hard-fails
+//! (exit 1) if a single heap allocation is observed — the zero-allocation
+//! regression gate CI runs on every push.
+//!
+//! Each workload is swept across thread counts (default `1,2,4`; override
+//! with `--threads 1,8`) by pinning the executor width per measurement, so
+//! the file records the wall clock per thread count and the speedup of the
 //! widest configuration over one thread.  An existing `"baseline"` object
 //! in the output file is preserved verbatim, so the pre-refactor reference
 //! numbers survive regeneration.  `--json-out PATH` overrides the output
-//! path; `--quick` shrinks the size sweep in both modes.
+//! path; `--quick` shrinks the size sweep in both modes; `--workloads GLOB`
+//! (json mode, `*` wildcard) restricts the sweep to matching workload
+//! names — pair it with `--json-out` to avoid truncating the committed
+//! trajectory file.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use pm_bench::workloads;
 use pm_bench::{ms, time_best, Table};
+
+/// Number of heap allocations observed process-wide (relaxed; exact when
+/// read around a single-threaded region, which is how the zero-allocation
+/// gate uses it).
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+fn allocation_count() -> u64 {
+    ALLOCATIONS.load(Ordering::SeqCst)
+}
+
+/// A [`System`] allocator that counts every allocation (including
+/// `realloc`/`alloc_zeroed`) — the measuring instrument behind the
+/// `served/` zero-allocation gate.
+struct CountingAllocator;
+
+// SAFETY: every method delegates verbatim to `System`; the only addition is
+// a relaxed counter increment, which allocates nothing and has no effect on
+// the returned memory.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL_ALLOCATOR: CountingAllocator = CountingAllocator;
 
 use pm_graph::cycle::{
     cycle_vertices_via_cc, cycle_vertices_via_closure, cycle_vertices_via_rank, undirected_view,
@@ -34,6 +91,7 @@ use pm_popular::max_cardinality::maximum_cardinality_popular_matching_nc;
 use pm_popular::optimal::{fair_popular_matching, rank_maximal_popular_matching};
 use pm_popular::profile::Profile;
 use pm_popular::sequential::popular_matching_sequential;
+use pm_popular::solver::PopularSolver;
 use pm_popular::switching::{ComponentKind, SwitchingGraph};
 use pm_popular::ties::popular_matching_rank1;
 use pm_popular::verify::is_popular_characterization;
@@ -68,7 +126,12 @@ fn main() {
             "--threads must be strictly increasing and start at 1 \
              (speedup_vs_1 compares the first and last entries)"
         );
-        json_trajectory(quick, &threads, out_path);
+        let workload_filter = args
+            .iter()
+            .position(|a| a == "--workloads")
+            .and_then(|i| args.get(i + 1))
+            .cloned();
+        json_trajectory(quick, &threads, out_path, workload_filter.as_deref());
         return;
     }
     let threads = rayon::current_num_threads();
@@ -560,10 +623,38 @@ struct JsonResult {
     workload: &'static str,
     n: usize,
     /// Best-of-N wall clock per executor width, in `--threads` order (the
-    /// first entry is the 1-thread reference).
+    /// first entry is the 1-thread reference).  For `served/` workloads the
+    /// values are amortized per-request milliseconds.
     wall_ms_by_threads: Vec<(usize, f64)>,
     /// Realised PRAM (depth, work) of the timed call, where tracked.
     pram: Option<(u64, u64)>,
+    /// Extra integer fields rendered verbatim into the JSON entry
+    /// (`requests`, `batch`, `allocs_per_solve`, …).
+    extra: Vec<(&'static str, u64)>,
+}
+
+/// `*`-wildcard matching for `--workloads` (iterative backtracking; `*`
+/// matches any — possibly empty — substring).
+fn glob_match(pattern: &str, text: &str) -> bool {
+    let (p, t) = (pattern.as_bytes(), text.as_bytes());
+    let (mut pi, mut ti) = (0usize, 0usize);
+    let mut star: Option<(usize, usize)> = None;
+    while ti < t.len() {
+        if pi < p.len() && (p[pi] == t[ti]) {
+            pi += 1;
+            ti += 1;
+        } else if pi < p.len() && p[pi] == b'*' {
+            star = Some((pi, ti));
+            pi += 1;
+        } else if let Some((sp, st)) = star {
+            pi = sp + 1;
+            ti = st + 1;
+            star = Some((sp, st + 1));
+        } else {
+            return false;
+        }
+    }
+    p[pi..].iter().all(|&c| c == b'*')
 }
 
 impl JsonResult {
@@ -602,9 +693,14 @@ fn sweep_threads<R>(threads: &[usize], reps: usize, mut f: impl FnMut() -> R) ->
 /// tracker for the same call (they are executor-independent, which the
 /// determinism tests assert).  The sizes go up to 10^6 applicants in the
 /// full sweep (10^5 under `--quick`, which is what the CI bench-smoke job
-/// runs).
-fn json_trajectory(quick: bool, threads: &[usize], out_path: &str) {
+/// runs).  `filter` is the `--workloads` glob; unselected workload families
+/// are skipped entirely (their instances are never even generated).
+fn json_trajectory(quick: bool, threads: &[usize], out_path: &str, filter: Option<&str>) {
     let reps = if quick { 2 } else { 3 };
+    let selected = |name: &str| filter.is_none_or(|pat| glob_match(pat, name));
+    if let Some(pat) = filter {
+        eprintln!("workload filter: {pat} (unselected workloads are dropped from the output file)");
+    }
     let mut results: Vec<JsonResult> = Vec::new();
 
     let popular_sizes: &[usize] = if quick {
@@ -612,21 +708,24 @@ fn json_trajectory(quick: bool, threads: &[usize], out_path: &str) {
     } else {
         &[10_000, 100_000, 1_000_000]
     };
-    for &n in popular_sizes {
-        let inst = workloads::solvable_uniform(n);
-        let tracker = DepthTracker::new();
-        let _ = popular_matching_run(&inst, &tracker).expect("solvable workload");
-        let stats = tracker.stats();
-        let wall_ms_by_threads = sweep_threads(threads, reps, || {
-            let tr = DepthTracker::new();
-            popular_matching_run(&inst, &tr).unwrap()
-        });
-        results.push(JsonResult {
-            workload: "popular_matching_run/uniform",
-            n,
-            wall_ms_by_threads,
-            pram: Some((stats.depth, stats.work)),
-        });
+    if selected("popular_matching_run/uniform") {
+        for &n in popular_sizes {
+            let inst = workloads::solvable_uniform(n);
+            let tracker = DepthTracker::new();
+            let _ = popular_matching_run(&inst, &tracker).expect("solvable workload");
+            let stats = tracker.stats();
+            let wall_ms_by_threads = sweep_threads(threads, reps, || {
+                let tr = DepthTracker::new();
+                popular_matching_run(&inst, &tr).unwrap()
+            });
+            results.push(JsonResult {
+                workload: "popular_matching_run/uniform",
+                n,
+                wall_ms_by_threads,
+                pram: Some((stats.depth, stats.work)),
+                extra: Vec::new(),
+            });
+        }
     }
 
     let deep_sizes: &[usize] = if quick {
@@ -634,63 +733,74 @@ fn json_trajectory(quick: bool, threads: &[usize], out_path: &str) {
     } else {
         &[100_000, 1_000_000]
     };
-    for &n in deep_sizes {
-        let inst = workloads::paired_pressure(n / 2);
-        let tracker = DepthTracker::new();
-        let _ = maximum_cardinality_popular_matching_nc(&inst, &tracker).expect("solvable");
-        let stats = tracker.stats();
-        let wall_ms_by_threads = sweep_threads(threads, reps, || {
-            let tr = DepthTracker::new();
-            maximum_cardinality_popular_matching_nc(&inst, &tr).unwrap()
-        });
-        results.push(JsonResult {
-            workload: "max_cardinality/paired",
-            n,
-            wall_ms_by_threads,
-            pram: Some((stats.depth, stats.work)),
-        });
-    }
-
-    for &n in deep_sizes {
-        let inst = workloads::solvable_uniform(n);
-        let tracker = DepthTracker::new();
-        let run = popular_matching_run(&inst, &tracker).expect("solvable workload");
-        let sg_tracker = DepthTracker::new();
-        {
-            let sg = SwitchingGraph::build(&run.reduced, &run.matching, &sg_tracker);
-            let _ = sg.components(&sg_tracker);
-            let _ = sg.margins_to_sink(&sg_tracker);
+    if selected("max_cardinality/paired") {
+        for &n in deep_sizes {
+            let inst = workloads::paired_pressure(n / 2);
+            let tracker = DepthTracker::new();
+            let _ = maximum_cardinality_popular_matching_nc(&inst, &tracker).expect("solvable");
+            let stats = tracker.stats();
+            let wall_ms_by_threads = sweep_threads(threads, reps, || {
+                let tr = DepthTracker::new();
+                maximum_cardinality_popular_matching_nc(&inst, &tr).unwrap()
+            });
+            results.push(JsonResult {
+                workload: "max_cardinality/paired",
+                n,
+                wall_ms_by_threads,
+                pram: Some((stats.depth, stats.work)),
+                extra: Vec::new(),
+            });
         }
-        let stats = sg_tracker.stats();
-        let wall_ms_by_threads = sweep_threads(threads, reps, || {
-            let tr = DepthTracker::new();
-            let sg = SwitchingGraph::build(&run.reduced, &run.matching, &tr);
-            let comps = sg.components(&tr);
-            let margins = sg.margins_to_sink(&tr);
-            std::hint::black_box((comps.len(), margins.len()))
-        });
-        results.push(JsonResult {
-            workload: "switching_graph/uniform",
-            n,
-            wall_ms_by_threads,
-            pram: Some((stats.depth, stats.work)),
-        });
     }
 
-    for &n in deep_sizes {
-        let g = workloads::bipartite(n);
-        let wall_ms_by_threads = sweep_threads(threads, reps, || {
-            let inst = pm_popular::ties::rank1_instance(&g).unwrap();
-            std::hint::black_box(inst.num_edges());
-            popular_matching_rank1(&g).size()
-        });
-        results.push(JsonResult {
-            workload: "ties_rank1/bipartite",
-            n,
-            wall_ms_by_threads,
-            pram: None,
-        });
+    if selected("switching_graph/uniform") {
+        for &n in deep_sizes {
+            let inst = workloads::solvable_uniform(n);
+            let tracker = DepthTracker::new();
+            let run = popular_matching_run(&inst, &tracker).expect("solvable workload");
+            let sg_tracker = DepthTracker::new();
+            {
+                let sg = SwitchingGraph::build(&run.reduced, &run.matching, &sg_tracker);
+                let _ = sg.components(&sg_tracker);
+                let _ = sg.margins_to_sink(&sg_tracker);
+            }
+            let stats = sg_tracker.stats();
+            let wall_ms_by_threads = sweep_threads(threads, reps, || {
+                let tr = DepthTracker::new();
+                let sg = SwitchingGraph::build(&run.reduced, &run.matching, &tr);
+                let comps = sg.components(&tr);
+                let margins = sg.margins_to_sink(&tr);
+                std::hint::black_box((comps.len(), margins.len()))
+            });
+            results.push(JsonResult {
+                workload: "switching_graph/uniform",
+                n,
+                wall_ms_by_threads,
+                pram: Some((stats.depth, stats.work)),
+                extra: Vec::new(),
+            });
+        }
     }
+
+    if selected("ties_rank1/bipartite") {
+        for &n in deep_sizes {
+            let g = workloads::bipartite(n);
+            let wall_ms_by_threads = sweep_threads(threads, reps, || {
+                let inst = pm_popular::ties::rank1_instance(&g).unwrap();
+                std::hint::black_box(inst.num_edges());
+                popular_matching_rank1(&g).size()
+            });
+            results.push(JsonResult {
+                workload: "ties_rank1/bipartite",
+                n,
+                wall_ms_by_threads,
+                pram: None,
+                extra: Vec::new(),
+            });
+        }
+    }
+
+    served_trajectory(quick, threads, reps, &selected, &mut results);
 
     let baseline = std::fs::read_to_string(out_path)
         .ok()
@@ -701,6 +811,151 @@ fn json_trajectory(quick: bool, threads: &[usize], out_path: &str) {
     println!("{json}");
 }
 
+/// The `served/` workload family: warm repeated solves on one reused
+/// [`PopularSolver`], the cold free-function path on the same request
+/// stream, and batched throughput — all reported as amortized per-request
+/// milliseconds.  Also runs the zero-allocation gate: a width-1 warm solve
+/// under the counting allocator must allocate exactly zero times, or the
+/// harness exits non-zero (the CI regression gate).
+fn served_trajectory(
+    quick: bool,
+    threads: &[usize],
+    reps: usize,
+    selected: &dyn Fn(&str) -> bool,
+    results: &mut Vec<JsonResult>,
+) {
+    let served_sizes: &[usize] = if quick {
+        &[10_000, 100_000]
+    } else {
+        &[10_000, 100_000, 1_000_000]
+    };
+
+    if selected("served/warm_solve/uniform") {
+        for &n in served_sizes {
+            let inst = workloads::solvable_uniform(n);
+            let requests: usize = if n >= 1_000_000 {
+                2
+            } else if quick {
+                4
+            } else {
+                8
+            };
+            let mut solver = PopularSolver::new(inst.num_applicants(), inst.num_posts());
+
+            // Zero-allocation gate, width 1: warm until the pooled buffers
+            // reach steady state (capacity growth settles within a few
+            // requests; 10 is far beyond it), then three measured solves
+            // must not touch the allocator at all.
+            let pool1 = rayon::ThreadPoolBuilder::new()
+                .num_threads(1)
+                .build()
+                .expect("shim pools always build");
+            let mut warmups = 0u32;
+            loop {
+                let before = allocation_count();
+                pool1.install(|| {
+                    std::hint::black_box(solver.solve(&inst).expect("solvable").num_applicants());
+                });
+                warmups += 1;
+                if allocation_count() == before || warmups >= 10 {
+                    break;
+                }
+            }
+            let before = allocation_count();
+            pool1.install(|| {
+                for _ in 0..3 {
+                    std::hint::black_box(solver.solve(&inst).expect("solvable").num_applicants());
+                }
+            });
+            let allocs = allocation_count() - before;
+            if allocs != 0 {
+                eprintln!(
+                    "ZERO-ALLOC GATE FAILED: warm PopularSolver::solve performed {allocs} \
+                     allocations over 3 solves at n = {n} after {warmups} warm-ups (expected 0)"
+                );
+                std::process::exit(1);
+            }
+            eprintln!(
+                "zero-alloc gate passed at n = {n} \
+                 (0 allocations across 3 warm solves, {warmups} warm-ups to steady state)"
+            );
+
+            let wall_ms_by_threads: Vec<(usize, f64)> = sweep_threads(threads, reps, || {
+                for _ in 0..requests {
+                    std::hint::black_box(solver.solve(&inst).expect("solvable").num_applicants());
+                }
+            })
+            .into_iter()
+            .map(|(t, total_ms)| (t, total_ms / requests as f64))
+            .collect();
+            results.push(JsonResult {
+                workload: "served/warm_solve/uniform",
+                n,
+                wall_ms_by_threads,
+                pram: None,
+                // `allocs` is provably 0 here (the gate above exits
+                // otherwise); recording the measured value keeps the JSON
+                // an observation rather than a constant.
+                extra: vec![("requests", requests as u64), ("allocs_per_solve", allocs)],
+            });
+        }
+    }
+
+    if selected("served/cold_solve/uniform") {
+        for &n in served_sizes {
+            let inst = workloads::solvable_uniform(n);
+            let requests: usize = if n >= 1_000_000 {
+                2
+            } else if quick {
+                4
+            } else {
+                8
+            };
+            let wall_ms_by_threads: Vec<(usize, f64)> = sweep_threads(threads, reps, || {
+                for _ in 0..requests {
+                    let tr = DepthTracker::new();
+                    std::hint::black_box(
+                        pm_popular::algorithm1::popular_matching_nc(&inst, &tr)
+                            .expect("solvable")
+                            .num_applicants(),
+                    );
+                }
+            })
+            .into_iter()
+            .map(|(t, total_ms)| (t, total_ms / requests as f64))
+            .collect();
+            results.push(JsonResult {
+                workload: "served/cold_solve/uniform",
+                n,
+                wall_ms_by_threads,
+                pram: None,
+                extra: vec![("requests", requests as u64)],
+            });
+        }
+    }
+
+    if selected("served/batch/uniform") {
+        let (batch_n, batch_size): (usize, usize) = if quick { (10_000, 4) } else { (100_000, 8) };
+        let insts = workloads::batch_instances(batch_n, batch_size);
+        let mut solver = PopularSolver::new(batch_n, batch_n);
+        let wall_ms_by_threads: Vec<(usize, f64)> = sweep_threads(threads, reps, || {
+            let out = solver.solve_batch(&insts);
+            debug_assert!(out.iter().all(Result::is_ok));
+            std::hint::black_box(out.len())
+        })
+        .into_iter()
+        .map(|(t, total_ms)| (t, total_ms / batch_size as f64))
+        .collect();
+        results.push(JsonResult {
+            workload: "served/batch/uniform",
+            n: batch_n,
+            wall_ms_by_threads,
+            pram: None,
+            extra: vec![("batch", batch_size as u64)],
+        });
+    }
+}
+
 fn render_json(
     quick: bool,
     threads: &[usize],
@@ -708,7 +963,7 @@ fn render_json(
     baseline: Option<&str>,
 ) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": 2,\n");
+    out.push_str("  \"schema\": 3,\n");
     out.push_str("  \"harness\": \"pm_bench --json\",\n");
     out.push_str(&format!("  \"quick\": {quick},\n"));
     out.push_str(&format!(
@@ -725,10 +980,13 @@ fn render_json(
     ));
     out.push_str("  \"results\": [\n");
     for (i, r) in results.iter().enumerate() {
-        let pram = match r.pram {
+        let mut pram = match r.pram {
             Some((depth, work)) => format!(", \"depth\": {depth}, \"work\": {work}"),
             None => String::new(),
         };
+        for (key, value) in &r.extra {
+            pram.push_str(&format!(", \"{key}\": {value}"));
+        }
         // `wall_ms` stays the 1-thread number so the trajectory remains
         // comparable with the sequential-shim history of this file.
         let by_threads = r

@@ -71,6 +71,23 @@ pub fn peeling_tree(depth: usize) -> PrefInstance {
     generators::binary_tree_instance(depth)
 }
 
+/// E16 / served — `count` independent solvable-uniform instances of size
+/// `n` with distinct seeds: the request stream of the batched serving
+/// workload (`PopularSolver::solve_batch`).
+pub fn batch_instances(n: usize, count: usize) -> Vec<PrefInstance> {
+    (0..count as u64)
+        .map(|i| {
+            let cfg = GeneratorConfig {
+                num_applicants: n,
+                num_posts: n + n / 8 + 1,
+                list_len: 5,
+                seed: SEED ^ (n as u64) ^ ((i + 1) << 32),
+            };
+            generators::solvable(&cfg)
+        })
+        .collect()
+}
+
 /// E7 — random directed pseudoforests with 10% sinks.
 pub fn pseudoforest(n: usize) -> pm_graph::FunctionalGraph {
     generators::random_functional_graph(n, 0.1, SEED ^ 0x7777 ^ n as u64)

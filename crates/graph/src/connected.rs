@@ -10,11 +10,12 @@
 //! id of its component, so the parallel and sequential routines agree
 //! exactly.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::Ordering;
 
 use rayon::prelude::*;
 
 use pm_pram::tracker::DepthTracker;
+use pm_pram::Workspace;
 
 /// Canonical component labelling: `label[v]` is the smallest vertex id in
 /// `v`'s component.
@@ -56,6 +57,20 @@ pub fn connected_components_parallel(
     edges: &[(usize, usize)],
     tracker: &DepthTracker,
 ) -> ComponentLabels {
+    connected_components_ws(n, edges, &mut Workspace::new(), tracker)
+}
+
+/// Workspace-backed variant of [`connected_components_parallel`]: the
+/// hooking forest, the two round-scratch snapshots and the output labelling
+/// are all checked out of `ws`, so repeated calls against a long-lived
+/// workspace allocate nothing (the caller may return `label` to the
+/// workspace with `put_usize` when done with the result).
+pub fn connected_components_ws(
+    n: usize,
+    edges: &[(usize, usize)],
+    ws: &mut Workspace,
+    tracker: &DepthTracker,
+) -> ComponentLabels {
     if n == 0 {
         return ComponentLabels {
             label: Vec::new(),
@@ -67,13 +82,14 @@ pub fn connected_components_parallel(
         assert!(u < n && v < n, "edge endpoint out of range");
     }
 
-    let parent: Vec<AtomicUsize> = (0..n).map(AtomicUsize::new).collect();
+    let parent = ws.take_atomic_identity(n);
     let mut rounds = 0u64;
 
-    // Round-scratch buffers, reused across all hooking rounds (every cell is
-    // rewritten at the start of each round).
-    let mut snapshot = vec![0usize; n];
-    let mut grand = vec![0usize; n];
+    // Round-scratch buffers, reused across all hooking rounds (every cell
+    // is rewritten at the start of each round, so the checkouts skip the
+    // fill).
+    let mut snapshot = ws.take_usize_dirty(n, 0);
+    let mut grand = ws.take_usize_dirty(n, 0);
 
     loop {
         rounds += 1;
@@ -131,7 +147,13 @@ pub fn connected_components_parallel(
         );
     }
 
-    let label: Vec<usize> = parent.iter().map(|p| p.load(Ordering::Relaxed)).collect();
+    let mut label = ws.take_usize(n, 0);
+    for (l, p) in label.iter_mut().zip(parent.iter()) {
+        *l = p.load(Ordering::Relaxed);
+    }
+    ws.put_atomic(parent);
+    ws.put_usize(snapshot);
+    ws.put_usize(grand);
     // After convergence the parent forest is a set of stars rooted at the
     // minimum vertex of each component.
     debug_assert!(label.iter().all(|&l| label[l] == l));
@@ -247,6 +269,24 @@ mod tests {
                     .collect();
                 check_agreement(n, &edges);
             }
+        }
+    }
+
+    #[test]
+    fn ws_variant_agrees_and_reuses_buffers() {
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        let t = DepthTracker::new();
+        let mut ws = Workspace::new();
+        for &n in &[3usize, 50, 800] {
+            let edges: Vec<(usize, usize)> = (0..n)
+                .map(|_| (rng.random_range(0..n), rng.random_range(0..n)))
+                .collect();
+            let got = connected_components_ws(n, &edges, &mut ws, &t);
+            let want = connected_components_union_find(n, &edges);
+            assert_eq!(got.label, want.label, "n = {n}");
+            assert_eq!(got.count, want.count);
+            ws.put_usize(got.label);
         }
     }
 

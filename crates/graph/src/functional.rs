@@ -12,9 +12,98 @@
 use rayon::prelude::*;
 
 use pm_pram::tracker::DepthTracker;
-use pm_pram::SEQUENTIAL_CUTOFF;
+use pm_pram::{Workspace, SEQUENTIAL_CUTOFF};
 
 use crate::connected::{connected_components_parallel, ComponentLabels};
+
+/// Marks the vertices of a raw successor slice that lie on a directed
+/// cycle, writing into `out` (capacity reused) with all scratch checked out
+/// of `ws` — the allocation-free core behind
+/// [`FunctionalGraph::on_cycle_parallel`], usable without materialising a
+/// `FunctionalGraph` (the switching-graph pipeline feeds its own successor
+/// array straight in).
+pub fn on_cycle_of(
+    succ: &[Option<usize>],
+    out: &mut Vec<bool>,
+    ws: &mut Workspace,
+    tracker: &DepthTracker,
+) {
+    let n = succ.len();
+    out.clear();
+    if n == 0 {
+        return;
+    }
+    // Sinks become fixed points so iteration is total.  The doubling
+    // ping-pongs two checked-out buffers; both are fully overwritten
+    // before any read, so the checkouts skip the fill.
+    let mut ptr = ws.take_usize_dirty(n, 0);
+    for (v, p) in ptr.iter_mut().enumerate() {
+        *p = succ[v].unwrap_or(v);
+    }
+    let mut scratch = ws.take_usize_dirty(n, 0);
+    let rounds = if n <= 1 {
+        0
+    } else {
+        usize::BITS - (n - 1).leading_zeros()
+    };
+    for _ in 0..rounds {
+        tracker.round();
+        tracker.work(n as u64);
+        if n >= SEQUENTIAL_CUTOFF {
+            scratch
+                .par_iter_mut()
+                .enumerate()
+                .for_each(|(v, s)| *s = ptr[ptr[v]]);
+        } else {
+            for (v, s) in scratch.iter_mut().enumerate() {
+                *s = ptr[ptr[v]];
+            }
+        }
+        std::mem::swap(&mut ptr, &mut scratch);
+    }
+
+    // Image computation: one concurrent-write round.
+    tracker.round();
+    tracker.work(n as u64);
+    let mut in_image = ws.take_bool(n, false);
+    for &target in &ptr {
+        in_image[target] = true;
+    }
+    out.resize(n, false);
+    for (v, o) in out.iter_mut().enumerate() {
+        *o = in_image[v] && succ[v].is_some();
+    }
+    ws.put_usize(ptr);
+    ws.put_usize(scratch);
+    ws.put_bool(in_image);
+}
+
+/// Extracts every directed cycle of a raw successor slice given its
+/// cycle-vertex marking, each cycle in successor order starting from its
+/// smallest vertex, sorted by that smallest vertex.
+pub fn extract_cycles_marked(succ: &[Option<usize>], on_cycle: &[bool]) -> Vec<Vec<usize>> {
+    let n = succ.len();
+    let mut seen = vec![false; n];
+    let mut cycles = Vec::new();
+    for start in 0..n {
+        if !on_cycle[start] || seen[start] {
+            continue;
+        }
+        let mut cycle = Vec::new();
+        let mut v = start;
+        loop {
+            seen[v] = true;
+            cycle.push(v);
+            v = succ[v].expect("cycle vertex has a successor");
+            if v == start {
+                break;
+            }
+        }
+        cycles.push(cycle);
+    }
+    cycles.sort_by_key(|c| c[0]);
+    cycles
+}
 
 /// A directed graph where every vertex has at most one outgoing edge.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -71,46 +160,9 @@ impl FunctionalGraph {
     /// holds `succ^N` with `N ≥ n`, and a vertex is on a cycle iff it is in
     /// the image of `succ^N` restricted to non-sinks.
     pub fn on_cycle_parallel(&self, tracker: &DepthTracker) -> Vec<bool> {
-        let n = self.n();
-        if n == 0 {
-            return Vec::new();
-        }
-        // Sinks become fixed points so iteration is total.  The doubling
-        // ping-pongs two preallocated buffers (every cell is overwritten
-        // each round, so no per-round allocation or clearing).
-        let mut ptr: Vec<usize> = (0..n).map(|v| self.succ[v].unwrap_or(v)).collect();
-        let mut scratch = vec![0usize; n];
-        let rounds = if n <= 1 {
-            0
-        } else {
-            usize::BITS - (n - 1).leading_zeros()
-        };
-        for _ in 0..rounds {
-            tracker.round();
-            tracker.work(n as u64);
-            if n >= SEQUENTIAL_CUTOFF {
-                scratch
-                    .par_iter_mut()
-                    .enumerate()
-                    .for_each(|(v, s)| *s = ptr[ptr[v]]);
-            } else {
-                for (v, s) in scratch.iter_mut().enumerate() {
-                    *s = ptr[ptr[v]];
-                }
-            }
-            std::mem::swap(&mut ptr, &mut scratch);
-        }
-
-        // Image computation: one concurrent-write round.
-        tracker.round();
-        tracker.work(n as u64);
-        let mut in_image = vec![false; n];
-        for &target in &ptr {
-            in_image[target] = true;
-        }
-        (0..n)
-            .map(|v| in_image[v] && self.succ[v].is_some())
-            .collect()
+        let mut out = Vec::new();
+        on_cycle_of(&self.succ, &mut out, &mut Workspace::new(), tracker);
+        out
     }
 
     /// Sequential cycle-vertex detection (three-colour walk), the baseline
@@ -172,27 +224,7 @@ impl FunctionalGraph {
     }
 
     fn extract_cycles(&self, on_cycle: &[bool]) -> Vec<Vec<usize>> {
-        let n = self.n();
-        let mut seen = vec![false; n];
-        let mut cycles = Vec::new();
-        for start in 0..n {
-            if !on_cycle[start] || seen[start] {
-                continue;
-            }
-            let mut cycle = Vec::new();
-            let mut v = start;
-            loop {
-                seen[v] = true;
-                cycle.push(v);
-                v = self.succ[v].expect("cycle vertex has a successor");
-                if v == start {
-                    break;
-                }
-            }
-            cycles.push(cycle);
-        }
-        cycles.sort_by_key(|c| c[0]);
-        cycles
+        extract_cycles_marked(&self.succ, on_cycle)
     }
 
     /// Weakly-connected components of the pseudoforest (parallel).

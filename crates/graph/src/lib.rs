@@ -28,7 +28,8 @@ pub mod pseudoforest;
 
 pub use bipartite::BipartiteGraph;
 pub use connected::{
-    connected_components_parallel, connected_components_union_find, ComponentLabels,
+    connected_components_parallel, connected_components_union_find, connected_components_ws,
+    ComponentLabels,
 };
-pub use functional::FunctionalGraph;
+pub use functional::{extract_cycles_marked, on_cycle_of, FunctionalGraph};
 pub use pseudoforest::UndirectedGraph;

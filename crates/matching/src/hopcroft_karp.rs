@@ -6,45 +6,78 @@
 //! construction, which the tests verify by comparing against this routine),
 //! and by the brute-force popularity verifier for small instances.
 
-use std::collections::VecDeque;
-
 use pm_graph::BipartiteGraph;
 
 use crate::matching::Matching;
 
 const INF: u32 = u32::MAX;
 
+/// Sentinel for "unmatched" in the dense match arrays (half the footprint
+/// of `Option<usize>`, which matters on the 10^6-vertex ties workload).
+const FREE: usize = usize::MAX;
+
 /// Computes a maximum-cardinality matching of `g` with the Hopcroft–Karp
 /// algorithm in `O(E √V)` time.
 pub fn hopcroft_karp(g: &BipartiteGraph) -> Matching {
+    let mut out = Matching::empty(0, 0);
+    hopcroft_karp_into(
+        g,
+        &mut out,
+        &mut Vec::new(),
+        &mut Vec::new(),
+        &mut Vec::new(),
+        &mut Vec::new(),
+    );
+    out
+}
+
+/// Allocation-free Hopcroft–Karp: the match arrays, BFS layers and queue
+/// are caller-provided (check them out of a workspace), and the result is
+/// written into `out` via [`Matching::reset`].  A warm call over a graph no
+/// larger than any previous one performs no heap allocation.  The matching
+/// produced is bit-for-bit the one [`hopcroft_karp`] returns.
+pub fn hopcroft_karp_into(
+    g: &BipartiteGraph,
+    out: &mut Matching,
+    match_left: &mut Vec<usize>,
+    match_right: &mut Vec<usize>,
+    dist: &mut Vec<u32>,
+    queue: &mut Vec<usize>,
+) {
     let n_left = g.n_left();
     let n_right = g.n_right();
-    let mut match_left: Vec<Option<usize>> = vec![None; n_left];
-    let mut match_right: Vec<Option<usize>> = vec![None; n_right];
-    let mut dist = vec![INF; n_left];
+    match_left.clear();
+    match_left.resize(n_left, FREE);
+    match_right.clear();
+    match_right.resize(n_right, FREE);
+    dist.clear();
+    dist.resize(n_left, INF);
 
     loop {
-        // BFS phase: layer the free left vertices.
-        let mut queue = VecDeque::new();
+        // BFS phase: layer the free left vertices.  The queue is a plain
+        // vector with a read cursor (elements are never removed, so FIFO
+        // order matches the textbook deque formulation exactly).
+        queue.clear();
+        let mut head = 0usize;
         for l in 0..n_left {
-            if match_left[l].is_none() {
+            if match_left[l] == FREE {
                 dist[l] = 0;
-                queue.push_back(l);
+                queue.push(l);
             } else {
                 dist[l] = INF;
             }
         }
         let mut found_augmenting_layer = false;
-        while let Some(l) = queue.pop_front() {
+        while head < queue.len() {
+            let l = queue[head];
+            head += 1;
             for &r in g.neighbors_left(l) {
-                match match_right[r] {
-                    None => found_augmenting_layer = true,
-                    Some(l2) => {
-                        if dist[l2] == INF {
-                            dist[l2] = dist[l] + 1;
-                            queue.push_back(l2);
-                        }
-                    }
+                let l2 = match_right[r];
+                if l2 == FREE {
+                    found_augmenting_layer = true;
+                } else if dist[l2] == INF {
+                    dist[l2] = dist[l] + 1;
+                    queue.push(l2);
                 }
             }
         }
@@ -55,42 +88,38 @@ pub fn hopcroft_karp(g: &BipartiteGraph) -> Matching {
         // DFS phase: find a maximal set of vertex-disjoint shortest
         // augmenting paths.
         for l in 0..n_left {
-            if match_left[l].is_none() {
-                let _ = dfs(l, g, &mut match_left, &mut match_right, &mut dist);
+            if match_left[l] == FREE {
+                let _ = dfs(l, g, match_left, match_right, dist);
             }
         }
     }
 
-    let mut m = Matching::empty(n_left, n_right);
-    for (l, r) in match_left.iter().enumerate() {
-        if let Some(r) = r {
-            m.add(l, *r);
+    out.reset(n_left, n_right);
+    for (l, &r) in match_left.iter().enumerate() {
+        if r != FREE {
+            out.add(l, r);
         }
     }
-    m
 }
 
 fn dfs(
     l: usize,
     g: &BipartiteGraph,
-    match_left: &mut Vec<Option<usize>>,
-    match_right: &mut Vec<Option<usize>>,
+    match_left: &mut Vec<usize>,
+    match_right: &mut Vec<usize>,
     dist: &mut Vec<u32>,
 ) -> bool {
     for &r in g.neighbors_left(l) {
-        match match_right[r] {
-            None => {
-                match_right[r] = Some(l);
-                match_left[l] = Some(r);
-                return true;
-            }
-            Some(l2) => {
-                if dist[l2] == dist[l] + 1 && dfs(l2, g, match_left, match_right, dist) {
-                    match_right[r] = Some(l);
-                    match_left[l] = Some(r);
-                    return true;
-                }
-            }
+        let l2 = match_right[r];
+        if l2 == FREE {
+            match_right[r] = l;
+            match_left[l] = r;
+            return true;
+        }
+        if dist[l2] == dist[l] + 1 && dfs(l2, g, match_left, match_right, dist) {
+            match_right[r] = l;
+            match_left[l] = r;
+            return true;
         }
     }
     dist[l] = INF;
@@ -152,6 +181,27 @@ mod tests {
         let g = BipartiteGraph::from_edges(3, 3, &[(0, 0), (1, 0), (1, 1), (2, 1), (2, 2)]);
         let m = hopcroft_karp(&g);
         assert_eq!(m.size(), 3);
+    }
+
+    #[test]
+    fn into_variant_reuses_buffers_and_matches_plain() {
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        let mut out = Matching::empty(0, 0);
+        let (mut ml, mut mr) = (Vec::new(), Vec::new());
+        let (mut dist, mut queue) = (Vec::new(), Vec::new());
+        for _ in 0..20 {
+            let n = rng.random_range(1..40);
+            let mut edges = Vec::new();
+            for l in 0..n {
+                edges.push((l, l % n));
+                edges.push((l, rng.random_range(0..n)));
+            }
+            let g = BipartiteGraph::from_edges(n, n, &edges);
+            hopcroft_karp_into(&g, &mut out, &mut ml, &mut mr, &mut dist, &mut queue);
+            let want = hopcroft_karp(&g);
+            assert_eq!(out.left_assignment(), want.left_assignment());
+        }
     }
 
     #[test]

@@ -19,6 +19,16 @@ impl Matching {
         }
     }
 
+    /// Clears the matching in place and resizes it to `n_left` / `n_right`
+    /// vertices, reusing both buffers' capacity — the serving-path way to
+    /// refill one long-lived `Matching` without reallocating.
+    pub fn reset(&mut self, n_left: usize, n_right: usize) {
+        self.left_to_right.clear();
+        self.left_to_right.resize(n_left, None);
+        self.right_to_left.clear();
+        self.right_to_left.resize(n_right, None);
+    }
+
     /// Builds a matching from the left-side assignment.
     ///
     /// # Panics

@@ -13,6 +13,7 @@
 use rayon::prelude::*;
 
 use pm_graph::BipartiteGraph;
+use pm_pram::pointer::min_label_cycles;
 use pm_pram::tracker::DepthTracker;
 use pm_pram::SEQUENTIAL_CUTOFF;
 
@@ -65,25 +66,17 @@ pub fn two_regular_perfect_matching_parallel(
     };
     let mut label: Vec<usize> = (0..num_arcs).collect();
 
-    // Min-label pointer doubling: after ⌈log₂(2n)⌉ rounds every arc knows the
-    // minimum arc id on its orientation cycle.
-    let rounds = usize::BITS - (num_arcs - 1).leading_zeros();
-    for _ in 0..rounds {
-        tracker.round();
-        tracker.work(num_arcs as u64);
-        let (new_label, new_ptr): (Vec<usize>, Vec<usize>) = if num_arcs >= SEQUENTIAL_CUTOFF {
-            (0..num_arcs)
-                .into_par_iter()
-                .map(|a| (label[a].min(label[ptr[a]]), ptr[ptr[a]]))
-                .unzip()
-        } else {
-            (0..num_arcs)
-                .map(|a| (label[a].min(label[ptr[a]]), ptr[ptr[a]]))
-                .unzip()
-        };
-        label = new_label;
-        ptr = new_ptr;
-    }
+    // Min-label pointer doubling (the shared `pm_pram` primitive): after at
+    // most ⌈log₂(2n)⌉ rounds — with a sound early exit once no label
+    // changes — every arc knows the minimum arc id on its orientation
+    // cycle, with no per-round allocation.
+    min_label_cycles(
+        &mut label,
+        &mut ptr,
+        &mut Vec::new(),
+        &mut Vec::new(),
+        tracker,
+    );
 
     // One parallel round: each left vertex keeps the arc whose orientation
     // cycle has the smaller canonical label.

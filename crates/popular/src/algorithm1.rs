@@ -8,11 +8,12 @@
 //! parallel rounds on top of Algorithm 2.
 
 use pm_pram::tracker::DepthTracker;
+use pm_pram::Workspace;
 
-use crate::algorithm2::{applicant_complete_matching, Algorithm2Outcome};
 use crate::error::PopularError;
 use crate::instance::{Assignment, PrefInstance};
 use crate::reduced::ReducedGraph;
+use crate::solver::PopularSolver;
 
 /// Detailed result of Algorithm 1, including the intermediate objects the
 /// benchmarks and the switching-graph algorithms reuse.
@@ -28,6 +29,12 @@ pub struct PopularMatchingRun {
 
 /// Runs Algorithm 1 and returns the full run record.
 ///
+/// This is the documented simple path: a thin wrapper that runs a fresh
+/// [`PopularSolver`] (identical pipeline, identical output) and hands the
+/// solver's internal depth/work accounting back to the caller's tracker.
+/// Callers serving many requests should hold a `PopularSolver` instead —
+/// warm solves reuse all scratch and perform zero heap allocations.
+///
 /// # Errors
 /// * [`PopularError::TiesNotSupported`] if a preference list has a tie.
 /// * [`PopularError::NoPopularMatching`] if the instance has no popular
@@ -36,69 +43,92 @@ pub fn popular_matching_run(
     inst: &PrefInstance,
     tracker: &DepthTracker,
 ) -> Result<PopularMatchingRun, PopularError> {
-    let reduced = ReducedGraph::build_parallel(inst, tracker)?;
-    let Algorithm2Outcome {
-        assignment,
-        peel_rounds,
-    } = applicant_complete_matching(&reduced, tracker);
-    let Some(mut matching) = assignment else {
-        return Err(PopularError::NoPopularMatching);
-    };
-
-    promote_unmatched_f_posts(&reduced, &mut matching, tracker);
+    let mut solver = PopularSolver::new(0, 0);
+    let result = solver.solve(inst).map(|_| ());
+    tracker.absorb(solver.stats());
+    result?;
+    let matching = solver.take_matching();
+    let peel_rounds = solver.peel_rounds();
     Ok(PopularMatchingRun {
-        reduced,
+        reduced: solver.into_reduced_graph(),
         matching,
         peel_rounds,
     })
 }
 
-/// Runs Algorithm 1 and returns just the popular matching.
+/// Runs Algorithm 1 and returns just the popular matching (see
+/// [`popular_matching_run`] for the wrapper-over-solver contract).
 pub fn popular_matching_nc(
     inst: &PrefInstance,
     tracker: &DepthTracker,
 ) -> Result<Assignment, PopularError> {
-    popular_matching_run(inst, tracker).map(|run| run.matching)
+    let mut solver = PopularSolver::new(0, 0);
+    let result = solver.solve(inst).map(|_| ());
+    tracker.absorb(solver.stats());
+    result.map(|()| solver.take_matching())
 }
 
 /// The promotion step (lines 5–7 of Algorithm 1): for every f-post `p` that
 /// is unmatched in `M`, pick any applicant of `f⁻¹(p)` (we take the smallest
 /// id for determinism) and move it from `s(a)` to `p = f(a)`.
-///
-/// The sets `f⁻¹(p)` are disjoint across f-posts, so all promotions are
-/// independent and the step is a single parallel round: one concurrent-write
-/// pass elects the smallest applicant of every `f⁻¹(p)` simultaneously
-/// (rather than one `f⁻¹` scan per unmatched post, which is quadratic when
-/// many f-posts are left unmatched).
 pub fn promote_unmatched_f_posts(
     reduced: &ReducedGraph,
     matching: &mut Assignment,
     tracker: &DepthTracker,
 ) {
-    tracker.round();
-    tracker.work(reduced.num_applicants() as u64);
+    promote_into(
+        reduced.f_slice(),
+        reduced.s_slice(),
+        reduced.is_f_post_slice(),
+        matching.as_mut_slice(),
+        &mut Workspace::new(),
+        tracker,
+    );
+}
 
-    let n_a = reduced.num_applicants();
-    let mut post_matched = vec![false; reduced.total_posts()];
-    for a in 0..n_a {
-        post_matched[matching.post(a)] = true;
+/// Allocation-free core of the promotion step, on raw reduced-graph
+/// buffers.  The sets `f⁻¹(p)` are disjoint across f-posts, so all
+/// promotions are independent and the step is a single parallel round: one
+/// concurrent-write pass elects the smallest applicant of every `f⁻¹(p)`
+/// simultaneously (rather than one `f⁻¹` scan per unmatched post, which is
+/// quadratic when many f-posts are left unmatched).  The election buffers
+/// are checked out of `ws`.
+pub fn promote_into(
+    f: &[usize],
+    s: &[usize],
+    is_f_post: &[bool],
+    matched: &mut [usize],
+    ws: &mut Workspace,
+    tracker: &DepthTracker,
+) {
+    let n_a = f.len();
+    let total_posts = is_f_post.len();
+    tracker.round();
+    tracker.work(n_a as u64);
+
+    let mut post_matched = ws.take_bool(total_posts, false);
+    for &p in matched.iter() {
+        post_matched[p] = true;
     }
     // candidate[p] = the smallest applicant with f(a) = p (reverse traversal
-    // makes the smallest id the last, winning, write).
-    let mut candidate = vec![usize::MAX; reduced.total_posts()];
+    // makes the smallest id the last, winning, write).  Every f-post — the
+    // only slots read below — is written, so the checkout skips the fill.
+    let mut candidate = ws.take_usize_dirty(total_posts, usize::MAX);
     for a in (0..n_a).rev() {
-        candidate[reduced.f(a)] = a;
+        candidate[f[a]] = a;
     }
-    for p in 0..reduced.total_posts() {
-        if !reduced.is_f_post(p) || post_matched[p] {
+    for p in 0..total_posts {
+        if !is_f_post[p] || post_matched[p] {
             continue;
         }
         let a = candidate[p];
         debug_assert_ne!(a, usize::MAX, "an f-post has a first-choice applicant");
-        debug_assert_eq!(matching.post(a), reduced.s(a));
-        matching.set_post(a, p);
+        debug_assert_eq!(matched[a], s[a]);
+        matched[a] = p;
         post_matched[p] = true;
     }
+    ws.put_bool(post_matched);
+    ws.put_usize(candidate);
 }
 
 #[cfg(test)]

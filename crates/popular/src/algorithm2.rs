@@ -20,11 +20,13 @@
 //!    and a perfect matching is read off with the NC matcher of
 //!    [`pm_matching::two_regular`].
 
-use pm_graph::BipartiteGraph;
-use pm_matching::two_regular::two_regular_perfect_matching_parallel;
-use pm_pram::pointer::pointer_jump_roots;
-use pm_pram::scan::csr_offsets;
+use rayon::prelude::*;
+
+use pm_pram::compact::compact_indices_into;
+use pm_pram::pointer::{min_label_cycles, pointer_jump_roots_into};
+use pm_pram::scan::csr_offsets_into;
 use pm_pram::tracker::DepthTracker;
+use pm_pram::{par_chunk_len, Workspace, SEQUENTIAL_CUTOFF};
 
 use crate::instance::Assignment;
 use crate::reduced::ReducedGraph;
@@ -42,66 +44,113 @@ pub struct Algorithm2Outcome {
 
 /// Runs Algorithm 2 on a reduced graph.
 pub fn applicant_complete_matching(g: &ReducedGraph, tracker: &DepthTracker) -> Algorithm2Outcome {
-    let n_a = g.num_applicants();
-    let n_p = g.total_posts();
+    let mut matched = vec![usize::MAX; g.num_applicants()];
+    let (feasible, peel_rounds) = applicant_complete_matching_into(
+        g.total_posts(),
+        g.f_slice(),
+        g.s_slice(),
+        &mut matched,
+        &mut Workspace::new(),
+        tracker,
+    );
+    Algorithm2Outcome {
+        assignment: feasible.then(|| Assignment::new(matched)),
+        peel_rounds,
+    }
+}
+
+/// Allocation-free core of Algorithm 2, the heart of the warm serving path.
+///
+/// `f`/`s` are the reduced edges (one pair per applicant), `matched` is the
+/// output buffer — every slot must be `usize::MAX` on entry and every slot
+/// is written iff the return flag is `true` (an applicant-complete matching
+/// exists).  All scratch — the post→applicant CSR adjacency, liveness
+/// flags, the per-round arc successor array, the list-ranking double
+/// buffers and the even-cycle orientation labels — is checked out of `ws`,
+/// so a warm call performs zero heap allocation.
+///
+/// The degree-1 peeling loop is the same arc construction as always; the
+/// even-cycle finish inlines the 2-regular orientation matcher of
+/// `pm_matching::two_regular` directly on the surviving applicants (same
+/// canonical min-arc orientation, hence bit-identical output) instead of
+/// materialising a compacted `BipartiteGraph`.
+pub fn applicant_complete_matching_into(
+    total_posts: usize,
+    f: &[usize],
+    s: &[usize],
+    matched: &mut [usize],
+    ws: &mut Workspace,
+    tracker: &DepthTracker,
+) -> (bool, u32) {
+    let n_a = f.len();
+    let n_p = total_posts;
+    debug_assert_eq!(s.len(), n_a);
+    debug_assert_eq!(matched.len(), n_a);
+    debug_assert!(matched.iter().all(|&m| m == usize::MAX));
     tracker.phase();
 
     if n_a == 0 {
-        return Algorithm2Outcome {
-            assignment: Some(Assignment::new(Vec::new())),
-            peel_rounds: 0,
-        };
+        return (true, 0);
     }
 
     // Static adjacency of the reduced graph, post -> incident applicants, in
     // flat CSR form: one counting round, one prefix scan, one fill round —
     // no per-post vectors.
-    let mut counts = vec![0usize; n_p];
+    let mut counts = ws.take_usize(n_p, 0);
     for a in 0..n_a {
-        counts[g.f(a)] += 1;
-        counts[g.s(a)] += 1;
+        counts[f[a]] += 1;
+        counts[s[a]] += 1;
     }
-    let adj_off = csr_offsets(&counts, tracker);
-    let mut cursor = adj_off[..n_p].to_vec();
-    let mut adj_flat = vec![0usize; 2 * n_a];
+    let mut adj_off = ws.take_usize_empty();
+    let mut chunk_scratch = ws.take_usize_empty();
+    csr_offsets_into(&counts, &mut adj_off, &mut chunk_scratch, tracker);
+    let mut cursor = ws.take_usize_empty();
+    cursor.extend_from_slice(&adj_off[..n_p]);
+    // Every slot of the flat adjacency is written by the scatter below
+    // (the offsets are exact), so the checkout can skip the fill.
+    let mut adj_flat = ws.take_usize_dirty(2 * n_a, 0);
     for a in 0..n_a {
-        for p in [g.f(a), g.s(a)] {
+        for p in [f[a], s[a]] {
             adj_flat[cursor[p]] = a;
             cursor[p] += 1;
         }
     }
-    let post_adj = |p: usize| -> &[usize] { &adj_flat[adj_off[p]..adj_off[p + 1]] };
 
-    let mut alive_applicant = vec![true; n_a];
-    // A post participates only if it occurs in the reduced graph.
-    let mut alive_post: Vec<bool> = (0..n_p).map(|p| counts[p] != 0).collect();
-    let mut post_degree: Vec<usize> = counts;
-
-    // matched[a] = the post applicant `a` was matched to during peeling.
-    let mut matched: Vec<Option<usize>> = vec![None; n_a];
+    let mut alive_applicant = ws.take_bool(n_a, true);
+    // A post participates only if it occurs in the reduced graph.  The
+    // survivor counts and the number of alive degree-1 posts are maintained
+    // incrementally, so the loop condition and the final Hall check are
+    // O(1) instead of an O(|P|) scan per round.
+    let mut alive_post = ws.take_bool(n_p, false);
+    let mut alive_a_count = n_a;
+    let mut alive_p_count = 0usize;
+    let mut degree_one_count = 0usize;
+    for (p, alive) in alive_post.iter_mut().enumerate() {
+        *alive = counts[p] != 0;
+        alive_p_count += usize::from(counts[p] != 0);
+        degree_one_count += usize::from(counts[p] == 1);
+    }
+    let mut post_degree = counts;
     let mut peel_rounds = 0u32;
 
     // Scratch buffers reused across peeling rounds: the arc successor array
-    // is fully rewritten every round, and the matched-edge list is drained.
-    let mut succ: Vec<usize> = Vec::new();
-    let mut newly_matched: Vec<(usize, usize)> = Vec::new();
+    // is fully rewritten every round (so its checkout skips the fill), the
+    // matched-edge list is drained, and the list-ranking result + double
+    // buffers persist across rounds.
+    let mut succ = ws.take_usize_dirty(4 * n_a, 0);
+    let mut root_tail = ws.take_usize_dirty(4 * n_a, 0);
+    let mut newly_matched = ws.take_pair_empty();
+    let mut jump_root = ws.take_usize_empty();
+    let mut jump_dist = ws.take_u64_empty();
+    let mut jump_sptr = ws.take_usize_empty();
+    let mut jump_sdist = ws.take_u64_empty();
 
     // Arc encoding: 4a+0 = a -> f(a), 4a+1 = f(a) -> a,
     //               4a+2 = a -> s(a), 4a+3 = s(a) -> a.
     let num_arcs = 4 * n_a;
-    let arc_head = |arc: usize| -> usize {
-        let (a, j) = (arc / 4, arc % 4);
-        match j {
-            0 => g.f(a),
-            1 => a + n_p, // applicants are offset by n_p in "vertex" space (only used for clarity)
-            2 => g.s(a),
-            _ => a + n_p,
-        }
-    };
 
     loop {
-        let some_degree_one = (0..n_p).any(|p| alive_post[p] && post_degree[p] == 1);
-        if !some_degree_one {
+        if degree_one_count == 0 {
             break;
         }
         peel_rounds += 1;
@@ -112,73 +161,110 @@ pub fn applicant_complete_matching(g: &ReducedGraph, tracker: &DepthTracker) -> 
             "degree-1 peeling exceeded the Lemma 2 bound by a wide margin"
         );
 
-        // Other alive applicant incident to a degree-2 post, given one of them.
-        let other_applicant = |p: usize, not_a: usize| -> usize {
-            post_adj(p)
-                .iter()
-                .copied()
-                .find(|&b| b != not_a && alive_applicant[b])
-                .expect("degree-2 post has a second alive applicant")
-        };
-
         // (Re)build the arc successor structure for this round in the reused
         // scratch buffer: every arc is written exactly once (dead applicants'
         // arcs become self-pointing tails), so no clearing pass is needed.
+        // The valid-terminal memo (`root_tail`) is written in the same pass:
+        // an applicant->post arc is a terminal iff it self-points into an
+        // alive degree-1 post, which is exactly known while choosing the
+        // successor.  The per-applicant quads are disjoint, so the rebuild
+        // fans out over contiguous applicant chunks.
         succ.resize(num_arcs, 0);
-        for (a, &a_alive) in alive_applicant.iter().enumerate() {
-            if !a_alive {
-                for j in 0..4 {
-                    succ[4 * a + j] = 4 * a + j;
+        {
+            let (adj_off, adj_flat) = (&adj_off, &adj_flat);
+            let (alive_applicant, alive_post) = (&alive_applicant, &alive_post);
+            let post_degree = &post_degree;
+            let build_quads = |base: usize, quads: &mut [usize], tails: &mut [usize]| {
+                // Other alive applicant incident to a degree-2 post.
+                let other_applicant = |p: usize, not_a: usize| -> usize {
+                    adj_flat[adj_off[p]..adj_off[p + 1]]
+                        .iter()
+                        .copied()
+                        .find(|&b| b != not_a && alive_applicant[b])
+                        .expect("degree-2 post has a second alive applicant")
+                };
+                for (i, (quad, tail)) in quads.chunks_mut(4).zip(tails.chunks_mut(4)).enumerate() {
+                    let a = base + i;
+                    tail.fill(usize::MAX);
+                    if !alive_applicant[a] {
+                        for (j, arc) in quad.iter_mut().enumerate() {
+                            *arc = 4 * a + j;
+                        }
+                        continue;
+                    }
+                    // Applicant -> post arcs: continue through the post iff
+                    // its degree is 2; otherwise the arc is a tail, and a
+                    // *valid* terminal iff the post's degree is exactly 1.
+                    for (j, p) in [(0usize, f[a]), (2usize, s[a])] {
+                        quad[j] = if alive_post[p] && post_degree[p] == 2 {
+                            let b = other_applicant(p, a);
+                            // Next arc is post -> other applicant b.
+                            if f[b] == p {
+                                4 * b + 1
+                            } else {
+                                4 * b + 3
+                            }
+                        } else {
+                            if alive_post[p] && post_degree[p] == 1 {
+                                tail[j] = p;
+                            }
+                            4 * a + j
+                        };
+                    }
+                    // Post -> applicant arcs: always continue through the
+                    // applicant to its other post.
+                    quad[1] = 4 * a + 2; // arrived from f(a), towards s(a)
+                    quad[3] = 4 * a; // arrived from s(a), towards f(a)
                 }
-                continue;
+            };
+            if n_a >= SEQUENTIAL_CUTOFF {
+                let chunk_a = par_chunk_len(n_a, 1024);
+                succ.par_chunks_mut(4 * chunk_a)
+                    .zip(root_tail.par_chunks_mut(4 * chunk_a))
+                    .enumerate()
+                    .for_each(|(ci, (quads, tails))| build_quads(ci * chunk_a, quads, tails));
+            } else {
+                build_quads(0, &mut succ, &mut root_tail);
             }
-            let (fa, sa) = (g.f(a), g.s(a));
-            // Applicant -> post arcs: continue through the post iff its degree
-            // is 2; otherwise the arc is a tail (self-pointer).
-            for (arc, p) in [(4 * a, fa), (4 * a + 2, sa)] {
-                if alive_post[p] && post_degree[p] == 2 {
-                    let b = other_applicant(p, a);
-                    // Next arc is post -> other applicant b, i.e. b's "incoming" arc.
-                    succ[arc] = if g.f(b) == p { 4 * b + 1 } else { 4 * b + 3 };
-                } else {
-                    succ[arc] = arc;
-                }
-            }
-            // Post -> applicant arcs: always continue through the applicant to
-            // its other post (alive applicants have degree exactly 2).
-            succ[4 * a + 1] = 4 * a + 2; // arrived from f(a), continue towards s(a)
-            succ[4 * a + 3] = 4 * a; // arrived from s(a), continue towards f(a)
         }
 
-        // List-rank every arc: distance and endpoint of its walk.
-        let jump = pointer_jump_roots(&succ, tracker);
+        // List-rank every arc: distance and endpoint of its walk (double
+        // buffers persist across peeling rounds — no per-round allocation).
+        pointer_jump_roots_into(
+            &succ,
+            &mut jump_root,
+            &mut jump_dist,
+            &mut jump_sptr,
+            &mut jump_sdist,
+            tracker,
+        );
 
         // An arc's walk is "valid" when it terminates at an applicant->post
-        // arc whose head post has degree 1 (that post is the v0 endpoint).
+        // arc whose head post has degree 1 (that post is the v0 endpoint) —
+        // exactly the memo `root_tail` recorded while building `succ`, so
+        // the decision loop pays a single lookup per direction instead of
+        // re-deriving the test at four random arcs per edge.
         let tail_post = |arc: usize| -> Option<usize> {
-            let root = jump.root[arc];
-            let (ra, rj) = (root / 4, root % 4);
-            if !alive_applicant[ra] || rj % 2 != 0 {
-                return None;
-            }
-            let p = arc_head(root);
-            (alive_post[p] && post_degree[p] == 1 && succ[root] == root).then_some(p)
+            let t = root_tail[jump_root[arc]];
+            (t != usize::MAX).then_some(t)
         };
 
         // Decide matched edges.  Edge (a, p) has an applicant->post arc A and
         // a post->applicant arc B; if both directions reach a degree-1 post,
         // the smaller post id is chosen as v0 (the "consider the path once"
-        // rule of the paper).
+        // rule of the paper).  The arcs examined are charged through a local
+        // accumulator — exact totals, one atomic add for the whole loop.
         newly_matched.clear();
+        let mut charged = tracker.local();
         for (a, &a_alive) in alive_applicant.iter().enumerate() {
             if !a_alive {
                 continue;
             }
-            for (arc_ap, arc_pa, p) in [(4 * a, 4 * a + 1, g.f(a)), (4 * a + 2, 4 * a + 3, g.s(a))]
-            {
+            for (arc_ap, arc_pa, p) in [(4 * a, 4 * a + 1, f[a]), (4 * a + 2, 4 * a + 3, s[a])] {
                 if !alive_post[p] {
                     continue;
                 }
+                charged.add(2);
                 let t_fwd = tail_post(arc_ap);
                 let t_bwd = tail_post(arc_pa);
                 let use_forward = match (t_fwd, t_bwd) {
@@ -188,9 +274,9 @@ pub fn applicant_complete_matching(g: &ReducedGraph, tracker: &DepthTracker) -> 
                     (None, None) => continue,
                 };
                 let dist = if use_forward {
-                    jump.dist[arc_ap]
+                    jump_dist[arc_ap]
                 } else {
-                    jump.dist[arc_pa]
+                    jump_dist[arc_pa]
                 };
                 if dist % 2 == 0 && use_forward {
                     // Even distance and the arc is applicant -> post: the post
@@ -206,6 +292,7 @@ pub fn applicant_complete_matching(g: &ReducedGraph, tracker: &DepthTracker) -> 
                 }
             }
         }
+        drop(charged);
 
         assert!(
             !newly_matched.is_empty(),
@@ -213,83 +300,163 @@ pub fn applicant_complete_matching(g: &ReducedGraph, tracker: &DepthTracker) -> 
         );
 
         // Apply the matches and delete matched vertices.
-        for &(a, p) in &newly_matched {
+        for &(a, p) in newly_matched.iter() {
             debug_assert!(
-                matched[a].is_none(),
+                matched[a] == usize::MAX,
                 "applicant {a} matched twice in one round"
             );
             debug_assert!(alive_post[p]);
-            matched[a] = Some(p);
+            matched[a] = p;
         }
         tracker.round();
         tracker.work(newly_matched.len() as u64);
-        for &(a, p) in &newly_matched {
+        for &(a, p) in newly_matched.iter() {
             alive_applicant[a] = false;
+            degree_one_count -= usize::from(post_degree[p] == 1);
             alive_post[p] = false;
         }
-        // Removing an applicant decrements its posts' degrees.
-        for &(a, _p) in &newly_matched {
-            for q in [g.f(a), g.s(a)] {
+        alive_a_count -= newly_matched.len();
+        alive_p_count -= newly_matched.len();
+        // Removing an applicant decrements its posts' degrees; a post
+        // dropping to degree 0 is isolated and dies on the spot (the
+        // deferred end-of-round sweep the original formulation used reaches
+        // the same state — no later decrement can touch a dead post).
+        for &(a, _p) in newly_matched.iter() {
+            for q in [f[a], s[a]] {
                 if alive_post[q] {
-                    post_degree[q] = post_degree[q].saturating_sub(1);
+                    let d = post_degree[q];
+                    post_degree[q] = d - 1;
+                    degree_one_count += usize::from(d == 2);
+                    if d == 1 {
+                        degree_one_count -= 1;
+                        alive_post[q] = false;
+                        alive_p_count -= 1;
+                    }
                 }
-            }
-        }
-        // Drop isolated posts.
-        for p in 0..n_p {
-            if alive_post[p] && post_degree[p] == 0 {
-                alive_post[p] = false;
             }
         }
     }
 
     // Every surviving applicant still has degree 2; every surviving post has
-    // degree ≥ 2.  Count and compare (Hall's condition).
-    let alive_as: Vec<usize> = (0..n_a).filter(|&a| alive_applicant[a]).collect();
-    let alive_ps: Vec<usize> = (0..n_p).filter(|&p| alive_post[p]).collect();
-    tracker.round();
-    tracker.work((alive_as.len() + alive_ps.len()) as u64);
-
-    if alive_ps.len() < alive_as.len() {
-        return Algorithm2Outcome {
-            assignment: None,
-            peel_rounds,
-        };
-    }
-
-    if !alive_as.is_empty() {
+    // degree ≥ 2.  The incremental survivor counts give the Hall check for
+    // free; the survivor *list* (the paper's prefix-sum list compression)
+    // is materialised only when the cycle finish actually needs it — on a
+    // fully peeled instance the epilogue costs nothing.
+    let feasible = alive_p_count >= alive_a_count;
+    if feasible && alive_a_count > 0 {
         // |P| >= |A| together with the degree count forces |P| = |A| and a
-        // 2-regular remainder (see the correctness argument in the paper).
-        debug_assert_eq!(alive_ps.len(), alive_as.len());
-        let mut post_index = vec![usize::MAX; n_p];
-        for (i, &p) in alive_ps.iter().enumerate() {
-            post_index[p] = i;
+        // 2-regular remainder (see the correctness argument in the paper):
+        // a disjoint union of even cycles.  Pick one traversal orientation
+        // per cycle — canonically, the one containing the smallest arc id —
+        // by min-label pointer doubling, and match every surviving
+        // applicant to its successor post in that orientation.  This is the
+        // `two_regular` matcher inlined on the original vertex ids.
+        debug_assert_eq!(alive_p_count, alive_a_count);
+        let mut alive_as = ws.take_usize_empty();
+        {
+            let alive_applicant = &alive_applicant;
+            compact_indices_into(n_a, |a| alive_applicant[a], &mut alive_as, ws, tracker);
         }
-        let offsets: Vec<usize> = (0..=alive_as.len()).map(|i| 2 * i).collect();
-        let mut flat = Vec::with_capacity(2 * alive_as.len());
-        for &a in &alive_as {
-            flat.push(post_index[g.f(a)]);
-            flat.push(post_index[g.s(a)]);
-        }
-        let remainder =
-            BipartiteGraph::from_left_csr(alive_as.len(), alive_ps.len(), offsets, flat);
-        let pm = two_regular_perfect_matching_parallel(&remainder, tracker);
+        debug_assert_eq!(alive_as.len(), alive_a_count);
+        let k = alive_as.len();
+        let num_arcs2 = 2 * k;
+
+        // Arc 2i+j: surviving applicant alive_as[i] takes f (j=0) / s (j=1).
+        // next_arc walks two steps along the cycle to the next applicant.
+        tracker.round();
+        tracker.work(num_arcs2 as u64);
+        // app_idx is written for every surviving applicant and read only
+        // for surviving applicants; ptr and label are fully initialised
+        // below — all three checkouts skip the fill.
+        let mut app_idx = ws.take_usize_dirty(n_a, usize::MAX);
         for (i, &a) in alive_as.iter().enumerate() {
-            let p = alive_ps[pm.left(i).expect("perfect matching")];
-            matched[a] = Some(p);
+            app_idx[a] = i;
         }
+        let mut ptr = ws.take_usize_dirty(num_arcs2, 0);
+        let mut label = ws.take_usize_dirty(num_arcs2, 0);
+        {
+            let (adj_off, adj_flat) = (&adj_off, &adj_flat);
+            let (alive_applicant, alive_as) = (&alive_applicant, &alive_as);
+            let app_idx = &app_idx;
+            let next_arc = |arc: usize| -> usize {
+                let (i, j) = (arc / 2, arc % 2);
+                let a = alive_as[i];
+                let p = if j == 0 { f[a] } else { s[a] };
+                let b = adj_flat[adj_off[p]..adj_off[p + 1]]
+                    .iter()
+                    .copied()
+                    .find(|&b| b != a && alive_applicant[b])
+                    .expect("2-regular post has a second surviving applicant");
+                let ib = app_idx[b];
+                if f[b] == p {
+                    2 * ib + 1
+                } else {
+                    2 * ib
+                }
+            };
+            if num_arcs2 >= SEQUENTIAL_CUTOFF {
+                ptr.par_iter_mut()
+                    .enumerate()
+                    .for_each(|(arc, p)| *p = next_arc(arc));
+            } else {
+                for (arc, p) in ptr.iter_mut().enumerate() {
+                    *p = next_arc(arc);
+                }
+            }
+        }
+        for (arc, l) in label.iter_mut().enumerate() {
+            *l = arc;
+        }
+
+        // Min-label pointer doubling over the orientation cycles — the
+        // shared `pm_pram` primitive, double-buffered through checked-out
+        // scratch, with the sound no-label-changed early exit (random
+        // instances have short cycles and converge in a handful of rounds).
+        let mut label_scratch = ws.take_usize_dirty(num_arcs2, 0);
+        let mut ptr_scratch = ws.take_usize_dirty(num_arcs2, 0);
+        min_label_cycles(
+            &mut label,
+            &mut ptr,
+            &mut label_scratch,
+            &mut ptr_scratch,
+            tracker,
+        );
+
+        // One parallel round: each surviving applicant keeps the arc whose
+        // orientation cycle has the smaller canonical label.
+        tracker.round();
+        tracker.work(k as u64);
+        for (i, &a) in alive_as.iter().enumerate() {
+            let take_s = label[2 * i + 1] < label[2 * i];
+            matched[a] = if take_s { s[a] } else { f[a] };
+        }
+
+        ws.put_usize(alive_as);
+        ws.put_usize(app_idx);
+        ws.put_usize(ptr);
+        ws.put_usize(label);
+        ws.put_usize(label_scratch);
+        ws.put_usize(ptr_scratch);
     }
 
-    let assignment = Assignment::new(
-        matched
-            .into_iter()
-            .map(|m| m.expect("all applicants matched"))
-            .collect(),
-    );
-    Algorithm2Outcome {
-        assignment: Some(assignment),
-        peel_rounds,
-    }
+    debug_assert!(!feasible || matched.iter().all(|&m| m != usize::MAX));
+
+    ws.put_usize(adj_off);
+    ws.put_usize(chunk_scratch);
+    ws.put_usize(cursor);
+    ws.put_usize(adj_flat);
+    ws.put_usize(post_degree);
+    ws.put_bool(alive_applicant);
+    ws.put_bool(alive_post);
+    ws.put_usize(succ);
+    ws.put_usize(root_tail);
+    ws.put_pair(newly_matched);
+    ws.put_usize(jump_root);
+    ws.put_u64(jump_dist);
+    ws.put_usize(jump_sptr);
+    ws.put_u64(jump_sdist);
+
+    (feasible, peel_rounds)
 }
 
 #[cfg(test)]

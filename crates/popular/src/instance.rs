@@ -23,6 +23,8 @@
 //! instead of chasing `Vec<Vec<Vec<usize>>>` pointers.  The layout is fixed
 //! at construction; instances are immutable afterwards.
 
+use pm_pram::EpochMarks;
+
 use crate::error::PopularError;
 
 /// A one-sided preference instance with optionally tied preference lists,
@@ -46,32 +48,39 @@ pub struct PrefInstance {
     group_idx: Vec<usize>,
 }
 
-/// Shared validation state: `owner[p]` is the applicant currently being
-/// scanned if it has already listed `p` (epoch marking — one O(|P|)
-/// allocation for the whole construction instead of one per applicant).
+/// Shared validation state: an [`EpochMarks`] set over the posts, cleared
+/// in O(1) per applicant by bumping the epoch — one O(|P|) allocation for
+/// the whole construction instead of one per applicant.
 struct DupCheck {
-    owner: Vec<usize>,
+    seen: EpochMarks,
+    num_posts: usize,
 }
 
 impl DupCheck {
     fn new(num_posts: usize) -> Self {
         Self {
-            owner: vec![usize::MAX; num_posts],
+            seen: EpochMarks::new(),
+            num_posts,
         }
     }
 
-    fn check(&mut self, a: usize, p: usize, num_posts: usize) -> Result<(), PopularError> {
+    /// Starts validating the next applicant's list (clears the seen-set).
+    fn next_applicant(&mut self) {
+        self.seen.reset(self.num_posts);
+    }
+
+    fn check(&mut self, a: usize, p: usize) -> Result<(), PopularError> {
+        let num_posts = self.num_posts;
         if p >= num_posts {
             return Err(PopularError::InvalidInstance(format!(
                 "applicant {a} ranks post {p}, but there are only {num_posts} posts"
             )));
         }
-        if self.owner[p] == a {
+        if !self.seen.insert(p) {
             return Err(PopularError::InvalidInstance(format!(
                 "applicant {a} ranks post {p} twice"
             )));
         }
-        self.owner[p] = a;
         Ok(())
     }
 }
@@ -95,8 +104,9 @@ impl PrefInstance {
                     "applicant {a} has an empty preference list"
                 )));
             }
+            dup.next_applicant();
             for (r, &p) in list.iter().enumerate() {
-                dup.check(a, p, num_posts)?;
+                dup.check(a, p)?;
                 post_flat.push(p);
                 rank_flat.push(r as u32);
             }
@@ -135,6 +145,7 @@ impl PrefInstance {
                     "applicant {a} has an empty preference list"
                 )));
             }
+            dup.next_applicant();
             for (r, group) in list.iter().enumerate() {
                 if group.is_empty() {
                     return Err(PopularError::InvalidInstance(format!(
@@ -142,7 +153,7 @@ impl PrefInstance {
                     )));
                 }
                 for &p in group {
-                    dup.check(a, p, num_posts)?;
+                    dup.check(a, p)?;
                     post_flat.push(p);
                     rank_flat.push(r as u32);
                 }
@@ -190,8 +201,9 @@ impl PrefInstance {
                     "applicant {a} has an empty preference list"
                 )));
             }
+            dup.next_applicant();
             for &p in &flat[offsets[a]..offsets[a + 1]] {
-                dup.check(a, p, num_posts)?;
+                dup.check(a, p)?;
             }
         }
         Ok(Self {
@@ -365,6 +377,22 @@ impl Assignment {
     /// Reassigns applicant `a`.
     pub fn set_post(&mut self, a: usize, post: usize) {
         self.post_of[a] = post;
+    }
+
+    /// Clears the assignment in place and resizes it to `n` applicants, all
+    /// set to the `usize::MAX` "unassigned" sentinel, reusing the buffer's
+    /// capacity.  This is the solver's output-buffer reset: the pipeline
+    /// then writes every slot exactly once, so a warm refill allocates
+    /// nothing.  The assignment is not valid until every slot is written.
+    pub fn reset_unassigned(&mut self, n: usize) {
+        self.post_of.clear();
+        self.post_of.resize(n, usize::MAX);
+    }
+
+    /// Mutable access to the raw applicant → extended-post slots, for
+    /// pipeline stages that fill a reused output buffer in place.
+    pub fn as_mut_slice(&mut self) -> &mut [usize] {
+        &mut self.post_of
     }
 
     /// The underlying applicant → extended-post slice.

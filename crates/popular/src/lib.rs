@@ -61,6 +61,7 @@ pub mod optimal;
 pub mod profile;
 pub mod reduced;
 pub mod sequential;
+pub mod solver;
 pub mod switching;
 pub mod ties;
 pub mod verify;
@@ -71,5 +72,6 @@ pub use instance::{Assignment, PrefInstance};
 pub use max_cardinality::maximum_cardinality_popular_matching_nc;
 pub use reduced::ReducedGraph;
 pub use sequential::popular_matching_sequential;
+pub use solver::PopularSolver;
 pub use switching::SwitchingGraph;
 pub use verify::{is_popular_brute_force, is_popular_characterization, more_popular};

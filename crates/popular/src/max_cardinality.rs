@@ -15,67 +15,168 @@
 //! `O(log² n)` depth as claimed by Theorem 10.
 
 use pm_pram::tracker::DepthTracker;
+use pm_pram::Workspace;
 
 use crate::algorithm1::popular_matching_run;
 use crate::error::PopularError;
 use crate::instance::{Assignment, PrefInstance};
 use crate::reduced::ReducedGraph;
-use crate::switching::{ComponentKind, SwitchingGraph};
+use crate::switching::{margins_and_roots_of, ComponentKind, SwitchingGraph};
 
 /// Improves an arbitrary popular matching to a maximum-cardinality popular
 /// matching by applying the positive-margin switching moves (the body of
-/// Algorithm 3).
+/// Algorithm 3).  Thin wrapper over the allocation-free
+/// [`improve_to_maximum_cardinality_ws`].
 pub fn improve_to_maximum_cardinality(
     reduced: &ReducedGraph,
     matching: &Assignment,
     tracker: &DepthTracker,
 ) -> Assignment {
-    let sg = SwitchingGraph::build(reduced, matching, tracker);
-    let components = sg.components(tracker);
-    let margins = sg.margins_to_sink(tracker);
-
     let mut improved = matching.clone();
+    improve_to_maximum_cardinality_ws(
+        reduced.f_slice(),
+        reduced.s_slice(),
+        reduced.num_posts(),
+        improved.as_mut_slice(),
+        &mut Workspace::new(),
+        tracker,
+    );
+    improved
+}
+
+/// Allocation-free core of Algorithm 3 on raw reduced-graph buffers: builds
+/// the switching graph `G_M` of `matched` in checked-out scratch, computes
+/// every margin-to-sink with one weighted pointer-doubling pass, and applies
+/// the best positive-margin switching path of every tree component in
+/// place.
+///
+/// Switching *cycles* are never applied: the margin of the edge leaving `p`
+/// is `real(succ(p)) − real(p)`, so summed around a cycle (where every
+/// vertex appears once as source and once as target) the margin telescopes
+/// to exactly 0, never positive — the structural fact the cycle tests
+/// assert.  Tree components are handled without materialising the component
+/// decomposition: the frozen pointer-doubling roots identify each vertex's
+/// sink directly, and a single election pass picks the best s-post per
+/// sink, matching the component-wise `max_by_key((margin, Reverse(q)))`
+/// selection of the sequential baseline.
+pub fn improve_to_maximum_cardinality_ws(
+    f: &[usize],
+    s: &[usize],
+    num_posts: usize,
+    matched: &mut [usize],
+    ws: &mut Workspace,
+    tracker: &DepthTracker,
+) {
+    let n_a = f.len();
+    let total = num_posts + n_a;
+    debug_assert_eq!(matched.len(), n_a);
+
+    // Build G_M: succ[p] = the other reduced post of the applicant matched
+    // to p, labelled by that applicant (mirrors `SwitchingGraph::build`).
+    tracker.phase();
     tracker.round();
-    tracker.work(reduced.total_posts() as u64);
-    for comp in &components {
-        match &comp.kind {
-            ComponentKind::Cycle(cycle) => {
-                if sg.cycle_margin(cycle) > 0 {
-                    sg.apply_cycle(&mut improved, cycle);
-                }
-            }
-            ComponentKind::Tree { sink } => {
-                // Best switching path = s-post vertex (other than the sink)
-                // with the largest margin-to-sink.
-                let best = comp
-                    .posts
-                    .iter()
-                    .copied()
-                    .filter(|&q| q != *sink && sg.is_s_post(q))
-                    .max_by_key(|&q| (margins[q], std::cmp::Reverse(q)));
-                if let Some(q) = best {
-                    if margins[q] > 0 {
-                        sg.apply_path(&mut improved, q);
-                    }
-                }
-            }
+    tracker.work(n_a as u64);
+    let mut succ = ws.take_opt(total, None);
+    let mut out_applicant = ws.take_usize(total, usize::MAX);
+    let mut in_graph = ws.take_bool(total, false);
+    let mut is_s_post = ws.take_bool(total, false);
+    for a in 0..n_a {
+        in_graph[f[a]] = true;
+        in_graph[s[a]] = true;
+        is_s_post[s[a]] = true;
+        let m = matched[a];
+        debug_assert!(
+            m == f[a] || m == s[a],
+            "switching graph requires a Theorem 1 matching"
+        );
+        let other = if m == f[a] { s[a] } else { f[a] };
+        debug_assert!(succ[m].is_none(), "post {m} matched to two applicants");
+        succ[m] = Some(other);
+        out_applicant[m] = a;
+    }
+
+    // Margin of the edge leaving post p: +1 if its applicant moves from a
+    // last resort onto a real post, −1 for the reverse, else 0.
+    let mut on_cycle = ws.take_bool_empty();
+    pm_graph::on_cycle_of(&succ, &mut on_cycle, ws, tracker);
+    let (margins, roots) = {
+        let succ_ref = &succ;
+        let edge_margin = |p: usize| -> i64 {
+            let q = succ_ref[p].expect("edge margin of a matched post");
+            i64::from(q < num_posts) - i64::from(p < num_posts)
+        };
+        margins_and_roots_of(&succ, &on_cycle, edge_margin, ws, tracker)
+    };
+    ws.put_bool(on_cycle);
+
+    // Election round: for every true sink, the best switching-path start —
+    // the s-post with the largest margin (ties to the smallest post, which
+    // ascending iteration with a strict `>` gives for free).  The posts
+    // examined are charged through a local accumulator, one atomic add for
+    // the whole pass.
+    tracker.round();
+    tracker.work(total as u64);
+    let mut best_margin = ws.take_i64(total, i64::MIN);
+    let mut best_start = ws.take_usize(total, usize::MAX);
+    let mut charged = tracker.local();
+    for q in 0..total {
+        if !in_graph[q] || !is_s_post[q] || succ[q].is_none() {
+            continue;
+        }
+        charged.add(1);
+        let r = roots[q];
+        if succ[r].is_some() {
+            continue; // r is a cycle entry, not a sink: a cycle component
+        }
+        if margins[q] > best_margin[r] {
+            best_margin[r] = margins[q];
+            best_start[r] = q;
         }
     }
-    improved
+    drop(charged);
+
+    // Apply the positive-margin switching paths (disjoint across
+    // components, total walk length ≤ |P|).
+    let mut charged = tracker.local();
+    for r in 0..total {
+        if best_start[r] == usize::MAX || best_margin[r] <= 0 {
+            continue;
+        }
+        let mut v = best_start[r];
+        while let Some(next) = succ[v] {
+            let a = out_applicant[v];
+            debug_assert_ne!(a, usize::MAX, "path posts are matched");
+            matched[a] = next;
+            v = next;
+            charged.add(1);
+        }
+    }
+    drop(charged);
+
+    ws.put_opt(succ);
+    ws.put_usize(out_applicant);
+    ws.put_bool(in_graph);
+    ws.put_bool(is_s_post);
+    ws.put_i64(margins);
+    ws.put_usize(roots);
+    ws.put_i64(best_margin);
+    ws.put_usize(best_start);
 }
 
 /// Runs Algorithm 1 followed by Algorithm 3 and returns a maximum-cardinality
 /// popular matching (or the usual errors if none exists / ties are present).
+/// Thin wrapper over a fresh [`crate::solver::PopularSolver`]; services
+/// should hold a solver and call
+/// [`solve_max_cardinality`](crate::solver::PopularSolver::solve_max_cardinality)
+/// for warm allocation-free solves.
 pub fn maximum_cardinality_popular_matching_nc(
     inst: &PrefInstance,
     tracker: &DepthTracker,
 ) -> Result<Assignment, PopularError> {
-    let run = popular_matching_run(inst, tracker)?;
-    Ok(improve_to_maximum_cardinality(
-        &run.reduced,
-        &run.matching,
-        tracker,
-    ))
+    let mut solver = crate::solver::PopularSolver::new(0, 0);
+    let result = solver.solve_max_cardinality(inst).map(|_| ());
+    tracker.absorb(solver.stats());
+    result.map(|()| solver.take_matching())
 }
 
 /// Sequential baseline for Algorithm 3: identical component logic but every

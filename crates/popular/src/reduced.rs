@@ -19,10 +19,95 @@ use rayon::prelude::*;
 
 use pm_graph::BipartiteGraph;
 use pm_pram::tracker::DepthTracker;
-use pm_pram::SEQUENTIAL_CUTOFF;
+use pm_pram::{par_chunk_len, SEQUENTIAL_CUTOFF};
 
 use crate::error::PopularError;
 use crate::instance::PrefInstance;
+
+/// Allocation-free construction of the reduced graph: writes `f(a)`,
+/// `s(a)` and the f-post marking into caller-provided buffers (capacities
+/// reused), so a solver that holds them across requests builds `G'` with
+/// zero heap allocation on a warm call.  The three parallel steps and their
+/// round accounting match [`ReducedGraph::build_parallel`], except that the
+/// s-scan charges the work it *actually* performs — entries examined until
+/// the first non-f-post — accumulated per chunk and flushed with a single
+/// atomic add per chunk (exact totals, independent of the thread count).
+pub fn build_into(
+    inst: &PrefInstance,
+    f: &mut Vec<usize>,
+    s: &mut Vec<usize>,
+    is_f_post: &mut Vec<bool>,
+    tracker: &DepthTracker,
+) -> Result<(), PopularError> {
+    if !inst.is_strict() {
+        return Err(PopularError::TiesNotSupported);
+    }
+    let n_a = inst.num_applicants();
+    tracker.phase();
+
+    // Step 1 (one round): every applicant reads its first choice straight
+    // off the flat CSR storage.  The buffer is fully overwritten, so a
+    // warm right-sized buffer skips the resize fill.
+    tracker.round();
+    tracker.work(n_a as u64);
+    if f.len() != n_a {
+        f.clear();
+        f.resize(n_a, 0);
+    }
+    if n_a >= SEQUENTIAL_CUTOFF {
+        f.par_iter_mut()
+            .enumerate()
+            .for_each(|(a, fa)| *fa = inst.first_choice(a));
+    } else {
+        for (a, fa) in f.iter_mut().enumerate() {
+            *fa = inst.first_choice(a);
+        }
+    }
+
+    // Step 2 (one concurrent-write round): mark the f-posts.
+    tracker.round();
+    tracker.work(n_a as u64);
+    is_f_post.clear();
+    is_f_post.resize(inst.total_posts(), false);
+    for &p in f.iter() {
+        is_f_post[p] = true;
+    }
+
+    // Step 3 (one round): every applicant scans its (strict, hence flat)
+    // list for the first non-f-post; the last resort is the fallback.
+    tracker.round();
+    if s.len() != n_a {
+        s.clear();
+        s.resize(n_a, 0);
+    }
+    let marks: &[bool] = is_f_post;
+    let scan_chunk = |base: usize, sc: &mut [usize]| {
+        let mut charged = tracker.local();
+        for (i, slot) in sc.iter_mut().enumerate() {
+            let a = base + i;
+            let mut found = None;
+            let mut scanned = 0u64;
+            for &p in inst.flat_list(a) {
+                scanned += 1;
+                if !marks[p] {
+                    found = Some(p);
+                    break;
+                }
+            }
+            charged.add(scanned);
+            *slot = found.unwrap_or_else(|| inst.last_resort(a));
+        }
+    };
+    if n_a >= SEQUENTIAL_CUTOFF {
+        let chunk = par_chunk_len(n_a, 1024);
+        s.par_chunks_mut(chunk)
+            .enumerate()
+            .for_each(|(ci, sc)| scan_chunk(ci * chunk, sc));
+    } else {
+        scan_chunk(0, s);
+    }
+    Ok(())
+}
 
 /// The reduced graph `G'`: for every applicant its f-post and s-post, plus
 /// the global f-post marking.
@@ -44,55 +129,13 @@ impl ReducedGraph {
         inst: &PrefInstance,
         tracker: &DepthTracker,
     ) -> Result<Self, PopularError> {
-        if !inst.is_strict() {
-            return Err(PopularError::TiesNotSupported);
-        }
-        let n_a = inst.num_applicants();
-        let n_p = inst.num_posts();
-        tracker.phase();
-
-        // Step 1 (one round): every applicant reads its first choice straight
-        // off the flat CSR storage.
-        tracker.round();
-        tracker.work(n_a as u64);
-        let f: Vec<usize> = if n_a >= SEQUENTIAL_CUTOFF {
-            (0..n_a)
-                .into_par_iter()
-                .map(|a| inst.first_choice(a))
-                .collect()
-        } else {
-            (0..n_a).map(|a| inst.first_choice(a)).collect()
-        };
-
-        // Step 2 (one concurrent-write round): mark the f-posts.
-        tracker.round();
-        tracker.work(n_a as u64);
-        let mut is_f_post = vec![false; inst.total_posts()];
-        for &p in &f {
-            is_f_post[p] = true;
-        }
-
-        // Step 3 (one round, work = total list length): every applicant scans
-        // its (strict, hence flat) list for the first non-f-post; the last
-        // resort is the fallback.
-        tracker.round();
-        tracker.work(inst.num_edges() as u64);
-        let find_s = |a: usize| -> usize {
-            inst.flat_list(a)
-                .iter()
-                .copied()
-                .find(|&p| !is_f_post[p])
-                .unwrap_or_else(|| inst.last_resort(a))
-        };
-        let s: Vec<usize> = if n_a >= SEQUENTIAL_CUTOFF {
-            (0..n_a).into_par_iter().map(find_s).collect()
-        } else {
-            (0..n_a).map(find_s).collect()
-        };
-
+        let mut f = Vec::new();
+        let mut s = Vec::new();
+        let mut is_f_post = Vec::new();
+        build_into(inst, &mut f, &mut s, &mut is_f_post, tracker)?;
         Ok(Self {
-            num_applicants: n_a,
-            num_posts: n_p,
+            num_applicants: inst.num_applicants(),
+            num_posts: inst.num_posts(),
             f,
             s,
             is_f_post,
@@ -131,6 +174,27 @@ impl ReducedGraph {
         })
     }
 
+    /// Assembles a reduced graph from raw parts, e.g. the buffers filled by
+    /// [`build_into`] (the solver's free-function wrappers use this to hand
+    /// back an owned `ReducedGraph` without rebuilding it).
+    pub fn from_parts(
+        num_posts: usize,
+        f: Vec<usize>,
+        s: Vec<usize>,
+        is_f_post: Vec<bool>,
+    ) -> Self {
+        let num_applicants = f.len();
+        debug_assert_eq!(s.len(), num_applicants);
+        debug_assert_eq!(is_f_post.len(), num_posts + num_applicants);
+        Self {
+            num_applicants,
+            num_posts,
+            f,
+            s,
+            is_f_post,
+        }
+    }
+
     /// Number of applicants.
     pub fn num_applicants(&self) -> usize {
         self.num_applicants
@@ -154,6 +218,21 @@ impl ReducedGraph {
     /// `s(a)`: applicant `a`'s most preferred non-f-post (possibly `l(a)`).
     pub fn s(&self, a: usize) -> usize {
         self.s[a]
+    }
+
+    /// The whole `f` map as a slice (one entry per applicant).
+    pub fn f_slice(&self) -> &[usize] {
+        &self.f
+    }
+
+    /// The whole `s` map as a slice (one entry per applicant).
+    pub fn s_slice(&self) -> &[usize] {
+        &self.s
+    }
+
+    /// The f-post marking over all extended posts, as a slice.
+    pub fn is_f_post_slice(&self) -> &[bool] {
+        &self.is_f_post
     }
 
     /// True iff the extended post `p` is an f-post.

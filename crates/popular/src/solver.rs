@@ -1,0 +1,361 @@
+//! The serving-oriented solver: reusable workspace, warm zero-allocation
+//! solves, and a batched entry point.
+//!
+//! The free functions ([`popular_matching_nc`], the ties oracle, the
+//! max-cardinality entry point) are the documented simple path: each call
+//! runs the pipeline in a fresh [`PopularSolver`] and drops it.  A service
+//! handling many requests should instead hold one `PopularSolver` (per
+//! worker) and call [`solve`](PopularSolver::solve) repeatedly: every piece
+//! of scratch the pipeline touches — reduced-graph buffers, CSR adjacency,
+//! liveness flags, pointer-jumping double buffers, switching-graph arrays,
+//! Hopcroft–Karp layers — lives in the solver's [`Workspace`] and is reused
+//! across requests, so a **warm solve performs zero heap allocations** (the
+//! bench harness enforces this with a counting global allocator; see
+//! `DESIGN.md` §6).
+//!
+//! [`solve_batch`](PopularSolver::solve_batch) amortises further by
+//! fanning a slice of instances out across the thread pool, one warm
+//! sub-solver per worker chunk.
+//!
+//! [`popular_matching_nc`]: crate::algorithm1::popular_matching_nc
+
+use rayon::prelude::*;
+
+use pm_graph::BipartiteGraph;
+use pm_matching::hopcroft_karp::hopcroft_karp_into;
+use pm_matching::matching::Matching;
+use pm_pram::tracker::DepthTracker;
+use pm_pram::{PramStats, Workspace};
+
+use crate::algorithm1::promote_into;
+use crate::algorithm2::applicant_complete_matching_into;
+use crate::error::PopularError;
+use crate::instance::{Assignment, PrefInstance};
+use crate::max_cardinality::improve_to_maximum_cardinality_ws;
+use crate::reduced::{build_into, ReducedGraph};
+
+/// A reusable popular-matching solver (see the module docs).
+///
+/// All entry points reset the internal [`DepthTracker`] and record the
+/// depth/work of the last call only ([`stats`](PopularSolver::stats));
+/// `solve_batch` records the batch's summed totals.  Results are returned
+/// by reference into solver-owned buffers — clone them (or
+/// [`take_matching`](PopularSolver::take_matching)) if they must outlive
+/// the next call.
+#[derive(Debug)]
+pub struct PopularSolver {
+    ws: Workspace,
+    tracker: DepthTracker,
+    // Reduced-graph buffers, persistent so `solve_max_cardinality` (and the
+    // free-function wrappers) can consume them after the Algorithm 1 phase.
+    f: Vec<usize>,
+    s: Vec<usize>,
+    is_f_post: Vec<bool>,
+    // Output buffers, refilled in place on every call.
+    out: Assignment,
+    ties_out: Matching,
+    // Hopcroft–Karp scratch for `solve_ties`.
+    hk_left: Vec<usize>,
+    hk_right: Vec<usize>,
+    hk_dist: Vec<u32>,
+    hk_queue: Vec<usize>,
+    peel_rounds: u32,
+    // Warm sub-solvers for `solve_batch`, one per worker chunk.
+    batch_workers: Vec<PopularSolver>,
+}
+
+impl PopularSolver {
+    /// Creates a solver.  `n_hint`/`p_hint` pre-size the applicant- and
+    /// post-indexed output buffers (pass 0 to size lazily on first solve);
+    /// the pooled scratch warms up on the first request either way.
+    pub fn new(n_hint: usize, p_hint: usize) -> Self {
+        Self {
+            ws: Workspace::new(),
+            tracker: DepthTracker::new(),
+            f: Vec::with_capacity(n_hint),
+            s: Vec::with_capacity(n_hint),
+            is_f_post: Vec::with_capacity(n_hint + p_hint),
+            out: Assignment::new(Vec::with_capacity(n_hint)),
+            ties_out: Matching::empty(0, 0),
+            hk_left: Vec::new(),
+            hk_right: Vec::new(),
+            hk_dist: Vec::new(),
+            hk_queue: Vec::new(),
+            peel_rounds: 0,
+            batch_workers: Vec::new(),
+        }
+    }
+
+    /// Runs Algorithm 1 (reduced graph → applicant-complete matching →
+    /// promotion) and returns the popular matching by reference.
+    ///
+    /// # Errors
+    /// * [`PopularError::TiesNotSupported`] if a preference list has a tie.
+    /// * [`PopularError::NoPopularMatching`] if none exists.
+    pub fn solve(&mut self, inst: &PrefInstance) -> Result<&Assignment, PopularError> {
+        self.tracker.reset();
+        self.solve_algorithm1(inst)?;
+        Ok(&self.out)
+    }
+
+    /// Runs Algorithms 1 + 3 and returns a maximum-cardinality popular
+    /// matching by reference.
+    pub fn solve_max_cardinality(
+        &mut self,
+        inst: &PrefInstance,
+    ) -> Result<&Assignment, PopularError> {
+        self.tracker.reset();
+        self.solve_algorithm1(inst)?;
+        improve_to_maximum_cardinality_ws(
+            &self.f,
+            &self.s,
+            inst.num_posts(),
+            self.out.as_mut_slice(),
+            &mut self.ws,
+            &self.tracker,
+        );
+        Ok(&self.out)
+    }
+
+    /// The Section V ties oracle: a popular matching of the rank-1 instance
+    /// derived from `g` (Lemma 13: any maximum-cardinality matching), by
+    /// reference.  Mirrors [`crate::ties::popular_matching_rank1`]
+    /// bit-for-bit, with the Hopcroft–Karp scratch held in the solver.
+    ///
+    /// # Errors
+    /// [`PopularError::InvalidInstance`] if a left vertex has no incident
+    /// edge (the reduction requires non-empty preference lists).
+    pub fn solve_ties(&mut self, g: &BipartiteGraph) -> Result<&Matching, PopularError> {
+        self.tracker.reset();
+        if (0..g.n_left()).any(|l| g.degree_left(l) == 0) {
+            return Err(PopularError::InvalidInstance(
+                "rank-1 reduction requires every applicant to have at least one acceptable post"
+                    .into(),
+            ));
+        }
+        // Work accounting: Hopcroft–Karp is the sequential oracle standing
+        // in for the open NC ties case; charge its edge scans coarsely as
+        // one phase (exact augmenting-path work is data-dependent).
+        self.tracker.phase();
+        self.tracker.round();
+        self.tracker.work(g.num_edges() as u64);
+        hopcroft_karp_into(
+            g,
+            &mut self.ties_out,
+            &mut self.hk_left,
+            &mut self.hk_right,
+            &mut self.hk_dist,
+            &mut self.hk_queue,
+        );
+        Ok(&self.ties_out)
+    }
+
+    /// Solves a batch of instances, fanning out across the executor (one
+    /// warm sub-solver per worker chunk; chunking — and hence sub-solver
+    /// assignment — depends only on the batch size and thread count, and
+    /// every result depends only on its instance, so outputs are identical
+    /// for every thread count).  Returns owned results in input order;
+    /// [`stats`](Self::stats) afterwards reports the *summed* depth/work of
+    /// every solve in the batch (sums commute, so the total is
+    /// thread-count-independent too).
+    pub fn solve_batch(&mut self, insts: &[PrefInstance]) -> Vec<Result<Assignment, PopularError>> {
+        self.tracker.reset();
+        let threads = rayon::current_num_threads().max(1);
+        let chunk = insts.len().div_ceil(threads).max(1);
+        let n_chunks = insts.len().div_ceil(chunk);
+        while self.batch_workers.len() < n_chunks {
+            self.batch_workers.push(PopularSolver::new(0, 0));
+        }
+
+        let mut results: Vec<Result<Assignment, PopularError>> = Vec::with_capacity(insts.len());
+        results.extend((0..insts.len()).map(|_| Err(PopularError::NoPopularMatching)));
+        let tracker = &self.tracker;
+        results
+            .par_chunks_mut(chunk)
+            .zip(insts.par_chunks(chunk))
+            .zip(self.batch_workers[..n_chunks].par_iter_mut())
+            .for_each(|((rs, is), worker)| {
+                for (r, inst) in rs.iter_mut().zip(is.iter()) {
+                    *r = worker.solve(inst).cloned();
+                    tracker.absorb(worker.stats());
+                }
+            });
+        results
+    }
+
+    /// PRAM depth/work accounting of the last call (for
+    /// [`solve_batch`](Self::solve_batch): summed over the whole batch).
+    pub fn stats(&self) -> PramStats {
+        self.tracker.stats()
+    }
+
+    /// Moves the last solve's matching out of the solver without cloning
+    /// (the output buffer is replaced by an empty one).  The free-function
+    /// wrappers use this to return an owned [`Assignment`] from a solver
+    /// they are about to drop.
+    pub fn take_matching(&mut self) -> Assignment {
+        std::mem::replace(&mut self.out, Assignment::new(Vec::new()))
+    }
+
+    /// Degree-1 peeling rounds Algorithm 2 used in the last solve.
+    pub fn peel_rounds(&self) -> u32 {
+        self.peel_rounds
+    }
+
+    /// The reduced graph of the last solved instance, assembled from the
+    /// solver's buffers (consumes the solver; the free-function wrappers
+    /// use this to return an owned [`ReducedGraph`] without rebuilding it).
+    pub fn into_reduced_graph(self) -> ReducedGraph {
+        let num_posts = self.is_f_post.len() - self.f.len();
+        ReducedGraph::from_parts(num_posts, self.f, self.s, self.is_f_post)
+    }
+
+    /// Algorithm 1 into `self.out`: shared by `solve` and
+    /// `solve_max_cardinality`.
+    fn solve_algorithm1(&mut self, inst: &PrefInstance) -> Result<(), PopularError> {
+        build_into(
+            inst,
+            &mut self.f,
+            &mut self.s,
+            &mut self.is_f_post,
+            &self.tracker,
+        )?;
+        self.out.reset_unassigned(inst.num_applicants());
+        let (feasible, peel_rounds) = applicant_complete_matching_into(
+            inst.total_posts(),
+            &self.f,
+            &self.s,
+            self.out.as_mut_slice(),
+            &mut self.ws,
+            &self.tracker,
+        );
+        self.peel_rounds = peel_rounds;
+        if !feasible {
+            return Err(PopularError::NoPopularMatching);
+        }
+        promote_into(
+            &self.f,
+            &self.s,
+            &self.is_f_post,
+            self.out.as_mut_slice(),
+            &mut self.ws,
+            &self.tracker,
+        );
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm1::{popular_matching_nc, popular_matching_run};
+    use crate::max_cardinality::maximum_cardinality_popular_matching_nc;
+    use crate::ties::popular_matching_rank1;
+    use crate::verify::is_popular_characterization;
+    use rand::{RngExt, SeedableRng};
+
+    fn random_instance(rng: &mut impl rand::RngExt, max_a: usize, max_p: usize) -> PrefInstance {
+        let n_a = rng.random_range(1..=max_a);
+        let n_p = rng.random_range(1..=max_p);
+        let lists: Vec<Vec<usize>> = (0..n_a)
+            .map(|_| {
+                let mut posts: Vec<usize> = (0..n_p).collect();
+                for i in (1..posts.len()).rev() {
+                    posts.swap(i, rng.random_range(0..=i));
+                }
+                posts.truncate(rng.random_range(1..=posts.len()));
+                posts
+            })
+            .collect();
+        PrefInstance::new_strict(n_p, lists).unwrap()
+    }
+
+    #[test]
+    fn reused_solver_matches_free_functions() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2024);
+        let mut solver = PopularSolver::new(8, 8);
+        for _ in 0..40 {
+            let inst = random_instance(&mut rng, 8, 8);
+            let tracker = DepthTracker::new();
+            let want = popular_matching_nc(&inst, &tracker);
+            match (solver.solve(&inst), want) {
+                (Ok(got), Ok(want)) => {
+                    assert_eq!(got.as_slice(), want.as_slice());
+                    assert!(is_popular_characterization(&inst, got));
+                    assert_eq!(solver.stats(), tracker.stats());
+                }
+                (Err(e1), Err(e2)) => assert_eq!(e1, e2),
+                (a, b) => panic!("solver/free-function disagreement: {a:?} vs {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn max_cardinality_matches_free_function() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31337);
+        let mut solver = PopularSolver::new(0, 0);
+        for _ in 0..40 {
+            let inst = random_instance(&mut rng, 7, 6);
+            let tracker = DepthTracker::new();
+            let want = maximum_cardinality_popular_matching_nc(&inst, &tracker);
+            match (solver.solve_max_cardinality(&inst), want) {
+                (Ok(got), Ok(want)) => {
+                    assert_eq!(got.as_slice(), want.as_slice());
+                    assert_eq!(solver.stats(), tracker.stats());
+                }
+                (Err(e1), Err(e2)) => assert_eq!(e1, e2),
+                (a, b) => panic!("disagreement: {a:?} vs {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn ties_oracle_matches_free_function() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        let mut solver = PopularSolver::new(0, 0);
+        for _ in 0..25 {
+            let n = rng.random_range(1..30);
+            let mut edges = Vec::new();
+            for l in 0..n {
+                edges.push((l, l % n));
+                edges.push((l, rng.random_range(0..n)));
+            }
+            let g = BipartiteGraph::from_edges(n, n, &edges);
+            let got = solver.solve_ties(&g).unwrap();
+            let want = popular_matching_rank1(&g);
+            assert_eq!(got.left_assignment(), want.left_assignment());
+        }
+        // Isolated left vertices are rejected like `rank1_instance`.
+        let g = BipartiteGraph::new(2, 2);
+        assert!(matches!(
+            solver.solve_ties(&g),
+            Err(PopularError::InvalidInstance(_))
+        ));
+    }
+
+    #[test]
+    fn batch_matches_individual_solves() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let insts: Vec<PrefInstance> = (0..13).map(|_| random_instance(&mut rng, 9, 9)).collect();
+        let mut solver = PopularSolver::new(0, 0);
+        let batch = solver.solve_batch(&insts);
+        assert_eq!(batch.len(), insts.len());
+        for (inst, got) in insts.iter().zip(&batch) {
+            let t = DepthTracker::new();
+            match (got, popular_matching_nc(inst, &t)) {
+                (Ok(got), Ok(want)) => assert_eq!(got.as_slice(), want.as_slice()),
+                (Err(e1), Err(e2)) => assert_eq!(e1, &e2),
+                (a, b) => panic!("batch/individual disagreement: {a:?} vs {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn run_wrapper_exposes_reduced_graph() {
+        let inst = PrefInstance::new_strict(3, vec![vec![0, 1], vec![0, 2]]).unwrap();
+        let t = DepthTracker::new();
+        let run = popular_matching_run(&inst, &t).unwrap();
+        assert_eq!(run.reduced, ReducedGraph::build_sequential(&inst).unwrap());
+        assert!(t.stats().depth > 0, "wrapper absorbs solver accounting");
+    }
+}

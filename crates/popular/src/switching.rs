@@ -16,17 +16,110 @@
 //! applicants matched to real (non-last-resort) posts; Algorithm 3 applies
 //! exactly the positive-margin moves.
 
-use pm_graph::connected::ComponentLabels;
-use pm_graph::functional::FunctionalGraph;
-use pm_pram::scan::csr_offsets;
+use pm_graph::connected::{connected_components_ws, ComponentLabels};
+use pm_graph::functional::{extract_cycles_marked, on_cycle_of, FunctionalGraph};
+use pm_pram::scan::csr_offsets_into;
 use pm_pram::scheduler::RoundScheduler;
 use pm_pram::tracker::DepthTracker;
-use pm_pram::SEQUENTIAL_CUTOFF;
+use pm_pram::{Workspace, SEQUENTIAL_CUTOFF};
 
 use rayon::prelude::*;
 
 use crate::instance::Assignment;
 use crate::reduced::ReducedGraph;
+
+/// For every vertex of a pseudoforest given by `succ`, the total weight of
+/// the path from it to its component's frozen endpoint, plus that endpoint:
+/// weighted pointer doubling in `O(log n)` rounds over two checked-out
+/// double buffers.  Cycle vertices (per the caller-provided `on_cycle`
+/// marking, see [`on_cycle_of`]) are frozen (weight 0, self-pointer) so
+/// tree vertices hanging off a cycle accumulate only up to the cycle entry
+/// and report that entry as their root, while true tree components
+/// accumulate up to their sink.  `edge_weight(p)` is the weight of the edge
+/// leaving `p` (only consulted for non-cycle vertices with a successor).
+///
+/// Returns `(weights, roots)`, both checked out of `ws` — hand them back
+/// with `put_i64` / `put_usize` when done.  This is the parallel primitive
+/// Algorithm 3 uses to pick the best switching path of every tree component
+/// in one go ([`SwitchingGraph::margins_to_sink`] is a thin wrapper).
+pub fn margins_and_roots_of(
+    succ: &[Option<usize>],
+    on_cycle: &[bool],
+    edge_weight: impl Fn(usize) -> i64,
+    ws: &mut Workspace,
+    tracker: &DepthTracker,
+) -> (Vec<i64>, Vec<usize>) {
+    let n = succ.len();
+    if n == 0 {
+        return (ws.take_i64_empty(), ws.take_usize_empty());
+    }
+    debug_assert_eq!(on_cycle.len(), n);
+
+    let mut ptr = ws.take_usize_dirty(n, 0);
+    let mut acc = ws.take_i64(n, 0);
+    for (p, (ptr_p, acc_p)) in ptr.iter_mut().zip(acc.iter_mut()).enumerate() {
+        match succ[p] {
+            Some(q) if !on_cycle[p] => {
+                *ptr_p = q;
+                *acc_p = edge_weight(p);
+            }
+            _ => *ptr_p = p,
+        }
+    }
+
+    let rounds = if n <= 1 {
+        0
+    } else {
+        u64::from(usize::BITS - (n - 1).leading_zeros())
+    };
+    // Every doubling round overwrites every (ptr, acc) cell, so the round
+    // scheduler's overwrite step ping-pongs the two checked-out buffer
+    // pairs with no per-round allocation, cloning, or initial fill.
+    let ptr_scratch = ws.take_usize_dirty(n, 0);
+    let acc_scratch = ws.take_i64_dirty(n, 0);
+    // The frozen graph is a forest (cycle vertices are self-pointing), so
+    // pointer doubling converges; a round that changes no pointer is a
+    // fixpoint (frozen targets always carry weight 0, so the accumulators
+    // are stable too) and the loop stops early — the change flag is a pure
+    // function of the data, detected inside the round at no extra pass.
+    let mut sched =
+        RoundScheduler::from_buffers((ptr, acc), (ptr_scratch, acc_scratch), rounds, tracker);
+    for _ in 0..rounds {
+        let changed = sched.step_overwrite(n as u64, |(ptr, acc), (nptr, nacc)| {
+            let write = |p: usize, np: &mut usize, na: &mut i64| -> bool {
+                let q = ptr[p];
+                *np = ptr[q];
+                *na = acc[p] + acc[q];
+                *np != q
+            };
+            if n >= SEQUENTIAL_CUTOFF {
+                let changed = std::sync::atomic::AtomicBool::new(false);
+                nptr.par_iter_mut()
+                    .zip(nacc.par_iter_mut())
+                    .enumerate()
+                    .for_each(|(p, (np, na))| {
+                        if write(p, np, na) {
+                            changed.store(true, std::sync::atomic::Ordering::Relaxed);
+                        }
+                    });
+                changed.load(std::sync::atomic::Ordering::Relaxed)
+            } else {
+                let mut changed = false;
+                for (p, (np, na)) in nptr.iter_mut().zip(nacc.iter_mut()).enumerate() {
+                    changed |= write(p, np, na);
+                }
+                changed
+            }
+        });
+        if !changed {
+            break;
+        }
+    }
+    let ((ptr, acc), (ptr_scratch, acc_scratch), _) = sched.into_buffers();
+    ws.put_usize(ptr_scratch);
+    ws.put_i64(acc_scratch);
+    (acc, ptr)
+}
 
 /// What a component of the switching graph contains (Lemma 4 (iii)).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -64,6 +157,11 @@ pub struct SwitchingGraph {
     in_graph: Vec<bool>,
     /// Post is an s-post (the only legal starting points of switching paths).
     is_s_post: Vec<bool>,
+    /// Lazily computed cycle-vertex marking (a pure function of `succ`),
+    /// shared by [`components`](Self::components) and
+    /// [`margins_to_sink`](Self::margins_to_sink) so an analysis pipeline
+    /// runs the `O(log n)`-round doubling once instead of once per query.
+    cycle_marks: std::sync::OnceLock<Vec<bool>>,
 }
 
 impl SwitchingGraph {
@@ -111,7 +209,19 @@ impl SwitchingGraph {
             out_applicant,
             in_graph,
             is_s_post,
+            cycle_marks: std::sync::OnceLock::new(),
         }
+    }
+
+    /// The memoised cycle-vertex marking of `G_M` (computed on first use;
+    /// the depth/work of the doubling is charged to the tracker of that
+    /// first call only).
+    fn cycle_marks(&self, tracker: &DepthTracker) -> &[bool] {
+        self.cycle_marks.get_or_init(|| {
+            let mut out = Vec::new();
+            on_cycle_of(&self.succ, &mut out, &mut Workspace::new(), tracker);
+            out
+        })
     }
 
     /// Number of applicants in the underlying instance.
@@ -163,9 +273,23 @@ impl SwitchingGraph {
     /// each as a cycle component or a tree component (Lemma 4 (iii)).
     /// Components are ordered by their smallest post.
     pub fn components(&self, tracker: &DepthTracker) -> Vec<SwitchingComponent> {
-        let fg = self.functional_graph();
-        let labels: ComponentLabels = fg.weak_components(tracker);
-        let cycles = fg.cycles_parallel(tracker);
+        // All dense scratch — the edge list, the hooking forest, the cycle
+        // marking and the label buckets — is checked out of one workspace,
+        // so the phases of this call share their slabs instead of each
+        // allocating afresh (and no `FunctionalGraph` clone of the
+        // successor array is materialised).
+        let mut ws = Workspace::new();
+        let mut edges = ws.take_pair_empty();
+        edges.extend(
+            self.succ
+                .iter()
+                .enumerate()
+                .filter_map(|(v, s)| s.map(|s| (v, s))),
+        );
+        let labels: ComponentLabels =
+            connected_components_ws(self.total_posts, &edges, &mut ws, tracker);
+        ws.put_pair(edges);
+        let cycles = extract_cycles_marked(&self.succ, self.cycle_marks(tracker));
 
         // Map each component label to its cycle (if any).
         let mut cycle_of_label: Vec<Option<Vec<usize>>> = vec![None; self.total_posts];
@@ -177,23 +301,33 @@ impl SwitchingGraph {
         // Bucket the reduced-graph posts by component label in one flat CSR
         // pass: counts, prefix scan, slotted fill.  Filling in increasing
         // post order keeps each bucket sorted, as the component contract
-        // requires.
-        let mut counts = vec![0usize; self.total_posts];
+        // requires.  The per-post bucket work is accumulated locally and
+        // flushed with one atomic add per pass.
+        let mut counts = ws.take_usize(self.total_posts, 0);
+        let mut charged = tracker.local();
         for p in 0..self.total_posts {
             if self.in_graph[p] {
                 counts[labels.label[p]] += 1;
+                charged.add(1);
             }
         }
-        let bucket_off = csr_offsets(&counts, tracker);
-        let mut cursor = bucket_off[..self.total_posts].to_vec();
-        let mut bucket_flat = vec![0usize; *bucket_off.last().unwrap_or(&0)];
+        drop(charged);
+        let mut bucket_off = ws.take_usize_empty();
+        let mut chunk_scratch = ws.take_usize_empty();
+        csr_offsets_into(&counts, &mut bucket_off, &mut chunk_scratch, tracker);
+        let mut cursor = ws.take_usize_empty();
+        cursor.extend_from_slice(&bucket_off[..self.total_posts]);
+        let mut bucket_flat = ws.take_usize(*bucket_off.last().unwrap_or(&0), 0);
+        let mut charged = tracker.local();
         for p in 0..self.total_posts {
             if self.in_graph[p] {
                 let l = labels.label[p];
                 bucket_flat[cursor[l]] = p;
                 cursor[l] += 1;
+                charged.add(1);
             }
         }
+        drop(charged);
 
         let mut out = Vec::new();
         for l in 0..self.total_posts {
@@ -217,6 +351,12 @@ impl SwitchingGraph {
                 kind,
             });
         }
+        ws.put_usize(labels.label);
+        ws.put_usize(counts);
+        ws.put_usize(bucket_off);
+        ws.put_usize(chunk_scratch);
+        ws.put_usize(cursor);
+        ws.put_usize(bucket_flat);
         out
     }
 
@@ -285,63 +425,20 @@ impl SwitchingGraph {
     /// `O(log n)` rounds; this is the parallel primitive Algorithm 3 uses to
     /// pick the best switching path of every tree component in one go.
     pub fn margins_to_sink(&self, tracker: &DepthTracker) -> Vec<i64> {
-        let n = self.total_posts;
-        if n == 0 {
+        if self.total_posts == 0 {
             return Vec::new();
         }
-        let fg = self.functional_graph();
-        let on_cycle = fg.on_cycle_parallel(tracker);
-
-        // Pointer doubling with accumulated weights; cycle vertices are
-        // frozen (weight 0, self-pointer) so tree vertices hanging off a
-        // cycle accumulate only up to the cycle entry, and true tree
-        // components accumulate up to their sink.
-        let ptr: Vec<usize> = (0..n)
-            .map(|p| match self.succ[p] {
-                Some(q) if !on_cycle[p] => q,
-                _ => p,
-            })
-            .collect();
-        let acc: Vec<i64> = (0..n)
-            .map(|p| {
-                if !on_cycle[p] && self.succ[p].is_some() {
-                    self.edge_margin(p)
-                } else {
-                    0
-                }
-            })
-            .collect();
-
-        let rounds = if n <= 1 {
-            0
-        } else {
-            u64::from(usize::BITS - (n - 1).leading_zeros())
-        };
-        // Every doubling round overwrites every (ptr, acc) cell, so the
-        // round scheduler's overwrite step ping-pongs two preallocated
-        // buffers with no per-round allocation or cloning.
-        let mut sched = RoundScheduler::new((ptr, acc), rounds, tracker);
-        for _ in 0..rounds {
-            sched.step_overwrite(n as u64, |(ptr, acc), (nptr, nacc)| {
-                let write = |p: usize, np: &mut usize, na: &mut i64| {
-                    let q = ptr[p];
-                    *np = ptr[q];
-                    *na = acc[p] + acc[q];
-                };
-                if n >= SEQUENTIAL_CUTOFF {
-                    nptr.par_iter_mut()
-                        .zip(nacc.par_iter_mut())
-                        .enumerate()
-                        .for_each(|(p, (np, na))| write(p, np, na));
-                } else {
-                    for (p, (np, na)) in nptr.iter_mut().zip(nacc.iter_mut()).enumerate() {
-                        write(p, np, na);
-                    }
-                }
-                true
-            });
-        }
-        sched.into_state().0 .1
+        let mut ws = Workspace::new();
+        let on_cycle = self.cycle_marks(tracker);
+        let (margins, roots) = margins_and_roots_of(
+            &self.succ,
+            on_cycle,
+            |p| self.edge_margin(p),
+            &mut ws,
+            tracker,
+        );
+        ws.put_usize(roots);
+        margins
     }
 
     /// Applies the switching cycle through `cycle_posts` to `matching`:

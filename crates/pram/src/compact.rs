@@ -8,8 +8,9 @@
 
 use rayon::prelude::*;
 
-use crate::scan::prefix_sum_exclusive;
+use crate::scan::offsets_from_counts_into;
 use crate::tracker::DepthTracker;
+use crate::workspace::Workspace;
 use crate::SEQUENTIAL_CUTOFF;
 
 /// Returns the indices `i` for which `keep(i)` is true, in increasing order,
@@ -19,39 +20,59 @@ pub fn compact_indices<F>(n: usize, keep: F, tracker: &DepthTracker) -> Vec<usiz
 where
     F: Fn(usize) -> bool + Send + Sync,
 {
-    let flags: Vec<u64> = if n >= SEQUENTIAL_CUTOFF {
-        (0..n).into_par_iter().map(|i| u64::from(keep(i))).collect()
-    } else {
-        (0..n).map(|i| u64::from(keep(i))).collect()
-    };
+    let mut out = Vec::new();
+    compact_indices_into(n, keep, &mut out, &mut Workspace::new(), tracker);
+    out
+}
+
+/// Allocation-free variant of [`compact_indices`]: the flag and slot arrays
+/// are checked out of `ws` and the kept indices are written into `out`
+/// (capacity reused).  A warm call — same workspace, no larger `n` than any
+/// previous call — performs no heap allocation.
+pub fn compact_indices_into<F>(
+    n: usize,
+    keep: F,
+    out: &mut Vec<usize>,
+    ws: &mut Workspace,
+    tracker: &DepthTracker,
+) where
+    F: Fn(usize) -> bool + Send + Sync,
+{
+    // Round 1: evaluate the predicate into 0/1 counts.
     tracker.round();
     tracker.work(n as u64);
-
-    let (slots, total) = prefix_sum_exclusive(&flags, tracker);
-    let mut out = vec![0usize; total as usize];
-
-    tracker.round();
-    tracker.work(n as u64);
+    let mut flags = ws.take_usize(n, 0);
     if n >= SEQUENTIAL_CUTOFF {
-        // Scatter in parallel: each kept index writes into its private slot.
-        // Slots are distinct, so the unzip-free approach below is race-free;
-        // we realise it by building (slot, index) pairs and writing them.
-        let pairs: Vec<(usize, usize)> = (0..n)
-            .into_par_iter()
-            .filter(|&i| flags[i] == 1)
-            .map(|i| (slots[i] as usize, i))
-            .collect();
-        for (slot, i) in pairs {
-            out[slot] = i;
-        }
+        flags
+            .par_iter_mut()
+            .enumerate()
+            .for_each(|(i, f)| *f = usize::from(keep(i)));
     } else {
-        for i in 0..n {
-            if flags[i] == 1 {
-                out[slots[i] as usize] = i;
-            }
+        for (i, f) in flags.iter_mut().enumerate() {
+            *f = usize::from(keep(i));
         }
     }
-    out
+
+    // Scan rounds: each kept element's output slot.
+    let mut slots = ws.take_usize_empty();
+    let mut chunk_scratch = ws.take_usize_empty();
+    let total = offsets_from_counts_into(&flags, &mut slots, &mut chunk_scratch, tracker);
+
+    // Scatter round: slots of kept elements are strictly increasing, so the
+    // sequential writes stream through `out` in order.
+    tracker.round();
+    tracker.work(n as u64);
+    out.clear();
+    out.resize(total, 0);
+    for i in 0..n {
+        if flags[i] == 1 {
+            out[slots[i]] = i;
+        }
+    }
+
+    ws.put_usize(flags);
+    ws.put_usize(slots);
+    ws.put_usize(chunk_scratch);
 }
 
 /// Compacts the elements of `xs` for which `keep` returns true, preserving
@@ -97,6 +118,18 @@ mod tests {
         let t = DepthTracker::new();
         let idx = compact_indices(9, |i| i % 2 == 0, &t);
         assert_eq!(idx, vec![0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn into_variant_matches_allocating_compaction() {
+        let t = DepthTracker::new();
+        let mut ws = Workspace::new();
+        let mut out = Vec::new();
+        for n in [0usize, 1, 9, 3000, 50_000] {
+            compact_indices_into(n, |i| i % 3 == 1, &mut out, &mut ws, &t);
+            let want: Vec<usize> = (0..n).filter(|&i| i % 3 == 1).collect();
+            assert_eq!(out, want, "n = {n}");
+        }
     }
 
     #[test]

@@ -48,16 +48,20 @@ pub mod reduce;
 pub mod scan;
 pub mod scheduler;
 pub mod tracker;
+pub mod workspace;
 
-pub use compact::{compact_indices, compact_with};
-pub use pointer::{list_rank, pointer_jump_roots, PointerJumpResult};
+pub use compact::{compact_indices, compact_indices_into, compact_with};
+pub use pointer::{
+    list_rank, min_label_cycles, pointer_jump_roots, pointer_jump_roots_into, PointerJumpResult,
+};
 pub use reduce::{par_argmax, par_argmin, par_max, par_min, par_sum};
 pub use scan::{
-    csr_offsets, offsets_from_counts, prefix_scan_exclusive, prefix_scan_inclusive,
-    prefix_sum_exclusive, prefix_sum_inclusive,
+    csr_offsets, csr_offsets_into, offsets_from_counts, offsets_from_counts_into,
+    prefix_scan_exclusive, prefix_scan_inclusive, prefix_sum_exclusive, prefix_sum_inclusive,
 };
 pub use scheduler::RoundScheduler;
-pub use tracker::{DepthTracker, PramStats};
+pub use tracker::{DepthTracker, LocalWork, PramStats};
+pub use workspace::{EpochMarks, Workspace};
 
 /// The threshold below which the primitives fall back to a purely sequential
 /// implementation.  Parallelising tiny inputs costs more than it saves; the

@@ -37,17 +37,59 @@ pub struct PointerJumpResult {
 /// number of hops performed; callers that may hand in functional graphs with
 /// cycles should use the cycle-detection routines in `pm_graph` instead.
 pub fn pointer_jump_roots(parent: &[usize], tracker: &DepthTracker) -> PointerJumpResult {
+    let mut root = Vec::new();
+    let mut dist = Vec::new();
+    let rounds = pointer_jump_roots_into(
+        parent,
+        &mut root,
+        &mut dist,
+        &mut Vec::new(),
+        &mut Vec::new(),
+        tracker,
+    );
+    PointerJumpResult { root, dist, rounds }
+}
+
+/// Allocation-free core of [`pointer_jump_roots`]: writes the roots into
+/// `root` and the hop counts into `dist`, double-buffering through the two
+/// scratch vectors, and returns the number of doubling rounds.  All four
+/// buffers reuse their capacity, so a caller that holds them across calls
+/// (one checkout from a [`crate::Workspace`] outside a peeling loop, say)
+/// pays no per-round *or* per-call heap allocation.
+pub fn pointer_jump_roots_into(
+    parent: &[usize],
+    root: &mut Vec<usize>,
+    dist: &mut Vec<u64>,
+    ptr_scratch: &mut Vec<usize>,
+    dist_scratch: &mut Vec<u64>,
+    tracker: &DepthTracker,
+) -> u32 {
     let n = parent.len();
     assert!(
         parent.iter().all(|&p| p < n.max(1)),
         "parent pointer out of range"
     );
-    let mut ptr: Vec<usize> = parent.to_vec();
-    let mut dist: Vec<u64> = parent
-        .iter()
-        .enumerate()
-        .map(|(v, &p)| u64::from(p != v))
-        .collect();
+    root.clear();
+    root.extend_from_slice(parent);
+    dist.clear();
+    dist.extend(parent.iter().enumerate().map(|(v, &p)| u64::from(p != v)));
+    // The scratches are fully overwritten every doubling round before any
+    // read, so only their length matters — skip the O(n) refill when a
+    // warm buffer already has it (saves two dense memsets per call, which
+    // a peeling loop pays once per round), and allocate cold ones zeroed
+    // (calloc fast path, no explicit memset).
+    if ptr_scratch.capacity() < n {
+        *ptr_scratch = vec![0; n];
+    } else if ptr_scratch.len() != n {
+        ptr_scratch.clear();
+        ptr_scratch.resize(n, 0);
+    }
+    if dist_scratch.capacity() < n {
+        *dist_scratch = vec![0; n];
+    } else if dist_scratch.len() != n {
+        dist_scratch.clear();
+        dist_scratch.resize(n, 0);
+    }
 
     let max_rounds = if n <= 1 {
         0
@@ -55,47 +97,52 @@ pub fn pointer_jump_roots(parent: &[usize], tracker: &DepthTracker) -> PointerJu
         usize::BITS - (n - 1).leading_zeros()
     };
     let mut rounds = 0u32;
-    // Double-buffered scratch, reused across all doubling rounds: every cell
-    // is overwritten each round, so no per-round allocation is needed.
-    let mut ptr_scratch = vec![0usize; n];
-    let mut dist_scratch = vec![0u64; n];
     for _ in 0..max_rounds {
         rounds += 1;
         tracker.round();
         tracker.work(n as u64);
-        if n >= SEQUENTIAL_CUTOFF {
+        // Convergence is detected inside the round itself: a cell changes
+        // iff its (pre-round) target is not yet a fixed point, so "nothing
+        // changed" is read off the values already in hand — no separate
+        // O(n) random-access check pass.  The flag is a pure function of
+        // the data, never of scheduling.
+        let changed = if n >= SEQUENTIAL_CUTOFF {
+            let changed = std::sync::atomic::AtomicBool::new(false);
             ptr_scratch
                 .par_iter_mut()
                 .zip(dist_scratch.par_iter_mut())
                 .enumerate()
-                .for_each(|(v, (np, nd))| (*np, *nd) = jump_one(v, &ptr, &dist));
+                .for_each(|(v, (np, nd))| {
+                    (*np, *nd) = jump_one(v, root, dist);
+                    if *np != root[v] {
+                        changed.store(true, std::sync::atomic::Ordering::Relaxed);
+                    }
+                });
+            changed.load(std::sync::atomic::Ordering::Relaxed)
         } else {
+            let mut changed = false;
             for (v, (np, nd)) in ptr_scratch
                 .iter_mut()
                 .zip(dist_scratch.iter_mut())
                 .enumerate()
             {
-                (*np, *nd) = jump_one(v, &ptr, &dist);
+                (*np, *nd) = jump_one(v, root, dist);
+                changed |= *np != root[v];
             }
-        }
-        std::mem::swap(&mut ptr, &mut ptr_scratch);
-        std::mem::swap(&mut dist, &mut dist_scratch);
-        // Stop early once every pointer already points at a fixed point.
-        if ptr.iter().all(|&p| ptr[p] == p) {
+            changed
+        };
+        std::mem::swap(root, ptr_scratch);
+        std::mem::swap(dist, dist_scratch);
+        if !changed {
             break;
         }
     }
 
     debug_assert!(
-        ptr.iter().all(|&p| parent[p] == p) || has_cycle(parent),
+        root.iter().all(|&p| parent[p] == p) || has_cycle(parent),
         "pointer jumping did not converge on an acyclic input"
     );
-
-    PointerJumpResult {
-        root: ptr,
-        dist,
-        rounds,
-    }
+    rounds
 }
 
 /// One synchronous pointer-doubling step for vertex `v`:
@@ -106,6 +153,83 @@ pub fn pointer_jump_roots(parent: &[usize], tracker: &DepthTracker) -> PointerJu
 fn jump_one(v: usize, ptr: &[usize], dist: &[u64]) -> (usize, u64) {
     let p = ptr[v];
     (ptr[p], dist[v] + dist[p])
+}
+
+/// Min-label pointer doubling over the cycles of a permutation-like pointer
+/// array: after the loop, `label[v]` is the minimum initial label on `v`'s
+/// cycle.  The rounds ping-pong the two scratch buffers (no per-round
+/// allocation; pass checked-out buffers for an allocation-free call) and
+/// stop as soon as a round changes no label — stability is a sound
+/// fixpoint (the stable window minima are constant along the stride orbit,
+/// which closes into the whole cycle), so the early exit returns labels
+/// bit-identical to running all `⌈log₂ n⌉` rounds.  This is the canonical
+/// orientation primitive of the 2-regular perfect matcher
+/// (`pm_matching::two_regular` and Algorithm 2's inlined even-cycle
+/// finish).
+///
+/// `ptr` is consumed as working state (its final contents are the
+/// `2^rounds`-fold composition); initial labels are taken from `label`.
+pub fn min_label_cycles(
+    label: &mut Vec<usize>,
+    ptr: &mut Vec<usize>,
+    label_scratch: &mut Vec<usize>,
+    ptr_scratch: &mut Vec<usize>,
+    tracker: &DepthTracker,
+) {
+    let n = label.len();
+    assert_eq!(ptr.len(), n, "label/pointer length mismatch");
+    if n <= 1 {
+        return;
+    }
+    // The scratches are fully overwritten each round before any read, so
+    // only their length matters (same policy as `pointer_jump_roots_into`).
+    if label_scratch.len() != n {
+        label_scratch.clear();
+        label_scratch.resize(n, 0);
+    }
+    if ptr_scratch.len() != n {
+        ptr_scratch.clear();
+        ptr_scratch.resize(n, 0);
+    }
+    let rounds = usize::BITS - (n - 1).leading_zeros();
+    for _ in 0..rounds {
+        tracker.round();
+        tracker.work(n as u64);
+        // The change flag is read off the values already in hand (no
+        // separate compare pass) and is a pure function of the data.
+        let changed = if n >= SEQUENTIAL_CUTOFF {
+            let changed = std::sync::atomic::AtomicBool::new(false);
+            label_scratch
+                .par_iter_mut()
+                .zip(ptr_scratch.par_iter_mut())
+                .enumerate()
+                .for_each(|(a, (nl, np))| {
+                    *nl = label[a].min(label[ptr[a]]);
+                    *np = ptr[ptr[a]];
+                    if *nl != label[a] {
+                        changed.store(true, std::sync::atomic::Ordering::Relaxed);
+                    }
+                });
+            changed.load(std::sync::atomic::Ordering::Relaxed)
+        } else {
+            let mut changed = false;
+            for (a, (nl, np)) in label_scratch
+                .iter_mut()
+                .zip(ptr_scratch.iter_mut())
+                .enumerate()
+            {
+                *nl = label[a].min(label[ptr[a]]);
+                *np = ptr[ptr[a]];
+                changed |= *nl != label[a];
+            }
+            changed
+        };
+        std::mem::swap(label, label_scratch);
+        std::mem::swap(ptr, ptr_scratch);
+        if !changed {
+            break;
+        }
+    }
 }
 
 fn has_cycle(parent: &[usize]) -> bool {
@@ -245,6 +369,26 @@ mod tests {
             let (root, dist) = naive_root_dist(&parent);
             assert_eq!(r.root, root, "n = {n}");
             assert_eq!(r.dist, dist, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn into_variant_reuses_buffers_across_calls() {
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let t = DepthTracker::new();
+        let (mut root, mut dist) = (Vec::new(), Vec::new());
+        let (mut s1, mut s2) = (Vec::new(), Vec::new());
+        for n in [5usize, 4000, 100, 4000] {
+            let parent: Vec<usize> = (0..n)
+                .map(|i| if i == 0 { 0 } else { rng.random_range(0..i) })
+                .collect();
+            let rounds =
+                pointer_jump_roots_into(&parent, &mut root, &mut dist, &mut s1, &mut s2, &t);
+            let want = pointer_jump_roots(&parent, &t);
+            assert_eq!(root, want.root, "n = {n}");
+            assert_eq!(dist, want.dist, "n = {n}");
+            assert_eq!(rounds, want.rounds, "n = {n}");
         }
     }
 

@@ -32,13 +32,7 @@ impl<'a, S: Clone> RoundScheduler<'a, S> {
     /// converge (a bug) and [`step`](RoundScheduler::step) will panic.
     pub fn new(initial: S, max_rounds: u64, tracker: &'a DepthTracker) -> Self {
         let scratch = initial.clone();
-        Self {
-            current: initial,
-            scratch,
-            tracker,
-            rounds: 0,
-            max_rounds,
-        }
+        Self::from_buffers(initial, scratch, max_rounds, tracker)
     }
 
     /// Executes one synchronous round.  `f` receives the state at the start
@@ -63,6 +57,31 @@ impl<'a, S: Clone> RoundScheduler<'a, S> {
         let cont = f(&self.current, &mut self.scratch);
         std::mem::swap(&mut self.current, &mut self.scratch);
         cont
+    }
+}
+
+impl<'a, S> RoundScheduler<'a, S> {
+    /// Creates a scheduler from two caller-provided buffers — the initial
+    /// state and a scratch of the same shape — without cloning either.
+    /// This is the workspace entry point: hand in two checked-out buffers
+    /// and the whole round loop runs allocation-free (use
+    /// [`step_overwrite`](RoundScheduler::step_overwrite), whose contract
+    /// matches an arbitrary scratch; [`step`](RoundScheduler::step) also
+    /// works since it refreshes the scratch with `clone_from`, which reuses
+    /// the buffer's capacity).
+    pub fn from_buffers(
+        initial: S,
+        scratch: S,
+        max_rounds: u64,
+        tracker: &'a DepthTracker,
+    ) -> Self {
+        Self {
+            current: initial,
+            scratch,
+            tracker,
+            rounds: 0,
+            max_rounds,
+        }
     }
 
     /// Like [`step`](RoundScheduler::step), but the scratch state is handed
@@ -99,6 +118,7 @@ impl<'a, S: Clone> RoundScheduler<'a, S> {
     /// Runs `f` until it signals convergence and returns the final state.
     pub fn run_to_fixpoint<F>(mut self, work_per_round: u64, mut f: F) -> (S, u64)
     where
+        S: Clone,
         F: FnMut(&S, &mut S) -> bool,
     {
         while self.step(work_per_round, &mut f) {}
@@ -118,6 +138,14 @@ impl<'a, S: Clone> RoundScheduler<'a, S> {
     /// Consumes the scheduler and returns the current state and round count.
     pub fn into_state(self) -> (S, u64) {
         (self.current, self.rounds)
+    }
+
+    /// Consumes the scheduler and returns the current state, the scratch
+    /// state and the round count — so both workspace-checked-out buffers of
+    /// a [`from_buffers`](RoundScheduler::from_buffers) loop can be handed
+    /// back to their pool.
+    pub fn into_buffers(self) -> (S, S, u64) {
+        (self.current, self.scratch, self.rounds)
     }
 }
 
@@ -185,6 +213,25 @@ mod tests {
         };
         assert_eq!(run(false), run(true));
         assert_eq!(run(true), (vec![4, 0, 0, 0], 3, 3));
+    }
+
+    #[test]
+    fn from_buffers_needs_no_clone_and_reuses_state() {
+        // A state type without Clone still drives overwrite rounds.
+        #[derive(Debug, PartialEq)]
+        struct NoClone(Vec<u64>);
+        let t = DepthTracker::new();
+        let mut sched =
+            RoundScheduler::from_buffers(NoClone(vec![1, 2, 3]), NoClone(vec![0; 3]), 10, &t);
+        for _ in 0..2 {
+            sched.step_overwrite(3, |prev, next| {
+                for (n, p) in next.0.iter_mut().zip(prev.0.iter()) {
+                    *n = p * 2;
+                }
+                true
+            });
+        }
+        assert_eq!(sched.into_state().0, NoClone(vec![4, 8, 12]));
     }
 
     #[test]

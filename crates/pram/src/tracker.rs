@@ -96,6 +96,51 @@ impl DepthTracker {
         self.work(work);
         f()
     }
+
+    /// Adds another tracker's totals to this one — how the thin free-function
+    /// wrappers transfer a solver's internal accounting onto the tracker the
+    /// caller supplied.
+    pub fn absorb(&self, stats: PramStats) {
+        self.depth.fetch_add(stats.depth, Ordering::Relaxed);
+        self.work.fetch_add(stats.work, Ordering::Relaxed);
+        self.phases.fetch_add(stats.phases, Ordering::Relaxed);
+    }
+
+    /// A batched work charger for hot per-element loops: counts locally and
+    /// performs a single relaxed `fetch_add` when flushed (or dropped),
+    /// instead of one atomic per element.  Totals are exact and independent
+    /// of how a loop is chunked across threads, so depth/work accounting
+    /// stays bit-for-bit identical across thread counts.
+    pub fn local(&self) -> LocalWork<'_> {
+        LocalWork {
+            tracker: self,
+            count: 0,
+        }
+    }
+}
+
+/// Per-chunk work accumulator created by [`DepthTracker::local`]; flushes
+/// its count to the tracker with one atomic add on drop.
+#[derive(Debug)]
+pub struct LocalWork<'a> {
+    tracker: &'a DepthTracker,
+    count: u64,
+}
+
+impl LocalWork<'_> {
+    /// Records `n` units of work locally (no atomic traffic).
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.count += n;
+    }
+}
+
+impl Drop for LocalWork<'_> {
+    fn drop(&mut self) {
+        if self.count != 0 {
+            self.tracker.work(self.count);
+        }
+    }
 }
 
 impl Clone for DepthTracker {
@@ -170,6 +215,38 @@ mod tests {
         assert_eq!(u.stats(), t.stats());
         u.round();
         assert_ne!(u.stats(), t.stats());
+    }
+
+    #[test]
+    fn absorb_merges_totals() {
+        let a = DepthTracker::new();
+        a.rounds(2);
+        a.work(5);
+        a.phase();
+        let b = DepthTracker::new();
+        b.round();
+        b.work(7);
+        b.absorb(a.stats());
+        let s = b.stats();
+        assert_eq!(s.depth, 3);
+        assert_eq!(s.work, 12);
+        assert_eq!(s.phases, 1);
+    }
+
+    #[test]
+    fn local_work_flushes_once_on_drop() {
+        let t = DepthTracker::new();
+        {
+            let mut w = t.local();
+            for _ in 0..10 {
+                w.add(3);
+            }
+            assert_eq!(t.stats().work, 0, "no atomic traffic before the flush");
+        }
+        assert_eq!(t.stats().work, 30);
+        // An empty charger adds nothing.
+        drop(t.local());
+        assert_eq!(t.stats().work, 30);
     }
 
     #[test]

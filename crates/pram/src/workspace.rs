@@ -1,0 +1,381 @@
+//! The reusable solver workspace: typed buffer pools and epoch marks.
+//!
+//! Every NC algorithm in this repository is a pipeline of synchronous
+//! rounds over dense arrays, and until this module existed each call heap-
+//! allocated all of its scratch from scratch — pointer-jumping double
+//! buffers, CSR offset arrays, liveness flags, match arrays.  A
+//! [`Workspace`] owns that scratch instead: buffers are *checked out* with
+//! the `take_*` methods (a cleared, resized `Vec` whose capacity survives
+//! from the last checkout) and *returned* with the `put_*` methods when the
+//! algorithm is done with them.  A solver that keeps one workspace alive
+//! across requests therefore performs **zero heap allocations on a warm
+//! solve**: every `take` is a `clear` + in-capacity `resize`, every `put`
+//! pushes onto a free list that already has room.
+//!
+//! # Checkout discipline
+//!
+//! * `take_*(len, fill)` hands out a buffer of exactly `len` elements, all
+//!   set to `fill`.  `take_*_empty()` hands out a zero-length buffer for
+//!   push-style accumulation (its capacity also survives reuse).
+//! * Buffers must be `put_*` back before the solve returns, in any order;
+//!   the pools are plain LIFO free lists.  A buffer that is *not* returned
+//!   is simply dropped — correctness is unaffected, the next checkout just
+//!   re-allocates.
+//! * Nested checkouts are fine (the pools are per-type `Vec<Vec<T>>`), and
+//!   algorithms at different layers (`pm_pram`, `pm_graph`, `pm_popular`)
+//!   share one workspace so the same slabs back every phase of a pipeline.
+//!
+//! # Epoch clearing
+//!
+//! Sparse "have I seen this id?" sets are served by [`EpochMarks`], which
+//! clears in O(1) by bumping a generation counter instead of rewriting the
+//! array — the pattern the instance validator uses for duplicate detection,
+//! made reusable across solves.
+
+use std::sync::atomic::AtomicUsize;
+
+/// A free list of reusable `Vec<T>` buffers (one per element type held by a
+/// [`Workspace`]), kept sorted by capacity.
+///
+/// Checkouts are **best-fit**: `take(len, _)` hands out the smallest free
+/// buffer whose capacity already covers `len`; when nothing fits it
+/// allocates fresh (on the calloc fast path for zero fills) and leaves the
+/// undersized buffers pooled for smaller roles, so a stream of growing
+/// request sizes converges with at most one resident buffer per (role,
+/// largest-size) pair.  `take_empty` hands out the largest free buffer
+/// (push-style roles grow to data-dependent sizes, so they get first claim
+/// on big slabs).  Best-fit matters: a plain LIFO stack rotates buffers
+/// through roles across otherwise-identical solves, re-pairing small
+/// buffers with large roles for many warm-up iterations, whereas best-fit
+/// reaches the zero-allocation steady state after a couple of warm calls.
+#[derive(Debug, Default)]
+struct BufPool<T> {
+    free: Vec<Vec<T>>,
+}
+
+impl<T: Clone> BufPool<T> {
+    fn take(&mut self, len: usize, fill: T) -> Vec<T> {
+        match self.pop_fitting(len) {
+            Some(mut v) => {
+                v.clear();
+                v.resize(len, fill);
+                v
+            }
+            // Cold checkout: `from_elem` hits the `alloc_zeroed` fast path
+            // for zero fills (lazily-zeroed pages, no explicit memset) —
+            // the same allocation profile the pre-workspace code had, so
+            // the one-shot free functions stay as fast as ever.
+            None => vec![fill; len],
+        }
+    }
+
+    /// Best-fit pop: the smallest free buffer whose capacity covers `len`,
+    /// or `None` when nothing fits (the caller allocates fresh; undersized
+    /// buffers stay pooled for smaller roles).
+    fn pop_fitting(&mut self, len: usize) -> Option<Vec<T>> {
+        let idx = self.free.iter().position(|v| v.capacity() >= len)?;
+        Some(self.free.remove(idx))
+    }
+
+    /// Like `take`, but the contents are **unspecified** (stale data from
+    /// earlier checkouts); only the length is guaranteed.  For roles that
+    /// overwrite every slot before reading — skips the O(len) fill.
+    fn take_dirty(&mut self, len: usize, fill: T) -> Vec<T> {
+        match self.pop_fitting(len) {
+            Some(mut v) => {
+                if v.len() > len {
+                    v.truncate(len);
+                } else {
+                    // In-capacity resize: only the gap beyond the stale
+                    // length is filled.
+                    v.resize(len, fill);
+                }
+                v
+            }
+            None => vec![fill; len],
+        }
+    }
+
+    fn take_empty(&mut self) -> Vec<T> {
+        let mut v = self.free.pop().unwrap_or_default();
+        v.clear();
+        v
+    }
+
+    fn put(&mut self, v: Vec<T>) {
+        let at = self
+            .free
+            .iter()
+            .position(|f| f.capacity() >= v.capacity())
+            .unwrap_or(self.free.len());
+        self.free.insert(at, v);
+    }
+}
+
+macro_rules! pool_methods {
+    ($take:ident, $take_empty:ident, $take_dirty:ident, $put:ident, $field:ident, $ty:ty) => {
+        /// Checks out a buffer of `len` elements, all set to `fill`.
+        pub fn $take(&mut self, len: usize, fill: $ty) -> Vec<$ty> {
+            self.$field.take(len, fill)
+        }
+
+        /// Checks out an empty buffer (capacity reused) for push-style fills.
+        pub fn $take_empty(&mut self) -> Vec<$ty> {
+            self.$field.take_empty()
+        }
+
+        /// Checks out a buffer of `len` elements with **unspecified**
+        /// contents (stale data from an earlier checkout; `fill` is used
+        /// only to extend a too-short buffer).  Strictly for roles that
+        /// write every slot before reading it — skips the O(len) fill of
+        /// the clean variant.
+        pub fn $take_dirty(&mut self, len: usize, fill: $ty) -> Vec<$ty> {
+            self.$field.take_dirty(len, fill)
+        }
+
+        /// Returns a buffer to the pool for the next checkout.
+        pub fn $put(&mut self, v: Vec<$ty>) {
+            self.$field.put(v);
+        }
+    };
+}
+
+/// A slab of typed, reusable scratch buffers shared by every layer of the
+/// solver pipeline (see the module docs for the checkout discipline).
+#[derive(Debug, Default)]
+pub struct Workspace {
+    usizes: BufPool<usize>,
+    u64s: BufPool<u64>,
+    i64s: BufPool<i64>,
+    bools: BufPool<bool>,
+    pairs: BufPool<(usize, usize)>,
+    opts: BufPool<Option<usize>>,
+    atomics: Vec<Vec<AtomicUsize>>,
+}
+
+impl Workspace {
+    /// Creates an empty workspace; buffers are allocated lazily on first
+    /// checkout and reused forever after.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pool_methods!(
+        take_usize,
+        take_usize_empty,
+        take_usize_dirty,
+        put_usize,
+        usizes,
+        usize
+    );
+    pool_methods!(take_u64, take_u64_empty, take_u64_dirty, put_u64, u64s, u64);
+    pool_methods!(take_i64, take_i64_empty, take_i64_dirty, put_i64, i64s, i64);
+    pool_methods!(
+        take_bool,
+        take_bool_empty,
+        take_bool_dirty,
+        put_bool,
+        bools,
+        bool
+    );
+    pool_methods!(
+        take_pair,
+        take_pair_empty,
+        take_pair_dirty,
+        put_pair,
+        pairs,
+        (usize, usize)
+    );
+    pool_methods!(
+        take_opt,
+        take_opt_empty,
+        take_opt_dirty,
+        put_opt,
+        opts,
+        Option<usize>
+    );
+
+    /// Checks out a buffer of `len` atomics initialised to the identity
+    /// permutation (`v[i] == i`) — the shape the connected-components
+    /// hooking loop starts from.  `AtomicUsize` is not `Clone`, so this
+    /// pool refills by pushing within the retained capacity.
+    pub fn take_atomic_identity(&mut self, len: usize) -> Vec<AtomicUsize> {
+        let mut v = self.atomics.pop().unwrap_or_default();
+        v.clear();
+        v.reserve(len);
+        for i in 0..len {
+            v.push(AtomicUsize::new(i));
+        }
+        v
+    }
+
+    /// Returns an atomic buffer to the pool.
+    pub fn put_atomic(&mut self, v: Vec<AtomicUsize>) {
+        self.atomics.push(v);
+    }
+}
+
+/// A sparse membership set over `0..capacity` with O(1) clearing: an entry
+/// is *in* the set iff its stamp equals the current epoch, so `clear` is a
+/// single counter bump and the backing array is written only where the set
+/// is actually used.
+#[derive(Debug, Default)]
+pub struct EpochMarks {
+    stamp: Vec<u64>,
+    epoch: u64,
+}
+
+impl EpochMarks {
+    /// Creates an empty mark set over an empty domain; grow with
+    /// [`reset`](Self::reset).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears the set and (re)sizes the domain to `capacity`.  Growing past
+    /// the retained capacity is the only operation that allocates.
+    pub fn reset(&mut self, capacity: usize) {
+        self.epoch += 1;
+        if self.stamp.len() < capacity {
+            self.stamp.resize(capacity, 0);
+        }
+        if self.epoch == u64::MAX {
+            // Unreachable in practice; kept for paranoia so a wrapped epoch
+            // can never alias a stale stamp.
+            self.stamp.clear();
+            self.stamp.resize(capacity, 0);
+            self.epoch = 1;
+        }
+    }
+
+    /// Inserts `i`; returns `true` if it was newly inserted.
+    pub fn insert(&mut self, i: usize) -> bool {
+        let fresh = self.stamp[i] != self.epoch;
+        self.stamp[i] = self.epoch;
+        fresh
+    }
+
+    /// True iff `i` is in the set.
+    pub fn contains(&self, i: usize) -> bool {
+        self.stamp[i] == self.epoch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_returns_cleared_filled_buffer() {
+        let mut ws = Workspace::new();
+        let mut v = ws.take_usize(4, 7);
+        assert_eq!(v, vec![7, 7, 7, 7]);
+        v[0] = 99;
+        ws.put_usize(v);
+        // The next checkout must not observe stale contents.
+        let v = ws.take_usize(6, 1);
+        assert_eq!(v, vec![1; 6]);
+        ws.put_usize(v);
+    }
+
+    #[test]
+    fn dirty_take_has_right_length_and_skips_fill() {
+        let mut ws = Workspace::new();
+        let mut v = ws.take_usize(8, 42);
+        v[0] = 7;
+        ws.put_usize(v);
+        // Same length back: contents are stale, length is exact.
+        let v = ws.take_usize_dirty(8, 0);
+        assert_eq!(v.len(), 8);
+        assert_eq!(v[0], 7, "dirty take must not refill");
+        ws.put_usize(v);
+        // Shorter request truncates; longer request extends with the fill.
+        let v = ws.take_usize_dirty(3, 0);
+        assert_eq!(v.len(), 3);
+        ws.put_usize(v);
+        let v = ws.take_usize_dirty(20, 5);
+        assert_eq!(v.len(), 20);
+        assert_eq!(v[19], 5);
+        ws.put_usize(v);
+    }
+
+    #[test]
+    fn best_fit_checkout_prefers_smallest_sufficient_buffer() {
+        let mut ws = Workspace::new();
+        let small = ws.take_usize(10, 0);
+        let big = ws.take_usize(1000, 0);
+        let (small_cap, big_cap) = (small.capacity(), big.capacity());
+        ws.put_usize(big);
+        ws.put_usize(small);
+        // A mid-size request must take the big buffer, not grow the small one.
+        let v = ws.take_usize(500, 0);
+        assert!(v.capacity() >= big_cap.min(1000));
+        ws.put_usize(v);
+        // A small request takes the small buffer even though the big one
+        // was returned more recently.
+        let v = ws.take_usize(5, 0);
+        assert!(v.capacity() < 1000 || small_cap >= 1000);
+        ws.put_usize(v);
+    }
+
+    #[test]
+    fn capacity_survives_reuse() {
+        let mut ws = Workspace::new();
+        let v = ws.take_u64(1000, 0);
+        let cap = v.capacity();
+        ws.put_u64(v);
+        let v = ws.take_u64(500, 3);
+        assert!(v.capacity() >= cap, "capacity must be retained");
+        assert_eq!(v.len(), 500);
+        ws.put_u64(v);
+    }
+
+    #[test]
+    fn pools_are_per_type_and_nestable() {
+        let mut ws = Workspace::new();
+        let a = ws.take_bool(3, true);
+        let b = ws.take_bool(2, false);
+        let c = ws.take_i64(2, -1);
+        assert_eq!(a, vec![true; 3]);
+        assert_eq!(b, vec![false; 2]);
+        assert_eq!(c, vec![-1; 2]);
+        ws.put_bool(a);
+        ws.put_bool(b);
+        ws.put_i64(c);
+        let p = ws.take_pair_empty();
+        assert!(p.is_empty());
+        ws.put_pair(p);
+        let o = ws.take_opt(2, None);
+        assert_eq!(o, vec![None, None]);
+        ws.put_opt(o);
+    }
+
+    #[test]
+    fn atomic_identity_checkout() {
+        use std::sync::atomic::Ordering;
+        let mut ws = Workspace::new();
+        let v = ws.take_atomic_identity(5);
+        assert_eq!(v.len(), 5);
+        for (i, a) in v.iter().enumerate() {
+            assert_eq!(a.load(Ordering::Relaxed), i);
+        }
+        v[2].store(77, Ordering::Relaxed);
+        ws.put_atomic(v);
+        let v = ws.take_atomic_identity(3);
+        assert_eq!(v[2].load(Ordering::Relaxed), 2, "reinitialised on take");
+        ws.put_atomic(v);
+    }
+
+    #[test]
+    fn epoch_marks_clear_in_constant_time() {
+        let mut m = EpochMarks::new();
+        m.reset(10);
+        assert!(m.insert(3));
+        assert!(!m.insert(3));
+        assert!(m.contains(3));
+        assert!(!m.contains(4));
+        m.reset(10);
+        assert!(!m.contains(3), "reset must clear membership");
+        assert!(m.insert(3));
+    }
+}

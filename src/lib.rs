@@ -44,10 +44,11 @@ pub mod prelude {
     pub use pm_popular::optimal::{fair_popular_matching, rank_maximal_popular_matching};
     pub use pm_popular::profile::Profile;
     pub use pm_popular::sequential::popular_matching_sequential;
+    pub use pm_popular::solver::PopularSolver;
     pub use pm_popular::switching::SwitchingGraph;
     pub use pm_popular::verify::{is_popular_characterization, more_popular};
     pub use pm_popular::PopularError;
-    pub use pm_pram::{DepthTracker, PramStats};
+    pub use pm_pram::{DepthTracker, PramStats, Workspace};
     pub use pm_stable::instance::{SmInstance, StableMatching};
     pub use pm_stable::lattice::all_stable_matchings;
     pub use pm_stable::next::{next_stable_matchings, NextStableOutcome};

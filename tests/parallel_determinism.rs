@@ -109,6 +109,38 @@ fn max_cardinality_pipeline_is_identical_across_thread_counts() {
 }
 
 #[test]
+fn serving_pipeline_is_identical_across_thread_counts() {
+    // The batched serving path re-chunks the request stream per width and
+    // hands each chunk to a different warm sub-solver; results must not
+    // depend on either.
+    let insts: Vec<PrefInstance> = (0..9)
+        .map(|i| {
+            let cfg = GeneratorConfig {
+                num_applicants: 2_000 + 700 * (i % 3),
+                num_posts: 2_500 + 700 * (i % 3),
+                list_len: 5,
+                seed: 100 + i as u64,
+            };
+            generators::solvable(&cfg)
+        })
+        .collect();
+    let run = |threads: usize| {
+        pool(threads).install(|| {
+            let mut solver = PopularSolver::new(0, 0);
+            solver
+                .solve_batch(&insts)
+                .into_iter()
+                .map(|r| {
+                    r.map(|m| m.as_slice().to_vec())
+                        .map_err(|e| format!("{e:?}"))
+                })
+                .collect::<Vec<_>>()
+        })
+    };
+    assert_eq!(run(1), run(4));
+}
+
+#[test]
 fn ties_pipeline_is_identical_across_thread_counts() {
     for seed in [21u64, 22] {
         let g = generators::random_bipartite(5_000, 5_000, 4.0 / 5_000.0, seed);
