@@ -723,7 +723,7 @@ fn json_trajectory(quick: bool, threads: &[usize], out_path: &str, filter: Optio
                 n,
                 wall_ms_by_threads,
                 pram: Some((stats.depth, stats.work)),
-                extra: Vec::new(),
+                extra: vec![("bytes_per_entity", instance_bytes_per_entity(&inst))],
             });
         }
     }
@@ -748,7 +748,7 @@ fn json_trajectory(quick: bool, threads: &[usize], out_path: &str, filter: Optio
                 n,
                 wall_ms_by_threads,
                 pram: Some((stats.depth, stats.work)),
-                extra: Vec::new(),
+                extra: vec![("bytes_per_entity", instance_bytes_per_entity(&inst))],
             });
         }
     }
@@ -777,7 +777,7 @@ fn json_trajectory(quick: bool, threads: &[usize], out_path: &str, filter: Optio
                 n,
                 wall_ms_by_threads,
                 pram: Some((stats.depth, stats.work)),
-                extra: Vec::new(),
+                extra: vec![("bytes_per_entity", instance_bytes_per_entity(&inst))],
             });
         }
     }
@@ -785,6 +785,19 @@ fn json_trajectory(quick: bool, threads: &[usize], out_path: &str, filter: Optio
     if selected("ties_rank1/bipartite") {
         for &n in deep_sizes {
             let g = workloads::bipartite(n);
+            // Depth/work of the ties path — the one workload that
+            // historically lacked the fields.  The timed closure below runs
+            // two stages: the rank-1 instance construction (one O(|E|)
+            // validation round) and the Hopcroft-Karp oracle (charged by
+            // `solve_ties` on the solver's internal tracker); the recorded
+            // stats charge both so they describe exactly what is measured.
+            let tracker = DepthTracker::new();
+            tracker.round();
+            tracker.work(g.num_edges() as u64);
+            let mut stats_solver = PopularSolver::new(0, 0);
+            let _ = stats_solver.solve_ties(&g).expect("valid ties graph");
+            tracker.absorb(stats_solver.stats());
+            let stats = tracker.stats();
             let wall_ms_by_threads = sweep_threads(threads, reps, || {
                 let inst = pm_popular::ties::rank1_instance(&g).unwrap();
                 std::hint::black_box(inst.num_edges());
@@ -794,8 +807,11 @@ fn json_trajectory(quick: bool, threads: &[usize], out_path: &str, filter: Optio
                 workload: "ties_rank1/bipartite",
                 n,
                 wall_ms_by_threads,
-                pram: None,
-                extra: Vec::new(),
+                pram: Some((stats.depth, stats.work)),
+                extra: vec![(
+                    "bytes_per_entity",
+                    bytes_per_entity(g.heap_bytes(), g.n_left() + g.n_right()),
+                )],
             });
         }
     }
@@ -896,7 +912,11 @@ fn served_trajectory(
                 // `allocs` is provably 0 here (the gate above exits
                 // otherwise); recording the measured value keeps the JSON
                 // an observation rather than a constant.
-                extra: vec![("requests", requests as u64), ("allocs_per_solve", allocs)],
+                extra: vec![
+                    ("requests", requests as u64),
+                    ("allocs_per_solve", allocs),
+                    ("bytes_per_entity", instance_bytes_per_entity(&inst)),
+                ],
             });
         }
     }
@@ -929,7 +949,10 @@ fn served_trajectory(
                 n,
                 wall_ms_by_threads,
                 pram: None,
-                extra: vec![("requests", requests as u64)],
+                extra: vec![
+                    ("requests", requests as u64),
+                    ("bytes_per_entity", instance_bytes_per_entity(&inst)),
+                ],
             });
         }
     }
@@ -946,12 +969,23 @@ fn served_trajectory(
         .into_iter()
         .map(|(t, total_ms)| (t, total_ms / batch_size as f64))
         .collect();
+        let batch_bytes: usize = insts.iter().map(PrefInstance::heap_bytes).sum();
+        let batch_entities: usize = insts
+            .iter()
+            .map(|i| i.num_applicants() + i.total_posts())
+            .sum();
         results.push(JsonResult {
             workload: "served/batch/uniform",
             n: batch_n,
             wall_ms_by_threads,
             pram: None,
-            extra: vec![("batch", batch_size as u64)],
+            extra: vec![
+                ("batch", batch_size as u64),
+                (
+                    "bytes_per_entity",
+                    bytes_per_entity(batch_bytes, batch_entities),
+                ),
+            ],
         });
     }
 }
@@ -1040,6 +1074,21 @@ fn extract_object(text: &str, key: &str) -> Option<String> {
 }
 
 // ------------------------------------------------------------------ utils
+
+/// Resident heap bytes of an instance's flat arrays per entity (applicants
+/// plus extended posts), rounded to the nearest byte — the peak-footprint
+/// estimate of the workload's *input* the trajectory file records so the
+/// 32-bit index narrowing (DESIGN.md §7) is visible as data, not prose.
+fn instance_bytes_per_entity(inst: &PrefInstance) -> u64 {
+    bytes_per_entity(
+        inst.heap_bytes(),
+        inst.num_applicants() + inst.total_posts(),
+    )
+}
+
+fn bytes_per_entity(bytes: usize, entities: usize) -> u64 {
+    (bytes as u64 + entities as u64 / 2) / (entities as u64).max(1)
+}
 
 fn post(inst: &PrefInstance, p: usize) -> String {
     if inst.is_last_resort(p) {

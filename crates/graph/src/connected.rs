@@ -15,7 +15,7 @@ use std::sync::atomic::Ordering;
 use rayon::prelude::*;
 
 use pm_pram::tracker::DepthTracker;
-use pm_pram::Workspace;
+use pm_pram::{Idx, Workspace};
 
 /// Canonical component labelling: `label[v]` is the smallest vertex id in
 /// `v`'s component.
@@ -165,6 +165,117 @@ pub fn connected_components_ws(
     }
 }
 
+/// Canonical component labelling in the 32-bit index layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComponentLabelsIdx {
+    /// Per-vertex canonical label (minimum vertex id of the component).
+    pub label: Vec<Idx>,
+    /// Number of distinct components.
+    pub count: usize,
+    /// Number of synchronous rounds the algorithm used.
+    pub rounds: u64,
+}
+
+/// The 32-bit twin of [`connected_components_ws`]: edges are `(Idx, Idx)`
+/// pairs, the hooking forest is `AtomicU32` and the output labelling is
+/// `Idx` — all the dense state of the min-label hooking loop at half the
+/// byte width (DESIGN.md §7).  The labels are numerically identical to the
+/// `usize` algorithm's (the caller may return `label` with `put_idx`).
+pub fn connected_components_idx_ws(
+    n: usize,
+    edges: &[(Idx, Idx)],
+    ws: &mut Workspace,
+    tracker: &DepthTracker,
+) -> ComponentLabelsIdx {
+    if n == 0 {
+        return ComponentLabelsIdx {
+            label: Vec::new(),
+            count: 0,
+            rounds: 0,
+        };
+    }
+    debug_assert!(n <= Idx::MAX_INDEX + 1);
+    for &(u, v) in edges {
+        assert!(u.get() < n && v.get() < n, "edge endpoint out of range");
+    }
+
+    let parent = ws.take_atomic_u32_identity(n);
+    let mut rounds = 0u64;
+
+    // Round-scratch buffers, reused across all hooking rounds (every cell
+    // is rewritten at the start of each round, so the checkouts skip the
+    // fill).
+    let mut snapshot = ws.take_u32_dirty(n, 0);
+    let mut grand = ws.take_u32_dirty(n, 0);
+
+    loop {
+        rounds += 1;
+        tracker.round();
+        tracker.work((n + edges.len()) as u64);
+
+        // Snapshot of the grandparent function at the start of the round.
+        for (s, p) in snapshot.iter_mut().zip(parent.iter()) {
+            *s = p.load(Ordering::Relaxed);
+        }
+        for (g, &p) in grand.iter_mut().zip(snapshot.iter()) {
+            *g = snapshot[p as usize];
+        }
+
+        // Hooking: min-writes commute, so the result is deterministic
+        // regardless of scheduling.
+        edges.par_iter().for_each(|&(u, v)| {
+            let (u, v) = (u.get(), v.get());
+            let (gu, gv) = (grand[u], grand[v]);
+            let m = gu.min(gv);
+            parent[snapshot[u] as usize].fetch_min(m, Ordering::Relaxed);
+            parent[snapshot[v] as usize].fetch_min(m, Ordering::Relaxed);
+            parent[u].fetch_min(m, Ordering::Relaxed);
+            parent[v].fetch_min(m, Ordering::Relaxed);
+        });
+
+        // Shortcutting against a post-hook snapshot (see the usize variant
+        // for why the snapshot keeps round counts schedule-independent).
+        for (g, p) in grand.iter_mut().zip(parent.iter()) {
+            *g = p.load(Ordering::Relaxed);
+        }
+        (0..n).into_par_iter().for_each(|v| {
+            let gp = grand[grand[v] as usize];
+            parent[v].fetch_min(gp, Ordering::Relaxed);
+        });
+
+        let stable = parent
+            .iter()
+            .zip(snapshot.iter())
+            .all(|(p, &s)| p.load(Ordering::Relaxed) == s);
+        if stable {
+            break;
+        }
+        assert!(
+            rounds <= 4 * (usize::BITS as u64) + 8,
+            "connected components failed to converge"
+        );
+    }
+
+    let mut label = ws.take_idx(n, Idx::ZERO);
+    for (l, p) in label.iter_mut().zip(parent.iter()) {
+        *l = Idx::from_raw(p.load(Ordering::Relaxed));
+    }
+    ws.put_atomic_u32(parent);
+    ws.put_u32(snapshot);
+    ws.put_u32(grand);
+    debug_assert!(label.iter().all(|&l| label[l] == l));
+    let count = label
+        .iter()
+        .enumerate()
+        .filter(|&(v, &l)| v == l.get())
+        .count();
+    ComponentLabelsIdx {
+        label,
+        count,
+        rounds,
+    }
+}
+
 /// Sequential union–find baseline with canonical (min-vertex) labels.
 pub fn connected_components_union_find(n: usize, edges: &[(usize, usize)]) -> ComponentLabels {
     let mut parent: Vec<usize> = (0..n).collect();
@@ -287,6 +398,29 @@ mod tests {
             assert_eq!(got.label, want.label, "n = {n}");
             assert_eq!(got.count, want.count);
             ws.put_usize(got.label);
+        }
+    }
+
+    #[test]
+    fn idx_variant_agrees_with_union_find() {
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(78);
+        let t = DepthTracker::new();
+        let mut ws = Workspace::new();
+        for &n in &[0usize, 1, 3, 50, 800] {
+            let edges: Vec<(usize, usize)> = (0..n)
+                .map(|_| (rng.random_range(0..n), rng.random_range(0..n)))
+                .collect();
+            let edges_idx: Vec<(Idx, Idx)> = edges
+                .iter()
+                .map(|&(u, v)| (Idx::new(u), Idx::new(v)))
+                .collect();
+            let got = connected_components_idx_ws(n, &edges_idx, &mut ws, &t);
+            let want = connected_components_union_find(n, &edges);
+            let got_labels: Vec<usize> = got.label.iter().map(|l| l.get()).collect();
+            assert_eq!(got_labels, want.label, "n = {n}");
+            assert_eq!(got.count, want.count);
+            ws.put_idx(got.label);
         }
     }
 

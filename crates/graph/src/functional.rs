@@ -12,7 +12,7 @@
 use rayon::prelude::*;
 
 use pm_pram::tracker::DepthTracker;
-use pm_pram::{Workspace, SEQUENTIAL_CUTOFF};
+use pm_pram::{Idx, Workspace, SEQUENTIAL_CUTOFF};
 
 use crate::connected::{connected_components_parallel, ComponentLabels};
 
@@ -76,6 +76,95 @@ pub fn on_cycle_of(
     ws.put_usize(ptr);
     ws.put_usize(scratch);
     ws.put_bool(in_image);
+}
+
+/// The [`Idx`]-sentinel twin of [`on_cycle_of`] — the form the narrowed
+/// switching-graph pipeline feeds in (`Idx::NONE` marks a sink, replacing
+/// the 16-byte `Option<usize>` cells with 4-byte indices).  Same doubling
+/// structure, same round accounting, identical marking.
+pub fn on_cycle_of_idx(
+    succ: &[Idx],
+    out: &mut Vec<bool>,
+    ws: &mut Workspace,
+    tracker: &DepthTracker,
+) {
+    let n = succ.len();
+    out.clear();
+    if n == 0 {
+        return;
+    }
+    // Sinks become fixed points so iteration is total.
+    let mut ptr = ws.take_idx_dirty(n, Idx::ZERO);
+    for (v, p) in ptr.iter_mut().enumerate() {
+        *p = if succ[v].is_none() {
+            Idx::new(v)
+        } else {
+            succ[v]
+        };
+    }
+    let mut scratch = ws.take_idx_dirty(n, Idx::ZERO);
+    let rounds = if n <= 1 {
+        0
+    } else {
+        usize::BITS - (n - 1).leading_zeros()
+    };
+    for _ in 0..rounds {
+        tracker.round();
+        tracker.work(n as u64);
+        if n >= SEQUENTIAL_CUTOFF {
+            scratch
+                .par_iter_mut()
+                .enumerate()
+                .for_each(|(v, s)| *s = ptr[ptr[v]]);
+        } else {
+            for (v, s) in scratch.iter_mut().enumerate() {
+                *s = ptr[ptr[v]];
+            }
+        }
+        std::mem::swap(&mut ptr, &mut scratch);
+    }
+
+    // Image computation: one concurrent-write round.
+    tracker.round();
+    tracker.work(n as u64);
+    let mut in_image = ws.take_bool(n, false);
+    for &target in &ptr {
+        in_image[target] = true;
+    }
+    out.resize(n, false);
+    for (v, o) in out.iter_mut().enumerate() {
+        *o = in_image[v] && succ[v].is_some();
+    }
+    ws.put_idx(ptr);
+    ws.put_idx(scratch);
+    ws.put_bool(in_image);
+}
+
+/// The [`Idx`]-sentinel twin of [`extract_cycles_marked`].
+pub fn extract_cycles_marked_idx(succ: &[Idx], on_cycle: &[bool]) -> Vec<Vec<usize>> {
+    let n = succ.len();
+    let mut seen = vec![false; n];
+    let mut cycles = Vec::new();
+    for start in 0..n {
+        if !on_cycle[start] || seen[start] {
+            continue;
+        }
+        let mut cycle = Vec::new();
+        let mut v = start;
+        loop {
+            seen[v] = true;
+            cycle.push(v);
+            let next = succ[v];
+            debug_assert!(next.is_some(), "cycle vertex has a successor");
+            v = next.get();
+            if v == start {
+                break;
+            }
+        }
+        cycles.push(cycle);
+    }
+    cycles.sort_by_key(|c| c[0]);
+    cycles
 }
 
 /// Extracts every directed cycle of a raw successor slice given its
@@ -314,6 +403,35 @@ mod tests {
         let g = fg(succ);
         assert!(g.on_cycle_parallel(&t).iter().all(|&b| !b));
         assert!(g.cycles_parallel(&t).is_empty());
+    }
+
+    #[test]
+    fn idx_sentinel_twins_match_option_forms() {
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(555);
+        let t = DepthTracker::new();
+        let mut ws = Workspace::new();
+        let (mut out_opt, mut out_idx) = (Vec::new(), Vec::new());
+        for &n in &[0usize, 1, 2, 40, 3000] {
+            let succ: Vec<Option<usize>> = (0..n)
+                .map(|_| {
+                    if rng.random_range(0..6) == 0 {
+                        None
+                    } else {
+                        Some(rng.random_range(0..n))
+                    }
+                })
+                .collect();
+            let succ_idx: Vec<Idx> = succ.iter().map(|&s| Idx::from_option(s)).collect();
+            on_cycle_of(&succ, &mut out_opt, &mut ws, &t);
+            on_cycle_of_idx(&succ_idx, &mut out_idx, &mut ws, &t);
+            assert_eq!(out_opt, out_idx, "n = {n}");
+            assert_eq!(
+                extract_cycles_marked(&succ, &out_opt),
+                extract_cycles_marked_idx(&succ_idx, &out_idx),
+                "n = {n}"
+            );
+        }
     }
 
     #[test]

@@ -28,8 +28,10 @@ pub mod pseudoforest;
 
 pub use bipartite::BipartiteGraph;
 pub use connected::{
-    connected_components_parallel, connected_components_union_find, connected_components_ws,
-    ComponentLabels,
+    connected_components_idx_ws, connected_components_parallel, connected_components_union_find,
+    connected_components_ws, ComponentLabels, ComponentLabelsIdx,
 };
-pub use functional::{extract_cycles_marked, on_cycle_of, FunctionalGraph};
+pub use functional::{
+    extract_cycles_marked, extract_cycles_marked_idx, on_cycle_of, on_cycle_of_idx, FunctionalGraph,
+};
 pub use pseudoforest::UndirectedGraph;

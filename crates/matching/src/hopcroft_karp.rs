@@ -7,14 +7,17 @@
 //! and by the brute-force popularity verifier for small instances.
 
 use pm_graph::BipartiteGraph;
+use pm_pram::Idx;
 
 use crate::matching::Matching;
 
 const INF: u32 = u32::MAX;
 
-/// Sentinel for "unmatched" in the dense match arrays (half the footprint
-/// of `Option<usize>`, which matters on the 10^6-vertex ties workload).
-const FREE: usize = usize::MAX;
+/// Sentinel for "unmatched" in the dense match arrays: the [`Idx::NONE`]
+/// pattern — a quarter of the footprint of `Option<usize>` and half of the
+/// former `usize::MAX` sentinel, which matters on the 10^6-vertex ties
+/// workload where the BFS/DFS sweeps are bandwidth-bound.
+const FREE: Idx = Idx::NONE;
 
 /// Computes a maximum-cardinality matching of `g` with the Hopcroft–Karp
 /// algorithm in `O(E √V)` time.
@@ -39,10 +42,10 @@ pub fn hopcroft_karp(g: &BipartiteGraph) -> Matching {
 pub fn hopcroft_karp_into(
     g: &BipartiteGraph,
     out: &mut Matching,
-    match_left: &mut Vec<usize>,
-    match_right: &mut Vec<usize>,
+    match_left: &mut Vec<Idx>,
+    match_right: &mut Vec<Idx>,
     dist: &mut Vec<u32>,
-    queue: &mut Vec<usize>,
+    queue: &mut Vec<Idx>,
 ) {
     let n_left = g.n_left();
     let n_right = g.n_right();
@@ -62,7 +65,7 @@ pub fn hopcroft_karp_into(
         for l in 0..n_left {
             if match_left[l] == FREE {
                 dist[l] = 0;
-                queue.push(l);
+                queue.push(Idx::new(l));
             } else {
                 dist[l] = INF;
             }
@@ -71,7 +74,7 @@ pub fn hopcroft_karp_into(
         while head < queue.len() {
             let l = queue[head];
             head += 1;
-            for &r in g.neighbors_left(l) {
+            for &r in g.neighbors_left(l.get()) {
                 let l2 = match_right[r];
                 if l2 == FREE {
                     found_augmenting_layer = true;
@@ -97,7 +100,7 @@ pub fn hopcroft_karp_into(
     out.reset(n_left, n_right);
     for (l, &r) in match_left.iter().enumerate() {
         if r != FREE {
-            out.add(l, r);
+            out.add(l, r.get());
         }
     }
 }
@@ -105,19 +108,19 @@ pub fn hopcroft_karp_into(
 fn dfs(
     l: usize,
     g: &BipartiteGraph,
-    match_left: &mut Vec<usize>,
-    match_right: &mut Vec<usize>,
+    match_left: &mut Vec<Idx>,
+    match_right: &mut Vec<Idx>,
     dist: &mut Vec<u32>,
 ) -> bool {
     for &r in g.neighbors_left(l) {
         let l2 = match_right[r];
         if l2 == FREE {
-            match_right[r] = l;
+            match_right[r] = Idx::new(l);
             match_left[l] = r;
             return true;
         }
-        if dist[l2] == dist[l] + 1 && dfs(l2, g, match_left, match_right, dist) {
-            match_right[r] = l;
+        if dist[l2] == dist[l] + 1 && dfs(l2.get(), g, match_left, match_right, dist) {
+            match_right[r] = Idx::new(l);
             match_left[l] = r;
             return true;
         }

@@ -50,8 +50,12 @@ pub fn two_regular_perfect_matching_parallel(
     let next_arc = |arc: usize| -> usize {
         let (l, i) = (arc / 2, arc % 2);
         let p = g.neighbors_left(l)[i];
-        let p_nbrs = g.neighbors_right(p);
-        let l2 = if p_nbrs[0] == l { p_nbrs[1] } else { p_nbrs[0] };
+        let p_nbrs = g.neighbors_right(p.get());
+        let l2 = if p_nbrs[0].get() == l {
+            p_nbrs[1].get()
+        } else {
+            p_nbrs[0].get()
+        };
         let l2_nbrs = g.neighbors_left(l2);
         let j = usize::from(l2_nbrs[0] == p);
         2 * l2 + j
@@ -87,14 +91,14 @@ pub fn two_regular_perfect_matching_parallel(
             .into_par_iter()
             .map(|l| {
                 let i = usize::from(label[2 * l + 1] < label[2 * l]);
-                g.neighbors_left(l)[i]
+                g.neighbors_left(l)[i].get()
             })
             .collect()
     } else {
         (0..n)
             .map(|l| {
                 let i = usize::from(label[2 * l + 1] < label[2 * l]);
-                g.neighbors_left(l)[i]
+                g.neighbors_left(l)[i].get()
             })
             .collect()
     };
@@ -133,13 +137,17 @@ pub fn two_regular_perfect_matching_sequential(g: &BipartiteGraph) -> Matching {
             visited[l] = true;
             let nbrs = g.neighbors_left(l);
             let p = match came_from {
-                Some(cf) if nbrs[0] == cf => nbrs[1],
-                Some(_) => nbrs[0],
-                None => nbrs[0],
+                Some(cf) if nbrs[0].get() == cf => nbrs[1].get(),
+                Some(_) => nbrs[0].get(),
+                None => nbrs[0].get(),
             };
             m.add(l, p);
             let p_nbrs = g.neighbors_right(p);
-            let l_next = if p_nbrs[0] == l { p_nbrs[1] } else { p_nbrs[0] };
+            let l_next = if p_nbrs[0].get() == l {
+                p_nbrs[1].get()
+            } else {
+                p_nbrs[0].get()
+            };
             if l_next == start {
                 break;
             }

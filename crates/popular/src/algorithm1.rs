@@ -8,7 +8,7 @@
 //! parallel rounds on top of Algorithm 2.
 
 use pm_pram::tracker::DepthTracker;
-use pm_pram::Workspace;
+use pm_pram::{Idx, Workspace};
 
 use crate::error::PopularError;
 use crate::instance::{Assignment, PrefInstance};
@@ -94,10 +94,10 @@ pub fn promote_unmatched_f_posts(
 /// quadratic when many f-posts are left unmatched).  The election buffers
 /// are checked out of `ws`.
 pub fn promote_into(
-    f: &[usize],
-    s: &[usize],
+    f: &[Idx],
+    s: &[Idx],
     is_f_post: &[bool],
-    matched: &mut [usize],
+    matched: &mut [Idx],
     ws: &mut Workspace,
     tracker: &DepthTracker,
 ) {
@@ -113,22 +113,22 @@ pub fn promote_into(
     // candidate[p] = the smallest applicant with f(a) = p (reverse traversal
     // makes the smallest id the last, winning, write).  Every f-post — the
     // only slots read below — is written, so the checkout skips the fill.
-    let mut candidate = ws.take_usize_dirty(total_posts, usize::MAX);
+    let mut candidate = ws.take_idx_dirty(total_posts, Idx::NONE);
     for a in (0..n_a).rev() {
-        candidate[f[a]] = a;
+        candidate[f[a]] = Idx::new(a);
     }
     for p in 0..total_posts {
         if !is_f_post[p] || post_matched[p] {
             continue;
         }
         let a = candidate[p];
-        debug_assert_ne!(a, usize::MAX, "an f-post has a first-choice applicant");
+        debug_assert!(a.is_some(), "an f-post has a first-choice applicant");
         debug_assert_eq!(matched[a], s[a]);
-        matched[a] = p;
+        matched[a] = Idx::new(p);
         post_matched[p] = true;
     }
     ws.put_bool(post_matched);
-    ws.put_usize(candidate);
+    ws.put_idx(candidate);
 }
 
 #[cfg(test)]

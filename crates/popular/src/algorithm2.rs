@@ -22,11 +22,11 @@
 
 use rayon::prelude::*;
 
-use pm_pram::compact::compact_indices_into;
-use pm_pram::pointer::{min_label_cycles, pointer_jump_roots_into};
-use pm_pram::scan::csr_offsets_into;
+use pm_pram::compact::compact_indices_into_idx;
+use pm_pram::pointer::{min_label_cycles_idx, pointer_jump_roots_into_idx};
+use pm_pram::scan::csr_offsets_into_u32;
 use pm_pram::tracker::DepthTracker;
-use pm_pram::{par_chunk_len, Workspace, SEQUENTIAL_CUTOFF};
+use pm_pram::{par_chunk_len, Idx, Workspace, SEQUENTIAL_CUTOFF};
 
 use crate::instance::Assignment;
 use crate::reduced::ReducedGraph;
@@ -44,7 +44,7 @@ pub struct Algorithm2Outcome {
 
 /// Runs Algorithm 2 on a reduced graph.
 pub fn applicant_complete_matching(g: &ReducedGraph, tracker: &DepthTracker) -> Algorithm2Outcome {
-    let mut matched = vec![usize::MAX; g.num_applicants()];
+    let mut matched = vec![Idx::NONE; g.num_applicants()];
     let (feasible, peel_rounds) = applicant_complete_matching_into(
         g.total_posts(),
         g.f_slice(),
@@ -54,7 +54,7 @@ pub fn applicant_complete_matching(g: &ReducedGraph, tracker: &DepthTracker) -> 
         tracker,
     );
     Algorithm2Outcome {
-        assignment: feasible.then(|| Assignment::new(matched)),
+        assignment: feasible.then(|| Assignment::from_idx_vec(matched)),
         peel_rounds,
     }
 }
@@ -62,7 +62,7 @@ pub fn applicant_complete_matching(g: &ReducedGraph, tracker: &DepthTracker) -> 
 /// Allocation-free core of Algorithm 2, the heart of the warm serving path.
 ///
 /// `f`/`s` are the reduced edges (one pair per applicant), `matched` is the
-/// output buffer — every slot must be `usize::MAX` on entry and every slot
+/// output buffer — every slot must be `Idx::NONE` on entry and every slot
 /// is written iff the return flag is `true` (an applicant-complete matching
 /// exists).  All scratch — the post→applicant CSR adjacency, liveness
 /// flags, the per-round arc successor array, the list-ranking double
@@ -76,9 +76,9 @@ pub fn applicant_complete_matching(g: &ReducedGraph, tracker: &DepthTracker) -> 
 /// materialising a compacted `BipartiteGraph`.
 pub fn applicant_complete_matching_into(
     total_posts: usize,
-    f: &[usize],
-    s: &[usize],
-    matched: &mut [usize],
+    f: &[Idx],
+    s: &[Idx],
+    matched: &mut [Idx],
     ws: &mut Workspace,
     tracker: &DepthTracker,
 ) -> (bool, u32) {
@@ -86,7 +86,11 @@ pub fn applicant_complete_matching_into(
     let n_p = total_posts;
     debug_assert_eq!(s.len(), n_a);
     debug_assert_eq!(matched.len(), n_a);
-    debug_assert!(matched.iter().all(|&m| m == usize::MAX));
+    debug_assert!(matched.iter().all(|&m| m.is_none()));
+    // The arc encoding below packs 4 arcs per applicant into u32 ids; the
+    // instance-size funnel (`pm_popular::instance::MAX_APPLICANTS`) keeps
+    // that in range.
+    debug_assert!(4 * n_a <= u32::MAX as usize);
     tracker.phase();
 
     if n_a == 0 {
@@ -96,22 +100,22 @@ pub fn applicant_complete_matching_into(
     // Static adjacency of the reduced graph, post -> incident applicants, in
     // flat CSR form: one counting round, one prefix scan, one fill round —
     // no per-post vectors.
-    let mut counts = ws.take_usize(n_p, 0);
+    let mut counts = ws.take_u32(n_p, 0);
     for a in 0..n_a {
         counts[f[a]] += 1;
         counts[s[a]] += 1;
     }
-    let mut adj_off = ws.take_usize_empty();
-    let mut chunk_scratch = ws.take_usize_empty();
-    csr_offsets_into(&counts, &mut adj_off, &mut chunk_scratch, tracker);
-    let mut cursor = ws.take_usize_empty();
+    let mut adj_off = ws.take_u32_empty();
+    let mut chunk_scratch = ws.take_u32_empty();
+    csr_offsets_into_u32(&counts, &mut adj_off, &mut chunk_scratch, tracker);
+    let mut cursor = ws.take_u32_empty();
     cursor.extend_from_slice(&adj_off[..n_p]);
     // Every slot of the flat adjacency is written by the scatter below
     // (the offsets are exact), so the checkout can skip the fill.
-    let mut adj_flat = ws.take_usize_dirty(2 * n_a, 0);
+    let mut adj_flat = ws.take_idx_dirty(2 * n_a, Idx::ZERO);
     for a in 0..n_a {
         for p in [f[a], s[a]] {
-            adj_flat[cursor[p]] = a;
+            adj_flat[cursor[p] as usize] = Idx::new(a);
             cursor[p] += 1;
         }
     }
@@ -137,13 +141,13 @@ pub fn applicant_complete_matching_into(
     // is fully rewritten every round (so its checkout skips the fill), the
     // matched-edge list is drained, and the list-ranking result + double
     // buffers persist across rounds.
-    let mut succ = ws.take_usize_dirty(4 * n_a, 0);
-    let mut root_tail = ws.take_usize_dirty(4 * n_a, 0);
-    let mut newly_matched = ws.take_pair_empty();
-    let mut jump_root = ws.take_usize_empty();
-    let mut jump_dist = ws.take_u64_empty();
-    let mut jump_sptr = ws.take_usize_empty();
-    let mut jump_sdist = ws.take_u64_empty();
+    let mut succ = ws.take_idx_dirty(4 * n_a, Idx::ZERO);
+    let mut root_tail = ws.take_idx_dirty(4 * n_a, Idx::ZERO);
+    let mut newly_matched = ws.take_idx_pair_empty();
+    let mut jump_root = ws.take_idx_empty();
+    let mut jump_dist = ws.take_u32_empty();
+    let mut jump_sptr = ws.take_idx_empty();
+    let mut jump_sdist = ws.take_u32_empty();
 
     // Arc encoding: 4a+0 = a -> f(a), 4a+1 = f(a) -> a,
     //               4a+2 = a -> s(a), 4a+3 = s(a) -> a.
@@ -169,26 +173,26 @@ pub fn applicant_complete_matching_into(
         // alive degree-1 post, which is exactly known while choosing the
         // successor.  The per-applicant quads are disjoint, so the rebuild
         // fans out over contiguous applicant chunks.
-        succ.resize(num_arcs, 0);
+        succ.resize(num_arcs, Idx::ZERO);
         {
             let (adj_off, adj_flat) = (&adj_off, &adj_flat);
             let (alive_applicant, alive_post) = (&alive_applicant, &alive_post);
             let post_degree = &post_degree;
-            let build_quads = |base: usize, quads: &mut [usize], tails: &mut [usize]| {
+            let build_quads = |base: usize, quads: &mut [Idx], tails: &mut [Idx]| {
                 // Other alive applicant incident to a degree-2 post.
-                let other_applicant = |p: usize, not_a: usize| -> usize {
-                    adj_flat[adj_off[p]..adj_off[p + 1]]
+                let other_applicant = |p: Idx, not_a: usize| -> Idx {
+                    adj_flat[adj_off[p] as usize..adj_off[p.get() + 1] as usize]
                         .iter()
                         .copied()
-                        .find(|&b| b != not_a && alive_applicant[b])
+                        .find(|&b| b.get() != not_a && alive_applicant[b])
                         .expect("degree-2 post has a second alive applicant")
                 };
                 for (i, (quad, tail)) in quads.chunks_mut(4).zip(tails.chunks_mut(4)).enumerate() {
                     let a = base + i;
-                    tail.fill(usize::MAX);
+                    tail.fill(Idx::NONE);
                     if !alive_applicant[a] {
                         for (j, arc) in quad.iter_mut().enumerate() {
-                            *arc = 4 * a + j;
+                            *arc = Idx::new(4 * a + j);
                         }
                         continue;
                     }
@@ -200,21 +204,21 @@ pub fn applicant_complete_matching_into(
                             let b = other_applicant(p, a);
                             // Next arc is post -> other applicant b.
                             if f[b] == p {
-                                4 * b + 1
+                                Idx::new(4 * b.get() + 1)
                             } else {
-                                4 * b + 3
+                                Idx::new(4 * b.get() + 3)
                             }
                         } else {
                             if alive_post[p] && post_degree[p] == 1 {
                                 tail[j] = p;
                             }
-                            4 * a + j
+                            Idx::new(4 * a + j)
                         };
                     }
                     // Post -> applicant arcs: always continue through the
                     // applicant to its other post.
-                    quad[1] = 4 * a + 2; // arrived from f(a), towards s(a)
-                    quad[3] = 4 * a; // arrived from s(a), towards f(a)
+                    quad[1] = Idx::new(4 * a + 2); // arrived from f(a), towards s(a)
+                    quad[3] = Idx::new(4 * a); // arrived from s(a), towards f(a)
                 }
             };
             if n_a >= SEQUENTIAL_CUTOFF {
@@ -230,7 +234,7 @@ pub fn applicant_complete_matching_into(
 
         // List-rank every arc: distance and endpoint of its walk (double
         // buffers persist across peeling rounds — no per-round allocation).
-        pointer_jump_roots_into(
+        pointer_jump_roots_into_idx(
             &succ,
             &mut jump_root,
             &mut jump_dist,
@@ -244,10 +248,7 @@ pub fn applicant_complete_matching_into(
         // exactly the memo `root_tail` recorded while building `succ`, so
         // the decision loop pays a single lookup per direction instead of
         // re-deriving the test at four random arcs per edge.
-        let tail_post = |arc: usize| -> Option<usize> {
-            let t = root_tail[jump_root[arc]];
-            (t != usize::MAX).then_some(t)
-        };
+        let tail_post = |arc: usize| -> Option<usize> { root_tail[jump_root[arc]].some() };
 
         // Decide matched edges.  Edge (a, p) has an applicant->post arc A and
         // a post->applicant arc B; if both directions reach a degree-1 post,
@@ -281,7 +282,7 @@ pub fn applicant_complete_matching_into(
                 if dist % 2 == 0 && use_forward {
                     // Even distance and the arc is applicant -> post: the post
                     // side is nearer the endpoint, so applicant a takes post p.
-                    newly_matched.push((a, p));
+                    newly_matched.push((Idx::new(a), p));
                 } else if dist % 2 == 0 && !use_forward {
                     // Even distance measured from the other endpoint means the
                     // *applicant* side is nearer that endpoint, which cannot
@@ -302,7 +303,7 @@ pub fn applicant_complete_matching_into(
         // Apply the matches and delete matched vertices.
         for &(a, p) in newly_matched.iter() {
             debug_assert!(
-                matched[a] == usize::MAX,
+                matched[a].is_none(),
                 "applicant {a} matched twice in one round"
             );
             debug_assert!(alive_post[p]);
@@ -352,10 +353,10 @@ pub fn applicant_complete_matching_into(
         // applicant to its successor post in that orientation.  This is the
         // `two_regular` matcher inlined on the original vertex ids.
         debug_assert_eq!(alive_p_count, alive_a_count);
-        let mut alive_as = ws.take_usize_empty();
+        let mut alive_as = ws.take_idx_empty();
         {
             let alive_applicant = &alive_applicant;
-            compact_indices_into(n_a, |a| alive_applicant[a], &mut alive_as, ws, tracker);
+            compact_indices_into_idx(n_a, |a| alive_applicant[a], &mut alive_as, ws, tracker);
         }
         debug_assert_eq!(alive_as.len(), alive_a_count);
         let k = alive_as.len();
@@ -368,30 +369,30 @@ pub fn applicant_complete_matching_into(
         // app_idx is written for every surviving applicant and read only
         // for surviving applicants; ptr and label are fully initialised
         // below — all three checkouts skip the fill.
-        let mut app_idx = ws.take_usize_dirty(n_a, usize::MAX);
+        let mut app_idx = ws.take_idx_dirty(n_a, Idx::NONE);
         for (i, &a) in alive_as.iter().enumerate() {
-            app_idx[a] = i;
+            app_idx[a] = Idx::new(i);
         }
-        let mut ptr = ws.take_usize_dirty(num_arcs2, 0);
-        let mut label = ws.take_usize_dirty(num_arcs2, 0);
+        let mut ptr = ws.take_idx_dirty(num_arcs2, Idx::ZERO);
+        let mut label = ws.take_idx_dirty(num_arcs2, Idx::ZERO);
         {
             let (adj_off, adj_flat) = (&adj_off, &adj_flat);
             let (alive_applicant, alive_as) = (&alive_applicant, &alive_as);
             let app_idx = &app_idx;
-            let next_arc = |arc: usize| -> usize {
+            let next_arc = |arc: usize| -> Idx {
                 let (i, j) = (arc / 2, arc % 2);
                 let a = alive_as[i];
                 let p = if j == 0 { f[a] } else { s[a] };
-                let b = adj_flat[adj_off[p]..adj_off[p + 1]]
+                let b = adj_flat[adj_off[p] as usize..adj_off[p.get() + 1] as usize]
                     .iter()
                     .copied()
                     .find(|&b| b != a && alive_applicant[b])
                     .expect("2-regular post has a second surviving applicant");
-                let ib = app_idx[b];
+                let ib = app_idx[b].get();
                 if f[b] == p {
-                    2 * ib + 1
+                    Idx::new(2 * ib + 1)
                 } else {
-                    2 * ib
+                    Idx::new(2 * ib)
                 }
             };
             if num_arcs2 >= SEQUENTIAL_CUTOFF {
@@ -405,16 +406,16 @@ pub fn applicant_complete_matching_into(
             }
         }
         for (arc, l) in label.iter_mut().enumerate() {
-            *l = arc;
+            *l = Idx::new(arc);
         }
 
         // Min-label pointer doubling over the orientation cycles — the
         // shared `pm_pram` primitive, double-buffered through checked-out
         // scratch, with the sound no-label-changed early exit (random
         // instances have short cycles and converge in a handful of rounds).
-        let mut label_scratch = ws.take_usize_dirty(num_arcs2, 0);
-        let mut ptr_scratch = ws.take_usize_dirty(num_arcs2, 0);
-        min_label_cycles(
+        let mut label_scratch = ws.take_idx_dirty(num_arcs2, Idx::ZERO);
+        let mut ptr_scratch = ws.take_idx_dirty(num_arcs2, Idx::ZERO);
+        min_label_cycles_idx(
             &mut label,
             &mut ptr,
             &mut label_scratch,
@@ -431,30 +432,30 @@ pub fn applicant_complete_matching_into(
             matched[a] = if take_s { s[a] } else { f[a] };
         }
 
-        ws.put_usize(alive_as);
-        ws.put_usize(app_idx);
-        ws.put_usize(ptr);
-        ws.put_usize(label);
-        ws.put_usize(label_scratch);
-        ws.put_usize(ptr_scratch);
+        ws.put_idx(alive_as);
+        ws.put_idx(app_idx);
+        ws.put_idx(ptr);
+        ws.put_idx(label);
+        ws.put_idx(label_scratch);
+        ws.put_idx(ptr_scratch);
     }
 
-    debug_assert!(!feasible || matched.iter().all(|&m| m != usize::MAX));
+    debug_assert!(!feasible || matched.iter().all(|&m| m.is_some()));
 
-    ws.put_usize(adj_off);
-    ws.put_usize(chunk_scratch);
-    ws.put_usize(cursor);
-    ws.put_usize(adj_flat);
-    ws.put_usize(post_degree);
+    ws.put_u32(adj_off);
+    ws.put_u32(chunk_scratch);
+    ws.put_u32(cursor);
+    ws.put_idx(adj_flat);
+    ws.put_u32(post_degree);
     ws.put_bool(alive_applicant);
     ws.put_bool(alive_post);
-    ws.put_usize(succ);
-    ws.put_usize(root_tail);
-    ws.put_pair(newly_matched);
-    ws.put_usize(jump_root);
-    ws.put_u64(jump_dist);
-    ws.put_usize(jump_sptr);
-    ws.put_u64(jump_sdist);
+    ws.put_idx(succ);
+    ws.put_idx(root_tail);
+    ws.put_idx_pair(newly_matched);
+    ws.put_idx(jump_root);
+    ws.put_u32(jump_dist);
+    ws.put_idx(jump_sptr);
+    ws.put_u32(jump_sdist);
 
     (feasible, peel_rounds)
 }

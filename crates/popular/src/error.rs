@@ -16,6 +16,18 @@ pub enum PopularError {
     /// an instance with ties (Section III explicitly restricts to the strict
     /// case; the ties case is handled by the Section V reduction only).
     TiesNotSupported,
+    /// The instance does not fit the 32-bit index layer (DESIGN.md §7):
+    /// some entity or edge count exceeds the documented limit.  Rejected at
+    /// construction so no kernel can silently truncate an index.
+    TooLarge {
+        /// Which count overflowed ("applicants", "extended posts",
+        /// "preference edges").
+        what: &'static str,
+        /// The offending count.
+        count: usize,
+        /// The largest admissible value.
+        limit: usize,
+    },
 }
 
 impl fmt::Display for PopularError {
@@ -27,6 +39,13 @@ impl fmt::Display for PopularError {
                 write!(
                     f,
                     "this algorithm requires strictly-ordered preference lists"
+                )
+            }
+            PopularError::TooLarge { what, count, limit } => {
+                write!(
+                    f,
+                    "instance too large for the 32-bit index layer: {count} {what} \
+                     (limit {limit})"
                 )
             }
         }
@@ -50,6 +69,13 @@ mod tests {
         assert!(PopularError::TiesNotSupported
             .to_string()
             .contains("strictly-ordered"));
+        let e = PopularError::TooLarge {
+            what: "applicants",
+            count: 5_000_000_000,
+            limit: 1_000,
+        };
+        assert!(e.to_string().contains("32-bit"));
+        assert!(e.to_string().contains("applicants"));
     }
 
     #[test]

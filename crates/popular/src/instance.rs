@@ -11,7 +11,7 @@
 //! Post identifiers: real posts are `0..num_posts`; the last resort of
 //! applicant `a` is the *extended* post id `num_posts + a`.
 //!
-//! # Storage: flat CSR, built once at validation time
+//! # Storage: flat 32-bit CSR, built once at validation time
 //!
 //! Preference lists are stored in a compressed sparse row (CSR) layout
 //! rather than nested vectors: one flat array with all ranked posts in
@@ -20,32 +20,84 @@
 //! applicants and the tie groups.  Every accessor hands out contiguous
 //! slices of these arrays, so the hot loops of the reduced-graph
 //! construction, Algorithm 2 and the ties reduction stream through memory
-//! instead of chasing `Vec<Vec<Vec<usize>>>` pointers.  The layout is fixed
-//! at construction; instances are immutable afterwards.
+//! instead of chasing `Vec<Vec<Vec<usize>>>` pointers.
+//!
+//! All five arrays are 32-bit ([`Idx`] posts, `u32` offsets and ranks —
+//! DESIGN.md §7), which halves the bytes every downstream scan moves.
+//! Construction is the **size funnel** of the whole pipeline: it rejects
+//! any instance whose applicant, extended-post or edge counts would not fit
+//! the 32-bit layer with a typed [`PopularError::TooLarge`], so every
+//! kernel below may assume indices fit without re-checking.  The layout is
+//! fixed at construction; instances are immutable afterwards.
 
-use pm_pram::EpochMarks;
+use pm_pram::{EpochMarks, Idx};
 
 use crate::error::PopularError;
 
+/// The largest admissible applicant count.  Algorithm 2 encodes four arcs
+/// per applicant in `u32` arc ids, so applicants get a quarter of the index
+/// range — still north of 10⁹, far beyond anything the dense arrays fit in
+/// memory anyway.
+pub const MAX_APPLICANTS: usize = (u32::MAX as usize - 3) / 4;
+
+/// The largest admissible extended-post count (`num_posts + num_applicants`)
+/// and edge count: the [`Idx`] range.
+pub const MAX_ENTITIES: usize = Idx::MAX_INDEX;
+
+/// Rejects counts that do not fit the 32-bit index layer — the single
+/// construction-time check every kernel below relies on.  Public so the
+/// property tests can drive every overflow branch with fabricated counts
+/// (a real 4-billion-edge instance would not fit in memory); the
+/// constructors call it before any proportional allocation.
+pub fn check_sizes(
+    num_applicants: usize,
+    num_posts: usize,
+    num_edges: usize,
+) -> Result<(), PopularError> {
+    if num_applicants > MAX_APPLICANTS {
+        return Err(PopularError::TooLarge {
+            what: "applicants",
+            count: num_applicants,
+            limit: MAX_APPLICANTS,
+        });
+    }
+    let total_posts = num_posts.saturating_add(num_applicants);
+    if total_posts > MAX_ENTITIES {
+        return Err(PopularError::TooLarge {
+            what: "extended posts",
+            count: total_posts,
+            limit: MAX_ENTITIES,
+        });
+    }
+    if num_edges > MAX_ENTITIES {
+        return Err(PopularError::TooLarge {
+            what: "preference edges",
+            count: num_edges,
+            limit: MAX_ENTITIES,
+        });
+    }
+    Ok(())
+}
+
 /// A one-sided preference instance with optionally tied preference lists,
-/// stored as a flat CSR structure (see the module docs).
+/// stored as a flat 32-bit CSR structure (see the module docs).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PrefInstance {
     num_posts: usize,
     /// Every ranked post, applicant-major, in preference order.
-    post_flat: Vec<usize>,
+    post_flat: Vec<Idx>,
     /// `rank_flat[i]` is the tie-group index of `post_flat[i]` on its
     /// applicant's list.
     rank_flat: Vec<u32>,
     /// Applicant `a`'s entries are `post_flat[list_off[a]..list_off[a + 1]]`;
     /// length `num_applicants + 1`.
-    list_off: Vec<usize>,
+    list_off: Vec<u32>,
     /// Flat tie-group boundaries: group `g` (globally numbered) spans
     /// `post_flat[group_off[g]..group_off[g + 1]]`; length `groups + 1`.
-    group_off: Vec<usize>,
+    group_off: Vec<u32>,
     /// Applicant `a`'s tie groups are the global group ids
     /// `group_idx[a]..group_idx[a + 1]`; length `num_applicants + 1`.
-    group_idx: Vec<usize>,
+    group_idx: Vec<u32>,
 }
 
 /// Shared validation state: an [`EpochMarks`] set over the posts, cleared
@@ -93,10 +145,11 @@ impl PrefInstance {
     /// per-entry singleton groups are materialised.
     pub fn new_strict(num_posts: usize, lists: Vec<Vec<usize>>) -> Result<Self, PopularError> {
         let total: usize = lists.iter().map(Vec::len).sum();
+        check_sizes(lists.len(), num_posts, total)?;
         let mut post_flat = Vec::with_capacity(total);
         let mut rank_flat = Vec::with_capacity(total);
         let mut list_off = Vec::with_capacity(lists.len() + 1);
-        list_off.push(0);
+        list_off.push(0u32);
         let mut dup = DupCheck::new(num_posts);
         for (a, list) in lists.iter().enumerate() {
             if list.is_empty() {
@@ -107,13 +160,13 @@ impl PrefInstance {
             dup.next_applicant();
             for (r, &p) in list.iter().enumerate() {
                 dup.check(a, p)?;
-                post_flat.push(p);
+                post_flat.push(Idx::new(p));
                 rank_flat.push(r as u32);
             }
-            list_off.push(post_flat.len());
+            list_off.push(post_flat.len() as u32);
         }
         // Strict lists: every entry is its own tie group.
-        let group_off = (0..=total).collect();
+        let group_off = (0..=total as u32).collect();
         let group_idx = list_off.clone();
         Ok(Self {
             num_posts,
@@ -131,13 +184,18 @@ impl PrefInstance {
         num_posts: usize,
         groups: Vec<Vec<Vec<usize>>>,
     ) -> Result<Self, PopularError> {
-        let mut post_flat = Vec::new();
-        let mut rank_flat = Vec::new();
+        let total: usize = groups
+            .iter()
+            .map(|list| list.iter().map(Vec::len).sum::<usize>())
+            .sum();
+        check_sizes(groups.len(), num_posts, total)?;
+        let mut post_flat = Vec::with_capacity(total);
+        let mut rank_flat = Vec::with_capacity(total);
         let mut list_off = Vec::with_capacity(groups.len() + 1);
-        list_off.push(0);
-        let mut group_off = vec![0];
+        list_off.push(0u32);
+        let mut group_off = vec![0u32];
         let mut group_idx = Vec::with_capacity(groups.len() + 1);
-        group_idx.push(0);
+        group_idx.push(0u32);
         let mut dup = DupCheck::new(num_posts);
         for (a, list) in groups.iter().enumerate() {
             if list.is_empty() {
@@ -154,13 +212,13 @@ impl PrefInstance {
                 }
                 for &p in group {
                     dup.check(a, p)?;
-                    post_flat.push(p);
+                    post_flat.push(Idx::new(p));
                     rank_flat.push(r as u32);
                 }
-                group_off.push(post_flat.len());
+                group_off.push(post_flat.len() as u32);
             }
-            group_idx.push(group_off.len() - 1);
-            list_off.push(post_flat.len());
+            group_idx.push(group_off.len() as u32 - 1);
+            list_off.push(post_flat.len() as u32);
         }
         Ok(Self {
             num_posts,
@@ -173,7 +231,7 @@ impl PrefInstance {
     }
 
     /// Builds the rank-1 instance of the Section V ties reduction straight
-    /// from a CSR adjacency (`offsets`/`flat` as produced by
+    /// from a 32-bit CSR adjacency (`offsets`/`flat` as produced by
     /// `pm_graph::BipartiteGraph::left_csr`): applicant `a`'s single tie
     /// group is `flat[offsets[a]..offsets[a + 1]]`.  No nested vectors are
     /// materialised on the way in.  Invalid *preference data* (an empty
@@ -186,14 +244,15 @@ impl PrefInstance {
     /// *container*, not a malformed instance.
     pub fn new_rank1(
         num_posts: usize,
-        offsets: &[usize],
-        flat: &[usize],
+        offsets: &[u32],
+        flat: &[Idx],
     ) -> Result<Self, PopularError> {
         assert!(
-            !offsets.is_empty() && *offsets.last().unwrap() == flat.len(),
+            !offsets.is_empty() && *offsets.last().unwrap() as usize == flat.len(),
             "offsets must be a CSR boundary array over flat"
         );
         let n_a = offsets.len() - 1;
+        check_sizes(n_a, num_posts, flat.len())?;
         let mut dup = DupCheck::new(num_posts);
         for a in 0..n_a {
             if offsets[a] == offsets[a + 1] {
@@ -202,8 +261,8 @@ impl PrefInstance {
                 )));
             }
             dup.next_applicant();
-            for &p in &flat[offsets[a]..offsets[a + 1]] {
-                dup.check(a, p)?;
+            for &p in &flat[offsets[a] as usize..offsets[a + 1] as usize] {
+                dup.check(a, p.get())?;
             }
         }
         Ok(Self {
@@ -212,7 +271,7 @@ impl PrefInstance {
             rank_flat: vec![0; flat.len()],
             list_off: offsets.to_vec(),
             group_off: offsets.to_vec(),
-            group_idx: (0..=n_a).collect(),
+            group_idx: (0..=n_a as u32).collect(),
         })
     }
 
@@ -243,6 +302,11 @@ impl PrefInstance {
         self.num_posts + a
     }
 
+    /// The last resort as an [`Idx`] (the form the pipeline buffers hold).
+    pub fn last_resort_idx(&self, a: usize) -> Idx {
+        Idx::new(self.num_posts + a)
+    }
+
     /// True iff the extended post id denotes a last-resort post.
     pub fn is_last_resort(&self, post: usize) -> bool {
         post >= self.num_posts
@@ -256,34 +320,37 @@ impl PrefInstance {
 
     /// Applicant `a`'s ranked posts as one flat slice, most preferred first
     /// (ties appear consecutively; the implicit last resort is not included).
-    pub fn flat_list(&self, a: usize) -> &[usize] {
-        &self.post_flat[self.list_off[a]..self.list_off[a + 1]]
+    pub fn flat_list(&self, a: usize) -> &[Idx] {
+        &self.post_flat[self.list_off[a] as usize..self.list_off[a + 1] as usize]
     }
 
     /// The tie-group indices parallel to [`flat_list`](Self::flat_list):
     /// `flat_ranks(a)[i]` is the rank of `flat_list(a)[i]` on `a`'s list.
     pub fn flat_ranks(&self, a: usize) -> &[u32] {
-        &self.rank_flat[self.list_off[a]..self.list_off[a + 1]]
+        &self.rank_flat[self.list_off[a] as usize..self.list_off[a + 1] as usize]
     }
 
     /// Applicant `a`'s tie group of the given rank, as a slice of real posts.
-    pub fn group_slice(&self, a: usize, rank: usize) -> &[usize] {
-        let g = self.group_idx[a] + rank;
-        debug_assert!(g < self.group_idx[a + 1], "rank {rank} out of range");
-        &self.post_flat[self.group_off[g]..self.group_off[g + 1]]
+    pub fn group_slice(&self, a: usize, rank: usize) -> &[Idx] {
+        let g = self.group_idx[a] as usize + rank;
+        debug_assert!(
+            g < self.group_idx[a + 1] as usize,
+            "rank {rank} out of range"
+        );
+        &self.post_flat[self.group_off[g] as usize..self.group_off[g + 1] as usize]
     }
 
     /// Applicant `a`'s ranked tie groups, most preferred first, as slices
     /// into the flat storage (real posts only; the implicit last resort is
     /// not included).
-    pub fn groups(&self, a: usize) -> impl ExactSizeIterator<Item = &[usize]> + '_ {
+    pub fn groups(&self, a: usize) -> impl ExactSizeIterator<Item = &[Idx]> + '_ {
         (0..self.num_ranks(a)).map(move |r| self.group_slice(a, r))
     }
 
     /// Applicant `a`'s single most-preferred post: the first entry of the
     /// top tie group (for strict instances, *the* first choice `f`-candidate).
-    pub fn first_choice(&self, a: usize) -> usize {
-        self.post_flat[self.list_off[a]]
+    pub fn first_choice(&self, a: usize) -> Idx {
+        self.post_flat[self.list_off[a] as usize]
     }
 
     /// Applicant `a`'s strict preference list over real posts, if the
@@ -292,7 +359,7 @@ impl PrefInstance {
         if self.num_ranks(a) != self.flat_list(a).len() {
             return None;
         }
-        Some(self.flat_list(a).to_vec())
+        Some(self.flat_list(a).iter().map(|p| p.get()).collect())
     }
 
     /// Rank of an extended post on applicant `a`'s list: tie-group index for
@@ -305,10 +372,10 @@ impl PrefInstance {
         if self.is_last_resort(post) {
             return None; // another applicant's last resort
         }
-        let lo = self.list_off[a];
-        self.post_flat[lo..self.list_off[a + 1]]
+        let lo = self.list_off[a] as usize;
+        self.post_flat[lo..self.list_off[a + 1] as usize]
             .iter()
-            .position(|&p| p == post)
+            .position(|&p| p.get() == post)
             .map(|i| self.rank_flat[lo + i] as usize)
     }
 
@@ -325,7 +392,7 @@ impl PrefInstance {
 
     /// The number of tie groups of applicant `a` (the rank of `l(a)`).
     pub fn num_ranks(&self, a: usize) -> usize {
-        self.group_idx[a + 1] - self.group_idx[a]
+        (self.group_idx[a + 1] - self.group_idx[a]) as usize
     }
 
     /// All `(applicant, real post, rank)` triples — the edge set `E` of `G`
@@ -333,35 +400,63 @@ impl PrefInstance {
     pub fn ranked_edges(&self) -> Vec<(usize, usize, usize)> {
         let mut out = Vec::with_capacity(self.post_flat.len());
         for a in 0..self.num_applicants() {
-            let (lo, hi) = (self.list_off[a], self.list_off[a + 1]);
+            let (lo, hi) = (self.list_off[a] as usize, self.list_off[a + 1] as usize);
             for i in lo..hi {
-                out.push((a, self.post_flat[i], self.rank_flat[i] as usize));
+                out.push((a, self.post_flat[i].get(), self.rank_flat[i] as usize));
             }
         }
         out
     }
+
+    /// Resident heap bytes of the five CSR arrays — the footprint estimate
+    /// the bench harness reports as `bytes_per_entity`.
+    pub fn heap_bytes(&self) -> usize {
+        self.post_flat.len() * std::mem::size_of::<Idx>()
+            + (self.rank_flat.len()
+                + self.list_off.len()
+                + self.group_off.len()
+                + self.group_idx.len())
+                * std::mem::size_of::<u32>()
+    }
 }
 
 /// An applicant-complete assignment: every applicant is matched to exactly
-/// one extended post (possibly its last resort).
+/// one extended post (possibly its last resort).  Stored as a dense [`Idx`]
+/// array with [`Idx::NONE`] as the transient "unassigned" sentinel of the
+/// pipeline's output buffer.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Assignment {
-    post_of: Vec<usize>,
+    post_of: Vec<Idx>,
 }
 
 impl Assignment {
-    /// Wraps a raw applicant → extended-post vector.
+    /// Wraps a raw applicant → extended-post vector.  An entry beyond the
+    /// 32-bit index range is stored as the invalid sentinel, so it can
+    /// never alias a real post and [`is_valid`](Self::is_valid) rejects it
+    /// — the same observable behaviour the pre-`Idx` representation had
+    /// for out-of-range posts.
     pub fn new(post_of: Vec<usize>) -> Self {
+        Self {
+            post_of: post_of
+                .into_iter()
+                .map(|p| Idx::try_new(p).unwrap_or(Idx::NONE))
+                .collect(),
+        }
+    }
+
+    /// Wraps an [`Idx`]-typed applicant → extended-post vector (the
+    /// pipeline's native form).
+    pub fn from_idx_vec(post_of: Vec<Idx>) -> Self {
         Self { post_of }
     }
 
     /// The assignment in which every applicant takes their last resort.
     pub fn all_last_resort(inst: &PrefInstance) -> Self {
-        Self::new(
-            (0..inst.num_applicants())
-                .map(|a| inst.last_resort(a))
+        Self {
+            post_of: (0..inst.num_applicants())
+                .map(|a| inst.last_resort_idx(a))
                 .collect(),
-        )
+        }
     }
 
     /// Number of applicants.
@@ -371,32 +466,32 @@ impl Assignment {
 
     /// The extended post assigned to applicant `a`.
     pub fn post(&self, a: usize) -> usize {
-        self.post_of[a]
+        self.post_of[a].get()
     }
 
     /// Reassigns applicant `a`.
     pub fn set_post(&mut self, a: usize, post: usize) {
-        self.post_of[a] = post;
+        self.post_of[a] = Idx::new(post);
     }
 
     /// Clears the assignment in place and resizes it to `n` applicants, all
-    /// set to the `usize::MAX` "unassigned" sentinel, reusing the buffer's
+    /// set to the [`Idx::NONE`] "unassigned" sentinel, reusing the buffer's
     /// capacity.  This is the solver's output-buffer reset: the pipeline
     /// then writes every slot exactly once, so a warm refill allocates
     /// nothing.  The assignment is not valid until every slot is written.
     pub fn reset_unassigned(&mut self, n: usize) {
         self.post_of.clear();
-        self.post_of.resize(n, usize::MAX);
+        self.post_of.resize(n, Idx::NONE);
     }
 
     /// Mutable access to the raw applicant → extended-post slots, for
     /// pipeline stages that fill a reused output buffer in place.
-    pub fn as_mut_slice(&mut self) -> &mut [usize] {
+    pub fn as_mut_slice(&mut self) -> &mut [Idx] {
         &mut self.post_of
     }
 
     /// The underlying applicant → extended-post slice.
-    pub fn as_slice(&self) -> &[usize] {
+    pub fn as_slice(&self) -> &[Idx] {
         &self.post_of
     }
 
@@ -406,7 +501,7 @@ impl Assignment {
         self.post_of
             .iter()
             .enumerate()
-            .filter(|&(a, &p)| p != inst.last_resort(a))
+            .filter(|&(a, &p)| p.get() != inst.last_resort(a))
             .count()
     }
 
@@ -415,8 +510,8 @@ impl Assignment {
     pub fn applicant_of(&self, inst: &PrefInstance) -> Vec<Option<usize>> {
         let mut inv = vec![None; inst.total_posts()];
         for (a, &p) in self.post_of.iter().enumerate() {
-            debug_assert!(inv[p].is_none(), "post {p} assigned twice");
-            inv[p] = Some(a);
+            debug_assert!(inv[p.get()].is_none(), "post {p} assigned twice");
+            inv[p.get()] = Some(a);
         }
         inv
     }
@@ -426,8 +521,8 @@ impl Assignment {
         self.post_of
             .iter()
             .enumerate()
-            .filter(|&(_, &p)| !inst.is_last_resort(p))
-            .map(|(a, &p)| (a, p))
+            .filter(|&(_, &p)| !inst.is_last_resort(p.get()))
+            .map(|(a, &p)| (a, p.get()))
             .collect()
     }
 
@@ -438,7 +533,10 @@ impl Assignment {
             return false;
         }
         let mut used = vec![false; inst.total_posts()];
-        for (a, &p) in self.post_of.iter().enumerate() {
+        for (a, &pi) in self.post_of.iter().enumerate() {
+            // Raw view so an unfilled NONE slot reads as out-of-range
+            // rather than asserting.
+            let p = pi.raw() as usize;
             if p >= inst.total_posts() || used[p] {
                 return false;
             }
@@ -458,6 +556,10 @@ impl Assignment {
 mod tests {
     use super::*;
 
+    fn idxs(xs: &[usize]) -> Vec<Idx> {
+        xs.iter().map(|&x| Idx::new(x)).collect()
+    }
+
     fn tiny() -> PrefInstance {
         PrefInstance::new_strict(3, vec![vec![0, 1], vec![0, 2], vec![1]]).unwrap()
     }
@@ -471,8 +573,10 @@ mod tests {
         assert_eq!(inst.num_edges(), 5);
         assert!(inst.is_strict());
         assert_eq!(inst.last_resort(2), 5);
+        assert_eq!(inst.last_resort_idx(2), Idx::new(5));
         assert!(inst.is_last_resort(5));
         assert!(!inst.is_last_resort(2));
+        assert!(inst.heap_bytes() > 0);
     }
 
     #[test]
@@ -495,6 +599,22 @@ mod tests {
         ));
         // A post may be repeated across *different* applicants.
         assert!(PrefInstance::new_strict(2, vec![vec![0], vec![0]]).is_ok());
+    }
+
+    #[test]
+    fn oversized_instances_are_rejected_with_typed_error() {
+        // A post count beyond the u32 layer must be rejected before any
+        // proportional allocation happens (the check reads only counts).
+        let r = PrefInstance::new_strict(u32::MAX as usize, vec![vec![0]]);
+        assert!(matches!(
+            r,
+            Err(PopularError::TooLarge {
+                what: "extended posts",
+                ..
+            })
+        ));
+        let r = PrefInstance::new_with_ties(usize::MAX / 2, vec![vec![vec![0]]]);
+        assert!(matches!(r, Err(PopularError::TooLarge { .. })));
     }
 
     #[test]
@@ -527,38 +647,38 @@ mod tests {
     fn csr_accessors_expose_flat_slices() {
         let tied =
             PrefInstance::new_with_ties(4, vec![vec![vec![0, 1], vec![2]], vec![vec![3]]]).unwrap();
-        assert_eq!(tied.flat_list(0), &[0, 1, 2]);
+        assert_eq!(tied.flat_list(0), idxs(&[0, 1, 2]).as_slice());
         assert_eq!(tied.flat_ranks(0), &[0, 0, 1]);
-        assert_eq!(tied.group_slice(0, 0), &[0, 1]);
-        assert_eq!(tied.group_slice(0, 1), &[2]);
-        assert_eq!(tied.flat_list(1), &[3]);
-        assert_eq!(tied.group_slice(1, 0), &[3]);
-        assert_eq!(tied.first_choice(0), 0);
-        assert_eq!(tied.first_choice(1), 3);
-        let groups: Vec<&[usize]> = tied.groups(0).collect();
-        assert_eq!(groups, vec![&[0, 1][..], &[2][..]]);
+        assert_eq!(tied.group_slice(0, 0), idxs(&[0, 1]).as_slice());
+        assert_eq!(tied.group_slice(0, 1), idxs(&[2]).as_slice());
+        assert_eq!(tied.flat_list(1), idxs(&[3]).as_slice());
+        assert_eq!(tied.group_slice(1, 0), idxs(&[3]).as_slice());
+        assert_eq!(tied.first_choice(0), Idx::new(0));
+        assert_eq!(tied.first_choice(1), Idx::new(3));
+        let groups: Vec<&[Idx]> = tied.groups(0).collect();
+        assert_eq!(groups, vec![&idxs(&[0, 1])[..], &idxs(&[2])[..]]);
 
         let strict = tiny();
-        assert_eq!(strict.flat_list(1), &[0, 2]);
+        assert_eq!(strict.flat_list(1), idxs(&[0, 2]).as_slice());
         assert_eq!(strict.strict_list(1), Some(vec![0, 2]));
-        assert_eq!(strict.group_slice(1, 1), &[2]);
-        assert_eq!(strict.first_choice(2), 1);
+        assert_eq!(strict.group_slice(1, 1), idxs(&[2]).as_slice());
+        assert_eq!(strict.first_choice(2), Idx::new(1));
     }
 
     #[test]
     fn rank1_constructor_matches_new_with_ties() {
         // CSR input: applicant 0 -> {0, 2}, applicant 1 -> {1}.
-        let direct = PrefInstance::new_rank1(3, &[0, 2, 3], &[0, 2, 1]).unwrap();
+        let direct = PrefInstance::new_rank1(3, &[0, 2, 3], &idxs(&[0, 2, 1])).unwrap();
         let nested = PrefInstance::new_with_ties(3, vec![vec![vec![0, 2]], vec![vec![1]]]).unwrap();
         assert_eq!(direct, nested);
         // Empty lists are rejected.
         assert!(matches!(
-            PrefInstance::new_rank1(3, &[0, 0, 1], &[0]),
+            PrefInstance::new_rank1(3, &[0, 0, 1], &idxs(&[0])),
             Err(PopularError::InvalidInstance(_))
         ));
         // Duplicates within one applicant are rejected.
         assert!(matches!(
-            PrefInstance::new_rank1(3, &[0, 2], &[1, 1]),
+            PrefInstance::new_rank1(3, &[0, 2], &idxs(&[1, 1])),
             Err(PopularError::InvalidInstance(_))
         ));
     }
@@ -595,6 +715,13 @@ mod tests {
         assert!(!Assignment::new(vec![inst.last_resort(1), 0, 1]).is_valid(&inst));
         // Wrong length.
         assert!(!Assignment::new(vec![0]).is_valid(&inst));
+        // A reset-but-unfilled buffer is not valid.
+        let mut unfilled = Assignment::new(Vec::new());
+        unfilled.reset_unassigned(3);
+        assert!(!unfilled.is_valid(&inst));
+        // An out-of-u32-range post is stored as the sentinel and rejected,
+        // never truncated into a colliding real post id.
+        assert!(!Assignment::new(vec![usize::MAX - 1, 2, 1]).is_valid(&inst));
     }
 
     #[test]
@@ -604,5 +731,8 @@ mod tests {
         m.set_post(0, 0);
         assert_eq!(m.post(0), 0);
         assert_eq!(m.size(&inst), 1);
+        assert_eq!(m.as_slice()[0], Idx::new(0));
+        let v = Assignment::from_idx_vec(idxs(&[0, 1]));
+        assert_eq!(v.post(1), 1);
     }
 }

@@ -15,7 +15,7 @@
 //! `O(log² n)` depth as claimed by Theorem 10.
 
 use pm_pram::tracker::DepthTracker;
-use pm_pram::Workspace;
+use pm_pram::{Idx, Workspace};
 
 use crate::algorithm1::popular_matching_run;
 use crate::error::PopularError;
@@ -60,10 +60,10 @@ pub fn improve_to_maximum_cardinality(
 /// sink, matching the component-wise `max_by_key((margin, Reverse(q)))`
 /// selection of the sequential baseline.
 pub fn improve_to_maximum_cardinality_ws(
-    f: &[usize],
-    s: &[usize],
+    f: &[Idx],
+    s: &[Idx],
     num_posts: usize,
-    matched: &mut [usize],
+    matched: &mut [Idx],
     ws: &mut Workspace,
     tracker: &DepthTracker,
 ) {
@@ -73,11 +73,13 @@ pub fn improve_to_maximum_cardinality_ws(
 
     // Build G_M: succ[p] = the other reduced post of the applicant matched
     // to p, labelled by that applicant (mirrors `SwitchingGraph::build`).
+    // Both arrays are Idx with the NONE sentinel — a quarter of the bytes
+    // the former `Option<usize>` cells moved.
     tracker.phase();
     tracker.round();
     tracker.work(n_a as u64);
-    let mut succ = ws.take_opt(total, None);
-    let mut out_applicant = ws.take_usize(total, usize::MAX);
+    let mut succ = ws.take_idx(total, Idx::NONE);
+    let mut out_applicant = ws.take_idx(total, Idx::NONE);
     let mut in_graph = ws.take_bool(total, false);
     let mut is_s_post = ws.take_bool(total, false);
     for a in 0..n_a {
@@ -91,19 +93,20 @@ pub fn improve_to_maximum_cardinality_ws(
         );
         let other = if m == f[a] { s[a] } else { f[a] };
         debug_assert!(succ[m].is_none(), "post {m} matched to two applicants");
-        succ[m] = Some(other);
-        out_applicant[m] = a;
+        succ[m] = other;
+        out_applicant[m] = Idx::new(a);
     }
 
     // Margin of the edge leaving post p: +1 if its applicant moves from a
     // last resort onto a real post, −1 for the reverse, else 0.
     let mut on_cycle = ws.take_bool_empty();
-    pm_graph::on_cycle_of(&succ, &mut on_cycle, ws, tracker);
+    pm_graph::on_cycle_of_idx(&succ, &mut on_cycle, ws, tracker);
     let (margins, roots) = {
         let succ_ref = &succ;
-        let edge_margin = |p: usize| -> i64 {
-            let q = succ_ref[p].expect("edge margin of a matched post");
-            i64::from(q < num_posts) - i64::from(p < num_posts)
+        let edge_margin = |p: usize| -> i32 {
+            let q = succ_ref[p];
+            debug_assert!(q.is_some(), "edge margin of a matched post");
+            i32::from(q.get() < num_posts) - i32::from(p < num_posts)
         };
         margins_and_roots_of(&succ, &on_cycle, edge_margin, ws, tracker)
     };
@@ -116,8 +119,8 @@ pub fn improve_to_maximum_cardinality_ws(
     // the whole pass.
     tracker.round();
     tracker.work(total as u64);
-    let mut best_margin = ws.take_i64(total, i64::MIN);
-    let mut best_start = ws.take_usize(total, usize::MAX);
+    let mut best_margin = ws.take_i32(total, i32::MIN);
+    let mut best_start = ws.take_idx(total, Idx::NONE);
     let mut charged = tracker.local();
     for q in 0..total {
         if !in_graph[q] || !is_s_post[q] || succ[q].is_none() {
@@ -130,7 +133,7 @@ pub fn improve_to_maximum_cardinality_ws(
         }
         if margins[q] > best_margin[r] {
             best_margin[r] = margins[q];
-            best_start[r] = q;
+            best_start[r] = Idx::new(q);
         }
     }
     drop(charged);
@@ -139,13 +142,14 @@ pub fn improve_to_maximum_cardinality_ws(
     // components, total walk length ≤ |P|).
     let mut charged = tracker.local();
     for r in 0..total {
-        if best_start[r] == usize::MAX || best_margin[r] <= 0 {
+        if best_start[r].is_none() || best_margin[r] <= 0 {
             continue;
         }
         let mut v = best_start[r];
-        while let Some(next) = succ[v] {
+        while succ[v].is_some() {
+            let next = succ[v];
             let a = out_applicant[v];
-            debug_assert_ne!(a, usize::MAX, "path posts are matched");
+            debug_assert!(a.is_some(), "path posts are matched");
             matched[a] = next;
             v = next;
             charged.add(1);
@@ -153,14 +157,14 @@ pub fn improve_to_maximum_cardinality_ws(
     }
     drop(charged);
 
-    ws.put_opt(succ);
-    ws.put_usize(out_applicant);
+    ws.put_idx(succ);
+    ws.put_idx(out_applicant);
     ws.put_bool(in_graph);
     ws.put_bool(is_s_post);
-    ws.put_i64(margins);
-    ws.put_usize(roots);
-    ws.put_i64(best_margin);
-    ws.put_usize(best_start);
+    ws.put_i32(margins);
+    ws.put_idx(roots);
+    ws.put_i32(best_margin);
+    ws.put_idx(best_start);
 }
 
 /// Runs Algorithm 1 followed by Algorithm 3 and returns a maximum-cardinality

@@ -19,7 +19,7 @@ use rayon::prelude::*;
 
 use pm_graph::BipartiteGraph;
 use pm_pram::tracker::DepthTracker;
-use pm_pram::{par_chunk_len, SEQUENTIAL_CUTOFF};
+use pm_pram::{par_chunk_len, Idx, SEQUENTIAL_CUTOFF};
 
 use crate::error::PopularError;
 use crate::instance::PrefInstance;
@@ -34,8 +34,8 @@ use crate::instance::PrefInstance;
 /// atomic add per chunk (exact totals, independent of the thread count).
 pub fn build_into(
     inst: &PrefInstance,
-    f: &mut Vec<usize>,
-    s: &mut Vec<usize>,
+    f: &mut Vec<Idx>,
+    s: &mut Vec<Idx>,
     is_f_post: &mut Vec<bool>,
     tracker: &DepthTracker,
 ) -> Result<(), PopularError> {
@@ -52,7 +52,7 @@ pub fn build_into(
     tracker.work(n_a as u64);
     if f.len() != n_a {
         f.clear();
-        f.resize(n_a, 0);
+        f.resize(n_a, Idx::ZERO);
     }
     if n_a >= SEQUENTIAL_CUTOFF {
         f.par_iter_mut()
@@ -78,10 +78,10 @@ pub fn build_into(
     tracker.round();
     if s.len() != n_a {
         s.clear();
-        s.resize(n_a, 0);
+        s.resize(n_a, Idx::ZERO);
     }
     let marks: &[bool] = is_f_post;
-    let scan_chunk = |base: usize, sc: &mut [usize]| {
+    let scan_chunk = |base: usize, sc: &mut [Idx]| {
         let mut charged = tracker.local();
         for (i, slot) in sc.iter_mut().enumerate() {
             let a = base + i;
@@ -95,7 +95,7 @@ pub fn build_into(
                 }
             }
             charged.add(scanned);
-            *slot = found.unwrap_or_else(|| inst.last_resort(a));
+            *slot = found.unwrap_or_else(|| inst.last_resort_idx(a));
         }
     };
     if n_a >= SEQUENTIAL_CUTOFF {
@@ -115,8 +115,8 @@ pub fn build_into(
 pub struct ReducedGraph {
     num_applicants: usize,
     num_posts: usize,
-    f: Vec<usize>,
-    s: Vec<usize>,
+    f: Vec<Idx>,
+    s: Vec<Idx>,
     is_f_post: Vec<bool>,
 }
 
@@ -162,7 +162,7 @@ impl ReducedGraph {
                 .iter()
                 .copied()
                 .find(|&p| !is_f_post[p])
-                .unwrap_or_else(|| inst.last_resort(a));
+                .unwrap_or_else(|| inst.last_resort_idx(a));
             s.push(sa);
         }
         Ok(Self {
@@ -177,12 +177,7 @@ impl ReducedGraph {
     /// Assembles a reduced graph from raw parts, e.g. the buffers filled by
     /// [`build_into`] (the solver's free-function wrappers use this to hand
     /// back an owned `ReducedGraph` without rebuilding it).
-    pub fn from_parts(
-        num_posts: usize,
-        f: Vec<usize>,
-        s: Vec<usize>,
-        is_f_post: Vec<bool>,
-    ) -> Self {
+    pub fn from_parts(num_posts: usize, f: Vec<Idx>, s: Vec<Idx>, is_f_post: Vec<bool>) -> Self {
         let num_applicants = f.len();
         debug_assert_eq!(s.len(), num_applicants);
         debug_assert_eq!(is_f_post.len(), num_posts + num_applicants);
@@ -212,21 +207,21 @@ impl ReducedGraph {
 
     /// `f(a)`: applicant `a`'s first choice.
     pub fn f(&self, a: usize) -> usize {
-        self.f[a]
+        self.f[a].get()
     }
 
     /// `s(a)`: applicant `a`'s most preferred non-f-post (possibly `l(a)`).
     pub fn s(&self, a: usize) -> usize {
-        self.s[a]
+        self.s[a].get()
     }
 
     /// The whole `f` map as a slice (one entry per applicant).
-    pub fn f_slice(&self) -> &[usize] {
+    pub fn f_slice(&self) -> &[Idx] {
         &self.f
     }
 
     /// The whole `s` map as a slice (one entry per applicant).
-    pub fn s_slice(&self) -> &[usize] {
+    pub fn s_slice(&self) -> &[Idx] {
         &self.s
     }
 
@@ -259,14 +254,14 @@ impl ReducedGraph {
     /// `f⁻¹(p)`: the applicants whose first choice is `p`.
     pub fn f_inverse(&self, p: usize) -> Vec<usize> {
         (0..self.num_applicants)
-            .filter(|&a| self.f[a] == p)
+            .filter(|&a| self.f[a].get() == p)
             .collect()
     }
 
     /// True iff extended post `p` occurs in the reduced graph (as some
     /// applicant's f-post or s-post).
     pub fn in_reduced_graph(&self, p: usize) -> bool {
-        self.is_f_post[p] || self.s.contains(&p)
+        self.is_f_post[p] || self.s.contains(&Idx::new(p))
     }
 
     /// The reduced graph as a bipartite graph: left vertices are applicants,
@@ -274,7 +269,7 @@ impl ReducedGraph {
     /// two edges `(a, f(a))` and `(a, s(a))`.  Built through the CSR fast
     /// path — every applicant's row is the two-element slice `[f(a), s(a)]`.
     pub fn to_bipartite(&self) -> BipartiteGraph {
-        let offsets: Vec<usize> = (0..=self.num_applicants).map(|a| 2 * a).collect();
+        let offsets: Vec<u32> = (0..=self.num_applicants as u32).map(|a| 2 * a).collect();
         let mut flat = Vec::with_capacity(2 * self.num_applicants);
         for a in 0..self.num_applicants {
             flat.push(self.f[a]);

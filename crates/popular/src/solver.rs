@@ -25,7 +25,7 @@ use pm_graph::BipartiteGraph;
 use pm_matching::hopcroft_karp::hopcroft_karp_into;
 use pm_matching::matching::Matching;
 use pm_pram::tracker::DepthTracker;
-use pm_pram::{PramStats, Workspace};
+use pm_pram::{Idx, PramStats, Workspace};
 
 use crate::algorithm1::promote_into;
 use crate::algorithm2::applicant_complete_matching_into;
@@ -48,17 +48,17 @@ pub struct PopularSolver {
     tracker: DepthTracker,
     // Reduced-graph buffers, persistent so `solve_max_cardinality` (and the
     // free-function wrappers) can consume them after the Algorithm 1 phase.
-    f: Vec<usize>,
-    s: Vec<usize>,
+    f: Vec<Idx>,
+    s: Vec<Idx>,
     is_f_post: Vec<bool>,
     // Output buffers, refilled in place on every call.
     out: Assignment,
     ties_out: Matching,
-    // Hopcroft–Karp scratch for `solve_ties`.
-    hk_left: Vec<usize>,
-    hk_right: Vec<usize>,
+    // Hopcroft–Karp scratch for `solve_ties` (Idx sentinel match arrays).
+    hk_left: Vec<Idx>,
+    hk_right: Vec<Idx>,
     hk_dist: Vec<u32>,
-    hk_queue: Vec<usize>,
+    hk_queue: Vec<Idx>,
     peel_rounds: u32,
     // Warm sub-solvers for `solve_batch`, one per worker chunk.
     batch_workers: Vec<PopularSolver>,
@@ -75,7 +75,7 @@ impl PopularSolver {
             f: Vec::with_capacity(n_hint),
             s: Vec::with_capacity(n_hint),
             is_f_post: Vec::with_capacity(n_hint + p_hint),
-            out: Assignment::new(Vec::with_capacity(n_hint)),
+            out: Assignment::from_idx_vec(Vec::with_capacity(n_hint)),
             ties_out: Matching::empty(0, 0),
             hk_left: Vec::new(),
             hk_right: Vec::new(),
@@ -161,6 +161,21 @@ impl PopularSolver {
     pub fn solve_batch(&mut self, insts: &[PrefInstance]) -> Vec<Result<Assignment, PopularError>> {
         self.tracker.reset();
         let threads = rayon::current_num_threads().max(1);
+        // Fan-out policy: one sub-solver per worker chunk, never more
+        // chunks than batch members.  When `batch <= threads` every member
+        // is its own chunk and runs *inline* on one worker (nested parallel
+        // calls inside a pool chunk execute inline, so a member can never
+        // re-fan out and oversubscribe the pool); past that crossover,
+        // members share sub-solvers in contiguous chunks.  `with_min_len(1)`
+        // pins one chunk per schedulable work item so the executor cannot
+        // merge two sub-solvers onto one thread while another idles.
+        //
+        // Note the crossover economics (EXPERIMENTS.md E16): each *chunk*
+        // pays its own sub-solver warm-up, so a batch only amortises across
+        // `min(batch, threads)` warm solver states — wide executors on
+        // small batches trade warm-up cost for parallelism, which is a net
+        // loss when the instances are bandwidth-bound and the cores share
+        // one memory bus.
         let chunk = insts.len().div_ceil(threads).max(1);
         let n_chunks = insts.len().div_ceil(chunk);
         while self.batch_workers.len() < n_chunks {
@@ -174,6 +189,7 @@ impl PopularSolver {
             .par_chunks_mut(chunk)
             .zip(insts.par_chunks(chunk))
             .zip(self.batch_workers[..n_chunks].par_iter_mut())
+            .with_min_len(1)
             .for_each(|((rs, is), worker)| {
                 for (r, inst) in rs.iter_mut().zip(is.iter()) {
                     *r = worker.solve(inst).cloned();
@@ -194,7 +210,7 @@ impl PopularSolver {
     /// wrappers use this to return an owned [`Assignment`] from a solver
     /// they are about to drop.
     pub fn take_matching(&mut self) -> Assignment {
-        std::mem::replace(&mut self.out, Assignment::new(Vec::new()))
+        std::mem::replace(&mut self.out, Assignment::from_idx_vec(Vec::new()))
     }
 
     /// Degree-1 peeling rounds Algorithm 2 used in the last solve.

@@ -16,54 +16,56 @@
 //! applicants matched to real (non-last-resort) posts; Algorithm 3 applies
 //! exactly the positive-margin moves.
 
-use pm_graph::connected::{connected_components_ws, ComponentLabels};
-use pm_graph::functional::{extract_cycles_marked, on_cycle_of, FunctionalGraph};
-use pm_pram::scan::csr_offsets_into;
+use pm_graph::connected::{connected_components_idx_ws, ComponentLabelsIdx};
+use pm_graph::functional::{extract_cycles_marked_idx, on_cycle_of_idx, FunctionalGraph};
+use pm_pram::scan::csr_offsets_into_u32;
 use pm_pram::scheduler::RoundScheduler;
 use pm_pram::tracker::DepthTracker;
-use pm_pram::{Workspace, SEQUENTIAL_CUTOFF};
+use pm_pram::{Idx, Workspace, SEQUENTIAL_CUTOFF};
 
 use rayon::prelude::*;
 
 use crate::instance::Assignment;
 use crate::reduced::ReducedGraph;
 
-/// For every vertex of a pseudoforest given by `succ`, the total weight of
-/// the path from it to its component's frozen endpoint, plus that endpoint:
-/// weighted pointer doubling in `O(log n)` rounds over two checked-out
-/// double buffers.  Cycle vertices (per the caller-provided `on_cycle`
-/// marking, see [`on_cycle_of`]) are frozen (weight 0, self-pointer) so
-/// tree vertices hanging off a cycle accumulate only up to the cycle entry
-/// and report that entry as their root, while true tree components
-/// accumulate up to their sink.  `edge_weight(p)` is the weight of the edge
-/// leaving `p` (only consulted for non-cycle vertices with a successor).
+/// For every vertex of a pseudoforest given by `succ` (an [`Idx`] array,
+/// `Idx::NONE` marking sinks), the total weight of the path from it to its
+/// component's frozen endpoint, plus that endpoint: weighted pointer
+/// doubling in `O(log n)` rounds over two checked-out double buffers.
+/// Cycle vertices (per the caller-provided `on_cycle` marking, see
+/// [`on_cycle_of_idx`]) are frozen (weight 0, self-pointer) so tree
+/// vertices hanging off a cycle accumulate only up to the cycle entry and
+/// report that entry as their root, while true tree components accumulate
+/// up to their sink.  `edge_weight(p)` is the weight of the edge leaving
+/// `p` (only consulted for non-cycle vertices with a successor); weights
+/// are `i32` — margins are bounded by the vertex count, which the
+/// instance-size funnel keeps in 32-bit range.
 ///
 /// Returns `(weights, roots)`, both checked out of `ws` — hand them back
-/// with `put_i64` / `put_usize` when done.  This is the parallel primitive
+/// with `put_i32` / `put_idx` when done.  This is the parallel primitive
 /// Algorithm 3 uses to pick the best switching path of every tree component
 /// in one go ([`SwitchingGraph::margins_to_sink`] is a thin wrapper).
 pub fn margins_and_roots_of(
-    succ: &[Option<usize>],
+    succ: &[Idx],
     on_cycle: &[bool],
-    edge_weight: impl Fn(usize) -> i64,
+    edge_weight: impl Fn(usize) -> i32,
     ws: &mut Workspace,
     tracker: &DepthTracker,
-) -> (Vec<i64>, Vec<usize>) {
+) -> (Vec<i32>, Vec<Idx>) {
     let n = succ.len();
     if n == 0 {
-        return (ws.take_i64_empty(), ws.take_usize_empty());
+        return (ws.take_i32_empty(), ws.take_idx_empty());
     }
     debug_assert_eq!(on_cycle.len(), n);
 
-    let mut ptr = ws.take_usize_dirty(n, 0);
-    let mut acc = ws.take_i64(n, 0);
+    let mut ptr = ws.take_idx_dirty(n, Idx::ZERO);
+    let mut acc = ws.take_i32(n, 0);
     for (p, (ptr_p, acc_p)) in ptr.iter_mut().zip(acc.iter_mut()).enumerate() {
-        match succ[p] {
-            Some(q) if !on_cycle[p] => {
-                *ptr_p = q;
-                *acc_p = edge_weight(p);
-            }
-            _ => *ptr_p = p,
+        if succ[p].is_some() && !on_cycle[p] {
+            *ptr_p = succ[p];
+            *acc_p = edge_weight(p);
+        } else {
+            *ptr_p = Idx::new(p);
         }
     }
 
@@ -75,8 +77,8 @@ pub fn margins_and_roots_of(
     // Every doubling round overwrites every (ptr, acc) cell, so the round
     // scheduler's overwrite step ping-pongs the two checked-out buffer
     // pairs with no per-round allocation, cloning, or initial fill.
-    let ptr_scratch = ws.take_usize_dirty(n, 0);
-    let acc_scratch = ws.take_i64_dirty(n, 0);
+    let ptr_scratch = ws.take_idx_dirty(n, Idx::ZERO);
+    let acc_scratch = ws.take_i32_dirty(n, 0);
     // The frozen graph is a forest (cycle vertices are self-pointing), so
     // pointer doubling converges; a round that changes no pointer is a
     // fixpoint (frozen targets always carry weight 0, so the accumulators
@@ -86,7 +88,7 @@ pub fn margins_and_roots_of(
         RoundScheduler::from_buffers((ptr, acc), (ptr_scratch, acc_scratch), rounds, tracker);
     for _ in 0..rounds {
         let changed = sched.step_overwrite(n as u64, |(ptr, acc), (nptr, nacc)| {
-            let write = |p: usize, np: &mut usize, na: &mut i64| -> bool {
+            let write = |p: usize, np: &mut Idx, na: &mut i32| -> bool {
                 let q = ptr[p];
                 *np = ptr[q];
                 *na = acc[p] + acc[q];
@@ -116,8 +118,8 @@ pub fn margins_and_roots_of(
         }
     }
     let ((ptr, acc), (ptr_scratch, acc_scratch), _) = sched.into_buffers();
-    ws.put_usize(ptr_scratch);
-    ws.put_i64(acc_scratch);
+    ws.put_idx(ptr_scratch);
+    ws.put_i32(acc_scratch);
     (acc, ptr)
 }
 
@@ -149,10 +151,11 @@ pub struct SwitchingGraph {
     num_applicants: usize,
     num_posts: usize,
     total_posts: usize,
-    /// `succ[p]` = the other reduced post of the applicant matched to `p`.
-    succ: Vec<Option<usize>>,
+    /// `succ[p]` = the other reduced post of the applicant matched to `p`
+    /// (`Idx::NONE` when `p` is unmatched — a sink or outside the graph).
+    succ: Vec<Idx>,
     /// `out_applicant[p]` = the applicant matched to `p` (labels the edge).
-    out_applicant: Vec<Option<usize>>,
+    out_applicant: Vec<Idx>,
     /// Post occurs in the reduced graph (as someone's f-post or s-post).
     in_graph: Vec<bool>,
     /// Post is an s-post (the only legal starting points of switching paths).
@@ -178,8 +181,8 @@ impl SwitchingGraph {
         tracker.round();
         tracker.work(n_a as u64);
 
-        let mut succ = vec![None; total];
-        let mut out_applicant = vec![None; total];
+        let mut succ = vec![Idx::NONE; total];
+        let mut out_applicant = vec![Idx::NONE; total];
         let mut in_graph = vec![false; total];
         let mut is_s_post = vec![false; total];
         for a in 0..n_a {
@@ -197,8 +200,8 @@ impl SwitchingGraph {
                 reduced.f(a)
             };
             debug_assert!(succ[m].is_none(), "post {m} matched to two applicants");
-            succ[m] = Some(other);
-            out_applicant[m] = Some(a);
+            succ[m] = Idx::new(other);
+            out_applicant[m] = Idx::new(a);
         }
 
         Self {
@@ -219,7 +222,7 @@ impl SwitchingGraph {
     fn cycle_marks(&self, tracker: &DepthTracker) -> &[bool] {
         self.cycle_marks.get_or_init(|| {
             let mut out = Vec::new();
-            on_cycle_of(&self.succ, &mut out, &mut Workspace::new(), tracker);
+            on_cycle_of_idx(&self.succ, &mut out, &mut Workspace::new(), tracker);
             out
         })
     }
@@ -232,12 +235,12 @@ impl SwitchingGraph {
     /// The successor of post `p` (the post its matched applicant would
     /// switch to), if `p` is matched.
     pub fn successor(&self, p: usize) -> Option<usize> {
-        self.succ[p]
+        self.succ[p].some()
     }
 
     /// The applicant matched to post `p`, if any.
     pub fn applicant_at(&self, p: usize) -> Option<usize> {
-        self.out_applicant[p]
+        self.out_applicant[p].some()
     }
 
     /// True iff post `p` occurs in the reduced graph.
@@ -258,7 +261,7 @@ impl SwitchingGraph {
     /// The switching graph as a directed pseudoforest over all extended
     /// posts (posts outside the reduced graph are isolated sinks).
     pub fn functional_graph(&self) -> FunctionalGraph {
-        FunctionalGraph::new(self.succ.clone())
+        FunctionalGraph::new(self.succ.iter().map(|s| s.some()).collect())
     }
 
     /// The sinks of `G_M` restricted to the reduced graph: exactly the posts
@@ -279,23 +282,24 @@ impl SwitchingGraph {
         // allocating afresh (and no `FunctionalGraph` clone of the
         // successor array is materialised).
         let mut ws = Workspace::new();
-        let mut edges = ws.take_pair_empty();
+        let mut edges = ws.take_idx_pair_empty();
         edges.extend(
             self.succ
                 .iter()
                 .enumerate()
-                .filter_map(|(v, s)| s.map(|s| (v, s))),
+                .filter(|(_, s)| s.is_some())
+                .map(|(v, &s)| (Idx::new(v), s)),
         );
-        let labels: ComponentLabels =
-            connected_components_ws(self.total_posts, &edges, &mut ws, tracker);
-        ws.put_pair(edges);
-        let cycles = extract_cycles_marked(&self.succ, self.cycle_marks(tracker));
+        let labels: ComponentLabelsIdx =
+            connected_components_idx_ws(self.total_posts, &edges, &mut ws, tracker);
+        ws.put_idx_pair(edges);
+        let cycles = extract_cycles_marked_idx(&self.succ, self.cycle_marks(tracker));
 
         // Map each component label to its cycle (if any).
         let mut cycle_of_label: Vec<Option<Vec<usize>>> = vec![None; self.total_posts];
         for cycle in cycles {
             let l = labels.label[cycle[0]];
-            cycle_of_label[l] = Some(cycle);
+            cycle_of_label[l.get()] = Some(cycle);
         }
 
         // Bucket the reduced-graph posts by component label in one flat CSR
@@ -303,7 +307,7 @@ impl SwitchingGraph {
         // post order keeps each bucket sorted, as the component contract
         // requires.  The per-post bucket work is accumulated locally and
         // flushed with one atomic add per pass.
-        let mut counts = ws.take_usize(self.total_posts, 0);
+        let mut counts = ws.take_u32(self.total_posts, 0);
         let mut charged = tracker.local();
         for p in 0..self.total_posts {
             if self.in_graph[p] {
@@ -312,17 +316,17 @@ impl SwitchingGraph {
             }
         }
         drop(charged);
-        let mut bucket_off = ws.take_usize_empty();
-        let mut chunk_scratch = ws.take_usize_empty();
-        csr_offsets_into(&counts, &mut bucket_off, &mut chunk_scratch, tracker);
-        let mut cursor = ws.take_usize_empty();
+        let mut bucket_off = ws.take_u32_empty();
+        let mut chunk_scratch = ws.take_u32_empty();
+        csr_offsets_into_u32(&counts, &mut bucket_off, &mut chunk_scratch, tracker);
+        let mut cursor = ws.take_u32_empty();
         cursor.extend_from_slice(&bucket_off[..self.total_posts]);
-        let mut bucket_flat = ws.take_usize(*bucket_off.last().unwrap_or(&0), 0);
+        let mut bucket_flat = ws.take_idx(*bucket_off.last().unwrap_or(&0) as usize, Idx::ZERO);
         let mut charged = tracker.local();
         for p in 0..self.total_posts {
             if self.in_graph[p] {
                 let l = labels.label[p];
-                bucket_flat[cursor[l]] = p;
+                bucket_flat[cursor[l] as usize] = Idx::new(p);
                 cursor[l] += 1;
                 charged.add(1);
             }
@@ -331,7 +335,7 @@ impl SwitchingGraph {
 
         let mut out = Vec::new();
         for l in 0..self.total_posts {
-            let posts = &bucket_flat[bucket_off[l]..bucket_off[l + 1]];
+            let posts = &bucket_flat[bucket_off[l] as usize..bucket_off[l + 1] as usize];
             if posts.is_empty() {
                 continue;
             }
@@ -343,20 +347,20 @@ impl SwitchingGraph {
                         .copied()
                         .find(|&p| self.succ[p].is_none())
                         .expect("a tree component has a sink (Lemma 4)");
-                    ComponentKind::Tree { sink }
+                    ComponentKind::Tree { sink: sink.get() }
                 }
             };
             out.push(SwitchingComponent {
-                posts: posts.to_vec(),
+                posts: posts.iter().map(|p| p.get()).collect(),
                 kind,
             });
         }
-        ws.put_usize(labels.label);
-        ws.put_usize(counts);
-        ws.put_usize(bucket_off);
-        ws.put_usize(chunk_scratch);
-        ws.put_usize(cursor);
-        ws.put_usize(bucket_flat);
+        ws.put_idx(labels.label);
+        ws.put_u32(counts);
+        ws.put_u32(bucket_off);
+        ws.put_u32(chunk_scratch);
+        ws.put_u32(cursor);
+        ws.put_idx(bucket_flat);
         out
     }
 
@@ -364,7 +368,11 @@ impl SwitchingGraph {
     pub fn cycle_applicants(&self, cycle_posts: &[usize]) -> Vec<usize> {
         cycle_posts
             .iter()
-            .map(|&p| self.out_applicant[p].expect("cycle posts are matched"))
+            .map(|&p| {
+                self.out_applicant[p]
+                    .some()
+                    .expect("cycle posts are matched")
+            })
             .collect()
     }
 
@@ -379,7 +387,7 @@ impl SwitchingGraph {
         let mut path = Vec::new();
         let mut v = q;
         let mut steps = 0usize;
-        while let Some(next) = self.succ[v] {
+        while let Some(next) = self.succ[v].some() {
             path.push(v);
             v = next;
             steps += 1;
@@ -395,7 +403,11 @@ impl SwitchingGraph {
         self.switching_path(q).map(|posts| {
             posts
                 .iter()
-                .map(|&p| self.out_applicant[p].expect("path posts are matched"))
+                .map(|&p| {
+                    self.out_applicant[p]
+                        .some()
+                        .expect("path posts are matched")
+                })
                 .collect()
         })
     }
@@ -415,7 +427,7 @@ impl SwitchingGraph {
     /// Margin contribution of the edge leaving post `p`: +1 if its applicant
     /// moves from a last resort onto a real post, −1 for the reverse, else 0.
     fn edge_margin(&self, p: usize) -> i64 {
-        let q = self.succ[p].expect("edge_margin of a matched post");
+        let q = self.succ[p].some().expect("edge_margin of a matched post");
         i64::from(!self.is_last_resort(q)) - i64::from(!self.is_last_resort(p))
     }
 
@@ -433,20 +445,24 @@ impl SwitchingGraph {
         let (margins, roots) = margins_and_roots_of(
             &self.succ,
             on_cycle,
-            |p| self.edge_margin(p),
+            |p| self.edge_margin(p) as i32,
             &mut ws,
             tracker,
         );
-        ws.put_usize(roots);
-        margins
+        ws.put_idx(roots);
+        let out = margins.iter().map(|&m| i64::from(m)).collect();
+        ws.put_i32(margins);
+        out
     }
 
     /// Applies the switching cycle through `cycle_posts` to `matching`:
     /// every applicant on the cycle switches to its other reduced post.
     pub fn apply_cycle(&self, matching: &mut Assignment, cycle_posts: &[usize]) {
         for &p in cycle_posts {
-            let a = self.out_applicant[p].expect("cycle posts are matched");
-            let target = self.succ[p].expect("cycle posts have successors");
+            let a = self.out_applicant[p]
+                .some()
+                .expect("cycle posts are matched");
+            let target = self.succ[p].some().expect("cycle posts have successors");
             matching.set_post(a, target);
         }
     }
@@ -460,8 +476,10 @@ impl SwitchingGraph {
             .switching_path(q)
             .expect("apply_path requires a valid switching path start");
         for p in posts {
-            let a = self.out_applicant[p].expect("path posts are matched");
-            let target = self.succ[p].expect("path posts have successors");
+            let a = self.out_applicant[p]
+                .some()
+                .expect("path posts are matched");
+            let target = self.succ[p].some().expect("path posts have successors");
             matching.set_post(a, target);
         }
     }
@@ -725,7 +743,7 @@ mod tests {
             let sg = SwitchingGraph::build(&run.reduced, &run.matching, &t);
 
             // All matchings produced by Theorem 9 moves...
-            let mut generated: Vec<Vec<usize>> = sg
+            let mut generated: Vec<Vec<pm_pram::Idx>> = sg
                 .enumerate_popular_matchings(&run.matching, &t)
                 .into_iter()
                 .map(|m| m.as_slice().to_vec())
@@ -734,7 +752,7 @@ mod tests {
             generated.dedup();
 
             // ... must coincide with the popular matchings found by brute force.
-            let mut brute: Vec<Vec<usize>> = enumerate_assignments(&inst)
+            let mut brute: Vec<Vec<pm_pram::Idx>> = enumerate_assignments(&inst)
                 .into_iter()
                 .filter(|m| is_popular_characterization(&inst, m))
                 .map(|m| m.as_slice().to_vec())

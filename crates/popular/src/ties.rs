@@ -31,8 +31,9 @@ use crate::instance::PrefInstance;
 /// (an instance requires non-empty preference lists; such vertices can never
 /// be matched and should simply be dropped by the caller).
 ///
-/// The graph's flat CSR adjacency is handed to the instance constructor
-/// as-is — no nested per-applicant group vectors are materialised.
+/// The graph's flat 32-bit CSR adjacency is handed to the instance
+/// constructor as-is — no nested per-applicant group vectors are
+/// materialised and no index widening happens on the way in.
 pub fn rank1_instance(g: &BipartiteGraph) -> Result<PrefInstance, PopularError> {
     if (0..g.n_left()).any(|l| g.degree_left(l) == 0) {
         return Err(PopularError::InvalidInstance(
@@ -115,7 +116,7 @@ pub fn enumerate_matchings(g: &BipartiteGraph) -> Vec<Matching> {
         for &r in g.neighbors_left(l) {
             if !used[r] {
                 used[r] = true;
-                current[l] = Some(r);
+                current[l] = Some(r.get());
                 rec(g, l + 1, used, current, out);
                 used[r] = false;
                 current[l] = None;
@@ -155,9 +156,10 @@ mod tests {
         let inst = rank1_instance(&g).unwrap();
         assert!(!inst.is_strict());
         assert_eq!(inst.num_applicants(), 2);
-        assert_eq!(inst.group_slice(0, 0), &[0, 2]);
+        let idxs = |xs: &[usize]| xs.iter().map(|&x| pm_pram::Idx::new(x)).collect::<Vec<_>>();
+        assert_eq!(inst.group_slice(0, 0), idxs(&[0, 2]).as_slice());
         assert_eq!(inst.num_ranks(0), 1);
-        assert_eq!(inst.group_slice(1, 0), &[1]);
+        assert_eq!(inst.group_slice(1, 0), idxs(&[1]).as_slice());
         // All edges have rank 0 (the paper's "rank 1").
         assert_eq!(inst.rank(0, 0), Some(0));
         assert_eq!(inst.rank(0, 2), Some(0));

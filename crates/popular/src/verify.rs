@@ -94,7 +94,7 @@ pub fn enumerate_assignments(inst: &PrefInstance) -> Vec<Assignment> {
             out.push(Assignment::new(current.clone()));
             return;
         }
-        let mut options: Vec<usize> = inst.flat_list(a).to_vec();
+        let mut options: Vec<usize> = inst.flat_list(a).iter().map(|p| p.get()).collect();
         options.push(inst.last_resort(a));
         for p in options {
             if !used[p] {

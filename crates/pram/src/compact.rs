@@ -8,6 +8,7 @@
 
 use rayon::prelude::*;
 
+use crate::idx::Idx;
 use crate::scan::offsets_from_counts_into;
 use crate::tracker::DepthTracker;
 use crate::workspace::Workspace;
@@ -75,6 +76,57 @@ pub fn compact_indices_into<F>(
     ws.put_usize(chunk_scratch);
 }
 
+/// The [`Idx`]-typed twin of [`compact_indices_into`], for the narrowed hot
+/// path: the flag/slot scratch and the output are all 4-byte, halving the
+/// bytes of all three compaction rounds.  `n` must fit the `Idx` range
+/// (guaranteed by the instance-size funnel; debug-asserted here).
+pub fn compact_indices_into_idx<F>(
+    n: usize,
+    keep: F,
+    out: &mut Vec<Idx>,
+    ws: &mut Workspace,
+    tracker: &DepthTracker,
+) where
+    F: Fn(usize) -> bool + Send + Sync,
+{
+    debug_assert!(n <= Idx::MAX_INDEX + 1);
+    // Round 1: evaluate the predicate into 0/1 counts.
+    tracker.round();
+    tracker.work(n as u64);
+    let mut flags = ws.take_u32(n, 0);
+    if n >= SEQUENTIAL_CUTOFF {
+        flags
+            .par_iter_mut()
+            .enumerate()
+            .for_each(|(i, f)| *f = u32::from(keep(i)));
+    } else {
+        for (i, f) in flags.iter_mut().enumerate() {
+            *f = u32::from(keep(i));
+        }
+    }
+
+    // Scan rounds: each kept element's output slot (CSR boundaries; the
+    // trailing total slot is ignored).
+    let mut slots = ws.take_u32_empty();
+    let mut chunk_scratch = ws.take_u32_empty();
+    let total = crate::scan::csr_offsets_into_u32(&flags, &mut slots, &mut chunk_scratch, tracker);
+
+    // Scatter round.
+    tracker.round();
+    tracker.work(n as u64);
+    out.clear();
+    out.resize(total, Idx::ZERO);
+    for i in 0..n {
+        if flags[i] == 1 {
+            out[slots[i] as usize] = Idx::new(i);
+        }
+    }
+
+    ws.put_u32(flags);
+    ws.put_u32(slots);
+    ws.put_u32(chunk_scratch);
+}
+
 /// Compacts the elements of `xs` for which `keep` returns true, preserving
 /// their relative order, and returns the surviving elements (cloned).
 pub fn compact_with<T, F>(xs: &[T], keep: F, tracker: &DepthTracker) -> Vec<T>
@@ -129,6 +181,19 @@ mod tests {
             compact_indices_into(n, |i| i % 3 == 1, &mut out, &mut ws, &t);
             let want: Vec<usize> = (0..n).filter(|&i| i % 3 == 1).collect();
             assert_eq!(out, want, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn idx_variant_matches_usize_variant() {
+        let t = DepthTracker::new();
+        let mut ws = Workspace::new();
+        let mut out = Vec::new();
+        for n in [0usize, 1, 9, 3000, 50_000] {
+            compact_indices_into_idx(n, |i| i % 3 == 1, &mut out, &mut ws, &t);
+            let want: Vec<usize> = (0..n).filter(|&i| i % 3 == 1).collect();
+            let got: Vec<usize> = out.iter().map(|i| i.get()).collect();
+            assert_eq!(got, want, "n = {n}");
         }
     }
 

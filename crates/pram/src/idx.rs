@@ -1,0 +1,279 @@
+//! The 32-bit index layer of the hot data path.
+//!
+//! At n = 10⁶ every headline pipeline in this repository is memory-bandwidth
+//! bound: the flat CSR arrays, the pointer-jumping double buffers and the
+//! sentinel match arrays are all *indices into dense arrays*, and hauling
+//! them through the cache hierarchy as 8-byte `usize` wastes half the bus.
+//! [`Idx`] is a `#[repr(transparent)]` `u32` newtype that every hot array is
+//! typed with instead:
+//!
+//! * the all-ones pattern [`Idx::NONE`] is the universal sentinel ("no
+//!   successor", "unmatched", "unassigned"), replacing both `usize::MAX`
+//!   sentinels and 16-byte `Option<usize>` cells;
+//! * conversions are explicit — [`Idx::new`] (debug-asserted),
+//!   [`Idx::try_new`] (checked) and [`Idx::get`] — so a silent truncation
+//!   can never slip into an array write;
+//! * `&array[idx]` indexes slices directly (an `Index<Idx>` impl), keeping
+//!   the kernels readable.
+//!
+//! Instance construction is the single funnel where sizes enter the system:
+//! `pm_popular::PrefInstance` rejects anything whose entity or edge counts
+//! would not fit (see [`Idx::MAX_INDEX`]), so every layer below may assume
+//! indices fit in 32 bits without re-checking.
+
+use std::fmt;
+
+/// A 32-bit index into a dense array, with [`Idx::NONE`] as the sentinel.
+///
+/// `Idx` deliberately implements neither `From<usize>` nor arithmetic —
+/// conversions go through the named constructors so each narrowing point is
+/// visible in the code.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+#[repr(transparent)]
+pub struct Idx(u32);
+
+impl Idx {
+    /// The sentinel value (all ones).  Never a valid index: constructors
+    /// reject `u32::MAX`, so a round-trip through `new`/`get` can never
+    /// collide with it.
+    pub const NONE: Idx = Idx(u32::MAX);
+
+    /// The largest representable index, `u32::MAX - 1` (the all-ones
+    /// pattern is reserved for [`Idx::NONE`]).
+    pub const MAX_INDEX: usize = u32::MAX as usize - 1;
+
+    /// The index 0.
+    pub const ZERO: Idx = Idx(0);
+
+    /// Wraps a `usize` index.
+    ///
+    /// # Panics
+    /// Debug builds panic if `i` exceeds [`Idx::MAX_INDEX`]; release builds
+    /// truncate, which the construction-time size checks in `pm_popular`
+    /// make unreachable for every array the pipeline touches.
+    #[inline(always)]
+    pub const fn new(i: usize) -> Idx {
+        debug_assert!(i <= Idx::MAX_INDEX, "index exceeds the u32 layer");
+        Idx(i as u32)
+    }
+
+    /// Checked conversion: `None` if `i` does not fit (i.e. would alias the
+    /// sentinel or overflow 32 bits).
+    #[inline]
+    pub const fn try_new(i: usize) -> Option<Idx> {
+        if i <= Idx::MAX_INDEX {
+            Some(Idx(i as u32))
+        } else {
+            None
+        }
+    }
+
+    /// Wraps a raw `u32` (which is always in range: either a valid index or
+    /// the sentinel bit pattern itself).
+    #[inline(always)]
+    pub const fn from_raw(raw: u32) -> Idx {
+        Idx(raw)
+    }
+
+    /// The index as a `usize`, for array accesses.
+    ///
+    /// Calling this on [`Idx::NONE`] returns `u32::MAX as usize` — callers
+    /// must test [`is_none`](Idx::is_none) first where the sentinel can
+    /// occur (debug builds assert).
+    #[inline(always)]
+    pub const fn get(self) -> usize {
+        debug_assert!(self.0 != u32::MAX, "Idx::get on the NONE sentinel");
+        self.0 as usize
+    }
+
+    /// The raw `u32` bit pattern (sentinel included).
+    #[inline(always)]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// True iff this is the [`Idx::NONE`] sentinel.
+    #[inline(always)]
+    pub const fn is_none(self) -> bool {
+        self.0 == u32::MAX
+    }
+
+    /// True iff this is a valid index (not the sentinel).
+    #[inline(always)]
+    pub const fn is_some(self) -> bool {
+        self.0 != u32::MAX
+    }
+
+    /// `Option` view: `None` for the sentinel, `Some(index)` otherwise.
+    #[inline]
+    pub const fn some(self) -> Option<usize> {
+        if self.0 == u32::MAX {
+            None
+        } else {
+            Some(self.0 as usize)
+        }
+    }
+
+    /// From an `Option<usize>` (checked like [`Idx::new`]).
+    #[inline]
+    pub fn from_option(o: Option<usize>) -> Idx {
+        match o {
+            Some(i) => Idx::new(i),
+            None => Idx::NONE,
+        }
+    }
+}
+
+// Cross-type equality with `usize` (the sentinel equals nothing): lets
+// tests and cold paths compare `&[Idx]` slices against plain `&[usize]`
+// expectations without conversion boilerplate.
+impl PartialEq<usize> for Idx {
+    #[inline]
+    fn eq(&self, other: &usize) -> bool {
+        self.is_some() && self.0 as usize == *other
+    }
+}
+
+impl PartialEq<Idx> for usize {
+    #[inline]
+    fn eq(&self, other: &Idx) -> bool {
+        other == self
+    }
+}
+
+impl fmt::Debug for Idx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_none() {
+            write!(f, "Idx::NONE")
+        } else {
+            write!(f, "{}", self.0)
+        }
+    }
+}
+
+impl fmt::Display for Idx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl<T> std::ops::Index<Idx> for [T] {
+    type Output = T;
+
+    #[inline(always)]
+    fn index(&self, i: Idx) -> &T {
+        &self[i.get()]
+    }
+}
+
+impl<T> std::ops::IndexMut<Idx> for [T] {
+    #[inline(always)]
+    fn index_mut(&mut self, i: Idx) -> &mut T {
+        &mut self[i.get()]
+    }
+}
+
+// `Vec`'s own generic `Index<I: SliceIndex>` impl stops autoderef from
+// reaching the slice impls above, so `Vec` gets explicit ones.
+impl<T> std::ops::Index<Idx> for Vec<T> {
+    type Output = T;
+
+    #[inline(always)]
+    fn index(&self, i: Idx) -> &T {
+        &self.as_slice()[i.get()]
+    }
+}
+
+impl<T> std::ops::IndexMut<Idx> for Vec<T> {
+    #[inline(always)]
+    fn index_mut(&mut self, i: Idx) -> &mut T {
+        &mut self.as_mut_slice()[i.get()]
+    }
+}
+
+/// Extends `out` (cleared first) with every index of `0..n` — the identity
+/// permutation in `Idx` form, the shape min-label doubling starts from.
+pub fn fill_identity(out: &mut Vec<Idx>, n: usize) {
+    debug_assert!(n <= Idx::MAX_INDEX + 1);
+    out.clear();
+    out.extend((0..n as u32).map(Idx));
+}
+
+/// Copies a `usize` slice into an `Idx` vector (cleared first), checking
+/// every element in debug builds.
+pub fn extend_from_usize(out: &mut Vec<Idx>, xs: &[usize]) {
+    out.clear();
+    out.extend(xs.iter().map(|&x| Idx::new(x)));
+}
+
+/// The slice as plain `usize` values (sentinels mapped to `usize::MAX`) —
+/// a conversion helper for cold paths and tests.
+pub fn to_usize_vec(xs: &[Idx]) -> Vec<usize> {
+    xs.iter()
+        .map(|&x| if x.is_none() { usize::MAX } else { x.get() })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_sentinel() {
+        assert_eq!(Idx::new(0).get(), 0);
+        assert_eq!(Idx::new(Idx::MAX_INDEX).get(), Idx::MAX_INDEX);
+        assert!(Idx::NONE.is_none());
+        assert!(!Idx::NONE.is_some());
+        assert!(Idx::new(7).is_some());
+        assert_eq!(Idx::NONE.some(), None);
+        assert_eq!(Idx::new(9).some(), Some(9));
+        assert_eq!(Idx::try_new(Idx::MAX_INDEX), Some(Idx::new(Idx::MAX_INDEX)));
+        assert_eq!(Idx::try_new(Idx::MAX_INDEX + 1), None);
+        assert_eq!(Idx::try_new(usize::MAX), None);
+        assert_eq!(Idx::from_option(None), Idx::NONE);
+        assert_eq!(Idx::from_option(Some(3)), Idx::new(3));
+        assert_eq!(Idx::from_raw(u32::MAX), Idx::NONE);
+    }
+
+    #[test]
+    fn valid_indices_never_collide_with_none() {
+        for i in [0usize, 1, 1000, Idx::MAX_INDEX] {
+            let idx = Idx::try_new(i).expect("in range");
+            assert!(idx.is_some());
+            assert_ne!(idx, Idx::NONE);
+            assert_eq!(idx.get(), i);
+        }
+    }
+
+    #[test]
+    fn slice_indexing() {
+        let xs = [10u64, 20, 30];
+        assert_eq!(xs[Idx::new(1)], 20);
+        let mut ys = [0u8; 3];
+        ys[Idx::new(2)] = 7;
+        assert_eq!(ys[2], 7);
+    }
+
+    #[test]
+    fn helpers() {
+        let mut v = Vec::new();
+        fill_identity(&mut v, 3);
+        assert_eq!(v, vec![Idx::new(0), Idx::new(1), Idx::new(2)]);
+        extend_from_usize(&mut v, &[5, 4]);
+        assert_eq!(v, vec![Idx::new(5), Idx::new(4)]);
+        assert_eq!(to_usize_vec(&[Idx::new(5), Idx::NONE]), vec![5, usize::MAX]);
+    }
+
+    #[test]
+    fn debug_formatting() {
+        assert_eq!(format!("{:?}", Idx::new(12)), "12");
+        assert_eq!(format!("{:?}", Idx::NONE), "Idx::NONE");
+    }
+
+    #[test]
+    fn ordering_puts_none_last() {
+        let mut v = vec![Idx::NONE, Idx::new(3), Idx::new(0)];
+        v.sort();
+        assert_eq!(v, vec![Idx::new(0), Idx::new(3), Idx::NONE]);
+    }
+}

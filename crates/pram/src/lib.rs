@@ -43,6 +43,7 @@
 #![forbid(unsafe_code)]
 
 pub mod compact;
+pub mod idx;
 pub mod pointer;
 pub mod reduce;
 pub mod scan;
@@ -50,14 +51,17 @@ pub mod scheduler;
 pub mod tracker;
 pub mod workspace;
 
-pub use compact::{compact_indices, compact_indices_into, compact_with};
+pub use compact::{compact_indices, compact_indices_into, compact_indices_into_idx, compact_with};
+pub use idx::Idx;
 pub use pointer::{
-    list_rank, min_label_cycles, pointer_jump_roots, pointer_jump_roots_into, PointerJumpResult,
+    list_rank, min_label_cycles, min_label_cycles_idx, pointer_jump_roots, pointer_jump_roots_into,
+    pointer_jump_roots_into_idx, PointerJumpResult,
 };
 pub use reduce::{par_argmax, par_argmin, par_max, par_min, par_sum};
 pub use scan::{
-    csr_offsets, csr_offsets_into, offsets_from_counts, offsets_from_counts_into,
-    prefix_scan_exclusive, prefix_scan_inclusive, prefix_sum_exclusive, prefix_sum_inclusive,
+    csr_offsets, csr_offsets_into, csr_offsets_into_u32, offsets_from_counts,
+    offsets_from_counts_into, prefix_scan_exclusive, prefix_scan_inclusive, prefix_sum_exclusive,
+    prefix_sum_inclusive,
 };
 pub use scheduler::RoundScheduler;
 pub use tracker::{DepthTracker, LocalWork, PramStats};

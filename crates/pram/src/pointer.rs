@@ -9,6 +9,7 @@
 
 use rayon::prelude::*;
 
+use crate::idx::Idx;
 use crate::tracker::DepthTracker;
 use crate::SEQUENTIAL_CUTOFF;
 
@@ -145,6 +146,101 @@ pub fn pointer_jump_roots_into(
     rounds
 }
 
+/// The [`Idx`]-typed twin of [`pointer_jump_roots_into`], the form the
+/// narrowed hot path uses: pointers are 4-byte `Idx` and hop counts are
+/// 4-byte `u32` (every distance is bounded by the vertex count, which the
+/// instance-size funnel keeps below `u32::MAX`), so each doubling round
+/// moves half the bytes of the `usize` kernel.  Semantics, convergence
+/// detection and round accounting are identical — on the same input the two
+/// kernels report the same rounds and (numerically) the same roots and
+/// distances.
+pub fn pointer_jump_roots_into_idx(
+    parent: &[Idx],
+    root: &mut Vec<Idx>,
+    dist: &mut Vec<u32>,
+    ptr_scratch: &mut Vec<Idx>,
+    dist_scratch: &mut Vec<u32>,
+    tracker: &DepthTracker,
+) -> u32 {
+    let n = parent.len();
+    debug_assert!(
+        parent.iter().all(|&p| p.get() < n.max(1)),
+        "parent pointer out of range"
+    );
+    root.clear();
+    root.extend_from_slice(parent);
+    dist.clear();
+    dist.extend(
+        parent
+            .iter()
+            .enumerate()
+            .map(|(v, &p)| u32::from(p.get() != v)),
+    );
+    // Same warm-buffer policy as the usize kernel: the scratches are fully
+    // overwritten each round before any read, so only their length matters.
+    if ptr_scratch.capacity() < n {
+        *ptr_scratch = vec![Idx::ZERO; n];
+    } else if ptr_scratch.len() != n {
+        ptr_scratch.clear();
+        ptr_scratch.resize(n, Idx::ZERO);
+    }
+    if dist_scratch.capacity() < n {
+        *dist_scratch = vec![0; n];
+    } else if dist_scratch.len() != n {
+        dist_scratch.clear();
+        dist_scratch.resize(n, 0);
+    }
+
+    let max_rounds = if n <= 1 {
+        0
+    } else {
+        usize::BITS - (n - 1).leading_zeros()
+    };
+    let mut rounds = 0u32;
+    for _ in 0..max_rounds {
+        rounds += 1;
+        tracker.round();
+        tracker.work(n as u64);
+        let changed = if n >= SEQUENTIAL_CUTOFF {
+            let changed = std::sync::atomic::AtomicBool::new(false);
+            ptr_scratch
+                .par_iter_mut()
+                .zip(dist_scratch.par_iter_mut())
+                .enumerate()
+                .for_each(|(v, (np, nd))| {
+                    (*np, *nd) = jump_one_idx(v, root, dist);
+                    if *np != root[v] {
+                        changed.store(true, std::sync::atomic::Ordering::Relaxed);
+                    }
+                });
+            changed.load(std::sync::atomic::Ordering::Relaxed)
+        } else {
+            let mut changed = false;
+            for (v, (np, nd)) in ptr_scratch
+                .iter_mut()
+                .zip(dist_scratch.iter_mut())
+                .enumerate()
+            {
+                (*np, *nd) = jump_one_idx(v, root, dist);
+                changed |= *np != root[v];
+            }
+            changed
+        };
+        std::mem::swap(root, ptr_scratch);
+        std::mem::swap(dist, dist_scratch);
+        if !changed {
+            break;
+        }
+    }
+    rounds
+}
+
+#[inline(always)]
+fn jump_one_idx(v: usize, ptr: &[Idx], dist: &[u32]) -> (Idx, u32) {
+    let p = ptr[v];
+    (ptr[p], dist[v] + dist[p])
+}
+
 /// One synchronous pointer-doubling step for vertex `v`:
 /// `ptr'[v] = ptr[ptr[v]]`, `dist'[v] = dist[v] + dist[ptr[v]]`.
 /// When `ptr[v]` is already a root its `dist` is 0, so the update is a no-op
@@ -197,6 +293,69 @@ pub fn min_label_cycles(
         tracker.work(n as u64);
         // The change flag is read off the values already in hand (no
         // separate compare pass) and is a pure function of the data.
+        let changed = if n >= SEQUENTIAL_CUTOFF {
+            let changed = std::sync::atomic::AtomicBool::new(false);
+            label_scratch
+                .par_iter_mut()
+                .zip(ptr_scratch.par_iter_mut())
+                .enumerate()
+                .for_each(|(a, (nl, np))| {
+                    *nl = label[a].min(label[ptr[a]]);
+                    *np = ptr[ptr[a]];
+                    if *nl != label[a] {
+                        changed.store(true, std::sync::atomic::Ordering::Relaxed);
+                    }
+                });
+            changed.load(std::sync::atomic::Ordering::Relaxed)
+        } else {
+            let mut changed = false;
+            for (a, (nl, np)) in label_scratch
+                .iter_mut()
+                .zip(ptr_scratch.iter_mut())
+                .enumerate()
+            {
+                *nl = label[a].min(label[ptr[a]]);
+                *np = ptr[ptr[a]];
+                changed |= *nl != label[a];
+            }
+            changed
+        };
+        std::mem::swap(label, label_scratch);
+        std::mem::swap(ptr, ptr_scratch);
+        if !changed {
+            break;
+        }
+    }
+}
+
+/// The [`Idx`]-typed twin of [`min_label_cycles`], used by the narrowed
+/// even-cycle finish of Algorithm 2: labels and pointers are 4-byte `Idx`,
+/// halving the bytes each doubling round streams.  Same early exit, same
+/// round accounting, numerically identical labels.
+pub fn min_label_cycles_idx(
+    label: &mut Vec<Idx>,
+    ptr: &mut Vec<Idx>,
+    label_scratch: &mut Vec<Idx>,
+    ptr_scratch: &mut Vec<Idx>,
+    tracker: &DepthTracker,
+) {
+    let n = label.len();
+    assert_eq!(ptr.len(), n, "label/pointer length mismatch");
+    if n <= 1 {
+        return;
+    }
+    if label_scratch.len() != n {
+        label_scratch.clear();
+        label_scratch.resize(n, Idx::ZERO);
+    }
+    if ptr_scratch.len() != n {
+        ptr_scratch.clear();
+        ptr_scratch.resize(n, Idx::ZERO);
+    }
+    let rounds = usize::BITS - (n - 1).leading_zeros();
+    for _ in 0..rounds {
+        tracker.round();
+        tracker.work(n as u64);
         let changed = if n >= SEQUENTIAL_CUTOFF {
             let changed = std::sync::atomic::AtomicBool::new(false);
             label_scratch
@@ -389,6 +548,61 @@ mod tests {
             assert_eq!(root, want.root, "n = {n}");
             assert_eq!(dist, want.dist, "n = {n}");
             assert_eq!(rounds, want.rounds, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn idx_kernel_matches_usize_kernel() {
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        let t = DepthTracker::new();
+        let (mut root, mut dist) = (Vec::new(), Vec::new());
+        let (mut s1, mut s2) = (Vec::new(), Vec::new());
+        for n in [0usize, 1, 5, 4000, 9001] {
+            let parent: Vec<usize> = (0..n)
+                .map(|i| if i == 0 { 0 } else { rng.random_range(0..i) })
+                .collect();
+            let parent_idx: Vec<Idx> = parent.iter().map(|&p| Idx::new(p)).collect();
+            let rounds = pointer_jump_roots_into_idx(
+                &parent_idx,
+                &mut root,
+                &mut dist,
+                &mut s1,
+                &mut s2,
+                &t,
+            );
+            let want = pointer_jump_roots(&parent, &t);
+            assert_eq!(rounds, want.rounds, "n = {n}");
+            let root_usize: Vec<usize> = root.iter().map(|r| r.get()).collect();
+            assert_eq!(root_usize, want.root, "n = {n}");
+            let dist_u64: Vec<u64> = dist.iter().map(|&d| u64::from(d)).collect();
+            assert_eq!(dist_u64, want.dist, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn min_label_idx_matches_usize() {
+        use rand::{seq::SliceRandom, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        for n in [1usize, 2, 9, 4096] {
+            // A random permutation: a disjoint union of cycles.
+            let mut perm: Vec<usize> = (0..n).collect();
+            perm.shuffle(&mut rng);
+            let t = DepthTracker::new();
+            let mut label: Vec<usize> = (0..n).collect();
+            let mut ptr = perm.clone();
+            min_label_cycles(&mut label, &mut ptr, &mut Vec::new(), &mut Vec::new(), &t);
+            let mut label_i: Vec<Idx> = (0..n).map(Idx::new).collect();
+            let mut ptr_i: Vec<Idx> = perm.iter().map(|&p| Idx::new(p)).collect();
+            min_label_cycles_idx(
+                &mut label_i,
+                &mut ptr_i,
+                &mut Vec::new(),
+                &mut Vec::new(),
+                &t,
+            );
+            let label_i_usize: Vec<usize> = label_i.iter().map(|l| l.get()).collect();
+            assert_eq!(label_i_usize, label, "n = {n}");
         }
     }
 

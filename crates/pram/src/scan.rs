@@ -238,6 +238,83 @@ fn scan_counts_into(
     total
 }
 
+/// The `u32`-native twin of [`csr_offsets_into`], for the narrowed data
+/// path: counts, offsets and the chunk scratch are all 4-byte, halving the
+/// bytes the two scan rounds stream.  The caller guarantees (via the
+/// instance-size funnel) that the grand total fits in `u32`; debug builds
+/// assert it.  Returns the total as `usize`.
+pub fn csr_offsets_into_u32(
+    counts: &[u32],
+    out: &mut Vec<u32>,
+    chunk_scratch: &mut Vec<u32>,
+    tracker: &DepthTracker,
+) -> usize {
+    let len = counts.len();
+    tracker.work(len as u64);
+    if len < SEQUENTIAL_CUTOFF {
+        tracker.round();
+        out.clear();
+        out.reserve(len + 1);
+        let mut acc = 0u32;
+        for &c in counts {
+            out.push(acc);
+            acc = acc.checked_add(c).expect("u32 CSR total overflow");
+        }
+        out.push(acc);
+        return acc as usize;
+    }
+
+    let chunk = crate::par_chunk_len(len, MIN_CHUNK);
+    let n_chunks = len.div_ceil(chunk);
+
+    // Round 1: per-chunk totals, written in place.
+    tracker.round();
+    chunk_scratch.clear();
+    chunk_scratch.resize(n_chunks, 0);
+    chunk_scratch
+        .par_iter_mut()
+        .enumerate()
+        .with_min_len(1)
+        .for_each(|(ci, t)| {
+            let s = ci * chunk;
+            let e = ((ci + 1) * chunk).min(len);
+            let sum: u64 = counts[s..e].iter().map(|&c| u64::from(c)).sum();
+            *t = u32::try_from(sum).expect("u32 CSR chunk-total overflow");
+        });
+
+    // Sequential exclusive scan over the (few) chunk totals.
+    let mut acc = 0u32;
+    for t in chunk_scratch.iter_mut() {
+        let c = *t;
+        *t = acc;
+        acc = acc.checked_add(c).expect("u32 CSR total overflow");
+    }
+    let total = acc;
+
+    // Round 2: rescan each chunk seeded with its offset.
+    tracker.round();
+    let out_len = len + 1;
+    if out.capacity() < out_len {
+        *out = vec![0; out_len];
+    } else {
+        out.clear();
+        out.resize(out_len, 0);
+    }
+    out[..len]
+        .par_chunks_mut(chunk)
+        .zip(counts.par_chunks(chunk))
+        .zip(chunk_scratch.par_iter())
+        .for_each(|((o, c), &seed)| {
+            let mut acc = seed;
+            for (oi, &ci) in o.iter_mut().zip(c.iter()) {
+                *oi = acc;
+                acc += ci;
+            }
+        });
+    out[len] = total;
+    total as usize
+}
+
 fn sequential_exclusive<T, F>(xs: &[T], identity: T, op: &F) -> (Vec<T>, T)
 where
     T: Clone,
@@ -365,6 +442,22 @@ mod tests {
             let total = csr_offsets_into(&counts, &mut out, &mut scratch, &t);
             assert_eq!(out, csr_offsets(&counts, &t), "n = {n}");
             assert_eq!(total, want_total);
+        }
+    }
+
+    #[test]
+    fn u32_csr_scan_matches_usize_scan() {
+        let t = DepthTracker::new();
+        let mut out = Vec::new();
+        let mut scratch = Vec::new();
+        for n in [0usize, 1, 5, 3000, 70_000] {
+            let counts: Vec<usize> = (0..n).map(|i| (i * 31) % 11).collect();
+            let counts32: Vec<u32> = counts.iter().map(|&c| c as u32).collect();
+            let total = csr_offsets_into_u32(&counts32, &mut out, &mut scratch, &t);
+            let want = csr_offsets(&counts, &t);
+            let out_usize: Vec<usize> = out.iter().map(|&o| o as usize).collect();
+            assert_eq!(out_usize, want, "n = {n}");
+            assert_eq!(total, *want.last().unwrap());
         }
     }
 

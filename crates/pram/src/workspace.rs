@@ -32,7 +32,9 @@
 //! array — the pattern the instance validator uses for duplicate detection,
 //! made reusable across solves.
 
-use std::sync::atomic::AtomicUsize;
+use std::sync::atomic::{AtomicU32, AtomicUsize};
+
+use crate::idx::Idx;
 
 /// A free list of reusable `Vec<T>` buffers (one per element type held by a
 /// [`Workspace`]), kept sorted by capacity.
@@ -151,6 +153,14 @@ pub struct Workspace {
     pairs: BufPool<(usize, usize)>,
     opts: BufPool<Option<usize>>,
     atomics: Vec<Vec<AtomicUsize>>,
+    // The 32-bit pools of the narrowed hot path (DESIGN.md §7): indices and
+    // sentinel arrays are `Idx`, counts/distances are `u32`, margins are
+    // `i32`, edge lists are `(Idx, Idx)`.
+    idxs: BufPool<Idx>,
+    u32s: BufPool<u32>,
+    i32s: BufPool<i32>,
+    idx_pairs: BufPool<(Idx, Idx)>,
+    atomics_u32: Vec<Vec<AtomicU32>>,
 }
 
 impl Workspace {
@@ -194,6 +204,17 @@ impl Workspace {
         opts,
         Option<usize>
     );
+    pool_methods!(take_idx, take_idx_empty, take_idx_dirty, put_idx, idxs, Idx);
+    pool_methods!(take_u32, take_u32_empty, take_u32_dirty, put_u32, u32s, u32);
+    pool_methods!(take_i32, take_i32_empty, take_i32_dirty, put_i32, i32s, i32);
+    pool_methods!(
+        take_idx_pair,
+        take_idx_pair_empty,
+        take_idx_pair_dirty,
+        put_idx_pair,
+        idx_pairs,
+        (Idx, Idx)
+    );
 
     /// Checks out a buffer of `len` atomics initialised to the identity
     /// permutation (`v[i] == i`) — the shape the connected-components
@@ -212,6 +233,29 @@ impl Workspace {
     /// Returns an atomic buffer to the pool.
     pub fn put_atomic(&mut self, v: Vec<AtomicUsize>) {
         self.atomics.push(v);
+    }
+
+    /// The 32-bit sibling of [`take_atomic_identity`](Self::take_atomic_identity):
+    /// a buffer of `len` `AtomicU32`s initialised to the identity permutation,
+    /// for the narrowed connected-components hooking loop.
+    ///
+    /// # Panics
+    /// Debug builds panic if `len` exceeds `u32` range (the instance-size
+    /// funnel makes that unreachable on the solve path).
+    pub fn take_atomic_u32_identity(&mut self, len: usize) -> Vec<AtomicU32> {
+        debug_assert!(len <= Idx::MAX_INDEX + 1);
+        let mut v = self.atomics_u32.pop().unwrap_or_default();
+        v.clear();
+        v.reserve(len);
+        for i in 0..len as u32 {
+            v.push(AtomicU32::new(i));
+        }
+        v
+    }
+
+    /// Returns a 32-bit atomic buffer to the pool.
+    pub fn put_atomic_u32(&mut self, v: Vec<AtomicU32>) {
+        self.atomics_u32.push(v);
     }
 }
 
@@ -364,6 +408,31 @@ mod tests {
         let v = ws.take_atomic_identity(3);
         assert_eq!(v[2].load(Ordering::Relaxed), 2, "reinitialised on take");
         ws.put_atomic(v);
+    }
+
+    #[test]
+    fn narrow_pools_are_independent() {
+        use std::sync::atomic::Ordering;
+        let mut ws = Workspace::new();
+        let a = ws.take_idx(3, Idx::NONE);
+        assert_eq!(a, vec![Idx::NONE; 3]);
+        let b = ws.take_u32(2, 7);
+        assert_eq!(b, vec![7, 7]);
+        let c = ws.take_i32(2, -3);
+        assert_eq!(c, vec![-3, -3]);
+        let d = ws.take_idx_pair_empty();
+        assert!(d.is_empty());
+        ws.put_idx(a);
+        ws.put_u32(b);
+        ws.put_i32(c);
+        ws.put_idx_pair(d);
+        let v = ws.take_atomic_u32_identity(4);
+        assert_eq!(v[3].load(Ordering::Relaxed), 3);
+        v[1].store(99, Ordering::Relaxed);
+        ws.put_atomic_u32(v);
+        let v = ws.take_atomic_u32_identity(2);
+        assert_eq!(v[1].load(Ordering::Relaxed), 1, "reinitialised on take");
+        ws.put_atomic_u32(v);
     }
 
     #[test]

@@ -48,7 +48,7 @@ pub mod prelude {
     pub use pm_popular::switching::SwitchingGraph;
     pub use pm_popular::verify::{is_popular_characterization, more_popular};
     pub use pm_popular::PopularError;
-    pub use pm_pram::{DepthTracker, PramStats, Workspace};
+    pub use pm_pram::{DepthTracker, Idx, PramStats, Workspace};
     pub use pm_stable::instance::{SmInstance, StableMatching};
     pub use pm_stable::lattice::all_stable_matchings;
     pub use pm_stable::next::{next_stable_matchings, NextStableOutcome};

@@ -191,7 +191,7 @@ fn csr_layout_agrees_with_nested_reference() {
                     assert_eq!(inst.rank(a, p), Some(r), "case {case}");
                 }
             }
-            let collected: Vec<&[usize]> = inst.groups(a).collect();
+            let collected: Vec<&[pm_pram::Idx]> = inst.groups(a).collect();
             let expected: Vec<&[usize]> = list.iter().map(Vec::as_slice).collect();
             assert_eq!(collected, expected, "case {case}");
             // Unranked posts and foreign last resorts stay unranked.
@@ -263,7 +263,7 @@ fn csr_layout_agrees_with_nested_reference() {
         let g = BipartiteGraph::from_edges(n_l, n_r, &edges);
         let via_csr = popular_matchings::popular::ties::rank1_instance(&g).unwrap();
         let nested: Vec<Vec<Vec<usize>>> = (0..n_l)
-            .map(|l| vec![g.neighbors_left(l).to_vec()])
+            .map(|l| vec![g.neighbors_left(l).iter().map(|r| r.get()).collect()])
             .collect();
         let via_nested = PrefInstance::new_with_ties(n_r, nested).unwrap();
         assert_eq!(via_csr, via_nested, "case {case}");
@@ -377,5 +377,81 @@ fn algorithm4_invariants() {
             guard += 1;
             assert!(guard <= n * n + 2, "case {case}: lattice walk too long");
         }
+    }
+}
+
+/// E18 — the 32-bit index funnel (DESIGN.md §7): instances whose entity or
+/// edge counts would overflow the `u32` layer are rejected with the typed
+/// [`PopularError::TooLarge`] *before* any proportional allocation, and
+/// `Idx` round-trips never collide with the `Idx::NONE` sentinel.
+#[test]
+fn index_layer_rejects_overflow_and_preserves_sentinel() {
+    use popular_matchings::popular::instance::{check_sizes, MAX_APPLICANTS, MAX_ENTITIES};
+
+    // Every overflow branch, driven with fabricated counts — the cheap
+    // mock; a real 4-billion-edge instance would not fit in memory.  The
+    // constructors call the same funnel before allocating anything.
+    assert!(matches!(
+        check_sizes(MAX_APPLICANTS + 1, 0, 0),
+        Err(PopularError::TooLarge {
+            what: "applicants",
+            ..
+        })
+    ));
+    assert!(matches!(
+        check_sizes(1, MAX_ENTITIES, 1),
+        Err(PopularError::TooLarge {
+            what: "extended posts",
+            ..
+        })
+    ));
+    assert!(matches!(
+        check_sizes(1, 1, MAX_ENTITIES + 1),
+        Err(PopularError::TooLarge {
+            what: "preference edges",
+            ..
+        })
+    ));
+    assert!(check_sizes(1, 1, 1).is_ok());
+    assert!(check_sizes(MAX_APPLICANTS, MAX_ENTITIES - MAX_APPLICANTS, MAX_ENTITIES).is_ok());
+    // Saturating total: a usize-overflowing post count cannot wrap past
+    // the check.
+    assert!(check_sizes(2, usize::MAX - 1, 0).is_err());
+
+    // Constructor wiring: a post count beyond the layer is rejected as
+    // TooLarge (not a panic, not a truncation) by every entry point that
+    // can express it without allocating.
+    assert!(matches!(
+        PrefInstance::new_strict(u32::MAX as usize, vec![vec![0]]),
+        Err(PopularError::TooLarge { .. })
+    ));
+    assert!(matches!(
+        PrefInstance::new_with_ties(usize::MAX / 2, vec![vec![vec![0]]]),
+        Err(PopularError::TooLarge { .. })
+    ));
+    assert!(matches!(
+        PrefInstance::new_rank1(u32::MAX as usize, &[0, 1], &[Idx::new(0)]),
+        Err(PopularError::TooLarge { .. })
+    ));
+
+    // Sentinel discipline: no representable index ever equals Idx::NONE,
+    // boundary values round-trip exactly, and the first unrepresentable
+    // value is refused (it would alias the sentinel).
+    for i in [0usize, 1, 12_345, Idx::MAX_INDEX - 1, Idx::MAX_INDEX] {
+        let idx = Idx::try_new(i).expect("in range");
+        assert!(idx.is_some() && !idx.is_none());
+        assert_ne!(idx, Idx::NONE);
+        assert_eq!(idx.get(), i);
+        assert_eq!(idx.some(), Some(i));
+    }
+    assert_eq!(Idx::try_new(Idx::MAX_INDEX + 1), None);
+    assert_eq!(Idx::try_new(usize::MAX), None);
+    assert_eq!(Idx::NONE.some(), None);
+    let mut rng = StdRng::seed_from_u64(0xE18);
+    for _ in 0..10_000 {
+        let i = rng.random_range(0..=Idx::MAX_INDEX);
+        let idx = Idx::try_new(i).expect("in range");
+        assert_eq!(idx.get(), i);
+        assert_ne!(idx, Idx::NONE);
     }
 }
