@@ -20,7 +20,10 @@
 //! The harness binary installs a **counting global allocator**; the warm
 //! `served/` measurement runs a width-1 warm solve under it and hard-fails
 //! (exit 1) if a single heap allocation is observed — the zero-allocation
-//! regression gate CI runs on every push.
+//! regression gate CI runs on every push.  The `cold/` family measures the
+//! three ingest paths (nested-`Vec` build, streaming text parse, binary
+//! snapshot load) and gates the snapshot loader to a flat-buffers-only
+//! allocation budget the same way.
 //!
 //! Each workload is swept across thread counts (default `1,2,4`; override
 //! with `--threads 1,8`) by pinning the executor width per measurement, so
@@ -817,6 +820,7 @@ fn json_trajectory(quick: bool, threads: &[usize], out_path: &str, filter: Optio
     }
 
     served_trajectory(quick, threads, reps, &selected, &mut results);
+    cold_trajectory(quick, reps, &selected, &mut results);
 
     let baseline = std::fs::read_to_string(out_path)
         .ok()
@@ -987,6 +991,119 @@ fn served_trajectory(
                 ),
             ],
         });
+    }
+}
+
+/// The `cold/` workload family: the three ways a `PrefInstance` can come
+/// into existence, measured end to end on the same uniform workload —
+///
+/// * `cold/nested_build/uniform` — the nested `Vec<Vec<usize>>` path
+///   (`PrefInstance::new_strict`), including the per-applicant vector
+///   materialisation the nested API forces on every producer (modelled by
+///   cloning the lists inside the timed closure);
+/// * `cold/text_parse/uniform` — the streaming two-pass text parser;
+/// * `cold/snapshot_load/uniform` — the binary CSR snapshot loader.
+///
+/// Ingest is sequential, so these are measured at width 1 only (a thread
+/// sweep would record noise).  The snapshot load also runs an allocation
+/// gate under the counting allocator: one load must stay within
+/// [`COLD_ALLOC_BOUND`] allocations — essentially one per flat buffer plus
+/// the file read — or the harness exits non-zero.  A regression here means
+/// the loader started restructuring instead of filling flat buffers.
+const COLD_ALLOC_BOUND: u64 = 16;
+
+fn cold_trajectory(
+    quick: bool,
+    reps: usize,
+    selected: &dyn Fn(&str) -> bool,
+    results: &mut Vec<JsonResult>,
+) {
+    let want_nested = selected("cold/nested_build/uniform");
+    let want_text = selected("cold/text_parse/uniform");
+    let want_snapshot = selected("cold/snapshot_load/uniform");
+    if !(want_nested || want_text || want_snapshot) {
+        return;
+    }
+    let cold_sizes: &[usize] = if quick {
+        &[100_000]
+    } else {
+        &[100_000, 1_000_000]
+    };
+
+    for &n in cold_sizes {
+        let inst = workloads::solvable_uniform(n);
+
+        if want_nested {
+            let lists: Vec<Vec<usize>> = (0..inst.num_applicants())
+                .map(|a| inst.strict_list(a).expect("uniform workload is strict"))
+                .collect();
+            let num_posts = inst.num_posts();
+            let (built, t) = time_best(reps, || {
+                PrefInstance::new_strict(num_posts, lists.clone()).expect("valid workload")
+            });
+            assert_eq!(built, inst, "nested build must reproduce the instance");
+            results.push(JsonResult {
+                workload: "cold/nested_build/uniform",
+                n,
+                wall_ms_by_threads: vec![(1, t.as_secs_f64() * 1e3)],
+                pram: None,
+                extra: vec![("bytes_per_entity", instance_bytes_per_entity(&inst))],
+            });
+        }
+
+        if want_text {
+            let text = pm_instances::io::text(&inst).to_string();
+            let (parsed, t) = time_best(reps, || {
+                pm_instances::io::parse(&text).expect("rendered text parses")
+            });
+            assert_eq!(parsed, inst, "text parse must reproduce the instance");
+            results.push(JsonResult {
+                workload: "cold/text_parse/uniform",
+                n,
+                wall_ms_by_threads: vec![(1, t.as_secs_f64() * 1e3)],
+                pram: None,
+                extra: vec![("bytes_per_entity", instance_bytes_per_entity(&inst))],
+            });
+        }
+
+        if want_snapshot {
+            let path = std::env::temp_dir().join(format!("pm_bench_cold_{n}.pmsnap"));
+            pm_instances::snapshot::write_file(&inst, &path).expect("snapshot write");
+
+            // Allocation gate: one load, counted exactly.
+            let before = allocation_count();
+            let loaded = pm_instances::snapshot::read_file(&path).expect("snapshot read");
+            let allocs = allocation_count() - before;
+            assert_eq!(loaded, inst, "snapshot load must reproduce the instance");
+            drop(loaded);
+            if allocs > COLD_ALLOC_BOUND {
+                eprintln!(
+                    "COLD-ALLOC GATE FAILED: snapshot_load performed {allocs} allocations \
+                     at n = {n} (bound {COLD_ALLOC_BOUND}) — the loader is restructuring \
+                     instead of filling flat buffers"
+                );
+                std::process::exit(1);
+            }
+            eprintln!(
+                "cold-alloc gate passed at n = {n} \
+                 ({allocs} allocations per snapshot load, bound {COLD_ALLOC_BOUND})"
+            );
+
+            let (loaded, t) = time_best(reps, || {
+                pm_instances::snapshot::read_file(&path).expect("snapshot read")
+            });
+            std::fs::remove_file(&path).ok();
+            results.push(JsonResult {
+                workload: "cold/snapshot_load/uniform",
+                n,
+                wall_ms_by_threads: vec![(1, t.as_secs_f64() * 1e3)],
+                pram: None,
+                extra: vec![
+                    ("allocs_per_load", allocs),
+                    ("bytes_per_entity", instance_bytes_per_entity(&loaded)),
+                ],
+            });
+        }
     }
 }
 

@@ -23,11 +23,32 @@
 //! let round_tripped = io::parse(&io::text(&inst).to_string()).unwrap();
 //! assert_eq!(inst, round_tripped);
 //! ```
+//!
+//! # Strictness and line numbers
+//!
+//! The format has no silent recovery: line `k + 2` of the file is exactly
+//! applicant `k`.  A blank line would denote an applicant with an empty
+//! preference list — which [`PrefInstance`] cannot represent — so it is a
+//! reported error, never skipped (skipping would shift every later
+//! applicant's index and break the [`text`]/[`parse`] inverse).  Empty tie
+//! groups (`0 | | 1`) are likewise errors.  Every parse error names the
+//! 1-based file line it arose on.  Trailing newlines at end of file are
+//! the only tolerated slack.
+//!
+//! # Parsing strategy
+//!
+//! [`parse`] is a streaming two-pass reader: pass 1 only counts (entries
+//! and tie groups per line), building the three CSR offset arrays; pass 2
+//! fills the flat post and rank arrays straight into their final, exactly
+//! pre-sized buffers.  No nested per-applicant vectors are ever
+//! materialised — the arrays go through
+//! [`PrefInstance::from_csr_parts`] for one O(|E|) validation pass.
 
 use std::fmt;
 
 use pm_popular::error::PopularError;
-use pm_popular::instance::PrefInstance;
+use pm_popular::instance::{check_sizes, PrefInstance, RankArray, MAX_ENTITIES};
+use pm_pram::Idx;
 
 /// [`Display`](fmt::Display) adapter rendering an instance in the
 /// plain-text format; obtain one via [`text`].
@@ -65,38 +86,112 @@ impl fmt::Display for TextFormat<'_> {
 }
 
 /// Parses an instance from the plain-text format (inverse of [`text`]).
+///
+/// Streaming two-pass reader (see the module docs): pass 1 counts entries
+/// and tie groups per line and builds the CSR offset arrays; pass 2 fills
+/// the flat post and rank arrays directly.  Errors name the 1-based file
+/// line; blank lines and empty tie groups are errors, not skipped.
 pub fn parse(text: &str) -> Result<PrefInstance, PopularError> {
-    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
-    let header = lines
-        .next()
-        .ok_or_else(|| PopularError::InvalidInstance("empty instance file".into()))?;
-    let num_posts: usize = header
-        .strip_prefix("posts ")
-        .and_then(|s| s.trim().parse().ok())
-        .ok_or_else(|| PopularError::InvalidInstance(format!("bad header line: {header:?}")))?;
+    let invalid = |msg: String| Err(PopularError::InvalidInstance(msg));
+    // Trailing newlines at EOF are slack, interior blank lines are not.
+    let text = text.trim_end_matches(['\n', '\r']);
 
-    let mut groups = Vec::new();
-    for (i, line) in lines.enumerate() {
-        let mut applicant_groups = Vec::new();
+    let mut lines = text.lines();
+    let header = match lines.next() {
+        Some(h) if !h.trim().is_empty() => h,
+        _ => return invalid("empty instance file".into()),
+    };
+    let mut toks = header.split_whitespace();
+    match toks.next() {
+        Some("posts") => {}
+        _ => {
+            return invalid(format!(
+                "line 1: expected header \"posts <count>\", found {header:?}"
+            ));
+        }
+    }
+    let num_posts: usize = match toks.next() {
+        Some(tok) => match tok.parse() {
+            Ok(n) => n,
+            Err(_) => return invalid(format!("line 1: bad post count {tok:?}")),
+        },
+        None => return invalid("line 1: header \"posts\" is missing its count".into()),
+    };
+    if let Some(extra) = toks.next() {
+        return invalid(format!(
+            "line 1: unexpected token {extra:?} after the post count"
+        ));
+    }
+
+    // Pass 1: count entries and tie groups per applicant line, building
+    // the three offset arrays.  Applicant `a` is always file line `a + 2`.
+    let mut list_off = vec![0u32];
+    let mut group_off = vec![0u32];
+    let mut group_idx = vec![0u32];
+    let mut n_e = 0usize;
+    let mut deepest = 0usize;
+    for (a, line) in lines.clone().enumerate() {
+        let ln = a + 2;
+        if line.trim().is_empty() {
+            return invalid(format!(
+                "line {ln}: blank line — applicant {a} would have an empty preference \
+                 list, which is not representable"
+            ));
+        }
+        let mut line_groups = 0usize;
         for group in line.split('|') {
-            let posts: Result<Vec<usize>, _> = group
-                .split_whitespace()
-                .map(|tok| {
-                    tok.parse::<usize>().map_err(|_| {
-                        PopularError::InvalidInstance(format!(
-                            "applicant {i}: {tok:?} is not a post id"
-                        ))
-                    })
-                })
-                .collect();
-            let posts = posts?;
-            if !posts.is_empty() {
-                applicant_groups.push(posts);
+            let in_group = group.split_whitespace().count();
+            if in_group == 0 {
+                return invalid(format!("line {ln}: applicant {a} has an empty tie group"));
+            }
+            n_e += in_group;
+            if n_e > MAX_ENTITIES {
+                return Err(PopularError::TooLarge {
+                    what: "preference edges",
+                    count: n_e,
+                    limit: MAX_ENTITIES,
+                });
+            }
+            line_groups += 1;
+            group_off.push(n_e as u32);
+        }
+        deepest = deepest.max(line_groups);
+        group_idx.push(group_off.len() as u32 - 1);
+        list_off.push(n_e as u32);
+    }
+
+    // The size funnel runs between the passes: pass 2 narrows post ids to
+    // the 32-bit layer, which is only sound once the counts are known to
+    // fit (an absurd header post count must be a typed TooLarge here).
+    check_sizes(list_off.len() - 1, num_posts, n_e)?;
+
+    // Pass 2: fill the flat arrays into exactly pre-sized buffers.
+    let mut post_flat = Vec::with_capacity(n_e);
+    let mut rank_flat =
+        RankArray::with_capacity(n_e, deepest <= RankArray::U16_MAX_RANK as usize + 1);
+    for (a, line) in lines.enumerate() {
+        let ln = a + 2;
+        for (r, group) in line.split('|').enumerate() {
+            for tok in group.split_whitespace() {
+                let p: usize = match tok.parse() {
+                    Ok(p) => p,
+                    Err(_) => return invalid(format!("line {ln}: {tok:?} is not a post id")),
+                };
+                if p >= num_posts {
+                    return invalid(format!(
+                        "line {ln}: applicant {a} ranks post {p}, but there are only \
+                         {num_posts} posts"
+                    ));
+                }
+                post_flat.push(Idx::new(p));
+                rank_flat.push(r as u32);
             }
         }
-        groups.push(applicant_groups);
     }
-    PrefInstance::new_with_ties(num_posts, groups)
+
+    PrefInstance::from_csr_parts(
+        num_posts, post_flat, rank_flat, list_off, group_off, group_idx,
+    )
 }
 
 #[cfg(test)]
@@ -129,29 +224,86 @@ mod tests {
         }
     }
 
+    fn invalid_message(text: &str) -> String {
+        match parse(text) {
+            Err(PopularError::InvalidInstance(msg)) => msg,
+            other => panic!("expected InvalidInstance for {text:?}, got {other:?}"),
+        }
+    }
+
     #[test]
-    fn parse_errors_are_reported() {
+    fn header_errors_distinguish_prefix_from_count() {
+        // A wrong prefix and a bad count are different mistakes and get
+        // different messages.
+        let msg = invalid_message("nonsense\n1 2");
+        assert!(msg.contains("line 1"), "{msg}");
+        assert!(msg.contains("expected header"), "{msg}");
+        let msg = invalid_message("posts zebra\n0 1");
+        assert!(msg.contains("line 1"), "{msg}");
+        assert!(msg.contains("bad post count"), "{msg}");
+        assert!(msg.contains("zebra"), "{msg}");
+        let msg = invalid_message("posts\n0 1");
+        assert!(msg.contains("missing its count"), "{msg}");
+        let msg = invalid_message("posts 3 extra\n0 1");
+        assert!(msg.contains("extra"), "{msg}");
         assert!(matches!(parse(""), Err(PopularError::InvalidInstance(_))));
         assert!(matches!(
-            parse("nonsense\n1 2"),
-            Err(PopularError::InvalidInstance(_))
-        ));
-        assert!(matches!(
-            parse("posts 2\n0 zebra"),
-            Err(PopularError::InvalidInstance(_))
-        ));
-        // Out-of-range post ids are caught by instance validation.
-        assert!(matches!(
-            parse("posts 2\n0 5"),
+            parse("\n\n"),
             Err(PopularError::InvalidInstance(_))
         ));
     }
 
     #[test]
-    fn blank_lines_and_empty_groups_are_ignored() {
-        let inst = parse("posts 3\n\n0 | | 1\n\n2\n").unwrap();
+    fn parse_errors_name_the_real_file_line() {
+        // Applicant k is file line k + 2, and errors say so.
+        let msg = invalid_message("posts 2\n0\nzebra");
+        assert!(msg.contains("line 3"), "{msg}");
+        assert!(msg.contains("zebra"), "{msg}");
+        // Out-of-range post ids are caught with the same line numbers.
+        let msg = invalid_message("posts 2\n0\n1\n0 5");
+        assert!(msg.contains("line 4"), "{msg}");
+        assert!(msg.contains("post 5"), "{msg}");
+        // An absurd header count is a typed TooLarge, not a panic.
+        assert!(matches!(
+            parse(&format!("posts {}\n0 1", usize::MAX)),
+            Err(PopularError::TooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn blank_lines_are_explicit_empty_lists_and_rejected() {
+        // A blank interior line denotes an empty preference list — an
+        // error, never silently skipped (skipping would shift every later
+        // applicant's index).
+        let msg = invalid_message("posts 3\n\n0 | 1\n2");
+        assert!(msg.contains("line 2"), "{msg}");
+        assert!(msg.contains("empty preference list"), "{msg}");
+        let msg = invalid_message("posts 3\n0 | 1\n\n2");
+        assert!(msg.contains("line 3"), "{msg}");
+        // Empty tie groups are likewise explicit errors.
+        let msg = invalid_message("posts 3\n0 | | 1");
+        assert!(msg.contains("line 2"), "{msg}");
+        assert!(msg.contains("empty tie group"), "{msg}");
+        // Trailing newlines at EOF are the only tolerated slack.
+        let inst = parse("posts 3\n0 | 1\n2\n\n").unwrap();
         assert_eq!(inst.num_applicants(), 2);
-        assert_eq!(inst.groups(0).collect::<Vec<_>>(), vec![&[0][..], &[1][..]]);
-        assert_eq!(inst.groups(1).collect::<Vec<_>>(), vec![&[2][..]]);
+    }
+
+    #[test]
+    fn text_and_parse_are_inverse_both_ways() {
+        // instance → text → instance (value inverse) and
+        // text → instance → text (byte inverse on canonical text).
+        let cfg = GeneratorConfig {
+            num_applicants: 20,
+            num_posts: 15,
+            list_len: 4,
+            seed: 9,
+        };
+        for inst in [uniform_strict(&cfg), with_ties(&cfg, 3)] {
+            let rendered = super::text(&inst).to_string();
+            let back = parse(&rendered).unwrap();
+            assert_eq!(back, inst);
+            assert_eq!(super::text(&back).to_string(), rendered);
+        }
     }
 }

@@ -14,8 +14,13 @@
 //!   graphs for the pseudoforest experiments, and random stable marriage
 //!   instances ([`generators`]).
 //!
-//! [`io`] provides a small plain-text format for saving and loading
-//! popular-matching instances (no external format crates required).
+//! Two serialisation paths round out the crate (no external format crates
+//! required):
+//!
+//! * [`io`] — a small plain-text format for humans and fixtures, parsed by
+//!   a streaming two-pass reader that fills the CSR arrays directly;
+//! * [`snapshot`] — a versioned binary snapshot of the validated CSR
+//!   arrays, the zero-restructuring cold-start path for large corpora.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -23,6 +28,7 @@
 pub mod generators;
 pub mod io;
 pub mod paper;
+pub mod snapshot;
 
 pub use generators::GeneratorConfig;
 pub use paper::{figure1_instance, figure1_popular_matching, figure5_instance};

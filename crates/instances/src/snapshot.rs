@@ -1,0 +1,661 @@
+//! A versioned binary snapshot of the validated CSR arrays.
+//!
+//! The text format in [`io`](crate::io) is for humans and tiny fixtures;
+//! this module is the cold-start path for real corpora.  A snapshot is the
+//! validated CSR arrays of a [`PrefInstance`] written as flat little-endian
+//! sections behind a fixed-size header, so loading is: read the header,
+//! funnel the counts through the same `TooLarge` size checks construction
+//! uses, verify the byte length implied by the header **before allocating
+//! anything proportional**, then fill the flat buffers section by section
+//! and hand them to [`PrefInstance::from_csr_parts`] for one O(|E|)
+//! validation pass.  No per-applicant restructuring, no nested vectors —
+//! the bench harness bounds the loader to one allocation per flat buffer.
+//!
+//! # Layout (version 1)
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic "PMCSRSNP"
+//! 8       4     format version (u32 LE) — currently 1
+//! 12      4     flags (u32 LE) — bit 0: ranks stored as u16
+//!                                bit 1: strict instance, derived
+//!                                       sections omitted
+//! 16      8     num_posts       (u64 LE)
+//! 24      8     num_applicants  (u64 LE)
+//! 32      8     num_groups      (u64 LE)
+//! 40      8     num_edges       (u64 LE)
+//! 48      ...   list_off   (num_applicants + 1) × u32 LE
+//!               group_idx  (num_applicants + 1) × u32 LE   [unless strict]
+//!               group_off  (num_groups + 1)     × u32 LE   [unless strict]
+//!               post_flat  num_edges            × u32 LE
+//!               rank_flat  num_edges × u16 or u32 (bit 0)  [unless strict]
+//! ```
+//!
+//! **Strict instances** (every tie group a singleton — the dominant shape
+//! in practice) fully determine the tie layer: `group_off` is the identity
+//! boundary array, `group_idx` equals `list_off`, and the ranks are a
+//! per-applicant iota.  `PrefInstance` does not even materialise those
+//! arrays for strict instances, and neither does the snapshot: the writer
+//! sets flag bit 1 and emits only the list offsets and the posts — roughly
+//! 24 bytes per edge down to 8 — and the reader goes through
+//! [`PrefInstance::from_strict_csr`], which skips the tie-layer validation
+//! scans entirely.  Bit 0 describes the rank *section*; a strict snapshot
+//! has none, so bit 0 must be clear and the reader rejects the
+//! combination.
+//!
+//! Everything is little-endian on disk regardless of host order, and the
+//! total length is an exact function of the header — a snapshot with the
+//! wrong length is rejected as truncated (or trailing-garbage) without
+//! being decoded.  Version bumps are explicit: a reader only accepts the
+//! versions it knows, and unknown flag bits are rejected rather than
+//! ignored, so old readers can never silently misinterpret new layouts.
+//! See DESIGN.md §8.
+
+use std::fmt;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+use pm_popular::error::PopularError;
+use pm_popular::instance::{check_sizes, PrefInstance, RankArray};
+use pm_pram::Idx;
+
+/// The 8-byte magic number opening every snapshot.
+pub const MAGIC: [u8; 8] = *b"PMCSRSNP";
+
+/// The format version this build reads and writes.
+pub const VERSION: u32 = 1;
+
+/// Flag bit 0: the rank section holds 2-byte entries.
+const FLAG_RANKS_U16: u32 = 1;
+
+/// Flag bit 1: the instance is strict, and the three derivable sections
+/// (`group_idx`, `group_off`, `rank_flat`) are omitted from the payload.
+const FLAG_STRICT: u32 = 2;
+
+/// All flag bits this build understands.
+const KNOWN_FLAGS: u32 = FLAG_RANKS_U16 | FLAG_STRICT;
+
+/// Bytes before the first section.
+const HEADER_LEN: usize = 48;
+
+/// Errors reported by the snapshot reader and writer.  Every corruption
+/// mode maps to a typed variant — a malformed snapshot can produce an
+/// error, never a panic or an oversized allocation.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// An underlying I/O failure (file missing, short write, …).
+    Io(std::io::Error),
+    /// The first 8 bytes are not the snapshot magic — not a snapshot file.
+    BadMagic,
+    /// The snapshot declares a format version this build does not read.
+    UnsupportedVersion {
+        /// The version the file declares.
+        found: u32,
+    },
+    /// The snapshot sets flag bits this build does not understand (a newer
+    /// writer's layout extension — refusing is safer than guessing).
+    UnknownFlags {
+        /// The offending flag word.
+        flags: u32,
+    },
+    /// The byte length does not match what the header implies — a
+    /// truncated download or trailing garbage.  Checked before any
+    /// proportional allocation, so a hostile header cannot balloon memory.
+    LengthMismatch {
+        /// The length the header implies.
+        expected: u64,
+        /// The actual length.
+        found: u64,
+    },
+    /// The decoded arrays fail instance validation (including the
+    /// [`PopularError::TooLarge`] size funnel on the header counts).
+    Instance(PopularError),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot i/o error: {e}"),
+            SnapshotError::BadMagic => write!(f, "not a snapshot: bad magic number"),
+            SnapshotError::UnsupportedVersion { found } => {
+                write!(
+                    f,
+                    "unsupported snapshot version {found} (this build reads version {VERSION})"
+                )
+            }
+            SnapshotError::UnknownFlags { flags } => {
+                write!(f, "snapshot sets unknown flag bits {flags:#x}")
+            }
+            SnapshotError::LengthMismatch { expected, found } => {
+                write!(
+                    f,
+                    "snapshot is {found} bytes but its header implies {expected} \
+                     (truncated file or trailing garbage)"
+                )
+            }
+            SnapshotError::Instance(e) => write!(f, "snapshot holds an invalid instance: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io(e) => Some(e),
+            SnapshotError::Instance(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+impl From<PopularError> for SnapshotError {
+    fn from(e: PopularError) -> Self {
+        SnapshotError::Instance(e)
+    }
+}
+
+/// Serialises an instance into `w` in the version-1 layout.
+pub fn write<W: Write>(inst: &PrefInstance, mut w: W) -> Result<(), SnapshotError> {
+    let parts = inst.csr_parts();
+    // A strict instance carries no tie layer at all — bit 0 stays clear
+    // because there is no rank section for it to describe.
+    let (flags, num_groups) = match &parts.ties {
+        None => (FLAG_STRICT, parts.post_flat.len() as u64),
+        Some(t) => (
+            if t.rank_flat.is_u16() {
+                FLAG_RANKS_U16
+            } else {
+                0
+            },
+            t.group_off.len() as u64 - 1,
+        ),
+    };
+
+    w.write_all(&MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&flags.to_le_bytes())?;
+    w.write_all(&(parts.num_posts as u64).to_le_bytes())?;
+    w.write_all(&((parts.list_off.len() - 1) as u64).to_le_bytes())?;
+    w.write_all(&num_groups.to_le_bytes())?;
+    w.write_all(&(parts.post_flat.len() as u64).to_le_bytes())?;
+
+    write_u32s(&mut w, parts.list_off)?;
+    if let Some(t) = &parts.ties {
+        write_u32s(&mut w, t.group_idx)?;
+        write_u32s(&mut w, t.group_off)?;
+    }
+    for &p in parts.post_flat {
+        w.write_all(&p.raw().to_le_bytes())?;
+    }
+    if let Some(t) = &parts.ties {
+        match t.rank_flat {
+            RankArray::U16(v) => {
+                for &r in v {
+                    w.write_all(&r.to_le_bytes())?;
+                }
+            }
+            RankArray::U32(v) => write_u32s(&mut w, v)?,
+        }
+    }
+    Ok(())
+}
+
+fn write_u32s<W: Write>(w: &mut W, xs: &[u32]) -> Result<(), SnapshotError> {
+    for &x in xs {
+        w.write_all(&x.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// The snapshot as an in-memory byte vector (see [`write`]).
+pub fn to_bytes(inst: &PrefInstance) -> Vec<u8> {
+    let parts = inst.csr_parts();
+    let cap = match &parts.ties {
+        None => HEADER_LEN + 4 * (parts.list_off.len() + parts.post_flat.len()),
+        Some(t) => {
+            let rank_width = if t.rank_flat.is_u16() { 2 } else { 4 };
+            HEADER_LEN
+                + 4 * (parts.list_off.len() + t.group_idx.len() + t.group_off.len())
+                + (4 + rank_width) * parts.post_flat.len()
+        }
+    };
+    let mut out = Vec::with_capacity(cap);
+    write(inst, &mut out).expect("writing to a Vec cannot fail");
+    out
+}
+
+/// Deserialises a snapshot from a byte slice, validating it end to end:
+/// header checks, the `TooLarge` size funnel, an exact length check
+/// *before* any proportional allocation, then the O(|E|) structural
+/// validation of [`PrefInstance::from_csr_parts`].
+pub fn from_bytes(bytes: &[u8]) -> Result<PrefInstance, SnapshotError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(SnapshotError::LengthMismatch {
+            expected: HEADER_LEN as u64,
+            found: bytes.len() as u64,
+        });
+    }
+    if bytes[..8] != MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let version = read_u32(bytes, 8);
+    if version != VERSION {
+        return Err(SnapshotError::UnsupportedVersion { found: version });
+    }
+    let flags = read_u32(bytes, 12);
+    if flags & !KNOWN_FLAGS != 0 {
+        return Err(SnapshotError::UnknownFlags { flags });
+    }
+    let ranks_u16 = flags & FLAG_RANKS_U16 != 0;
+    let strict = flags & FLAG_STRICT != 0;
+    if strict && ranks_u16 {
+        // Bit 0 describes the rank section, and a strict snapshot has
+        // none.  Accepting the combination would make two distinct byte
+        // streams decode to one instance (snapshots are canonical).
+        return Err(PopularError::InvalidInstance(
+            "strict snapshot sets the rank-width flag but carries no rank section".into(),
+        )
+        .into());
+    }
+    let num_posts = read_u64(bytes, 16);
+    let num_applicants = read_u64(bytes, 24);
+    let num_groups = read_u64(bytes, 32);
+    let num_edges = read_u64(bytes, 40);
+
+    // The size funnel runs on the raw header counts, before anything is
+    // allocated or even length-checked: oversized counts are a *typed*
+    // rejection, identical to the one nested construction produces.
+    let to_count = |v: u64| usize::try_from(v).unwrap_or(usize::MAX);
+    let n_p = to_count(num_posts);
+    let n_a = to_count(num_applicants);
+    let n_g = to_count(num_groups);
+    let n_e = to_count(num_edges);
+    check_sizes(n_a, n_p, n_e)?;
+    if n_g > n_e {
+        // Tie groups are non-empty, so a valid snapshot has at most one
+        // group per edge; more means a corrupt (or hostile) header.
+        return Err(PopularError::InvalidInstance(format!(
+            "snapshot header declares {n_g} tie groups for {n_e} preference entries"
+        ))
+        .into());
+    }
+    if strict && n_g != n_e {
+        return Err(PopularError::InvalidInstance(format!(
+            "strict snapshot declares {n_g} tie groups for {n_e} preference entries \
+             (a strict instance has exactly one group per entry)"
+        ))
+        .into());
+    }
+
+    // Exact length check.  All counts are now bounded by the 32-bit layer,
+    // so this arithmetic cannot overflow u64.
+    let rank_width = if ranks_u16 { 2u64 } else { 4u64 };
+    let expected = if strict {
+        HEADER_LEN as u64 + 4 * (n_a as u64 + 1) + 4 * n_e as u64
+    } else {
+        HEADER_LEN as u64
+            + 4 * (n_a as u64 + 1)
+            + 4 * (n_a as u64 + 1)
+            + 4 * (n_g as u64 + 1)
+            + 4 * n_e as u64
+            + rank_width * n_e as u64
+    };
+    if bytes.len() as u64 != expected {
+        return Err(SnapshotError::LengthMismatch {
+            expected,
+            found: bytes.len() as u64,
+        });
+    }
+
+    // Fill the flat buffers straight from the sections — one allocation
+    // per array, no per-applicant restructuring.
+    let mut off = HEADER_LEN;
+    let mut take = |n: usize| {
+        let s = &bytes[off..off + n];
+        off += n;
+        s
+    };
+    let list_off = decode_u32s(take(4 * (n_a + 1)));
+    let inst = if strict {
+        let post_flat = decode_posts(take(4 * n_e));
+        PrefInstance::from_strict_csr(n_p, post_flat, list_off)?
+    } else {
+        let group_idx = decode_u32s(take(4 * (n_a + 1)));
+        let group_off = decode_u32s(take(4 * (n_g + 1)));
+        let post_flat = decode_posts(take(4 * n_e));
+        let rank_flat = if ranks_u16 {
+            RankArray::U16(
+                take(2 * n_e)
+                    .chunks_exact(2)
+                    .map(|c| u16::from_le_bytes(c.try_into().unwrap()))
+                    .collect(),
+            )
+        } else {
+            RankArray::U32(decode_u32s(take(4 * n_e)))
+        };
+        PrefInstance::from_csr_parts(n_p, post_flat, rank_flat, list_off, group_off, group_idx)?
+    };
+    Ok(inst)
+}
+
+fn read_u32(bytes: &[u8], off: usize) -> u32 {
+    u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap())
+}
+
+fn read_u64(bytes: &[u8], off: usize) -> u64 {
+    u64::from_le_bytes(bytes[off..off + 8].try_into().unwrap())
+}
+
+fn decode_u32s(bytes: &[u8]) -> Vec<u32> {
+    bytes
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+        .collect()
+}
+
+fn decode_posts(bytes: &[u8]) -> Vec<Idx> {
+    bytes
+        .chunks_exact(4)
+        .map(|c| Idx::from_raw(u32::from_le_bytes(c.try_into().unwrap())))
+        .collect()
+}
+
+/// Writes a snapshot to a file (buffered).
+pub fn write_file<P: AsRef<Path>>(inst: &PrefInstance, path: P) -> Result<(), SnapshotError> {
+    let mut w = BufWriter::new(File::create(path)?);
+    write(inst, &mut w)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a snapshot from a file.  `std::fs::read` pre-sizes the buffer
+/// from the file metadata, so the whole load stays within a handful of
+/// allocations (one per flat buffer plus the file read — the bench
+/// harness's counting-allocator gate bounds this).
+pub fn read_file<P: AsRef<Path>>(path: P) -> Result<PrefInstance, SnapshotError> {
+    from_bytes(&std::fs::read(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{uniform_strict, with_ties, GeneratorConfig};
+    use crate::paper::figure1_instance;
+
+    fn sample_instances() -> Vec<PrefInstance> {
+        let mut out = vec![figure1_instance()];
+        for seed in [1, 7, 42] {
+            let cfg = GeneratorConfig {
+                num_applicants: 40,
+                num_posts: 35,
+                list_len: 6,
+                seed,
+            };
+            out.push(uniform_strict(&cfg));
+            out.push(with_ties(&cfg, 3));
+        }
+        out
+    }
+
+    #[test]
+    fn roundtrip_is_bit_exact() {
+        for inst in sample_instances() {
+            let bytes = to_bytes(&inst);
+            let back = from_bytes(&bytes).unwrap();
+            assert_eq!(back, inst);
+            // Serialising the reloaded instance reproduces the bytes, so
+            // snapshots are a canonical form, not merely value-preserving.
+            assert_eq!(to_bytes(&back), bytes);
+        }
+    }
+
+    #[test]
+    fn rank_width_flag_follows_the_store() {
+        // Strict snapshots carry no rank section, so bit 0 stays clear.
+        let strict = figure1_instance();
+        assert!(strict.is_strict());
+        assert_eq!(read_u32(&to_bytes(&strict), 12) & FLAG_RANKS_U16, 0);
+
+        // A tied instance with shallow lists uses the 2-byte store.
+        let tied = with_ties(
+            &GeneratorConfig {
+                num_applicants: 12,
+                num_posts: 10,
+                list_len: 4,
+                seed: 3,
+            },
+            3,
+        );
+        assert!(!tied.is_strict());
+        let bytes = to_bytes(&tied);
+        assert_eq!(read_u32(&bytes, 12) & FLAG_RANKS_U16, FLAG_RANKS_U16);
+        assert_eq!(from_bytes(&bytes).unwrap(), tied);
+
+        // A list deeper than 2^16 groups — with one genuine tie so the
+        // layer is actually stored — forces the 4-byte store through the
+        // same write/read path.
+        let deep_len = (RankArray::U16_MAX_RANK + 2) as usize;
+        let mut groups: Vec<Vec<usize>> = vec![vec![0, 1]];
+        groups.extend((2..=deep_len).map(|p| vec![p]));
+        let deep = PrefInstance::new_with_ties(deep_len + 1, vec![groups]).unwrap();
+        assert!(!deep.is_strict());
+        let bytes = to_bytes(&deep);
+        assert_eq!(read_u32(&bytes, 12) & (FLAG_RANKS_U16 | FLAG_STRICT), 0);
+        assert_eq!(from_bytes(&bytes).unwrap(), deep);
+    }
+
+    #[test]
+    fn every_truncation_is_a_typed_error() {
+        let bytes = to_bytes(&figure1_instance());
+        for len in 0..bytes.len() {
+            match from_bytes(&bytes[..len]) {
+                Err(SnapshotError::LengthMismatch { found, .. }) => {
+                    assert_eq!(found, len as u64);
+                }
+                other => panic!("prefix of {len} bytes: expected LengthMismatch, got {other:?}"),
+            }
+        }
+        // Trailing garbage is equally rejected.
+        let mut longer = bytes.clone();
+        longer.push(0);
+        assert!(matches!(
+            from_bytes(&longer),
+            Err(SnapshotError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut bytes = to_bytes(&figure1_instance());
+        bytes[0] ^= 0xff;
+        assert!(matches!(from_bytes(&bytes), Err(SnapshotError::BadMagic)));
+    }
+
+    #[test]
+    fn version_skew_is_rejected() {
+        let mut bytes = to_bytes(&figure1_instance());
+        bytes[8..12].copy_from_slice(&2u32.to_le_bytes());
+        assert!(matches!(
+            from_bytes(&bytes),
+            Err(SnapshotError::UnsupportedVersion { found: 2 })
+        ));
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected() {
+        let mut bytes = to_bytes(&figure1_instance());
+        let flags = read_u32(&bytes, 12) | 0x8000_0000;
+        bytes[12..16].copy_from_slice(&flags.to_le_bytes());
+        assert!(matches!(
+            from_bytes(&bytes),
+            Err(SnapshotError::UnknownFlags { .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_header_counts_hit_the_toolarge_funnel() {
+        // A hostile header declaring 2^40 applicants must be rejected by
+        // the size funnel before any proportional allocation is attempted.
+        let mut bytes = to_bytes(&figure1_instance());
+        bytes[24..32].copy_from_slice(&(1u64 << 40).to_le_bytes());
+        match from_bytes(&bytes) {
+            Err(SnapshotError::Instance(PopularError::TooLarge { what, .. })) => {
+                assert_eq!(what, "applicants");
+            }
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+        // Edge count beyond the Idx layer, same funnel.
+        let mut bytes = to_bytes(&figure1_instance());
+        bytes[40..48].copy_from_slice(&(u64::MAX).to_le_bytes());
+        assert!(matches!(
+            from_bytes(&bytes),
+            Err(SnapshotError::Instance(PopularError::TooLarge { .. }))
+        ));
+        // More groups than edges cannot come from a valid writer.
+        let mut bytes = to_bytes(&figure1_instance());
+        bytes[32..40].copy_from_slice(&(1u64 << 30).to_le_bytes());
+        assert!(matches!(
+            from_bytes(&bytes),
+            Err(SnapshotError::Instance(PopularError::InvalidInstance(_)))
+        ));
+    }
+
+    #[test]
+    fn corrupt_payload_is_a_typed_error() {
+        // Flip a post id to the Idx sentinel pattern: structural validation
+        // must report it as out-of-range, not panic.  Figure 1 is strict,
+        // so its post section follows the list offsets directly; the tied
+        // instance exercises the general layout's offset too.
+        let strict = figure1_instance();
+        assert!(strict.is_strict());
+        let tied = with_ties(
+            &GeneratorConfig {
+                num_applicants: 12,
+                num_posts: 10,
+                list_len: 4,
+                seed: 3,
+            },
+            3,
+        );
+        assert!(!tied.is_strict());
+        for inst in [strict, tied] {
+            let parts = inst.csr_parts();
+            let post_section = match &parts.ties {
+                None => HEADER_LEN + 4 * parts.list_off.len(),
+                Some(t) => HEADER_LEN + 4 * (2 * parts.list_off.len() + t.group_off.len()),
+            };
+            let mut corrupt = to_bytes(&inst);
+            corrupt[post_section..post_section + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+            assert!(matches!(
+                from_bytes(&corrupt),
+                Err(SnapshotError::Instance(PopularError::InvalidInstance(_)))
+            ));
+        }
+    }
+
+    #[test]
+    fn strict_snapshots_omit_the_derived_sections() {
+        // A strict instance's snapshot carries only the header, the list
+        // offsets and the posts — the group arrays and ranks are rebuilt on
+        // load.  An equally sized tied instance is ~3× larger on disk.
+        let cfg = GeneratorConfig {
+            num_applicants: 40,
+            num_posts: 35,
+            list_len: 6,
+            seed: 11,
+        };
+        let strict = uniform_strict(&cfg);
+        let parts = strict.csr_parts();
+        let bytes = to_bytes(&strict);
+        assert_eq!(read_u32(&bytes, 12) & FLAG_STRICT, FLAG_STRICT);
+        assert_eq!(
+            bytes.len(),
+            HEADER_LEN + 4 * (parts.list_off.len() + parts.post_flat.len())
+        );
+        assert!(bytes.len() < to_bytes(&with_ties(&cfg, 3)).len());
+        assert_eq!(from_bytes(&bytes).unwrap(), strict);
+
+        // Tied instances never set the flag.
+        assert_eq!(
+            read_u32(&to_bytes(&with_ties(&cfg, 3)), 12) & FLAG_STRICT,
+            0
+        );
+    }
+
+    #[test]
+    fn strict_flag_corruption_is_rejected() {
+        let strict = figure1_instance();
+        let bytes = to_bytes(&strict);
+
+        // Clearing the strict bit changes the implied payload length, so
+        // the file no longer length-checks — rejected before decoding.
+        let mut cleared = bytes.clone();
+        let flags = read_u32(&cleared, 12) & !FLAG_STRICT;
+        cleared[12..16].copy_from_slice(&flags.to_le_bytes());
+        assert!(matches!(
+            from_bytes(&cleared),
+            Err(SnapshotError::LengthMismatch { .. })
+        ));
+
+        // A strict header whose group count disagrees with the edge count
+        // cannot come from a valid writer.
+        let mut skewed = bytes.clone();
+        let n_e = read_u64(&skewed, 40);
+        skewed[32..40].copy_from_slice(&(n_e - 1).to_le_bytes());
+        assert!(matches!(
+            from_bytes(&skewed),
+            Err(SnapshotError::Instance(PopularError::InvalidInstance(_)))
+        ));
+
+        // A strict snapshot has no rank section, so setting the rank-width
+        // flag on one cannot come from a valid writer either.
+        let mut wide = bytes.clone();
+        let flags = read_u32(&wide, 12) | FLAG_RANKS_U16;
+        wide[12..16].copy_from_slice(&flags.to_le_bytes());
+        assert!(matches!(
+            from_bytes(&wide),
+            Err(SnapshotError::Instance(PopularError::InvalidInstance(_)))
+        ));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let inst = figure1_instance();
+        let path = std::env::temp_dir().join("pm_snapshot_test.pmsnap");
+        write_file(&inst, &path).unwrap();
+        let back = read_file(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back, inst);
+        assert!(matches!(
+            read_file(std::env::temp_dir().join("pm_snapshot_missing.pmsnap")),
+            Err(SnapshotError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn errors_display_and_chain() {
+        assert!(SnapshotError::BadMagic.to_string().contains("magic"));
+        assert!(SnapshotError::UnsupportedVersion { found: 9 }
+            .to_string()
+            .contains("version 9"));
+        assert!(SnapshotError::UnknownFlags { flags: 2 }
+            .to_string()
+            .contains("flag"));
+        let e = SnapshotError::LengthMismatch {
+            expected: 100,
+            found: 7,
+        };
+        assert!(e.to_string().contains("100"));
+        use std::error::Error;
+        assert!(SnapshotError::from(PopularError::NoPopularMatching)
+            .source()
+            .is_some());
+    }
+}

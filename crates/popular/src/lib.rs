@@ -68,7 +68,7 @@ pub mod verify;
 
 pub use algorithm1::popular_matching_nc;
 pub use error::PopularError;
-pub use instance::{Assignment, PrefInstance};
+pub use instance::{Assignment, CsrParts, PrefInstance, RankArray, RankIter, TiedCsrParts};
 pub use max_cardinality::maximum_cardinality_popular_matching_nc;
 pub use reduced::ReducedGraph;
 pub use sequential::popular_matching_sequential;
