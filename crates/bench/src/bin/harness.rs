@@ -14,8 +14,13 @@
 //! graph, the ties reduction) plus the `served/` family — repeated warm
 //! solves on a reused [`PopularSolver`], the cold free-function path for
 //! comparison, and batched throughput, all reported as amortized
-//! per-request milliseconds — and writes schema-3 `BENCH_popular.json`,
-//! the perf trajectory file every perf PR measures itself against.
+//! per-request milliseconds — and writes schema-4 `BENCH_popular.json`,
+//! the perf trajectory file every perf PR measures itself against.  The
+//! server-routed families (`served/server_warm`, `served/degraded`,
+//! `faults/chaos`) push the same request stream through the fault-tolerant
+//! [`Server`] and record its counters (served / rejected / shed /
+//! panics_recovered / degraded_responses) alongside the timings; see
+//! `server_trajectory`.
 //!
 //! The harness binary installs a **counting global allocator**; the warm
 //! `served/` measurement runs a width-1 warm solve under it and hard-fails
@@ -100,6 +105,8 @@ use pm_popular::ties::popular_matching_rank1;
 use pm_popular::verify::is_popular_characterization;
 use pm_popular::PopularError;
 use pm_pram::DepthTracker;
+use pm_serve::faults::Spec;
+use pm_serve::{Request, ServeError, Server, ServerConfig};
 use pm_stable::next::{next_stable_matchings, NextStableOutcome};
 use pm_stable::rotations::exposed_rotations_sequential;
 
@@ -820,6 +827,7 @@ fn json_trajectory(quick: bool, threads: &[usize], out_path: &str, filter: Optio
     }
 
     served_trajectory(quick, threads, reps, &selected, &mut results);
+    server_trajectory(quick, reps, &selected, &mut results);
     cold_trajectory(quick, reps, &selected, &mut results);
 
     let baseline = std::fs::read_to_string(out_path)
@@ -994,6 +1002,178 @@ fn served_trajectory(
     }
 }
 
+/// The server-routed workload families (PR 7): the same uniform request
+/// stream as `served/warm_solve`, but travelling the full fault-tolerant
+/// path — bounded queue, deadline check, health gate, `catch_unwind` —
+/// so the trajectory records what robustness costs per request.
+///
+/// * `served/server_warm/uniform` — a burst of requests through a
+///   one-worker [`Server`] with injection explicitly inert.  Runs the
+///   **zero-rejected gate**: at nominal load (burst ≤ queue capacity)
+///   nothing may be rejected or shed, or the harness exits non-zero.
+/// * `served/degraded/uniform` — the same burst against a force-degraded
+///   instance id: every answer is the serial-dictatorship fallback, timing
+///   the degraded path end to end.
+/// * `faults/chaos/uniform` — the burst under `panic:0.05,delay:1ms`
+///   injection (or `PM_FAULTS` when set).  Only runs when the `faults`
+///   feature is compiled in (`--features faults`); skipped with a notice
+///   otherwise, so the committed trajectory stays injection-free.
+///
+/// The server owns its worker threads (the executor sweep does not apply),
+/// so all three are measured at width 1 and report the server counters
+/// (served / rejected / shed / panics_recovered / degraded_responses) as
+/// extra fields.
+fn server_trajectory(
+    quick: bool,
+    reps: usize,
+    selected: &dyn Fn(&str) -> bool,
+    results: &mut Vec<JsonResult>,
+) {
+    use std::sync::Arc;
+
+    let server_sizes: &[usize] = if quick { &[10_000] } else { &[10_000, 100_000] };
+    let requests: usize = if quick { 8 } else { 16 };
+
+    // One burst of `requests` submits, then wait for every ticket; returns
+    // the degraded-answer count observed by the client side.
+    let burst = |server: &Server, inst: &Arc<PrefInstance>, id: u64| -> u64 {
+        let tickets: Vec<_> = (0..requests)
+            .map(|_| {
+                server
+                    .submit(Request::new(Arc::clone(inst), id))
+                    .expect("burst fits the queue capacity")
+            })
+            .collect();
+        let mut degraded = 0u64;
+        for t in tickets {
+            match t.wait() {
+                Ok(resp) => degraded += u64::from(resp.is_degraded()),
+                Err(ServeError::Faulted) => {}
+                Err(e) => panic!("server burst failed: {e}"),
+            }
+        }
+        degraded
+    };
+    let stats_extra = |server: &Server| -> Vec<(&'static str, u64)> {
+        let s = server.stats();
+        vec![
+            ("requests", requests as u64),
+            ("served", s.served),
+            ("rejected", s.rejected),
+            ("shed", s.shed),
+            ("panics_recovered", s.panics_recovered),
+            ("degraded_responses", s.degraded_responses),
+        ]
+    };
+
+    if selected("served/server_warm/uniform") {
+        for &n in server_sizes {
+            let inst = Arc::new(workloads::solvable_uniform(n));
+            let server = Server::start(ServerConfig {
+                workers: 1,
+                queue_capacity: requests,
+                faults: Spec::none(),
+                ..ServerConfig::default()
+            });
+
+            // Warm the worker's solver so the measured bursts are the
+            // steady serving state, like `served/warm_solve`.
+            burst(&server, &inst, 1);
+            let (_, t) = time_best(reps, || burst(&server, &inst, 1));
+
+            // Zero-rejected gate: a burst that fits the queue must never be
+            // rejected or shed at nominal, injection-free load.
+            let s = server.stats();
+            if s.rejected != 0 || s.shed != 0 {
+                eprintln!(
+                    "ZERO-REJECTED GATE FAILED: served/server_warm rejected {} and shed {} \
+                     requests at nominal load, n = {n} (expected 0 / 0)",
+                    s.rejected, s.shed
+                );
+                std::process::exit(1);
+            }
+            eprintln!(
+                "zero-rejected gate passed at n = {n} ({} requests served)",
+                s.served
+            );
+
+            results.push(JsonResult {
+                workload: "served/server_warm/uniform",
+                n,
+                wall_ms_by_threads: vec![(1, t.as_secs_f64() * 1e3 / requests as f64)],
+                pram: None,
+                extra: stats_extra(&server),
+            });
+            server.shutdown();
+        }
+    }
+
+    if selected("served/degraded/uniform") {
+        for &n in server_sizes {
+            let inst = Arc::new(workloads::solvable_uniform(n));
+            let server = Server::start(ServerConfig {
+                workers: 1,
+                queue_capacity: requests,
+                backoff_max: std::time::Duration::from_secs(3600),
+                faults: Spec::none(),
+                ..ServerConfig::default()
+            });
+            server.force_degrade(1);
+
+            let degraded = burst(&server, &inst, 1);
+            assert_eq!(
+                degraded, requests as u64,
+                "a force-degraded id must answer every request degraded"
+            );
+            let (_, t) = time_best(reps, || burst(&server, &inst, 1));
+
+            results.push(JsonResult {
+                workload: "served/degraded/uniform",
+                n,
+                wall_ms_by_threads: vec![(1, t.as_secs_f64() * 1e3 / requests as f64)],
+                pram: None,
+                extra: stats_extra(&server),
+            });
+            server.shutdown();
+        }
+    }
+
+    if selected("faults/chaos/uniform") {
+        if !Spec::compiled_in() {
+            eprintln!(
+                "faults/chaos/uniform skipped: fail points compiled out \
+                 (rebuild with `--features faults` to measure under injection)"
+            );
+        } else {
+            for &n in server_sizes {
+                let inst = Arc::new(workloads::solvable_uniform(n));
+                let spec = match std::env::var(pm_serve::faults::ENV_VAR) {
+                    Ok(s) if !s.trim().is_empty() => Spec::from_env(),
+                    _ => Spec::parse("panic:0.05,delay:1ms").expect("built-in spec parses"),
+                };
+                let server = Server::start(ServerConfig {
+                    workers: 2,
+                    queue_capacity: requests,
+                    faults: spec,
+                    ..ServerConfig::default()
+                });
+
+                burst(&server, &inst, 1);
+                let (_, t) = time_best(reps, || burst(&server, &inst, 1));
+
+                results.push(JsonResult {
+                    workload: "faults/chaos/uniform",
+                    n,
+                    wall_ms_by_threads: vec![(1, t.as_secs_f64() * 1e3 / requests as f64)],
+                    pram: None,
+                    extra: stats_extra(&server),
+                });
+                server.shutdown();
+            }
+        }
+    }
+}
+
 /// The `cold/` workload family: the three ways a `PrefInstance` can come
 /// into existence, measured end to end on the same uniform workload —
 ///
@@ -1114,7 +1294,7 @@ fn render_json(
     baseline: Option<&str>,
 ) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": 3,\n");
+    out.push_str("  \"schema\": 4,\n");
     out.push_str("  \"harness\": \"pm_bench --json\",\n");
     out.push_str(&format!("  \"quick\": {quick},\n"));
     out.push_str(&format!(

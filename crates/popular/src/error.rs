@@ -28,6 +28,14 @@ pub enum PopularError {
         /// The largest admissible value.
         limit: usize,
     },
+    /// A previous solve on this [`PopularSolver`] panicked and unwound,
+    /// leaving the pooled workspace buffers in an inconsistent state (the
+    /// `Workspace` epoch check, DESIGN.md §9).  The solver refuses further
+    /// work; discard it and build a fresh one — the serving layer does this
+    /// automatically after isolating a panic.
+    ///
+    /// [`PopularSolver`]: crate::solver::PopularSolver
+    SolverPoisoned,
 }
 
 impl fmt::Display for PopularError {
@@ -46,6 +54,14 @@ impl fmt::Display for PopularError {
                     f,
                     "instance too large for the 32-bit index layer: {count} {what} \
                      (limit {limit})"
+                )
+            }
+            PopularError::SolverPoisoned => {
+                write!(
+                    f,
+                    "solver poisoned: a previous solve panicked mid-flight, its pooled \
+                     workspace buffers are inconsistent — discard this solver and build \
+                     a fresh one"
                 )
             }
         }
@@ -76,6 +92,9 @@ mod tests {
         };
         assert!(e.to_string().contains("32-bit"));
         assert!(e.to_string().contains("applicants"));
+        assert!(PopularError::SolverPoisoned
+            .to_string()
+            .contains("poisoned"));
     }
 
     #[test]

@@ -92,9 +92,14 @@ impl PopularSolver {
     /// # Errors
     /// * [`PopularError::TiesNotSupported`] if a preference list has a tie.
     /// * [`PopularError::NoPopularMatching`] if none exists.
+    /// * [`PopularError::SolverPoisoned`] if a previous solve panicked
+    ///   mid-flight (see [`is_poisoned`](Self::is_poisoned)).
     pub fn solve(&mut self, inst: &PrefInstance) -> Result<&Assignment, PopularError> {
+        self.enter()?;
         self.tracker.reset();
-        self.solve_algorithm1(inst)?;
+        let result = self.solve_algorithm1(inst);
+        self.ws.end_epoch();
+        result?;
         Ok(&self.out)
     }
 
@@ -104,16 +109,20 @@ impl PopularSolver {
         &mut self,
         inst: &PrefInstance,
     ) -> Result<&Assignment, PopularError> {
+        self.enter()?;
         self.tracker.reset();
-        self.solve_algorithm1(inst)?;
-        improve_to_maximum_cardinality_ws(
-            &self.f,
-            &self.s,
-            inst.num_posts(),
-            self.out.as_mut_slice(),
-            &mut self.ws,
-            &self.tracker,
-        );
+        let result = self.solve_algorithm1(inst).map(|()| {
+            improve_to_maximum_cardinality_ws(
+                &self.f,
+                &self.s,
+                inst.num_posts(),
+                self.out.as_mut_slice(),
+                &mut self.ws,
+                &self.tracker,
+            );
+        });
+        self.ws.end_epoch();
+        result?;
         Ok(&self.out)
     }
 
@@ -126,8 +135,10 @@ impl PopularSolver {
     /// [`PopularError::InvalidInstance`] if a left vertex has no incident
     /// edge (the reduction requires non-empty preference lists).
     pub fn solve_ties(&mut self, g: &BipartiteGraph) -> Result<&Matching, PopularError> {
+        self.enter()?;
         self.tracker.reset();
         if (0..g.n_left()).any(|l| g.degree_left(l) == 0) {
+            self.ws.end_epoch();
             return Err(PopularError::InvalidInstance(
                 "rank-1 reduction requires every applicant to have at least one acceptable post"
                     .into(),
@@ -147,6 +158,7 @@ impl PopularSolver {
             &mut self.hk_dist,
             &mut self.hk_queue,
         );
+        self.ws.end_epoch();
         Ok(&self.ties_out)
     }
 
@@ -159,6 +171,21 @@ impl PopularSolver {
     /// every solve in the batch (sums commute, so the total is
     /// thread-count-independent too).
     pub fn solve_batch(&mut self, insts: &[PrefInstance]) -> Vec<Result<Assignment, PopularError>> {
+        if self.is_poisoned() {
+            return insts
+                .iter()
+                .map(|_| Err(PopularError::SolverPoisoned))
+                .collect();
+        }
+        // A sub-solver a previous batch's panic unwound through is replaced
+        // wholesale (cheap relative to a batch, and the batch path is not
+        // under the zero-alloc gate): one poisoned worker must never turn
+        // every later request routed to its chunk into an error.
+        for w in &mut self.batch_workers {
+            if w.is_poisoned() {
+                *w = PopularSolver::new(0, 0);
+            }
+        }
         self.tracker.reset();
         let threads = rayon::current_num_threads().max(1);
         // Fan-out policy: one sub-solver per worker chunk, never more
@@ -224,6 +251,28 @@ impl PopularSolver {
     pub fn into_reduced_graph(self) -> ReducedGraph {
         let num_posts = self.is_f_post.len() - self.f.len();
         ReducedGraph::from_parts(num_posts, self.f, self.s, self.is_f_post)
+    }
+
+    /// True once a solve on this solver has panicked and unwound: the
+    /// pooled workspace buffers (and the half-written output buffers) are
+    /// inconsistent, every further solve returns
+    /// [`PopularError::SolverPoisoned`], and the only recovery is to drop
+    /// the solver and build a fresh one.  The serving layer (`pm_serve`)
+    /// does exactly that after `catch_unwind` traps a solve panic; callers
+    /// rolling their own isolation should too.
+    pub fn is_poisoned(&self) -> bool {
+        self.ws.is_poisoned() || self.ws.epoch_open()
+    }
+
+    /// Poison gate + epoch open, shared by every solve entry point.  The
+    /// check runs *before* `begin_epoch` so detection is a typed error,
+    /// never a debug assertion, on the public path.
+    fn enter(&mut self) -> Result<(), PopularError> {
+        if self.is_poisoned() {
+            return Err(PopularError::SolverPoisoned);
+        }
+        self.ws.begin_epoch();
+        Ok(())
     }
 
     /// Algorithm 1 into `self.out`: shared by `solve` and
@@ -364,6 +413,53 @@ mod tests {
                 (a, b) => panic!("batch/individual disagreement: {a:?} vs {b:?}"),
             }
         }
+    }
+
+    #[test]
+    fn poisoned_solver_returns_typed_error_not_dirty_buffers() {
+        let inst = PrefInstance::new_strict(3, vec![vec![0, 1], vec![0, 2]]).unwrap();
+        let mut solver = PopularSolver::new(0, 0);
+        assert!(!solver.is_poisoned());
+        assert!(solver.solve(&inst).is_ok());
+
+        // Simulate a panic unwinding mid-solve: the epoch opens but never
+        // closes (this is precisely the state `catch_unwind` in the serving
+        // layer observes after trapping a solve panic).
+        solver.ws.begin_epoch();
+        assert!(solver.is_poisoned());
+
+        // Every entry point refuses with a typed error instead of touching
+        // the (notionally dirty) pooled buffers.
+        assert_eq!(solver.solve(&inst), Err(PopularError::SolverPoisoned));
+        assert_eq!(
+            solver.solve_max_cardinality(&inst),
+            Err(PopularError::SolverPoisoned)
+        );
+        let g = BipartiteGraph::from_edges(1, 1, &[(0, 0)]);
+        assert!(matches!(
+            solver.solve_ties(&g),
+            Err(PopularError::SolverPoisoned)
+        ));
+        let batch = solver.solve_batch(std::slice::from_ref(&inst));
+        assert!(batch
+            .iter()
+            .all(|r| r == &Err(PopularError::SolverPoisoned)));
+
+        // A fresh solver is the documented recovery.
+        let mut fresh = PopularSolver::new(0, 0);
+        assert!(fresh.solve(&inst).is_ok());
+    }
+
+    #[test]
+    fn batch_replaces_poisoned_sub_solvers() {
+        let inst = PrefInstance::new_strict(3, vec![vec![0, 1], vec![0, 2]]).unwrap();
+        let insts = vec![inst.clone(), inst.clone(), inst];
+        let mut solver = PopularSolver::new(0, 0);
+        assert!(solver.solve_batch(&insts).iter().all(|r| r.is_ok()));
+        // Poison one warm sub-solver as if a batch panic unwound through it;
+        // the next batch must self-heal, not error its chunk forever.
+        solver.batch_workers[0].ws.begin_epoch();
+        assert!(solver.solve_batch(&insts).iter().all(|r| r.is_ok()));
     }
 
     #[test]

@@ -1,0 +1,249 @@
+//! Hostile-input audit of the public solve paths (PR 7 satellite).
+//!
+//! The serving layer hands untrusted request data to `pm_popular`; this
+//! suite pins the contract that *no* public solve entry point can panic on
+//! data an adversary can construct.  Untrusted input is funnelled through
+//! the validating constructors (`PrefInstance::new_strict` /
+//! `new_with_ties` / the snapshot ingester), so the audit has two halves:
+//!
+//! 1. malformed shapes must be *rejected at construction* with a typed
+//!    [`PopularError`], never accepted and crashed on later;
+//! 2. every adversarial-but-constructible shape must flow through every
+//!    solve entry point without panicking — `Ok` or a typed error only.
+//!
+//! The remaining `expect()` sites inside the algorithms (e.g. "degree-2
+//! post has a second alive applicant" in Algorithm 2's peeling) are
+//! *algorithm invariants* over already-validated instances, maintained by
+//! the peeling itself — they are not reachable by any input that gets past
+//! the constructors, which is exactly what this suite demonstrates by
+//! exhaustively exercising the constructible edge shapes.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use pm_graph::bipartite::BipartiteGraph;
+use pm_popular::ties::popular_matching_rank1;
+use pm_popular::{
+    is_popular_characterization, maximum_cardinality_popular_matching_nc, popular_matching_nc,
+    popular_matching_sequential, PopularError, PopularSolver, PrefInstance,
+};
+use pm_pram::tracker::DepthTracker;
+
+/// Every adversarial-but-constructible strict instance shape we could think
+/// of: degenerate sizes, total contention, long chains, duplicate-heavy
+/// first choices, single-entry lists, and asymmetric post counts.
+fn hostile_instances() -> Vec<(&'static str, PrefInstance)> {
+    let strict = |n, lists: Vec<Vec<usize>>| PrefInstance::new_strict(n, lists).unwrap();
+    let mut out = vec![
+        ("empty", strict(0, vec![])),
+        ("posts but no applicants", strict(5, vec![])),
+        ("one applicant, one post", strict(1, vec![vec![0]])),
+        ("everyone wants only post 0", strict(1, vec![vec![0]; 6])),
+        (
+            "total contention on two posts",
+            strict(2, vec![vec![0, 1]; 5]),
+        ),
+        (
+            "chain: applicant i wants posts i, i+1",
+            strict(9, (0..8).map(|i| vec![i, i + 1]).collect()),
+        ),
+        (
+            "all permutations of three posts",
+            strict(
+                3,
+                vec![
+                    vec![0, 1, 2],
+                    vec![0, 2, 1],
+                    vec![1, 0, 2],
+                    vec![1, 2, 0],
+                    vec![2, 0, 1],
+                    vec![2, 1, 0],
+                ],
+            ),
+        ),
+        (
+            "shared first choice, distinct seconds",
+            strict(4, vec![vec![3, 0], vec![3, 1], vec![3, 2]]),
+        ),
+        (
+            "more applicants than posts",
+            strict(2, vec![vec![0], vec![1], vec![0, 1], vec![1, 0]]),
+        ),
+        (
+            "reverse master list",
+            strict(6, (0..6).map(|_| (0..6).rev().collect()).collect()),
+        ),
+    ];
+    // A wider instance so the parallel kernels (not just the tiny-case
+    // serial paths) see hostile contention.
+    let n = 600;
+    let contended = (0..n)
+        .map(|i| {
+            let mut list = vec![i % 7, (i * 31) % n, i];
+            list.dedup();
+            if list.len() > 1 && list[0] == *list.last().unwrap() {
+                list.pop();
+            }
+            list
+        })
+        .collect();
+    out.push(("wide contention", strict(n, contended)));
+    out
+}
+
+/// One named solve entry point, boxed so the table below stays uniform.
+type SolveRun = (&'static str, Box<dyn FnOnce() -> Result<(), PopularError>>);
+
+/// Pushes one instance through every strict public solve entry point; the
+/// outcome must be `Ok` or a typed error — never an unwind.
+fn assert_no_panic_on(name: &str, inst: &PrefInstance) {
+    let runs: Vec<SolveRun> = vec![
+        ("solver.solve", {
+            let inst = inst.clone();
+            Box::new(move || PopularSolver::new(0, 0).solve(&inst).map(|_| ()))
+        }),
+        ("solver.solve_max_cardinality", {
+            let inst = inst.clone();
+            Box::new(move || {
+                PopularSolver::new(0, 0)
+                    .solve_max_cardinality(&inst)
+                    .map(|_| ())
+            })
+        }),
+        ("solver.solve_batch", {
+            let inst = inst.clone();
+            Box::new(move || {
+                let batch = PopularSolver::new(0, 0).solve_batch(std::slice::from_ref(&inst));
+                batch.into_iter().next().unwrap().map(|_| ())
+            })
+        }),
+        ("popular_matching_nc", {
+            let inst = inst.clone();
+            Box::new(move || popular_matching_nc(&inst, &DepthTracker::new()).map(|_| ()))
+        }),
+        ("maximum_cardinality_popular_matching_nc", {
+            let inst = inst.clone();
+            Box::new(move || {
+                maximum_cardinality_popular_matching_nc(&inst, &DepthTracker::new()).map(|_| ())
+            })
+        }),
+        ("popular_matching_sequential", {
+            let inst = inst.clone();
+            Box::new(move || popular_matching_sequential(&inst).map(|_| ()))
+        }),
+    ];
+    for (entry, run) in runs {
+        match catch_unwind(AssertUnwindSafe(run)) {
+            Ok(Ok(())) | Ok(Err(_)) => {}
+            Err(_) => panic!("{entry} panicked on hostile instance {name:?}"),
+        }
+    }
+}
+
+#[test]
+fn no_public_solve_path_panics_on_constructible_hostile_instances() {
+    for (name, inst) in hostile_instances() {
+        assert_no_panic_on(name, &inst);
+    }
+}
+
+#[test]
+fn solved_hostile_instances_still_produce_popular_matchings() {
+    // Robustness must not come at the price of wrong answers: where a
+    // hostile shape *is* solvable, the answer still passes the §2
+    // characterization check.
+    let mut solver = PopularSolver::new(0, 0);
+    for (name, inst) in hostile_instances() {
+        if let Ok(m) = solver.solve(&inst) {
+            assert!(m.is_valid(&inst), "{name}");
+            assert!(is_popular_characterization(&inst, m), "{name}");
+        }
+    }
+}
+
+#[test]
+fn malformed_shapes_are_rejected_at_construction() {
+    // Half one of the audit: anything malformed dies in the constructor
+    // with a typed error, so the solve paths never see it.
+    let cases: Vec<(&str, Result<PrefInstance, PopularError>)> = vec![
+        (
+            "out-of-range post",
+            PrefInstance::new_strict(2, vec![vec![0, 2]]),
+        ),
+        (
+            "post duplicated within a list",
+            PrefInstance::new_strict(3, vec![vec![1, 1]]),
+        ),
+        (
+            "empty preference list",
+            PrefInstance::new_strict(3, vec![vec![]]),
+        ),
+        (
+            "empty tie group",
+            PrefInstance::new_with_ties(3, vec![vec![vec![0], vec![]]]),
+        ),
+        (
+            "duplicate across tie groups",
+            PrefInstance::new_with_ties(3, vec![vec![vec![0, 1], vec![1]]]),
+        ),
+    ];
+    for (name, r) in cases {
+        match r {
+            Err(PopularError::InvalidInstance(_)) => {}
+            other => panic!("{name}: expected InvalidInstance, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn tied_instances_get_typed_errors_from_strict_only_pipelines() {
+    let tied = PrefInstance::new_with_ties(3, vec![vec![vec![0, 1]], vec![vec![2]]]).unwrap();
+    let mut solver = PopularSolver::new(0, 0);
+    assert_eq!(solver.solve(&tied), Err(PopularError::TiesNotSupported));
+    assert_eq!(
+        solver.solve_max_cardinality(&tied),
+        Err(PopularError::TiesNotSupported)
+    );
+    // ...and the solver is NOT poisoned by a typed rejection: the next
+    // strict request on the same warm solver succeeds.
+    let strict = PrefInstance::new_strict(2, vec![vec![0], vec![1]]).unwrap();
+    assert!(solver.solve(&strict).is_ok());
+}
+
+#[test]
+fn ties_pipeline_survives_hostile_graphs() {
+    // Degree-0 applicant: typed error from both the solver and the free
+    // function's validation path.
+    let lonely = BipartiteGraph::from_edges(2, 2, &[(0, 0)]);
+    let mut solver = PopularSolver::new(0, 0);
+    assert!(matches!(
+        solver.solve_ties(&lonely),
+        Err(PopularError::InvalidInstance(_))
+    ));
+
+    // Empty graph and full contention flow through without panicking.
+    for (name, g) in [
+        ("empty graph", BipartiteGraph::from_edges(0, 0, &[])),
+        (
+            "all-to-one contention",
+            BipartiteGraph::from_edges(4, 1, &[(0, 0), (1, 0), (2, 0), (3, 0)]),
+        ),
+        (
+            "complete 3x3",
+            BipartiteGraph::from_edges(
+                3,
+                3,
+                &(0..3)
+                    .flat_map(|l| (0..3).map(move |r| (l, r)))
+                    .collect::<Vec<_>>(),
+            ),
+        ),
+    ] {
+        let out = catch_unwind(AssertUnwindSafe(|| {
+            let mut s = PopularSolver::new(0, 0);
+            let solver_ok = s.solve_ties(&g).is_ok();
+            let free_m = popular_matching_rank1(&g);
+            (solver_ok, free_m.left_assignment().len())
+        }));
+        assert!(out.is_ok(), "ties pipeline panicked on {name:?}");
+    }
+}

@@ -31,6 +31,20 @@
 //! clears in O(1) by bumping a generation counter instead of rewriting the
 //! array — the pattern the instance validator uses for duplicate detection,
 //! made reusable across solves.
+//!
+//! # Panic poisoning
+//!
+//! A panic that unwinds through a solve leaves checked-out buffers
+//! unreturned and half-written — the pool itself stays memory-safe, but the
+//! *contents* of anything later handed back out are garbage relative to the
+//! interrupted algorithm's invariants.  The serving layer brackets every
+//! solve with [`begin_epoch`](Workspace::begin_epoch) /
+//! [`end_epoch`](Workspace::end_epoch): if a panic skips the `end_epoch`,
+//! the next `begin_epoch` observes the still-open epoch, sets a permanent
+//! poison flag (and fires a debug assertion), and the solver refuses
+//! further work with a typed error instead of silently serving from dirty
+//! state.  Recovery is by discarding the workspace and rebuilding — exactly
+//! what `pm_serve` does after `catch_unwind` traps a solve panic.
 
 use std::sync::atomic::{AtomicU32, AtomicUsize};
 
@@ -161,6 +175,11 @@ pub struct Workspace {
     i32s: BufPool<i32>,
     idx_pairs: BufPool<(Idx, Idx)>,
     atomics_u32: Vec<Vec<AtomicU32>>,
+    // Panic-poisoning state (see the module docs): `epoch_open` is true
+    // between `begin_epoch` and `end_epoch`; `poisoned` latches permanently
+    // once a begin observes a still-open epoch (a panic unwound a solve).
+    epoch_open: bool,
+    poisoned: bool,
 }
 
 impl Workspace {
@@ -256,6 +275,47 @@ impl Workspace {
     /// Returns a 32-bit atomic buffer to the pool.
     pub fn put_atomic_u32(&mut self, v: Vec<AtomicU32>) {
         self.atomics_u32.push(v);
+    }
+
+    /// Opens a solve epoch (see the module docs on panic poisoning).
+    ///
+    /// If the previous epoch was never closed — a panic unwound the solve
+    /// that opened it — the workspace is permanently poisoned and a debug
+    /// assertion fires; release builds record the same condition in the
+    /// O(1) [`is_poisoned`](Self::is_poisoned) flag.  Callers that must
+    /// stay panic-free on the detection path (the serving layer) should
+    /// test [`epoch_open`](Self::epoch_open)/[`is_poisoned`] *before*
+    /// calling this.
+    pub fn begin_epoch(&mut self) {
+        if self.epoch_open {
+            self.poisoned = true;
+            debug_assert!(
+                false,
+                "workspace epoch reopened: a panic unwound the previous solve, \
+                 its checked-out buffers are inconsistent — discard this workspace"
+            );
+        }
+        self.epoch_open = true;
+    }
+
+    /// Closes the current solve epoch.  Must run on every non-panicking
+    /// exit path of a solve (typed errors included).
+    pub fn end_epoch(&mut self) {
+        self.epoch_open = false;
+    }
+
+    /// True while a solve epoch is open.  An open epoch observed *between*
+    /// solves means the last solve panicked before its `end_epoch`.
+    pub fn epoch_open(&self) -> bool {
+        self.epoch_open
+    }
+
+    /// True once the workspace has been caught reopening an unclosed epoch:
+    /// pooled buffer contents can no longer be trusted and the workspace
+    /// must be discarded.  The flag latches — there is deliberately no way
+    /// to clear it short of rebuilding.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
     }
 }
 
@@ -433,6 +493,48 @@ mod tests {
         let v = ws.take_atomic_u32_identity(2);
         assert_eq!(v[1].load(Ordering::Relaxed), 1, "reinitialised on take");
         ws.put_atomic_u32(v);
+    }
+
+    #[test]
+    fn panic_inside_epoch_poisons_the_workspace() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        let mut ws = Workspace::new();
+
+        // A clean solve: epoch opens, buffers cycle, epoch closes.
+        ws.begin_epoch();
+        let v = ws.take_idx(4, Idx::NONE);
+        ws.put_idx(v);
+        ws.end_epoch();
+        assert!(!ws.epoch_open());
+        assert!(!ws.is_poisoned());
+
+        // A solve that panics mid-flight: the checkout is never returned
+        // and `end_epoch` never runs.
+        let unwound = catch_unwind(AssertUnwindSafe(|| {
+            ws.begin_epoch();
+            let _buf = ws.take_u32(8, 0);
+            panic!("injected solve panic");
+        }));
+        assert!(unwound.is_err());
+        assert!(ws.epoch_open(), "the unwound epoch must still be open");
+        assert!(
+            !ws.is_poisoned(),
+            "poison latches on the *next* begin, when reuse is attempted"
+        );
+
+        // The next solve attempt detects the inconsistent state.  In debug
+        // builds the detection is an assertion (caught here); either way
+        // the release-mode flag is set before the assertion fires.
+        let reuse = catch_unwind(AssertUnwindSafe(|| ws.begin_epoch()));
+        assert_eq!(
+            reuse.is_err(),
+            cfg!(debug_assertions),
+            "debug builds assert on reuse, release builds only set the flag"
+        );
+        assert!(ws.is_poisoned(), "reuse after a panic must poison");
+        // Poison latches: closing the epoch does not clear it.
+        ws.end_epoch();
+        assert!(ws.is_poisoned());
     }
 
     #[test]

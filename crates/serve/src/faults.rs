@@ -1,0 +1,360 @@
+//! Env-driven fail points for chaos testing.
+//!
+//! A [`Spec`] describes what to inject at the server's solve fail point:
+//!
+//! ```text
+//! PM_FAULTS=panic:0.05,delay:10ms,io:0.01
+//! ```
+//!
+//! * `panic:P` — panic with probability `P` (a real unwinding panic, the
+//!   kind the server must isolate with `catch_unwind`);
+//! * `io:P` — return an injected I/O-style error with probability `P`
+//!   (counts as a failure toward degradation, like a panic, but without
+//!   unwinding);
+//! * `delay:DUR` — sleep `DUR` (`10ms`, `500us`, `1s`) on every passage,
+//!   simulating a slow backend so deadline shedding and overrun accounting
+//!   have something to bite on.
+//!
+//! Decisions are **deterministic**: a per-spec atomic counter is hashed
+//! (SplitMix64) against a fixed seed, so a given spec produces the same
+//! fault sequence in every run — thread interleaving, not the RNG, is the
+//! only source of nondeterminism in the chaos tests.
+//!
+//! # Compiled out by default
+//!
+//! Without the `faults` cargo feature, [`Spec::fail_solve`] is an
+//! `#[inline(always)]` no-op and [`Spec::is_active`] is `false` — the
+//! production serving path carries **zero** injection overhead, which the
+//! bench harness's zero-allocation / warm-latency gates verify.  The spec
+//! *parser* is always compiled (it is cheap, and config errors should be
+//! caught even in production builds); only the evaluation is gated.
+//!
+//! The probabilities and delay live in atomics shared by all clones of a
+//! `Spec`, so a test can hold one handle, hand a clone to the server, and
+//! later [`set`](Spec::set) or [`disable`](Spec::disable) injection at
+//! runtime — that is how "recovers once injection stops" is exercised.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The environment variable [`Spec::from_env`] reads.
+pub const ENV_VAR: &str = "PM_FAULTS";
+
+/// Probabilities are stored in parts-per-million.
+const PPM: u64 = 1_000_000;
+
+/// Default hash seed (overridden by `PM_FAULTS_SEED` in [`Spec::from_env`]).
+const DEFAULT_SEED: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// An injected, non-panicking fault returned by a fail point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectedFault {
+    /// A simulated I/O failure on the solve path.
+    Io,
+}
+
+impl std::fmt::Display for InjectedFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InjectedFault::Io => write!(f, "injected I/O fault"),
+        }
+    }
+}
+
+/// A fault-injection specification (see the module docs).  Clones share
+/// state, so injection can be retargeted at runtime through any handle.
+#[derive(Debug, Clone)]
+pub struct Spec {
+    inner: Arc<Inner>,
+}
+
+#[derive(Debug)]
+#[cfg_attr(not(feature = "faults"), allow(dead_code))]
+struct Inner {
+    panic_ppm: AtomicU32,
+    io_ppm: AtomicU32,
+    delay_us: AtomicU64,
+    seed: AtomicU64,
+    counter: AtomicU64,
+}
+
+impl Default for Spec {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+impl Spec {
+    /// True iff this build carries real fail points (the `faults` cargo
+    /// feature); false means every fail point is an inlined no-op.
+    pub const fn compiled_in() -> bool {
+        cfg!(feature = "faults")
+    }
+
+    /// An inert spec: nothing is ever injected.
+    pub fn none() -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                panic_ppm: AtomicU32::new(0),
+                io_ppm: AtomicU32::new(0),
+                delay_us: AtomicU64::new(0),
+                seed: AtomicU64::new(DEFAULT_SEED),
+                counter: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Builds a spec from the [`PM_FAULTS`](ENV_VAR) environment variable
+    /// (inert when unset or empty; `PM_FAULTS_SEED` overrides the hash
+    /// seed).
+    ///
+    /// # Panics
+    /// Panics on a malformed spec — a configuration error should stop the
+    /// server at startup, not silently disable chaos in a chaos run.
+    pub fn from_env() -> Self {
+        let spec = match std::env::var(ENV_VAR) {
+            Ok(s) if !s.trim().is_empty() => {
+                Self::parse(&s).unwrap_or_else(|e| panic!("malformed {ENV_VAR}: {e}"))
+            }
+            _ => Self::none(),
+        };
+        if let Ok(seed) = std::env::var("PM_FAULTS_SEED") {
+            let seed: u64 = seed
+                .trim()
+                .parse()
+                .unwrap_or_else(|_| panic!("malformed PM_FAULTS_SEED: {seed:?}"));
+            spec.inner.seed.store(seed, Ordering::Relaxed);
+        }
+        spec
+    }
+
+    /// Parses `panic:P,delay:DUR,io:P` (any subset, any order; empty means
+    /// inert).  Returns a description of the first malformed clause.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let out = Self::none();
+        out.set(spec)?;
+        Ok(out)
+    }
+
+    /// Re-targets this spec (and every clone sharing its state) in place.
+    /// The previous values are only replaced if the whole string parses.
+    pub fn set(&self, spec: &str) -> Result<(), String> {
+        let mut panic_ppm = 0u32;
+        let mut io_ppm = 0u32;
+        let mut delay_us = 0u64;
+        for clause in spec.split(',') {
+            let clause = clause.trim();
+            if clause.is_empty() {
+                continue;
+            }
+            let (kind, value) = clause
+                .split_once(':')
+                .ok_or_else(|| format!("clause {clause:?} is not kind:value"))?;
+            match kind.trim() {
+                "panic" => panic_ppm = parse_probability(value)?,
+                "io" => io_ppm = parse_probability(value)?,
+                "delay" => delay_us = parse_duration_us(value)?,
+                other => {
+                    return Err(format!(
+                        "unknown fault kind {other:?} (expected panic, io or delay)"
+                    ))
+                }
+            }
+        }
+        self.inner.panic_ppm.store(panic_ppm, Ordering::Relaxed);
+        self.inner.io_ppm.store(io_ppm, Ordering::Relaxed);
+        self.inner.delay_us.store(delay_us, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Turns all injection off (equivalent to `set("")`).
+    pub fn disable(&self) {
+        self.set("").expect("the empty spec always parses");
+    }
+
+    /// True iff any injection is currently configured *and* compiled in.
+    pub fn is_active(&self) -> bool {
+        #[cfg(feature = "faults")]
+        {
+            self.inner.panic_ppm.load(Ordering::Relaxed) > 0
+                || self.inner.io_ppm.load(Ordering::Relaxed) > 0
+                || self.inner.delay_us.load(Ordering::Relaxed) > 0
+        }
+        #[cfg(not(feature = "faults"))]
+        {
+            false
+        }
+    }
+
+    /// The solve fail point: possibly sleeps, possibly returns an injected
+    /// fault, possibly panics (in that order).  Compiled to an inlined
+    /// no-op without the `faults` feature.
+    ///
+    /// # Panics
+    /// By design, with probability `panic:P` when injection is compiled in
+    /// and configured.
+    #[inline(always)]
+    pub fn fail_solve(&self) -> Result<(), InjectedFault> {
+        #[cfg(feature = "faults")]
+        {
+            self.eval()
+        }
+        #[cfg(not(feature = "faults"))]
+        {
+            Ok(())
+        }
+    }
+
+    #[cfg(feature = "faults")]
+    fn eval(&self) -> Result<(), InjectedFault> {
+        let delay_us = self.inner.delay_us.load(Ordering::Relaxed);
+        let panic_ppm = self.inner.panic_ppm.load(Ordering::Relaxed) as u64;
+        let io_ppm = self.inner.io_ppm.load(Ordering::Relaxed) as u64;
+        if delay_us == 0 && panic_ppm == 0 && io_ppm == 0 {
+            return Ok(());
+        }
+        if delay_us > 0 {
+            std::thread::sleep(std::time::Duration::from_micros(delay_us));
+        }
+        if panic_ppm > 0 || io_ppm > 0 {
+            let tick = self.inner.counter.fetch_add(1, Ordering::Relaxed);
+            let roll = splitmix64(self.inner.seed.load(Ordering::Relaxed) ^ tick) % PPM;
+            if roll < panic_ppm {
+                panic!("injected fault: panic (tick {tick})");
+            }
+            if roll < panic_ppm + io_ppm {
+                return Err(InjectedFault::Io);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// `"0.05"` → 50 000 ppm.  Accepts `0..=1`.
+fn parse_probability(value: &str) -> Result<u32, String> {
+    let p: f64 = value
+        .trim()
+        .parse()
+        .map_err(|_| format!("probability {value:?} is not a number"))?;
+    if !(0.0..=1.0).contains(&p) {
+        return Err(format!("probability {value:?} is outside 0..=1"));
+    }
+    Ok((p * PPM as f64).round() as u32)
+}
+
+/// `"10ms"` / `"500us"` / `"1s"` → microseconds.
+fn parse_duration_us(value: &str) -> Result<u64, String> {
+    let v = value.trim();
+    let (digits, scale) = if let Some(d) = v.strip_suffix("ms") {
+        (d, 1_000)
+    } else if let Some(d) = v.strip_suffix("us") {
+        (d, 1)
+    } else if let Some(d) = v.strip_suffix('s') {
+        (d, 1_000_000)
+    } else {
+        return Err(format!("duration {value:?} needs a unit (us, ms or s)"));
+    };
+    let n: u64 = digits
+        .trim()
+        .parse()
+        .map_err(|_| format!("duration {value:?} is not an integer plus unit"))?;
+    Ok(n * scale)
+}
+
+/// SplitMix64: the standard 64-bit finalizer, good enough to turn a counter
+/// into an unbiased fault roll.
+#[cfg(feature = "faults")]
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parser_accepts_the_documented_format() {
+        for good in [
+            "",
+            "panic:0.05",
+            "panic:0.05,delay:10ms",
+            "panic:0.05,delay:10ms,io:0.01",
+            "delay:500us",
+            "delay:1s",
+            " io:1.0 , panic:0 ",
+        ] {
+            assert!(Spec::parse(good).is_ok(), "should parse: {good:?}");
+        }
+        for bad in [
+            "panic",
+            "panic:1.5",
+            "panic:-0.1",
+            "delay:10",
+            "delay:fast",
+            "oops:0.5",
+            "panic:yes",
+        ] {
+            assert!(Spec::parse(bad).is_err(), "should reject: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn inert_spec_never_injects() {
+        let spec = Spec::none();
+        assert!(!spec.is_active());
+        for _ in 0..100 {
+            assert_eq!(spec.fail_solve(), Ok(()));
+        }
+    }
+
+    // The remaining behaviour only exists with injection compiled in (which
+    // the self-dev-dependency guarantees for this crate's own tests).
+    #[cfg(feature = "faults")]
+    mod injecting {
+        use super::*;
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+
+        #[test]
+        fn certain_panic_panics_and_certain_io_errors() {
+            let spec = Spec::parse("panic:1.0").unwrap();
+            assert!(spec.is_active());
+            assert!(catch_unwind(AssertUnwindSafe(|| spec.fail_solve())).is_err());
+
+            let spec = Spec::parse("io:1.0").unwrap();
+            assert_eq!(spec.fail_solve(), Err(InjectedFault::Io));
+        }
+
+        #[test]
+        fn probability_is_roughly_respected_and_deterministic() {
+            let a = Spec::parse("io:0.2").unwrap();
+            let b = Spec::parse("io:0.2").unwrap();
+            let run = |s: &Spec| (0..2000).filter(|_| s.fail_solve().is_err()).count();
+            let (ca, cb) = (run(&a), run(&b));
+            assert_eq!(ca, cb, "same spec, same seed, same sequence");
+            assert!((200..600).contains(&ca), "0.2 of 2000 ± slack, got {ca}");
+        }
+
+        #[test]
+        fn runtime_retarget_through_a_clone() {
+            let spec = Spec::parse("io:1.0").unwrap();
+            let server_handle = spec.clone();
+            assert_eq!(server_handle.fail_solve(), Err(InjectedFault::Io));
+            spec.disable();
+            assert_eq!(server_handle.fail_solve(), Ok(()));
+            assert!(!server_handle.is_active());
+            spec.set("io:1.0").unwrap();
+            assert_eq!(server_handle.fail_solve(), Err(InjectedFault::Io));
+        }
+
+        #[test]
+        fn delay_sleeps() {
+            let spec = Spec::parse("delay:5ms").unwrap();
+            let t0 = std::time::Instant::now();
+            spec.fail_solve().unwrap();
+            assert!(t0.elapsed() >= std::time::Duration::from_millis(5));
+        }
+    }
+}

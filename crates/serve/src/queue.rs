@@ -1,0 +1,242 @@
+//! A bounded multi-producer single/multi-consumer FIFO with *rejecting*
+//! backpressure.
+//!
+//! The serving layer's first line of defence: the queue has a hard capacity
+//! fixed at construction, and a producer that finds it full gets its item
+//! **back immediately** ([`PushError::Full`]) instead of blocking or
+//! growing the buffer — overload surfaces as a typed rejection at the edge,
+//! never as unbounded memory growth or rising latency for everyone behind
+//! it.  Consumers block on [`pop`](BoundedQueue::pop) and drain remaining
+//! items after [`close`](BoundedQueue::close), so shutdown is graceful.
+//!
+//! The implementation is deliberately plain `std`: one mutex around a
+//! `VecDeque` plus a condvar for consumers.  Producers never wait on the
+//! condvar (they only ever fail fast), so a stalled consumer cannot strand
+//! a producer.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// A bounded FIFO shared by cloning the handle (see the module docs).
+#[derive(Debug)]
+pub struct BoundedQueue<T> {
+    inner: Arc<Inner<T>>,
+}
+
+// Derived `Clone` would require `T: Clone`; handles share the queue.
+impl<T> Clone for BoundedQueue<T> {
+    fn clone(&self) -> Self {
+        Self {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Inner<T> {
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+}
+
+#[derive(Debug)]
+struct State<T> {
+    buf: VecDeque<T>,
+    capacity: usize,
+    closed: bool,
+}
+
+/// Why a [`try_push`](BoundedQueue::try_push) was refused; the item comes
+/// back to the caller in both cases.
+#[derive(Debug)]
+pub enum PushError<T> {
+    /// The queue is at capacity — the overload signal.  Callers translate
+    /// this into the typed `Overloaded` rejection.
+    Full(T),
+    /// The queue was closed; no further items are accepted.
+    Closed(T),
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` items (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                state: Mutex::new(State {
+                    buf: VecDeque::with_capacity(capacity.max(1)),
+                    capacity: capacity.max(1),
+                    closed: false,
+                }),
+                not_empty: Condvar::new(),
+            }),
+        }
+    }
+
+    /// A poisoned mutex here only means another thread panicked while
+    /// holding the lock; the `VecDeque` operations inside the critical
+    /// sections cannot leave it logically inconsistent, so the queue keeps
+    /// serving rather than cascading the panic to every producer.
+    fn lock(&self) -> MutexGuard<'_, State<T>> {
+        self.inner
+            .state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Non-blocking push: `Ok(depth)` (the queue length including the new
+    /// item) on success, the item back in a [`PushError`] otherwise.
+    pub fn try_push(&self, item: T) -> Result<usize, PushError<T>> {
+        let mut state = self.lock();
+        if state.closed {
+            return Err(PushError::Closed(item));
+        }
+        if state.buf.len() >= state.capacity {
+            return Err(PushError::Full(item));
+        }
+        state.buf.push_back(item);
+        let depth = state.buf.len();
+        drop(state);
+        self.inner.not_empty.notify_one();
+        Ok(depth)
+    }
+
+    /// Blocking pop: waits for an item, returns `None` only once the queue
+    /// is closed **and** drained (remaining items are still handed out
+    /// after close, so consumers finish queued work before exiting).
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.lock();
+        loop {
+            if let Some(item) = state.buf.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self
+                .inner
+                .not_empty
+                .wait(state)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+    }
+
+    /// Closes the queue: producers are refused from now on, consumers drain
+    /// what is left and then observe `None`.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.inner.not_empty.notify_all();
+    }
+
+    /// Current queue depth.
+    pub fn len(&self) -> usize {
+        self.lock().buf.len()
+    }
+
+    /// True iff no items are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The fixed capacity.
+    pub fn capacity(&self) -> usize {
+        self.lock().capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn rejects_when_full_and_hands_the_item_back() {
+        let q = BoundedQueue::new(2);
+        assert_eq!(q.try_push(1).unwrap(), 1);
+        assert_eq!(q.try_push(2).unwrap(), 2);
+        match q.try_push(3) {
+            Err(PushError::Full(item)) => assert_eq!(item, 3),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.try_push(3).unwrap(), 2, "room again after a pop");
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = BoundedQueue::new(4);
+        q.try_push("a").unwrap();
+        q.try_push("b").unwrap();
+        q.close();
+        match q.try_push("c") {
+            Err(PushError::Closed(item)) => assert_eq!(item, "c"),
+            other => panic!("expected Closed, got {other:?}"),
+        }
+        assert_eq!(q.pop(), Some("a"));
+        assert_eq!(q.pop(), Some("b"));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None, "stays ended");
+    }
+
+    #[test]
+    fn blocking_pop_wakes_on_push_and_on_close() {
+        let q = BoundedQueue::new(1);
+        let q2 = q.clone();
+        let consumer = thread::spawn(move || (q2.pop(), q2.pop()));
+        thread::sleep(Duration::from_millis(20));
+        q.try_push(42).unwrap();
+        thread::sleep(Duration::from_millis(20));
+        q.close();
+        let (first, second) = consumer.join().unwrap();
+        assert_eq!(first, Some(42));
+        assert_eq!(second, None);
+    }
+
+    #[test]
+    fn capacity_is_clamped_to_one() {
+        let q: BoundedQueue<u8> = BoundedQueue::new(0);
+        assert_eq!(q.capacity(), 1);
+        q.try_push(1).unwrap();
+        assert!(matches!(q.try_push(2), Err(PushError::Full(2))));
+    }
+
+    #[test]
+    fn many_producers_one_consumer() {
+        let q = BoundedQueue::new(64);
+        let mut producers = Vec::new();
+        for t in 0..4 {
+            let q = q.clone();
+            producers.push(thread::spawn(move || {
+                let mut accepted = 0u32;
+                for i in 0..200 {
+                    // Spin on Full: the consumer is draining concurrently.
+                    let mut item = t * 1000 + i;
+                    loop {
+                        match q.try_push(item) {
+                            Ok(_) => break,
+                            Err(PushError::Full(back)) => {
+                                item = back;
+                                thread::yield_now();
+                            }
+                            Err(PushError::Closed(_)) => panic!("closed early"),
+                        }
+                    }
+                    accepted += 1;
+                }
+                accepted
+            }));
+        }
+        let qc = q.clone();
+        let consumer = thread::spawn(move || {
+            let mut got = Vec::new();
+            while let Some(item) = qc.pop() {
+                got.push(item);
+            }
+            got
+        });
+        let accepted: u32 = producers.into_iter().map(|p| p.join().unwrap()).sum();
+        q.close();
+        let got = consumer.join().unwrap();
+        assert_eq!(accepted, 800);
+        assert_eq!(got.len(), 800, "every accepted item is delivered");
+    }
+}

@@ -1,0 +1,545 @@
+//! The long-lived serving front end: worker threads holding warm
+//! [`PopularSolver`]s behind the bounded queue, with panic isolation and
+//! the degradation policy wired in (see the crate docs for the failure
+//! model).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use pm_popular::instance::{Assignment, PrefInstance};
+use pm_popular::solver::PopularSolver;
+use pm_popular::PopularError;
+
+use crate::degrade::{serial_dictatorship, FailureDisposition, Gate, HealthMap};
+use crate::faults::{InjectedFault, Spec};
+use crate::queue::{BoundedQueue, PushError};
+
+/// Which pipeline a request wants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolveMode {
+    /// Algorithm 1: any popular matching.
+    #[default]
+    Popular,
+    /// Algorithms 1 + 3: a maximum-cardinality popular matching.
+    MaxCardinality,
+}
+
+/// A solve request.
+///
+/// `instance_id` keys the degradation state and the last-good cache:
+/// requests sharing an id are treated as traffic against one logical
+/// instance (the id is the client's to choose — e.g. a tenant or snapshot
+/// id).  The instance itself travels as an `Arc` so a queue full of
+/// requests against one big instance costs one allocation, not many.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// The (validated) instance to solve.
+    pub instance: Arc<PrefInstance>,
+    /// Degradation/cache key; see the type docs.
+    pub instance_id: u64,
+    /// Which pipeline to run.
+    pub mode: SolveMode,
+    /// Latest useful completion time.  `None` means no deadline.
+    pub deadline: Option<Instant>,
+}
+
+impl Request {
+    /// A [`SolveMode::Popular`] request with no deadline.
+    pub fn new(instance: Arc<PrefInstance>, instance_id: u64) -> Self {
+        Self {
+            instance,
+            instance_id,
+            mode: SolveMode::Popular,
+            deadline: None,
+        }
+    }
+
+    /// Sets the pipeline.
+    pub fn with_mode(mut self, mode: SolveMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Sets the deadline as a timeout from now.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.deadline = Some(Instant::now() + timeout);
+        self
+    }
+}
+
+/// How trustworthy a [`Response`]'s matching is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Quality {
+    /// A fresh solve of the submitted instance: popular (or
+    /// maximum-cardinality popular) as requested.
+    Full,
+    /// The cached matching of this id's last *successful* solve — possibly
+    /// computed against an older snapshot of the instance.
+    Stale,
+    /// A serial-dictatorship approximation: valid, but with no popularity
+    /// guarantee.
+    Fallback,
+}
+
+/// A successful (possibly degraded) answer.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// The matching.
+    pub matching: Assignment,
+    /// Full, stale or fallback — degraded answers are always flagged.
+    pub quality: Quality,
+    /// True iff the solve finished after the request's deadline (the
+    /// answer is delivered anyway; the overrun is also counted in
+    /// [`StatsSnapshot::deadline_overruns`]).
+    pub overran_deadline: bool,
+}
+
+impl Response {
+    /// True iff this answer came from the degradation path rather than a
+    /// fresh solve of the submitted instance.
+    pub fn is_degraded(&self) -> bool {
+        self.quality != Quality::Full
+    }
+}
+
+/// Why a request got no (full or degraded) matching.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The bounded queue was full — backpressure.  Retry later, shed load
+    /// upstream, or widen the deployment; the server never buffers without
+    /// limit.
+    Overloaded {
+        /// The configured queue capacity that was exhausted.
+        capacity: usize,
+    },
+    /// The deadline passed while the request waited; it was shed without
+    /// touching a solver.
+    DeadlineExpired {
+        /// How long the request had been queued when it was shed.
+        queued_for: Duration,
+    },
+    /// The solver answered with a typed error (no popular matching, ties
+    /// not supported, …) — a deterministic property of the input, not a
+    /// server failure, so it never triggers degradation.
+    Solve(PopularError),
+    /// The solve failed (panic or injected fault) and the instance has not
+    /// yet crossed the degradation threshold `K`.
+    Faulted,
+    /// The server is shut down (or the worker serving this request died).
+    Closed,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Overloaded { capacity } => {
+                write!(
+                    f,
+                    "overloaded: the request queue (capacity {capacity}) is full"
+                )
+            }
+            ServeError::DeadlineExpired { queued_for } => {
+                write!(f, "deadline expired after queueing for {queued_for:?}")
+            }
+            ServeError::Solve(e) => write!(f, "solve error: {e}"),
+            ServeError::Faulted => write!(f, "solve failed (panic or injected fault)"),
+            ServeError::Closed => write!(f, "server closed"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Server tuning knobs.  `Default` is a sensible single-machine deployment;
+/// every field can be overridden before [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads, each holding one warm [`PopularSolver`] (≥ 1).
+    pub workers: usize,
+    /// Bounded queue capacity; a full queue rejects with
+    /// [`ServeError::Overloaded`].
+    pub queue_capacity: usize,
+    /// Consecutive failures on one instance id before the server degrades
+    /// it (`K`; clamped to ≥ 1).
+    pub degrade_after: u32,
+    /// First re-promotion probe delay after degrading.
+    pub backoff_initial: Duration,
+    /// Backoff ceiling (doubling stops here).
+    pub backoff_max: Duration,
+    /// Fault-injection spec.  `Default` reads [`PM_FAULTS`]; pass
+    /// [`Spec::none`] for a deterministic server regardless of the
+    /// environment.
+    ///
+    /// [`PM_FAULTS`]: crate::faults::ENV_VAR
+    pub faults: Spec,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            workers: 1,
+            queue_capacity: 64,
+            degrade_after: 3,
+            backoff_initial: Duration::from_millis(50),
+            backoff_max: Duration::from_secs(2),
+            faults: Spec::from_env(),
+        }
+    }
+}
+
+/// Counter snapshot (monotonic since [`Server::start`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// Requests answered by a fresh solve (including typed solve errors —
+    /// the solver ran and produced its deterministic answer).
+    pub served: u64,
+    /// Requests rejected at submit because the queue was full.
+    pub rejected: u64,
+    /// Requests shed because their deadline expired before a solver picked
+    /// them up.
+    pub shed: u64,
+    /// Solve panics trapped by `catch_unwind` (each also discards and
+    /// rebuilds the worker's solver).
+    pub panics_recovered: u64,
+    /// Degraded answers served (stale last-good or fallback).
+    pub degraded_responses: u64,
+    /// Solves that finished after their request's deadline.
+    pub deadline_overruns: u64,
+    /// Typed solver errors passed through to clients (subset of `served`).
+    pub solve_errors: u64,
+}
+
+#[derive(Debug, Default)]
+struct Stats {
+    served: AtomicU64,
+    rejected: AtomicU64,
+    shed: AtomicU64,
+    panics_recovered: AtomicU64,
+    degraded_responses: AtomicU64,
+    deadline_overruns: AtomicU64,
+    solve_errors: AtomicU64,
+}
+
+impl Stats {
+    fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            served: self.served.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            panics_recovered: self.panics_recovered.load(Ordering::Relaxed),
+            degraded_responses: self.degraded_responses.load(Ordering::Relaxed),
+            deadline_overruns: self.deadline_overruns.load(Ordering::Relaxed),
+            solve_errors: self.solve_errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A queued request plus its reply slot.
+struct Job {
+    req: Request,
+    enqueued_at: Instant,
+    reply: mpsc::Sender<Result<Response, ServeError>>,
+}
+
+/// The handle for an in-flight request; [`wait`](Ticket::wait) blocks for
+/// the outcome.
+#[derive(Debug)]
+pub struct Ticket {
+    rx: mpsc::Receiver<Result<Response, ServeError>>,
+}
+
+impl Ticket {
+    /// Blocks until the server answers.  A worker that died without
+    /// replying (process-fatal conditions only — solve panics are trapped)
+    /// surfaces as [`ServeError::Closed`].
+    pub fn wait(self) -> Result<Response, ServeError> {
+        self.rx.recv().unwrap_or(Err(ServeError::Closed))
+    }
+
+    /// Like [`wait`](Self::wait) with an upper bound; `None` on timeout
+    /// (the request stays in flight and can be waited on again).
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<Response, ServeError>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(r) => Some(r),
+            Err(mpsc::RecvTimeoutError::Timeout) => None,
+            Err(mpsc::RecvTimeoutError::Disconnected) => Some(Err(ServeError::Closed)),
+        }
+    }
+}
+
+struct Shared {
+    queue: BoundedQueue<Job>,
+    health: HealthMap,
+    stats: Stats,
+    faults: Spec,
+    queue_capacity: usize,
+}
+
+/// The serving front end (see the crate docs).  Dropping the server closes
+/// the queue, lets the workers drain it, and joins them.
+pub struct Server {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Starts the worker threads and returns the handle.
+    pub fn start(cfg: ServerConfig) -> Self {
+        let shared = Arc::new(Shared {
+            queue: BoundedQueue::new(cfg.queue_capacity),
+            health: HealthMap::new(cfg.degrade_after, cfg.backoff_initial, cfg.backoff_max),
+            stats: Stats::default(),
+            faults: cfg.faults.clone(),
+            queue_capacity: cfg.queue_capacity.max(1),
+        });
+        let workers = (0..cfg.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("pm-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawning a serve worker")
+            })
+            .collect();
+        Self { shared, workers }
+    }
+
+    /// Submits a request; returns immediately with a [`Ticket`] or a typed
+    /// rejection ([`Overloaded`](ServeError::Overloaded) under
+    /// backpressure, [`DeadlineExpired`](ServeError::DeadlineExpired) if
+    /// the deadline already passed).
+    pub fn submit(&self, req: Request) -> Result<Ticket, ServeError> {
+        let now = Instant::now();
+        if req.deadline.is_some_and(|d| now >= d) {
+            self.shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::DeadlineExpired {
+                queued_for: Duration::ZERO,
+            });
+        }
+        let (tx, rx) = mpsc::channel();
+        let job = Job {
+            req,
+            enqueued_at: now,
+            reply: tx,
+        };
+        match self.shared.queue.try_push(job) {
+            Ok(_) => Ok(Ticket { rx }),
+            Err(PushError::Full(_)) => {
+                self.shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                Err(ServeError::Overloaded {
+                    capacity: self.shared.queue_capacity,
+                })
+            }
+            Err(PushError::Closed(_)) => Err(ServeError::Closed),
+        }
+    }
+
+    /// Submit + wait, for callers that want a blocking RPC shape.
+    pub fn call(&self, req: Request) -> Result<Response, ServeError> {
+        self.submit(req)?.wait()
+    }
+
+    /// Current counter values.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.stats.snapshot()
+    }
+
+    /// Current queue depth (for load shedding decisions upstream).
+    pub fn queue_len(&self) -> usize {
+        self.shared.queue.len()
+    }
+
+    /// Forces `instance_id` into the degraded state with the probe window
+    /// pushed `backoff_max` out — the ops/bench hook for exercising and
+    /// measuring the degraded path without injecting failures.
+    pub fn force_degrade(&self, instance_id: u64) {
+        self.shared
+            .health
+            .force_degrade(instance_id, Instant::now());
+    }
+
+    /// Closes the queue, drains outstanding requests, joins the workers.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.shared.queue.close();
+        for w in self.workers.drain(..) {
+            // A worker that somehow died still closed its reply channels;
+            // nothing useful to do with its panic payload here.
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// What one isolated solve attempt produced.
+enum Attempt {
+    Ok(Assignment),
+    TypedError(PopularError),
+    /// Panic (true) or injected I/O fault (false).
+    Failed {
+        panicked: bool,
+    },
+}
+
+fn worker_loop(shared: &Shared) {
+    let mut solver = PopularSolver::new(0, 0);
+    while let Some(job) = shared.queue.pop() {
+        handle(shared, &mut solver, job);
+    }
+}
+
+fn handle(shared: &Shared, solver: &mut PopularSolver, job: Job) {
+    let now = Instant::now();
+    let Job {
+        req,
+        enqueued_at,
+        reply,
+    } = job;
+
+    // Deadline shedding: an expired request never touches a solver.
+    if req.deadline.is_some_and(|d| now >= d) {
+        shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+        let _ = reply.send(Err(ServeError::DeadlineExpired {
+            queued_for: now - enqueued_at,
+        }));
+        return;
+    }
+
+    // Degradation gate: a degraded id inside its backoff window is answered
+    // without solver traffic.
+    let probing = match shared.health.gate(req.instance_id, now) {
+        Gate::Solve { probe } => probe,
+        Gate::Stale(matching) => {
+            respond_degraded(shared, &reply, matching, Quality::Stale, &req);
+            return;
+        }
+        Gate::Fallback => {
+            let matching = serial_dictatorship(&req.instance);
+            respond_degraded(shared, &reply, matching, Quality::Fallback, &req);
+            return;
+        }
+    };
+
+    // The isolated solve: fail point, then the pipeline, under
+    // `catch_unwind`.  Only the solver and the instance cross the unwind
+    // boundary — the reply channel stays out here so every path answers.
+    let attempt = {
+        let instance = &req.instance;
+        let mode = req.mode;
+        let faults = &shared.faults;
+        match catch_unwind(AssertUnwindSafe(
+            || -> Result<Result<Assignment, PopularError>, InjectedFault> {
+                faults.fail_solve()?;
+                Ok(match mode {
+                    SolveMode::Popular => solver.solve(instance).cloned(),
+                    SolveMode::MaxCardinality => solver.solve_max_cardinality(instance).cloned(),
+                })
+            },
+        )) {
+            Ok(Ok(Ok(matching))) => Attempt::Ok(matching),
+            Ok(Ok(Err(e))) => Attempt::TypedError(e),
+            Ok(Err(InjectedFault::Io)) => Attempt::Failed { panicked: false },
+            Err(payload) => {
+                drop(payload);
+                Attempt::Failed { panicked: true }
+            }
+        }
+    };
+
+    match attempt {
+        Attempt::Ok(matching) => {
+            let finished = Instant::now();
+            let overran = req.deadline.is_some_and(|d| finished > d);
+            if overran {
+                shared
+                    .stats
+                    .deadline_overruns
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            shared.health.record_success(req.instance_id, &matching);
+            shared.stats.served.fetch_add(1, Ordering::Relaxed);
+            let _ = reply.send(Ok(Response {
+                matching,
+                quality: Quality::Full,
+                overran_deadline: overran,
+            }));
+        }
+        Attempt::TypedError(e) => {
+            // A deterministic property of the input: answered, not a
+            // failure.  `SolverPoisoned` cannot reach here: panics rebuild
+            // the solver below before the next request.  A *probe* landing
+            // here proves the solver healthy, so the id is re-promoted
+            // (with nothing to cache).
+            if probing {
+                shared.health.record_healthy(req.instance_id);
+            }
+            shared.stats.served.fetch_add(1, Ordering::Relaxed);
+            shared.stats.solve_errors.fetch_add(1, Ordering::Relaxed);
+            let _ = reply.send(Err(ServeError::Solve(e)));
+        }
+        Attempt::Failed { panicked } => {
+            if panicked {
+                shared
+                    .stats
+                    .panics_recovered
+                    .fetch_add(1, Ordering::Relaxed);
+                // A panic mid-solve leaves the solver poisoned (workspace
+                // epoch check); a panic at the fail point may not.  Either
+                // way the warm state is discarded wholesale, so no later
+                // request can observe dirty buffers.
+                *solver = PopularSolver::new(0, 0);
+            }
+            match shared
+                .health
+                .record_failure(req.instance_id, Instant::now())
+            {
+                FailureDisposition::Error => {
+                    let _ = reply.send(Err(ServeError::Faulted));
+                }
+                FailureDisposition::Stale(matching) => {
+                    respond_degraded(shared, &reply, matching, Quality::Stale, &req);
+                }
+                FailureDisposition::Fallback => {
+                    let matching = serial_dictatorship(&req.instance);
+                    respond_degraded(shared, &reply, matching, Quality::Fallback, &req);
+                }
+            }
+        }
+    }
+}
+
+fn respond_degraded(
+    shared: &Shared,
+    reply: &mpsc::Sender<Result<Response, ServeError>>,
+    matching: Assignment,
+    quality: Quality,
+    req: &Request,
+) {
+    shared
+        .stats
+        .degraded_responses
+        .fetch_add(1, Ordering::Relaxed);
+    let overran = req.deadline.is_some_and(|d| Instant::now() > d);
+    if overran {
+        shared
+            .stats
+            .deadline_overruns
+            .fetch_add(1, Ordering::Relaxed);
+    }
+    let _ = reply.send(Ok(Response {
+        matching,
+        quality,
+        overran_deadline: overran,
+    }));
+}

@@ -1,0 +1,222 @@
+//! Functional tests for the serving layer under *controlled* conditions:
+//! every server here gets an explicit fault spec (inert unless the test is
+//! about injection), so the suite is deterministic even when the
+//! environment exports `PM_FAULTS` (as the CI chaos leg does).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use pm_instances::generators::{self, GeneratorConfig};
+use pm_popular::{is_popular_characterization, PopularError, PopularSolver, PrefInstance};
+use pm_serve::faults::Spec;
+use pm_serve::{Quality, Request, ServeError, Server, ServerConfig, SolveMode};
+
+fn gen(n: usize, seed: u64) -> Arc<PrefInstance> {
+    Arc::new(generators::solvable(&GeneratorConfig {
+        num_applicants: n,
+        num_posts: n + n / 8 + 1,
+        list_len: 4,
+        seed,
+    }))
+}
+
+fn quiet_config() -> ServerConfig {
+    ServerConfig {
+        faults: Spec::none(),
+        ..ServerConfig::default()
+    }
+}
+
+#[test]
+fn serves_matchings_identical_to_a_direct_solver() {
+    let mut cfg = quiet_config();
+    cfg.workers = 2;
+    let server = Server::start(cfg);
+    let mut direct = PopularSolver::new(0, 0);
+    for seed in 0..6u64 {
+        let inst = gen(80 + seed as usize * 130, seed);
+        let resp = server.call(Request::new(Arc::clone(&inst), seed)).unwrap();
+        assert_eq!(resp.quality, Quality::Full);
+        assert!(!resp.is_degraded());
+        assert!(!resp.overran_deadline);
+        let want = direct.solve(&inst).unwrap();
+        assert_eq!(resp.matching.as_slice(), want.as_slice());
+        assert!(is_popular_characterization(&inst, &resp.matching));
+    }
+    let stats = server.stats();
+    assert_eq!(stats.served, 6);
+    assert_eq!(stats.rejected, 0);
+    assert_eq!(stats.shed, 0);
+    assert_eq!(stats.panics_recovered, 0);
+    assert_eq!(stats.degraded_responses, 0);
+    server.shutdown();
+}
+
+#[test]
+fn max_cardinality_mode_routes_to_the_right_pipeline() {
+    let server = Server::start(quiet_config());
+    let mut direct = PopularSolver::new(0, 0);
+    let inst = gen(200, 99);
+    let resp = server
+        .call(Request::new(Arc::clone(&inst), 1).with_mode(SolveMode::MaxCardinality))
+        .unwrap();
+    let want = direct.solve_max_cardinality(&inst).unwrap();
+    assert_eq!(resp.matching.as_slice(), want.as_slice());
+}
+
+#[test]
+fn typed_solver_errors_pass_through_and_never_degrade() {
+    // No popular matching exists: the solver's answer is deterministic and
+    // legitimate, so even K+ consecutive requests must keep returning the
+    // typed error instead of flipping the id into degraded mode.
+    let unsolvable =
+        Arc::new(PrefInstance::new_strict(3, vec![vec![0, 2], vec![0, 2], vec![0, 2]]).unwrap());
+    let mut cfg = quiet_config();
+    cfg.degrade_after = 2;
+    let server = Server::start(cfg);
+    for _ in 0..6 {
+        match server.call(Request::new(Arc::clone(&unsolvable), 7)) {
+            Err(ServeError::Solve(PopularError::NoPopularMatching)) => {}
+            other => panic!("expected the typed solve error, got {other:?}"),
+        }
+    }
+    let stats = server.stats();
+    assert_eq!(stats.served, 6, "typed errors still count as served");
+    assert_eq!(stats.solve_errors, 6);
+    assert_eq!(stats.degraded_responses, 0);
+    server.shutdown();
+}
+
+#[test]
+fn full_queue_rejects_with_typed_overload() {
+    // One worker, slowed by an injected delay, queue of 2: flooding with
+    // submits must produce typed Overloaded rejections, and every accepted
+    // ticket must still be answered.
+    let mut cfg = quiet_config();
+    cfg.workers = 1;
+    cfg.queue_capacity = 2;
+    cfg.faults = Spec::parse("delay:20ms").unwrap();
+    let server = Server::start(cfg);
+    let inst = gen(60, 5);
+
+    let mut tickets = Vec::new();
+    let mut rejected = 0u32;
+    for _ in 0..20 {
+        match server.submit(Request::new(Arc::clone(&inst), 1)) {
+            Ok(t) => tickets.push(t),
+            Err(ServeError::Overloaded { capacity }) => {
+                assert_eq!(capacity, 2);
+                rejected += 1;
+            }
+            Err(other) => panic!("unexpected rejection {other:?}"),
+        }
+    }
+    assert!(
+        rejected > 0,
+        "20 instant submits must overflow a queue of 2"
+    );
+    let accepted = tickets.len() as u64;
+    for t in tickets {
+        let resp = t.wait().expect("accepted requests are served");
+        assert_eq!(resp.quality, Quality::Full);
+    }
+    let stats = server.stats();
+    assert_eq!(stats.rejected, u64::from(rejected));
+    assert_eq!(stats.served, accepted);
+    server.shutdown();
+}
+
+#[test]
+fn expired_requests_are_shed_before_touching_a_solver() {
+    let mut cfg = quiet_config();
+    cfg.workers = 1;
+    cfg.faults = Spec::parse("delay:30ms").unwrap();
+    let server = Server::start(cfg);
+    let inst = gen(60, 6);
+
+    // Already expired at submit: shed at the door.
+    match server.submit(Request::new(Arc::clone(&inst), 1).with_timeout(Duration::ZERO)) {
+        Err(ServeError::DeadlineExpired { queued_for }) => {
+            assert_eq!(queued_for, Duration::ZERO);
+        }
+        other => panic!("expected DeadlineExpired at submit, got {other:?}"),
+    }
+
+    // Expired while queued behind a slow solve: shed by the worker, with
+    // the queue latency reported.
+    let head = server
+        .submit(Request::new(Arc::clone(&inst), 1))
+        .expect("the first request is accepted");
+    let doomed = server
+        .submit(Request::new(Arc::clone(&inst), 1).with_timeout(Duration::from_millis(5)))
+        .expect("the queue has room");
+    match doomed.wait() {
+        Err(ServeError::DeadlineExpired { queued_for }) => {
+            assert!(queued_for >= Duration::from_millis(5));
+        }
+        other => panic!("expected a queued shed, got {other:?}"),
+    }
+    head.wait().expect("the slow head request still completes");
+    assert_eq!(server.stats().shed, 2);
+    server.shutdown();
+}
+
+#[test]
+fn late_solves_are_delivered_but_recorded_as_overruns() {
+    let mut cfg = quiet_config();
+    cfg.faults = Spec::parse("delay:30ms").unwrap();
+    let server = Server::start(cfg);
+    let inst = gen(60, 7);
+    let resp = server
+        .call(Request::new(inst, 1).with_timeout(Duration::from_millis(5)))
+        .expect("an in-flight overrun still delivers the matching");
+    assert!(resp.overran_deadline);
+    assert_eq!(resp.quality, Quality::Full);
+    assert_eq!(server.stats().deadline_overruns, 1);
+    server.shutdown();
+}
+
+#[test]
+fn force_degrade_serves_fallback_then_stale() {
+    let mut cfg = quiet_config();
+    cfg.backoff_max = Duration::from_secs(60);
+    let server = Server::start(cfg);
+    let inst = gen(120, 8);
+
+    // No last-good yet: the degraded answer is the serial-dictatorship
+    // fallback, flagged as such and still a valid assignment.
+    server.force_degrade(1);
+    let resp = server.call(Request::new(Arc::clone(&inst), 1)).unwrap();
+    assert_eq!(resp.quality, Quality::Fallback);
+    assert!(resp.is_degraded());
+    assert!(resp.matching.is_valid(&inst));
+
+    // A different id solves normally, then degrades: its cached last-good
+    // matching is served stale, bit-identical to the full answer.
+    let full = server.call(Request::new(Arc::clone(&inst), 2)).unwrap();
+    assert_eq!(full.quality, Quality::Full);
+    server.force_degrade(2);
+    let stale = server.call(Request::new(Arc::clone(&inst), 2)).unwrap();
+    assert_eq!(stale.quality, Quality::Stale);
+    assert_eq!(stale.matching, full.matching);
+
+    assert_eq!(server.stats().degraded_responses, 2);
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_drains_accepted_requests() {
+    let mut cfg = quiet_config();
+    cfg.workers = 1;
+    cfg.queue_capacity = 16;
+    cfg.faults = Spec::parse("delay:5ms").unwrap();
+    let server = Server::start(cfg);
+    let inst = gen(60, 9);
+    let tickets: Vec<_> = (0..8)
+        .map(|_| server.submit(Request::new(Arc::clone(&inst), 1)).unwrap())
+        .collect();
+    server.shutdown();
+    for t in tickets {
+        t.wait().expect("queued requests are drained, not dropped");
+    }
+}

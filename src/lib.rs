@@ -31,6 +31,7 @@ pub use pm_linalg as linalg;
 pub use pm_matching as matching;
 pub use pm_popular as popular;
 pub use pm_pram as pram;
+pub use pm_serve as serve;
 pub use pm_stable as stable;
 
 /// Everything the examples and most downstream users need in one import.
@@ -49,6 +50,7 @@ pub mod prelude {
     pub use pm_popular::verify::{is_popular_characterization, more_popular};
     pub use pm_popular::PopularError;
     pub use pm_pram::{DepthTracker, Idx, PramStats, Workspace};
+    pub use pm_serve::{Quality, Request, Response, ServeError, Server, ServerConfig};
     pub use pm_stable::instance::{SmInstance, StableMatching};
     pub use pm_stable::lattice::all_stable_matchings;
     pub use pm_stable::next::{next_stable_matchings, NextStableOutcome};

@@ -154,3 +154,75 @@ fn batched_and_ties_serving_match_their_references() {
         assert_eq!(got.left_assignment(), want.left_assignment(), "seed {seed}");
     }
 }
+
+fn run_batch_error_isolation(threads: usize) {
+    // PR 7 satellite: a failing item inside a batch must not corrupt its
+    // siblings or the pooled buffers.  The batch mixes solvable instances
+    // with a NoPopularMatching instance and a TiesNotSupported instance;
+    // each sibling's answer must be bit-identical to a fresh individual
+    // solve, and the SAME warm solver must keep producing identical batches
+    // across repeated rounds (pool integrity after error paths).
+    pool(threads).install(|| {
+        let cfg = |n: usize, seed: u64| GeneratorConfig {
+            num_applicants: n,
+            num_posts: n + n / 8 + 1,
+            list_len: 4,
+            seed,
+        };
+        let unsolvable =
+            PrefInstance::new_strict(3, vec![vec![0, 2], vec![0, 2], vec![0, 2]]).unwrap();
+        let tied = PrefInstance::new_with_ties(3, vec![vec![vec![0, 1]], vec![vec![2]]]).unwrap();
+        let batch = vec![
+            generators::solvable(&cfg(300, 21)),
+            unsolvable,
+            generators::solvable(&cfg(900, 22)),
+            tied,
+            generators::solvable(&cfg(150, 23)),
+        ];
+
+        // Fresh per-instance references.
+        let want: Vec<_> = batch
+            .iter()
+            .map(|inst| PopularSolver::new(0, 0).solve(inst).cloned())
+            .collect();
+        assert!(matches!(want[1], Err(PopularError::NoPopularMatching)));
+        assert!(matches!(want[3], Err(PopularError::TiesNotSupported)));
+
+        let mut solver = PopularSolver::new(0, 0);
+        for round in 0..3 {
+            let got = solver.solve_batch(&batch);
+            assert_eq!(got.len(), batch.len());
+            for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+                match (g, w) {
+                    (Ok(g), Ok(w)) => {
+                        assert_eq!(
+                            g.as_slice(),
+                            w.as_slice(),
+                            "round {round}, instance {i}: sibling corrupted by an error path"
+                        );
+                        assert!(is_popular_characterization(&batch[i], g));
+                    }
+                    (Err(e1), Err(e2)) => assert_eq!(e1, e2, "round {round}, instance {i}"),
+                    (g, w) => panic!("round {round}, instance {i}: {g:?} vs {w:?}"),
+                }
+            }
+        }
+
+        // The pool survives the error rounds: a fresh solvable solve on the
+        // same warm solver still matches its reference exactly.
+        let extra = generators::solvable(&cfg(500, 24));
+        let want_extra = PopularSolver::new(0, 0).solve(&extra).cloned();
+        let got_extra = solver.solve(&extra).cloned();
+        assert_eq!(got_extra, want_extra);
+    });
+}
+
+#[test]
+fn batch_error_paths_do_not_corrupt_siblings_at_width_1() {
+    run_batch_error_isolation(1);
+}
+
+#[test]
+fn batch_error_paths_do_not_corrupt_siblings_at_width_4() {
+    run_batch_error_isolation(4);
+}
