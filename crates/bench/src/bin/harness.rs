@@ -14,13 +14,16 @@
 //! graph, the ties reduction) plus the `served/` family — repeated warm
 //! solves on a reused [`PopularSolver`], the cold free-function path for
 //! comparison, and batched throughput, all reported as amortized
-//! per-request milliseconds — and writes schema-4 `BENCH_popular.json`,
+//! per-request milliseconds — and writes schema-5 `BENCH_popular.json`,
 //! the perf trajectory file every perf PR measures itself against.  The
 //! server-routed families (`served/server_warm`, `served/degraded`,
 //! `faults/chaos`) push the same request stream through the fault-tolerant
 //! [`Server`] and record its counters (served / rejected / shed /
 //! panics_recovered / degraded_responses) alongside the timings; see
-//! `server_trajectory`.
+//! `server_trajectory`.  The incremental families
+//! (`served/incremental/edit_churn`, `…/mixed_churn`, `…/server_churn`)
+//! replay churn streams against a warm [`DeltaSolver`] and report amortized
+//! per-delta milliseconds; see `incremental_trajectory`.
 //!
 //! The harness binary installs a **counting global allocator**; the warm
 //! `served/` measurement runs a width-1 warm solve under it and hard-fails
@@ -94,6 +97,7 @@ use pm_graph::cycle::{
 use pm_instances::paper;
 use pm_matching::hopcroft_karp::hopcroft_karp;
 use pm_popular::algorithm1::popular_matching_run;
+use pm_popular::delta::{DeltaMode, DeltaSolver};
 use pm_popular::instance::PrefInstance;
 use pm_popular::max_cardinality::maximum_cardinality_popular_matching_nc;
 use pm_popular::optimal::{fair_popular_matching, rank_maximal_popular_matching};
@@ -106,7 +110,7 @@ use pm_popular::verify::is_popular_characterization;
 use pm_popular::PopularError;
 use pm_pram::DepthTracker;
 use pm_serve::faults::Spec;
-use pm_serve::{Request, ServeError, Server, ServerConfig};
+use pm_serve::{DeltaRequest, Request, ServeError, Server, ServerConfig, SolveMode};
 use pm_stable::next::{next_stable_matchings, NextStableOutcome};
 use pm_stable::rotations::exposed_rotations_sequential;
 
@@ -827,6 +831,7 @@ fn json_trajectory(quick: bool, threads: &[usize], out_path: &str, filter: Optio
     }
 
     served_trajectory(quick, threads, reps, &selected, &mut results);
+    incremental_trajectory(quick, threads, reps, &selected, &mut results);
     server_trajectory(quick, reps, &selected, &mut results);
     cold_trajectory(quick, reps, &selected, &mut results);
 
@@ -999,6 +1004,290 @@ fn served_trajectory(
                 ),
             ],
         });
+    }
+}
+
+/// Fraction of a full warm solve the amortized per-delta cost of pure-edit
+/// churn may reach before the harness exits non-zero (the incremental
+/// regression gate CI runs on every push).  Dirty-component re-solves on
+/// star-shaped components are microseconds against a full solve's hundreds
+/// of milliseconds at n = 10^6, so 20% is a loose tripwire: it only fires
+/// when the delta path has collapsed into near-constant full re-solves.
+const INCREMENTAL_GATE_FRACTION: f64 = 0.20;
+
+/// The `served/incremental/` workload family (PR 8): churn streams against
+/// a warm [`DeltaSolver`], reported as amortized per-delta milliseconds —
+///
+/// * `served/incremental/edit_churn` — pure `EditPrefList` deltas with the
+///   first choice pinned (no f-census flips), the regime the incremental
+///   layer is built for: every apply-and-flush round re-solves only the
+///   edited applicant's component and splices it into the cached global
+///   matching.  Runs two gates at width 1: the **zero-allocation gate**
+///   (warm apply+flush rounds on clean shards must not touch the
+///   allocator) and the **incremental gate** (amortized per-delta cost must
+///   stay under [`INCREMENTAL_GATE_FRACTION`] of a full warm solve).
+/// * `served/incremental/mixed_churn` — the honest mix (edits, applicant
+///   add/remove, post add/remove); post-set changes force full rebuilds by
+///   design, so this family records what heterogeneous churn actually
+///   costs, fallbacks included.  The stream mutates the instance, so each
+///   measured pass reinstalls a fresh solver (untimed) and is timed once.
+/// * `served/incremental/server_churn` — the same edit stream through the
+///   fault-tolerant [`Server`] delta path (bounded queue, scheduling tick,
+///   coalescing, health gate), measured at width 1 with the server's
+///   delta counters recorded alongside.
+fn incremental_trajectory(
+    quick: bool,
+    threads: &[usize],
+    reps: usize,
+    selected: &dyn Fn(&str) -> bool,
+    results: &mut Vec<JsonResult>,
+) {
+    let inc_sizes: &[usize] = if quick {
+        &[10_000, 100_000]
+    } else {
+        &[10_000, 100_000, 1_000_000]
+    };
+    let deltas: usize = if quick { 32 } else { 64 };
+
+    if selected("served/incremental/edit_churn") {
+        for &n in inc_sizes {
+            let inst = workloads::solvable_uniform(n);
+            // The stream and its reversed-tails twin: a measured pass
+            // applies both, so every edit lands on a list the previous
+            // half-pass changed away — replaying a single stream would time
+            // no-op applies on clean shards instead of shard re-solves.
+            let stream = workloads::edit_churn_stream(&inst, deltas);
+            let streams = [workloads::resampled_twin(&inst, &stream), stream];
+            let pass_deltas = 2 * deltas;
+            let pool1 = rayon::ThreadPoolBuilder::new()
+                .num_threads(1)
+                .build()
+                .expect("shim pools always build");
+
+            // The full-warm-solve reference the incremental gate compares
+            // against: same instance, same width, steady-state solver.
+            let mut ref_solver = PopularSolver::new(inst.num_applicants(), inst.num_posts());
+            let full_warm_ms = pool1.install(|| {
+                std::hint::black_box(ref_solver.solve(&inst).expect("solvable").num_applicants());
+                let (_, t) = time_best(reps, || {
+                    std::hint::black_box(
+                        ref_solver.solve(&inst).expect("solvable").num_applicants(),
+                    )
+                });
+                t.as_secs_f64() * 1e3
+            });
+            drop(ref_solver);
+
+            let mut ds = pool1
+                .install(|| DeltaSolver::install(&inst, DeltaMode::Popular))
+                .expect("solvable workload");
+
+            // Zero-allocation gate, width 1: replay the stream until the
+            // pooled buffers (dirty lists, component scratch, sub-instance
+            // slices) reach steady state, then three full apply+flush
+            // passes must not allocate at all.
+            let mut warmups = 0u32;
+            loop {
+                let before = allocation_count();
+                pool1.install(|| {
+                    for d in streams.iter().flatten() {
+                        ds.apply(d).expect("edit churn deltas are valid");
+                        std::hint::black_box(ds.flush().expect("solvable").num_applicants());
+                    }
+                });
+                warmups += 1;
+                if allocation_count() == before || warmups >= 10 {
+                    break;
+                }
+            }
+            let before = allocation_count();
+            pool1.install(|| {
+                for _ in 0..3 {
+                    for d in streams.iter().flatten() {
+                        ds.apply(d).expect("edit churn deltas are valid");
+                        std::hint::black_box(ds.flush().expect("solvable").num_applicants());
+                    }
+                }
+            });
+            let allocs = allocation_count() - before;
+            if allocs != 0 {
+                eprintln!(
+                    "ZERO-ALLOC GATE FAILED: warm delta apply+flush performed {allocs} \
+                     allocations over 3 x {pass_deltas} deltas at n = {n} after {warmups} \
+                     warm-up passes (expected 0)"
+                );
+                std::process::exit(1);
+            }
+            eprintln!(
+                "zero-alloc gate passed at n = {n} \
+                 (0 allocations across 3 warm churn passes, {warmups} warm-ups to steady state)"
+            );
+
+            let wall_ms_by_threads: Vec<(usize, f64)> = sweep_threads(threads, reps, || {
+                for d in streams.iter().flatten() {
+                    ds.apply(d).expect("edit churn deltas are valid");
+                    std::hint::black_box(ds.flush().expect("solvable").num_applicants());
+                }
+            })
+            .into_iter()
+            .map(|(t, total_ms)| (t, total_ms / pass_deltas as f64))
+            .collect();
+
+            let amortized_ms = wall_ms_by_threads[0].1;
+            if amortized_ms > INCREMENTAL_GATE_FRACTION * full_warm_ms {
+                eprintln!(
+                    "INCREMENTAL GATE FAILED: amortized per-delta cost {amortized_ms:.3} ms \
+                     exceeds {INCREMENTAL_GATE_FRACTION} x full warm solve ({full_warm_ms:.3} ms) \
+                     at n = {n} — the delta path is re-solving from scratch"
+                );
+                std::process::exit(1);
+            }
+            eprintln!(
+                "incremental gate passed at n = {n} ({amortized_ms:.3} ms/delta vs \
+                 {full_warm_ms:.3} ms full warm solve)"
+            );
+
+            let s = ds.stats();
+            results.push(JsonResult {
+                workload: "served/incremental/edit_churn",
+                n,
+                wall_ms_by_threads,
+                pram: None,
+                extra: vec![
+                    ("deltas", pass_deltas as u64),
+                    ("full_warm_solve_us", (full_warm_ms * 1e3) as u64),
+                    ("allocs_per_pass", allocs),
+                    ("shard_solves", s.shard_solves),
+                    ("full_solves", s.full_solves),
+                    ("fallback_full_solves", s.fallback_full_solves),
+                    ("spliced_applicants", s.spliced_applicants),
+                ],
+            });
+        }
+    }
+
+    if selected("served/incremental/mixed_churn") {
+        let mixed_sizes: &[usize] = if quick { &[10_000] } else { &[10_000, 100_000] };
+        for &n in mixed_sizes {
+            let inst = workloads::solvable_uniform(n);
+            let stream = workloads::mixed_churn_stream(&inst, deltas);
+
+            // The stream mutates the instance (adds/removes), so it cannot
+            // be replayed on the same solver: each width reinstalls a fresh
+            // solver outside the timed region and times one pass.
+            let mut infeasible_flushes = 0u64;
+            let mut last_stats = None;
+            let wall_ms_by_threads: Vec<(usize, f64)> = threads
+                .iter()
+                .map(|&t| {
+                    let pool = rayon::ThreadPoolBuilder::new()
+                        .num_threads(t)
+                        .build()
+                        .expect("shim pools always build");
+                    let elapsed = pool.install(|| {
+                        let mut ds = DeltaSolver::install(&inst, DeltaMode::Popular)
+                            .expect("solvable workload");
+                        infeasible_flushes = 0;
+                        let start = std::time::Instant::now();
+                        for d in &stream {
+                            ds.apply(d).expect("mirror-validated deltas are valid");
+                            match ds.flush() {
+                                Ok(m) => {
+                                    std::hint::black_box(m.num_applicants());
+                                }
+                                Err(PopularError::NoPopularMatching) => infeasible_flushes += 1,
+                                Err(e) => panic!("mixed churn flush failed: {e}"),
+                            }
+                        }
+                        let elapsed = start.elapsed();
+                        last_stats = Some(ds.stats());
+                        elapsed
+                    });
+                    (t, elapsed.as_secs_f64() * 1e3 / deltas as f64)
+                })
+                .collect();
+
+            let s = last_stats.expect("at least one width measured");
+            results.push(JsonResult {
+                workload: "served/incremental/mixed_churn",
+                n,
+                wall_ms_by_threads,
+                pram: None,
+                extra: vec![
+                    ("deltas", deltas as u64),
+                    ("infeasible_flushes", infeasible_flushes),
+                    ("shard_solves", s.shard_solves),
+                    ("full_solves", s.full_solves),
+                    ("fallback_full_solves", s.fallback_full_solves),
+                    ("spliced_applicants", s.spliced_applicants),
+                ],
+            });
+        }
+    }
+
+    if selected("served/incremental/server_churn") {
+        let server_sizes: &[usize] = if quick { &[10_000] } else { &[10_000, 100_000] };
+        for &n in server_sizes {
+            let inst = workloads::solvable_uniform(n);
+            // Same stream/reversed-twin alternation as `edit_churn`: each
+            // measured round submits both, so replays stay genuine changes.
+            let stream = workloads::edit_churn_stream(&inst, deltas);
+            let streams = [workloads::resampled_twin(&inst, &stream), stream];
+            let pass_deltas = 2 * deltas;
+            let server = Server::start(ServerConfig {
+                workers: 1,
+                queue_capacity: deltas,
+                faults: Spec::none(),
+                ..ServerConfig::default()
+            });
+            server
+                .install_delta(1, &inst, SolveMode::Popular)
+                .expect("solvable workload");
+
+            // One burst: submit the whole stream, then wait for every
+            // ticket.  The single worker drains the queue in coalesced
+            // rounds, so this measures the full tick path — queue, drain,
+            // apply, one flush per round, response fan-out.
+            let burst = || {
+                for stream in &streams {
+                    let tickets: Vec<_> = stream
+                        .iter()
+                        .map(|d| {
+                            server
+                                .submit_delta(DeltaRequest::new(1, d.clone()))
+                                .expect("burst fits the pending capacity")
+                        })
+                        .collect();
+                    for t in tickets {
+                        let resp = t.wait().expect("edit churn deltas solve cleanly");
+                        std::hint::black_box(resp.matching.num_applicants());
+                    }
+                }
+            };
+            burst();
+            let (_, t) = time_best(reps, burst);
+
+            let s = server.stats();
+            let d = server.delta_stats(1).expect("installed above");
+            results.push(JsonResult {
+                workload: "served/incremental/server_churn",
+                n,
+                wall_ms_by_threads: vec![(1, t.as_secs_f64() * 1e3 / pass_deltas as f64)],
+                pram: None,
+                extra: vec![
+                    ("deltas", pass_deltas as u64),
+                    ("served", s.served),
+                    ("delta_ticks", s.delta_ticks),
+                    ("deltas_coalesced", s.deltas_coalesced),
+                    ("degraded_responses", s.degraded_responses),
+                    ("panics_recovered", s.panics_recovered),
+                    ("shard_solves", d.shard_solves),
+                    ("full_solves", d.full_solves),
+                    ("fallback_full_solves", d.fallback_full_solves),
+                ],
+            });
+            server.shutdown();
+        }
     }
 }
 
@@ -1294,7 +1583,7 @@ fn render_json(
     baseline: Option<&str>,
 ) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": 4,\n");
+    out.push_str("  \"schema\": 5,\n");
     out.push_str("  \"harness\": \"pm_bench --json\",\n");
     out.push_str(&format!("  \"quick\": {quick},\n"));
     out.push_str(&format!(

@@ -4,6 +4,7 @@
 //! describe the same inputs).
 
 use pm_instances::generators::{self, GeneratorConfig};
+use pm_instances::ChurnConfig;
 use pm_popular::instance::PrefInstance;
 use pm_stable::instance::SmInstance;
 
@@ -102,6 +103,41 @@ pub fn bipartite(n: usize) -> pm_graph::BipartiteGraph {
 /// E10 — random stable marriage instances with complete lists.
 pub fn stable_marriage(n: usize) -> SmInstance {
     generators::random_sm_instance(n, SEED ^ 0x1010 ^ n as u64)
+}
+
+/// E21 — a pure-edit churn stream against `inst` (first choices pinned, so
+/// no delta flips a post's f-status; see `pm_instances::churn`).  The
+/// canonical input of the `served/incremental/edit_churn` workload and the
+/// warm-delta zero-allocation gate.  The harness alternates this stream
+/// with its [`resampled_twin`] so that endless replay stays statistically
+/// identical to fresh churn (a straight repeat would re-apply tails the
+/// instance already has, timing no-ops on clean shards).
+pub fn edit_churn_stream(inst: &PrefInstance, deltas: usize) -> Vec<pm_popular::delta::Delta> {
+    let cfg = ChurnConfig {
+        deltas,
+        seed: SEED ^ 0xDE17A ^ inst.num_applicants() as u64,
+    };
+    pm_instances::churn::edit_churn(inst, &cfg)
+}
+
+/// The alternation twin of [`edit_churn_stream`]: same applicants, freshly
+/// resampled tails (see `pm_instances::churn::resampled_twin`).
+pub fn resampled_twin(
+    inst: &PrefInstance,
+    stream: &[pm_popular::delta::Delta],
+) -> Vec<pm_popular::delta::Delta> {
+    pm_instances::churn::resampled_twin(inst, stream, SEED ^ 0x7717)
+}
+
+/// E21 — a mixed churn stream (edits, applicant add/remove, post
+/// add/remove) against `inst`, mirror-validated so every delta is legal in
+/// order.  The canonical input of `served/incremental/mixed_churn`.
+pub fn mixed_churn_stream(inst: &PrefInstance, deltas: usize) -> Vec<pm_popular::delta::Delta> {
+    let cfg = ChurnConfig {
+        deltas,
+        seed: SEED ^ 0x1117A ^ inst.num_applicants() as u64,
+    };
+    pm_instances::churn::mixed_churn(inst, &cfg)
 }
 
 /// The instance-size sweep used by the wall-clock experiments in the

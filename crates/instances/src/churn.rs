@@ -1,0 +1,244 @@
+//! Churn streams: reproducible sequences of typed preference deltas for
+//! exercising the incremental solver (`pm_popular::delta::DeltaSolver`).
+//!
+//! Two families, mirroring the `served/incremental` workloads in
+//! `EXPERIMENTS.md` E21:
+//!
+//! * [`edit_churn`] — pure `EditPrefList` deltas that keep each applicant's
+//!   first choice fixed and reshuffle the tail.  First choices are what
+//!   determine the f-post census, so these edits never flip a post's
+//!   f-status: they dirty only the edited applicant's component and keep
+//!   the warm delta path allocation-free (the harness gates on this).
+//! * [`mixed_churn`] — a mix of all five delta types, generated against a
+//!   simulated mirror of the instance so every delta is valid at the
+//!   moment it is applied.  Post deltas (and applicant re-growth after a
+//!   removal) force full rebuilds by design, so this family measures the
+//!   honest amortized cost of heterogeneous churn, fallbacks included.
+
+use pm_popular::delta::Delta;
+use pm_popular::instance::PrefInstance;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Churn stream parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ChurnConfig {
+    /// How many deltas to generate.
+    pub deltas: usize,
+    /// RNG seed; equal configs generate equal streams.
+    pub seed: u64,
+}
+
+/// Draws a fresh tail for `prefs` (all entries after the fixed first
+/// choice): distinct posts from `0..num_posts`, none equal to the first.
+fn resample_tail(rng: &mut StdRng, first: usize, len: usize, num_posts: usize) -> Vec<usize> {
+    let mut prefs = Vec::with_capacity(len);
+    prefs.push(first);
+    while prefs.len() < len.min(num_posts) {
+        let p = rng.random_range(0..num_posts);
+        if !prefs.contains(&p) {
+            prefs.push(p);
+        }
+    }
+    prefs
+}
+
+/// A pure-edit churn stream against `inst`: every delta is an
+/// `EditPrefList` keeping the applicant's first choice and reshuffling the
+/// rest of the list (see the module docs for why the first choice is
+/// pinned).  The deltas are valid in any order and keep the instance's
+/// solvability unchanged for generators with distinct first choices
+/// (`pm_instances::generators::solvable`).
+pub fn edit_churn(inst: &PrefInstance, cfg: &ChurnConfig) -> Vec<Delta> {
+    let n = inst.num_applicants();
+    let np = inst.num_posts();
+    assert!(n > 0, "edit churn needs at least one applicant");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    (0..cfg.deltas)
+        .map(|_| {
+            let a = rng.random_range(0..n);
+            let list = inst.flat_list(a);
+            let first = list[0].get();
+            Delta::EditPrefList {
+                applicant: a,
+                prefs: resample_tail(&mut rng, first, list.len(), np),
+            }
+        })
+        .collect()
+}
+
+/// A twin of an [`edit_churn`] stream: the same applicants in the same
+/// order, each with a freshly resampled tail (seeded by `salt`).
+/// Alternating a stream with its twin keeps endless replay statistically
+/// identical to fresh churn — each edit draws an independent tail, so the
+/// chance that it moves the applicant's reduced edge (and forces a shard
+/// re-solve) matches the first pass.  A straight replay of one stream
+/// would re-apply tails the instance already has and measure no-ops.
+pub fn resampled_twin(inst: &PrefInstance, stream: &[Delta], salt: u64) -> Vec<Delta> {
+    let np = inst.num_posts();
+    let mut rng = StdRng::seed_from_u64(salt);
+    stream
+        .iter()
+        .map(|d| match d {
+            Delta::EditPrefList { applicant, prefs } => Delta::EditPrefList {
+                applicant: *applicant,
+                prefs: resample_tail(&mut rng, prefs[0], prefs.len(), np),
+            },
+            other => other.clone(),
+        })
+        .collect()
+}
+
+/// A mixed churn stream: ~60% edits, ~15% applicant additions, ~15%
+/// applicant removals, ~5% post additions, ~5% post removals, generated
+/// against a simulated mirror so each delta is valid when applied in
+/// order.  Additions prefer an unclaimed first choice (keeping components
+/// small and the instance solvable); post removals only target posts that
+/// are nobody's first choice.
+pub fn mixed_churn(inst: &PrefInstance, cfg: &ChurnConfig) -> Vec<Delta> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    // The mirror: current lists, post count, and per-post first-choice
+    // census (the same census the delta solver maintains).
+    let mut lists: Vec<Vec<usize>> = (0..inst.num_applicants())
+        .map(|a| inst.flat_list(a).iter().map(|p| p.get()).collect())
+        .collect();
+    let mut num_posts = inst.num_posts();
+    let mut first_count = vec![0u32; num_posts];
+    for l in &lists {
+        first_count[l[0]] += 1;
+    }
+
+    let mut out = Vec::with_capacity(cfg.deltas);
+    while out.len() < cfg.deltas {
+        let roll = rng.random_range(0..100u32);
+        let delta = if roll < 60 || lists.is_empty() {
+            if lists.is_empty() {
+                // Degenerate mirror (everything removed): re-seed with an add.
+                let first = (0..num_posts).find(|&p| first_count[p] == 0).unwrap_or(0);
+                let prefs = resample_tail(&mut rng, first, 4.min(num_posts), num_posts);
+                first_count[prefs[0]] += 1;
+                lists.push(prefs.clone());
+                out.push(Delta::AddApplicant { prefs });
+                continue;
+            }
+            let a = rng.random_range(0..lists.len());
+            let first = lists[a][0];
+            let prefs = resample_tail(&mut rng, first, lists[a].len(), num_posts);
+            lists[a] = prefs.clone();
+            Delta::EditPrefList {
+                applicant: a,
+                prefs,
+            }
+        } else if roll < 75 {
+            // Add an applicant, preferring a post nobody has as a first
+            // choice so the new component is a fresh star.
+            let start = rng.random_range(0..num_posts);
+            let first = (0..num_posts)
+                .map(|i| (start + i) % num_posts)
+                .find(|&p| first_count[p] == 0)
+                .unwrap_or(start);
+            let len = lists.first().map_or(4, Vec::len).max(2);
+            let prefs = resample_tail(&mut rng, first, len, num_posts);
+            first_count[prefs[0]] += 1;
+            lists.push(prefs.clone());
+            Delta::AddApplicant { prefs }
+        } else if roll < 90 {
+            let a = rng.random_range(0..lists.len());
+            first_count[lists[a][0]] -= 1;
+            lists.swap_remove(a);
+            Delta::RemoveApplicant { applicant: a }
+        } else if roll < 95 {
+            num_posts += 1;
+            first_count.push(0);
+            Delta::AddPost
+        } else {
+            // Remove a post that is nobody's first choice and nobody's
+            // only choice (solver-side validation would reject those).
+            let candidate = (0..num_posts)
+                .rev()
+                .find(|&p| first_count[p] == 0 && lists.iter().all(|l| l.len() > 1 || l[0] != p));
+            let Some(p) = candidate else {
+                continue; // no removable post right now; re-roll
+            };
+            let last = num_posts - 1;
+            for l in &mut lists {
+                l.retain(|&q| q != p);
+                for q in l.iter_mut() {
+                    if *q == last {
+                        *q = p;
+                    }
+                }
+            }
+            if p != last {
+                first_count[p] = first_count[last];
+            }
+            first_count.pop();
+            num_posts -= 1;
+            Delta::RemovePost { post: p }
+        };
+        out.push(delta);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{self, GeneratorConfig};
+    use pm_popular::delta::{DeltaMode, DeltaSolver};
+    use pm_popular::PopularSolver;
+
+    fn base(n: usize, seed: u64) -> PrefInstance {
+        generators::solvable(&GeneratorConfig {
+            num_applicants: n,
+            num_posts: n + n / 8 + 1,
+            list_len: 5,
+            seed,
+        })
+    }
+
+    #[test]
+    fn edit_churn_is_reproducible_and_valid() {
+        let inst = base(60, 1);
+        let cfg = ChurnConfig {
+            deltas: 80,
+            seed: 9,
+        };
+        assert_eq!(edit_churn(&inst, &cfg), edit_churn(&inst, &cfg));
+        let mut ds = DeltaSolver::install(&inst, DeltaMode::Popular).unwrap();
+        for d in edit_churn(&inst, &cfg) {
+            ds.apply(&d).expect("edit churn deltas are always valid");
+            ds.flush()
+                .expect("first-choice-pinned edits keep solvability");
+        }
+        // Edits never force a *structural* rebuild (post-set change, slot
+        // regrowth): every full solve beyond the install is a dirty-fraction
+        // fallback, which small instances legitimately hit as the union-only
+        // component overapproximation coarsens between rebuilds.
+        assert_eq!(
+            ds.stats().full_solves,
+            1 + ds.stats().fallback_full_solves,
+            "edit churn only rebuilds via the dirty-fraction fallback"
+        );
+    }
+
+    #[test]
+    fn mixed_churn_applies_cleanly_and_matches_fresh_solves() {
+        let inst = base(40, 2);
+        let cfg = ChurnConfig {
+            deltas: 120,
+            seed: 5,
+        };
+        assert_eq!(mixed_churn(&inst, &cfg), mixed_churn(&inst, &cfg));
+        let mut ds = DeltaSolver::install(&inst, DeltaMode::Popular).unwrap();
+        let mut fresh = PopularSolver::new(0, 0);
+        for d in mixed_churn(&inst, &cfg) {
+            ds.apply(&d)
+                .expect("mirror-validated deltas are always valid");
+            let got = ds.flush().map(|m| m.as_slice().to_vec());
+            let snap = ds.snapshot_instance().unwrap();
+            let want = fresh.solve(&snap).map(|m| m.as_slice().to_vec());
+            assert_eq!(got, want);
+        }
+    }
+}

@@ -25,10 +25,12 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod churn;
 pub mod generators;
 pub mod io;
 pub mod paper;
 pub mod snapshot;
 
+pub use churn::ChurnConfig;
 pub use generators::GeneratorConfig;
 pub use paper::{figure1_instance, figure1_popular_matching, figure5_instance};

@@ -1185,6 +1185,20 @@ impl Assignment {
         &mut self.post_of
     }
 
+    /// Appends one applicant slot assigned to the raw extended post `post`
+    /// — the incremental delta layer's `add_applicant` growth path (the
+    /// slot is rewritten by the next shard solve before it is observable).
+    pub fn push_idx(&mut self, post: Idx) {
+        self.post_of.push(post);
+    }
+
+    /// Removes applicant `a`'s slot by moving the last applicant into index
+    /// `a` — the delta layer's `remove_applicant` renumbering, which keeps
+    /// the applicant id space dense without shifting every later id.
+    pub fn swap_remove(&mut self, a: usize) {
+        self.post_of.swap_remove(a);
+    }
+
     /// The underlying applicant → extended-post slice.
     pub fn as_slice(&self) -> &[Idx] {
         &self.post_of

@@ -54,6 +54,7 @@
 
 pub mod algorithm1;
 pub mod algorithm2;
+pub mod delta;
 pub mod error;
 pub mod instance;
 pub mod max_cardinality;
@@ -67,11 +68,12 @@ pub mod ties;
 pub mod verify;
 
 pub use algorithm1::popular_matching_nc;
+pub use delta::{Delta, DeltaMode, DeltaSolver, DeltaStats};
 pub use error::PopularError;
 pub use instance::{Assignment, CsrParts, PrefInstance, RankArray, RankIter, TiedCsrParts};
 pub use max_cardinality::maximum_cardinality_popular_matching_nc;
 pub use reduced::ReducedGraph;
 pub use sequential::popular_matching_sequential;
-pub use solver::PopularSolver;
+pub use solver::{PopularSolver, BATCH_FANOUT_MIN_CHUNK};
 pub use switching::SwitchingGraph;
 pub use verify::{is_popular_brute_force, is_popular_characterization, more_popular};

@@ -34,6 +34,14 @@ use crate::instance::{Assignment, PrefInstance};
 use crate::max_cardinality::improve_to_maximum_cardinality_ws;
 use crate::reduced::{build_into, ReducedGraph};
 
+/// Minimum batch members per worker before [`PopularSolver::solve_batch`]
+/// fans out across the thread pool.  Below `BATCH_FANOUT_MIN_CHUNK × threads`
+/// the batch runs sequentially on one warm sub-solver: each parallel chunk
+/// pays its own sub-solver warm-up, and measurements (EXPERIMENTS.md E16)
+/// show that cost beats the parallel speedup until every worker has at
+/// least this many members to amortise it over.
+pub const BATCH_FANOUT_MIN_CHUNK: usize = 3;
+
 /// A reusable popular-matching solver (see the module docs).
 ///
 /// All entry points reset the internal [`DepthTracker`] and record the
@@ -189,21 +197,29 @@ impl PopularSolver {
         self.tracker.reset();
         let threads = rayon::current_num_threads().max(1);
         // Fan-out policy: one sub-solver per worker chunk, never more
-        // chunks than batch members.  When `batch <= threads` every member
-        // is its own chunk and runs *inline* on one worker (nested parallel
-        // calls inside a pool chunk execute inline, so a member can never
-        // re-fan out and oversubscribe the pool); past that crossover,
-        // members share sub-solvers in contiguous chunks.  `with_min_len(1)`
-        // pins one chunk per schedulable work item so the executor cannot
-        // merge two sub-solvers onto one thread while another idles.
+        // chunks than batch members, and *no fan-out at all* below the
+        // crossover.  Each chunk pays its own sub-solver warm-up, so a
+        // batch only amortises across `min(batch, threads)` warm solver
+        // states — and the measured crossover economics (EXPERIMENTS.md
+        // E16, BENCH_popular.json served/batch) show that on small batches
+        // the warm-up plus memory-bus contention outweighs the
+        // parallelism: at batch = 8 on 4 threads and n = 10⁵ the fanned
+        // path ran at 0.72× the single-thread batch.  Below
+        // `BATCH_FANOUT_MIN_CHUNK` members per worker the whole batch
+        // therefore runs sequentially on the single long-lived sub-solver,
+        // which stays warm across *batches*, not just across members.
         //
-        // Note the crossover economics (EXPERIMENTS.md E16): each *chunk*
-        // pays its own sub-solver warm-up, so a batch only amortises across
-        // `min(batch, threads)` warm solver states — wide executors on
-        // small batches trade warm-up cost for parallelism, which is a net
-        // loss when the instances are bandwidth-bound and the cores share
-        // one memory bus.
-        let chunk = insts.len().div_ceil(threads).max(1);
+        // Past the crossover, members share sub-solvers in contiguous
+        // chunks; `with_min_len(1)` pins one chunk per schedulable work
+        // item so the executor cannot merge two sub-solvers onto one
+        // thread while another idles.  Chunking depends only on batch size
+        // and thread count, and each result only on its instance, so both
+        // regimes produce identical outputs.
+        let chunk = if insts.len() < BATCH_FANOUT_MIN_CHUNK * threads {
+            insts.len().max(1)
+        } else {
+            insts.len().div_ceil(threads).max(1)
+        };
         let n_chunks = insts.len().div_ceil(chunk);
         while self.batch_workers.len() < n_chunks {
             self.batch_workers.push(PopularSolver::new(0, 0));
@@ -412,6 +428,56 @@ mod tests {
                 (Err(e1), Err(e2)) => assert_eq!(e1, &e2),
                 (a, b) => panic!("batch/individual disagreement: {a:?} vs {b:?}"),
             }
+        }
+    }
+
+    #[test]
+    fn batch_fanout_crossover_is_gated_on_batch_size() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(616);
+        let threads = rayon::current_num_threads().max(1);
+
+        // Below the crossover: the whole batch must run on one sub-solver
+        // (no fan-out), and the results must match per-item solves.
+        let small: Vec<PrefInstance> = (0..(BATCH_FANOUT_MIN_CHUNK * threads - 1))
+            .map(|_| random_instance(&mut rng, 9, 9))
+            .collect();
+        let mut solver = PopularSolver::new(0, 0);
+        let got = solver.solve_batch(&small);
+        assert_eq!(
+            solver.batch_workers.len(),
+            1,
+            "batch of {} on {threads} threads must not fan out",
+            small.len()
+        );
+        for (inst, r) in small.iter().zip(&got) {
+            let t = DepthTracker::new();
+            assert_eq!(r.as_ref().ok().map(|a| a.as_slice().to_vec()), {
+                popular_matching_nc(inst, &t)
+                    .ok()
+                    .map(|a| a.as_slice().to_vec())
+            });
+        }
+
+        // At the crossover: the batch fans out across several sub-solvers
+        // (when the pool actually has more than one thread) and still
+        // produces identical results.
+        let big: Vec<PrefInstance> = (0..(BATCH_FANOUT_MIN_CHUNK * threads))
+            .map(|_| random_instance(&mut rng, 9, 9))
+            .collect();
+        let got = solver.solve_batch(&big);
+        assert_eq!(
+            solver.batch_workers.len(),
+            threads,
+            "batch of {} on {threads} threads must use one sub-solver per worker",
+            big.len()
+        );
+        for (inst, r) in big.iter().zip(&got) {
+            let t = DepthTracker::new();
+            assert_eq!(r.as_ref().ok().map(|a| a.as_slice().to_vec()), {
+                popular_matching_nc(inst, &t)
+                    .ok()
+                    .map(|a| a.as_slice().to_vec())
+            });
         }
     }
 

@@ -65,7 +65,7 @@ pub use scan::{
 };
 pub use scheduler::RoundScheduler;
 pub use tracker::{DepthTracker, LocalWork, PramStats};
-pub use workspace::{EpochMarks, Workspace};
+pub use workspace::{EpochMap, EpochMarks, Workspace};
 
 /// The threshold below which the primitives fall back to a purely sequential
 /// implementation.  Parallelising tiny inputs costs more than it saves; the

@@ -365,6 +365,59 @@ impl EpochMarks {
     }
 }
 
+/// A sparse `id -> u32` map over `0..capacity` with O(1) clearing — the
+/// value-carrying sibling of [`EpochMarks`].  An entry is *present* iff its
+/// stamp equals the current epoch, so `reset` is a single counter bump and
+/// the backing arrays are written only where the map is actually used.
+///
+/// This is the remap table of the incremental solver: a component shard
+/// renumbers its (sparse, global) post ids into a dense `0..k` id space
+/// before handing the slice to the solve kernels, and a stamped map lets
+/// every shard start from a logically-empty table without an O(total)
+/// clear or a per-shard hash map allocation.
+#[derive(Debug, Default)]
+pub struct EpochMap {
+    stamp: Vec<u64>,
+    val: Vec<u32>,
+    epoch: u64,
+}
+
+impl EpochMap {
+    /// Creates an empty map over an empty domain; grow with
+    /// [`reset`](Self::reset).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears the map and (re)sizes the domain to `capacity`.  Growing past
+    /// the retained capacity is the only operation that allocates.
+    pub fn reset(&mut self, capacity: usize) {
+        self.epoch += 1;
+        if self.stamp.len() < capacity {
+            self.stamp.resize(capacity, 0);
+            self.val.resize(capacity, 0);
+        }
+        if self.epoch == u64::MAX {
+            // Unreachable in practice; kept so a wrapped epoch can never
+            // alias a stale stamp (same paranoia as EpochMarks).
+            self.stamp.clear();
+            self.stamp.resize(capacity, 0);
+            self.epoch = 1;
+        }
+    }
+
+    /// Sets `key -> value`, overwriting any current-epoch entry.
+    pub fn set(&mut self, key: usize, value: u32) {
+        self.stamp[key] = self.epoch;
+        self.val[key] = value;
+    }
+
+    /// The value mapped to `key` this epoch, if any.
+    pub fn get(&self, key: usize) -> Option<u32> {
+        (self.stamp[key] == self.epoch).then(|| self.val[key])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -548,5 +601,27 @@ mod tests {
         m.reset(10);
         assert!(!m.contains(3), "reset must clear membership");
         assert!(m.insert(3));
+    }
+
+    #[test]
+    fn epoch_map_clears_in_constant_time_and_overwrites() {
+        let mut m = EpochMap::new();
+        m.reset(8);
+        assert_eq!(m.get(2), None);
+        m.set(2, 41);
+        m.set(2, 42);
+        m.set(7, 9);
+        assert_eq!(m.get(2), Some(42));
+        assert_eq!(m.get(7), Some(9));
+        assert_eq!(m.get(3), None);
+        m.reset(8);
+        assert_eq!(m.get(2), None, "reset must clear all entries");
+        m.set(2, 1);
+        assert_eq!(m.get(2), Some(1));
+        // Growing the domain keeps earlier entries addressable.
+        m.reset(16);
+        m.set(15, 5);
+        assert_eq!(m.get(15), Some(5));
+        assert_eq!(m.get(2), None);
     }
 }

@@ -23,6 +23,13 @@
 //!   fallback](degrade::serial_dictatorship) (flagged
 //!   [`Quality::Fallback`]) instead of erroring, and re-promotes the full
 //!   solver with bounded exponential backoff probes.
+//! * **Incremental serving** — [`Server::install_delta`] pins a warm
+//!   [`DeltaSolver`](pm_popular::delta::DeltaSolver) per instance id;
+//!   [`Server::submit_delta`] queues typed preference mutations, and a
+//!   scheduling tick *coalesces* every delta queued for one instance into a
+//!   single apply-and-flush round that re-solves only the dirty components
+//!   (deadlines, degradation and panic-poisoning semantics carry over; a
+//!   poisoned incremental solver re-solves fully on recovery).
 //! * **Fault injection** — the [`faults`] module provides env-driven fail
 //!   points (`PM_FAULTS=panic:0.05,delay:10ms,io:0.01`) that power the
 //!   chaos-test suite; without the `faults` cargo feature every fail point
@@ -62,5 +69,6 @@ pub mod queue;
 pub mod server;
 
 pub use server::{
-    Quality, Request, Response, ServeError, Server, ServerConfig, SolveMode, StatsSnapshot, Ticket,
+    DeltaRequest, DeltaResponse, DeltaTicket, Quality, Request, Response, ServeError, Server,
+    ServerConfig, SolveMode, StatsSnapshot, Ticket,
 };

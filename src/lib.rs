@@ -38,8 +38,9 @@ pub use pm_stable as stable;
 pub mod prelude {
     pub use pm_graph::{BipartiteGraph, FunctionalGraph};
     pub use pm_instances::generators::{self, GeneratorConfig};
-    pub use pm_instances::{self, paper};
+    pub use pm_instances::{self, paper, ChurnConfig};
     pub use pm_popular::algorithm1::{popular_matching_nc, popular_matching_run};
+    pub use pm_popular::delta::{Delta, DeltaMode, DeltaSolver, DeltaStats};
     pub use pm_popular::instance::{Assignment, PrefInstance};
     pub use pm_popular::max_cardinality::maximum_cardinality_popular_matching_nc;
     pub use pm_popular::optimal::{fair_popular_matching, rank_maximal_popular_matching};
@@ -50,7 +51,9 @@ pub mod prelude {
     pub use pm_popular::verify::{is_popular_characterization, more_popular};
     pub use pm_popular::PopularError;
     pub use pm_pram::{DepthTracker, Idx, PramStats, Workspace};
-    pub use pm_serve::{Quality, Request, Response, ServeError, Server, ServerConfig};
+    pub use pm_serve::{
+        DeltaRequest, DeltaResponse, Quality, Request, Response, ServeError, Server, ServerConfig,
+    };
     pub use pm_stable::instance::{SmInstance, StableMatching};
     pub use pm_stable::lattice::all_stable_matchings;
     pub use pm_stable::next::{next_stable_matchings, NextStableOutcome};
