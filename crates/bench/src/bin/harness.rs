@@ -6,6 +6,7 @@
 //! cargo run --release -p pm_bench --bin harness -- --quick # smaller sizes
 //! cargo run --release -p pm_bench --bin harness -- --json  # BENCH_popular.json
 //! cargo run --release -p pm_bench --bin harness -- --json --workloads 'served/*'
+//! cargo run --release -p pm_bench --bin harness -- --profile # per-kernel phases
 //! ```
 //!
 //! Markdown output (one table per experiment, E1–E10) is designed to be
@@ -42,7 +43,13 @@
 //! path; `--quick` shrinks the size sweep in both modes; `--workloads GLOB`
 //! (json mode, `*` wildcard) restricts the sweep to matching workload
 //! names — pair it with `--json-out` to avoid truncating the committed
-//! trajectory file.
+//! trajectory file.  `--assert-speedup FLOOR` (json mode) is the multicore
+//! regression gate: after writing the file it requires every n ≥ 10⁶
+//! workload to reach FLOOR× speedup at the widest swept width, downgrading
+//! to a warning when the runner has fewer hardware threads than that width.
+//! `--profile` (its own mode, takes precedence) prints the per-kernel phase
+//! clock — reduce / algorithm2 / promote / census / jump wall time per warm
+//! solve — via `pm_popular::profile`.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -117,6 +124,10 @@ use pm_stable::rotations::exposed_rotations_sequential;
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
+    if args.iter().any(|a| a == "--profile") {
+        profile_trajectory(quick);
+        return;
+    }
     if args.iter().any(|a| a == "--json") {
         let out_path = args
             .iter()
@@ -145,7 +156,18 @@ fn main() {
             .position(|a| a == "--workloads")
             .and_then(|i| args.get(i + 1))
             .cloned();
-        json_trajectory(quick, &threads, out_path, workload_filter.as_deref());
+        let speedup_floor: Option<f64> = args
+            .iter()
+            .position(|a| a == "--assert-speedup")
+            .and_then(|i| args.get(i + 1))
+            .map(|v| v.parse().expect("--assert-speedup takes e.g. 3.0"));
+        json_trajectory(
+            quick,
+            &threads,
+            out_path,
+            workload_filter.as_deref(),
+            speedup_floor,
+        );
         return;
     }
     let threads = rayon::current_num_threads();
@@ -709,7 +731,13 @@ fn sweep_threads<R>(threads: &[usize], reps: usize, mut f: impl FnMut() -> R) ->
 /// full sweep (10^5 under `--quick`, which is what the CI bench-smoke job
 /// runs).  `filter` is the `--workloads` glob; unselected workload families
 /// are skipped entirely (their instances are never even generated).
-fn json_trajectory(quick: bool, threads: &[usize], out_path: &str, filter: Option<&str>) {
+fn json_trajectory(
+    quick: bool,
+    threads: &[usize],
+    out_path: &str,
+    filter: Option<&str>,
+    speedup_floor: Option<f64>,
+) {
     let reps = if quick { 2 } else { 3 };
     let selected = |name: &str| filter.is_none_or(|pat| glob_match(pat, name));
     if let Some(pat) = filter {
@@ -842,6 +870,126 @@ fn json_trajectory(quick: bool, threads: &[usize], out_path: &str, filter: Optio
     std::fs::write(out_path, &json).expect("write BENCH json");
     eprintln!("wrote {out_path}");
     println!("{json}");
+    if let Some(floor) = speedup_floor {
+        assert_speedup_floor(&results, threads, floor);
+    }
+}
+
+/// The multicore regression gate behind `--assert-speedup FLOOR` (the CI
+/// PM_THREADS=4 bench leg): every n ≥ 10⁶ workload swept at more than one
+/// width must reach `floor` speedup of the widest width over one thread.
+/// A miss downgrades to a warning when the runner reports fewer hardware
+/// threads than the sweep's widest width — a 2-core shared runner cannot
+/// reach a 3× floor, and that is a hardware fact, not a regression.
+fn assert_speedup_floor(results: &[JsonResult], threads: &[usize], floor: f64) {
+    const GATE_MIN_N: usize = 1_000_000;
+    let widest = *threads.last().expect("non-empty sweep");
+    let hw = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let gated: Vec<&JsonResult> = results
+        .iter()
+        .filter(|r| r.n >= GATE_MIN_N && r.wall_ms_by_threads.len() > 1)
+        .collect();
+    if gated.is_empty() {
+        eprintln!(
+            "speedup gate: no n >= {GATE_MIN_N} workload in this sweep \
+             (quick or filtered run) — nothing to assert"
+        );
+        return;
+    }
+    let mut failed = false;
+    for r in gated {
+        let s = r.speedup_vs_1();
+        let ok = s >= floor;
+        eprintln!(
+            "speedup gate: {} n={} speedup_vs_1 = {s:.2} (floor {floor:.2}) — {}",
+            r.workload,
+            r.n,
+            if ok { "ok" } else { "BELOW FLOOR" }
+        );
+        failed |= !ok;
+    }
+    if failed {
+        if hw < widest {
+            eprintln!(
+                "speedup gate: WARNING only — runner reports {hw} hardware thread(s) \
+                 for a {widest}-wide sweep; the {floor:.1}x floor is unreachable \
+                 on this machine, not a regression signal"
+            );
+        } else {
+            eprintln!("speedup gate: FAILED (workloads below the floor listed above)");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `--profile`: the per-kernel phase clock (pm_popular::profile) over warm
+/// solves of the headline uniform workload.  Census and Jump are sub-spans
+/// *inside* Algorithm 2, so the five columns do not sum to the total; the
+/// clock itself is two relaxed atomics per span, so the numbers below are
+/// the same solves the trajectory file times.
+fn profile_trajectory(quick: bool) {
+    use pm_popular::profile::{
+        enable_phase_timings, phase_timings, reset_phase_timings, SolvePhase,
+    };
+    let sizes: &[usize] = if quick {
+        &[10_000, 100_000]
+    } else {
+        &[10_000, 100_000, 1_000_000]
+    };
+    let reps = 5u32;
+    println!(
+        "<!-- harness --profile: {} rayon threads, {reps} warm solves per size -->\n",
+        rayon::current_num_threads()
+    );
+    let mut t = Table::new(
+        "Per-kernel phase wall time, ms per warm solve (census/jump nest inside algorithm2)",
+        &[
+            "n",
+            "reduce",
+            "algorithm2",
+            "promote",
+            "census",
+            "jump",
+            "total",
+        ],
+    );
+    for &n in sizes {
+        let inst = workloads::solvable_uniform(n);
+        let mut solver = PopularSolver::new(inst.num_applicants(), inst.num_posts());
+        // One untimed solve warms the workspace so the phase totals describe
+        // steady-state serving, not first-touch page faults.
+        solver.solve(&inst).expect("solvable workload");
+        reset_phase_timings();
+        enable_phase_timings(true);
+        let start = std::time::Instant::now();
+        for _ in 0..reps {
+            std::hint::black_box(
+                solver
+                    .solve(&inst)
+                    .expect("solvable workload")
+                    .num_applicants(),
+            );
+        }
+        let total_ms = start.elapsed().as_secs_f64() * 1e3 / f64::from(reps);
+        enable_phase_timings(false);
+        let timings = phase_timings();
+        let per_solve = |p: SolvePhase| {
+            format!(
+                "{:.3}",
+                timings.get(p).as_secs_f64() * 1e3 / f64::from(reps)
+            )
+        };
+        t.row(vec![
+            n.to_string(),
+            per_solve(SolvePhase::Reduce),
+            per_solve(SolvePhase::Algorithm2),
+            per_solve(SolvePhase::Promote),
+            per_solve(SolvePhase::Census),
+            per_solve(SolvePhase::Jump),
+            format!("{total_ms:.3}"),
+        ]);
+    }
+    t.print();
 }
 
 /// The `served/` workload family: warm repeated solves on one reused

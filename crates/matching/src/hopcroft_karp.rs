@@ -7,6 +7,7 @@
 //! and by the brute-force popularity verifier for small instances.
 
 use pm_graph::BipartiteGraph;
+use pm_pram::prefetch::{prefetch_read, PREFETCH_DIST};
 use pm_pram::Idx;
 
 use crate::matching::Matching;
@@ -19,42 +20,71 @@ const INF: u32 = u32::MAX;
 /// workload where the BFS/DFS sweeps are bandwidth-bound.
 const FREE: Idx = Idx::NONE;
 
+/// Per-right-vertex state, fused into one 8-byte record.
+///
+/// The hot chain of both the BFS layering and the layered DFS is the
+/// two-step gather `match_right[r]` → `dist[match_right[r]]`: the first load
+/// lands on a random cache line and the second *depends on it*, so the
+/// textbook two-array layout pays two serialized memory round-trips per edge
+/// scan.  A left vertex is only ever reached through its unique matched
+/// right vertex, so its BFS layer can live *on that right* — fusing the
+/// match pointer and the layer into one aligned record makes the chain a
+/// single random cache-line touch (DESIGN.md §11: fuse passes that share an
+/// index space; here we fuse the *arrays* that share an access path).
+#[derive(Clone, Copy, Debug)]
+struct RightState {
+    /// The left vertex matched to this right, or [`FREE`].
+    left: Idx,
+    /// The BFS layer of `left` in the current phase, maintained as exactly
+    /// the `dist[match_right[r]]` of the textbook formulation
+    /// (`INF` = undiscovered or exhausted this phase).
+    dist: u32,
+}
+
 /// Computes a maximum-cardinality matching of `g` with the Hopcroft–Karp
 /// algorithm in `O(E √V)` time.
 pub fn hopcroft_karp(g: &BipartiteGraph) -> Matching {
     let mut out = Matching::empty(0, 0);
-    hopcroft_karp_into(
-        g,
-        &mut out,
-        &mut Vec::new(),
-        &mut Vec::new(),
-        &mut Vec::new(),
-        &mut Vec::new(),
-    );
+    hopcroft_karp_into(g, &mut out, &mut HkScratch::default());
     out
 }
 
-/// Allocation-free Hopcroft–Karp: the match arrays, BFS layers and queue
-/// are caller-provided (check them out of a workspace), and the result is
-/// written into `out` via [`Matching::reset`].  A warm call over a graph no
-/// larger than any previous one performs no heap allocation.  The matching
-/// produced is bit-for-bit the one [`hopcroft_karp`] returns.
-pub fn hopcroft_karp_into(
-    g: &BipartiteGraph,
-    out: &mut Matching,
-    match_left: &mut Vec<Idx>,
-    match_right: &mut Vec<Idx>,
-    dist: &mut Vec<u32>,
-    queue: &mut Vec<Idx>,
-) {
+/// Caller-owned scratch for [`hopcroft_karp_into`]: the dense left-match
+/// array, the fused per-right state, and the BFS queue.  Hold one per
+/// serving solver and every warm call over a graph no larger than any
+/// previous one performs no heap allocation.
+#[derive(Debug, Default)]
+pub struct HkScratch {
+    match_left: Vec<Idx>,
+    rights: Vec<RightState>,
+    /// BFS queue of `(left vertex, its layer)`: carrying the layer in the
+    /// (sequentially scanned) queue is what lets the left-indexed `dist`
+    /// array disappear entirely.
+    queue: Vec<(Idx, u32)>,
+}
+
+/// Allocation-free Hopcroft–Karp: all storage is caller-provided via
+/// [`HkScratch`], and the result is written into `out` via
+/// [`Matching::reset`].  The matching produced is bit-for-bit the one
+/// [`hopcroft_karp`] returns.
+pub fn hopcroft_karp_into(g: &BipartiteGraph, out: &mut Matching, ws: &mut HkScratch) {
     let n_left = g.n_left();
     let n_right = g.n_right();
+    let HkScratch {
+        match_left,
+        rights,
+        queue,
+    } = ws;
     match_left.clear();
     match_left.resize(n_left, FREE);
-    match_right.clear();
-    match_right.resize(n_right, FREE);
-    dist.clear();
-    dist.resize(n_left, INF);
+    rights.clear();
+    rights.resize(
+        n_right,
+        RightState {
+            left: FREE,
+            dist: INF,
+        },
+    );
 
     loop {
         // BFS phase: layer the free left vertices.  The queue is a plain
@@ -62,25 +92,30 @@ pub fn hopcroft_karp_into(
         // order matches the textbook deque formulation exactly).
         queue.clear();
         let mut head = 0usize;
-        for l in 0..n_left {
-            if match_left[l] == FREE {
-                dist[l] = 0;
-                queue.push(Idx::new(l));
-            } else {
-                dist[l] = INF;
+        for st in rights.iter_mut() {
+            st.dist = INF;
+        }
+        for (l, &m) in match_left.iter().enumerate() {
+            if m == FREE {
+                queue.push((Idx::new(l), 0));
             }
         }
+        let free_before = queue.len();
         let mut found_augmenting_layer = false;
         while head < queue.len() {
-            let l = queue[head];
+            let (l, dl) = queue[head];
             head += 1;
-            for &r in g.neighbors_left(l.get()) {
-                let l2 = match_right[r];
-                if l2 == FREE {
+            let nbrs = g.neighbors_left(l.get());
+            for (i, &r) in nbrs.iter().enumerate() {
+                if let Some(&rn) = nbrs.get(i + PREFETCH_DIST) {
+                    prefetch_read(rights, rn.get());
+                }
+                let st = rights[r];
+                if st.left == FREE {
                     found_augmenting_layer = true;
-                } else if dist[l2] == INF {
-                    dist[l2] = dist[l] + 1;
-                    queue.push(l2);
+                } else if st.dist == INF {
+                    rights[r].dist = dl + 1;
+                    queue.push((st.left, dl + 1));
                 }
             }
         }
@@ -90,10 +125,15 @@ pub fn hopcroft_karp_into(
 
         // DFS phase: find a maximal set of vertex-disjoint shortest
         // augmenting paths.
+        let mut augments = 0usize;
         for l in 0..n_left {
-            if match_left[l] == FREE {
-                let _ = dfs(l, g, match_left, match_right, dist);
+            if match_left[l] == FREE && dfs(l, 0, FREE, g, match_left, rights) {
+                augments += 1;
             }
+        }
+        if free_before == augments {
+            // Left-perfect: skip the final proving BFS sweep.
+            break;
         }
     }
 
@@ -105,27 +145,41 @@ pub fn hopcroft_karp_into(
     }
 }
 
+/// Layered DFS from left vertex `l` at layer `dl`, entered through matched
+/// right `entry` (or [`FREE`] for a phase root).  On exhaustion the layer
+/// stored on `entry` is set to `INF` — the fused-record equivalent of the
+/// textbook `dist[l] = INF` dead mark, written to a cache line the caller
+/// touched one load ago.
 fn dfs(
     l: usize,
+    dl: u32,
+    entry: Idx,
     g: &BipartiteGraph,
-    match_left: &mut Vec<Idx>,
-    match_right: &mut Vec<Idx>,
-    dist: &mut Vec<u32>,
+    match_left: &mut [Idx],
+    rights: &mut [RightState],
 ) -> bool {
     for &r in g.neighbors_left(l) {
-        let l2 = match_right[r];
-        if l2 == FREE {
-            match_right[r] = Idx::new(l);
+        let st = rights[r];
+        if st.left == FREE {
+            rights[r] = RightState {
+                left: Idx::new(l),
+                dist: dl,
+            };
             match_left[l] = r;
             return true;
         }
-        if dist[l2] == dist[l] + 1 && dfs(l2.get(), g, match_left, match_right, dist) {
-            match_right[r] = Idx::new(l);
+        if st.dist == dl + 1 && dfs(st.left.get(), dl + 1, r, g, match_left, rights) {
+            rights[r] = RightState {
+                left: Idx::new(l),
+                dist: dl,
+            };
             match_left[l] = r;
             return true;
         }
     }
-    dist[l] = INF;
+    if entry != FREE {
+        rights[entry].dist = INF;
+    }
     false
 }
 
@@ -191,8 +245,7 @@ mod tests {
         use rand::{RngExt, SeedableRng};
         let mut rng = rand::rngs::StdRng::seed_from_u64(23);
         let mut out = Matching::empty(0, 0);
-        let (mut ml, mut mr) = (Vec::new(), Vec::new());
-        let (mut dist, mut queue) = (Vec::new(), Vec::new());
+        let mut ws = HkScratch::default();
         for _ in 0..20 {
             let n = rng.random_range(1..40);
             let mut edges = Vec::new();
@@ -201,7 +254,7 @@ mod tests {
                 edges.push((l, rng.random_range(0..n)));
             }
             let g = BipartiteGraph::from_edges(n, n, &edges);
-            hopcroft_karp_into(&g, &mut out, &mut ml, &mut mr, &mut dist, &mut queue);
+            hopcroft_karp_into(&g, &mut out, &mut ws);
             let want = hopcroft_karp(&g);
             assert_eq!(out.left_assignment(), want.left_assignment());
         }

@@ -22,11 +22,12 @@
 
 use rayon::prelude::*;
 
-use pm_pram::compact::compact_indices_into_idx;
+use pm_pram::compact::compact_indices_fused_into_idx;
 use pm_pram::pointer::{min_label_cycles_idx, pointer_jump_roots_into_idx};
-use pm_pram::scan::csr_offsets_into_u32;
+use pm_pram::prefetch::{prefetch_read, PREFETCH_DIST};
+use pm_pram::scan::csr_offsets_census_into_u32;
 use pm_pram::tracker::DepthTracker;
-use pm_pram::{par_chunk_len, Idx, Workspace, SEQUENTIAL_CUTOFF};
+use pm_pram::{par_chunk_len_bytes, Idx, Workspace, SEQUENTIAL_CUTOFF};
 
 use crate::instance::Assignment;
 use crate::reduced::ReducedGraph;
@@ -100,20 +101,46 @@ pub fn applicant_complete_matching_into(
     // Static adjacency of the reduced graph, post -> incident applicants, in
     // flat CSR form: one counting round, one prefix scan, one fill round —
     // no per-post vectors.
+    // The degree scatter streams `f`/`s` in order but hits `counts` at
+    // random posts; prefetching the two counters a few applicants ahead
+    // hides most of that gather latency behind the increments in flight.
     let mut counts = ws.take_u32(n_p, 0);
     for a in 0..n_a {
+        if a + PREFETCH_DIST < n_a {
+            prefetch_read(&counts, f[a + PREFETCH_DIST].get());
+            prefetch_read(&counts, s[a + PREFETCH_DIST].get());
+        }
         counts[f[a]] += 1;
         counts[s[a]] += 1;
     }
+    // A post participates only if it occurs in the reduced graph.  The
+    // offsets scan already streams every count, so the post-liveness flags
+    // and the alive/degree-1 tallies are folded into the same sweep instead
+    // of a separate O(|P|) census pass over `counts`.
+    let mut alive_post = ws.take_bool(n_p, false);
     let mut adj_off = ws.take_u32_empty();
     let mut chunk_scratch = ws.take_u32_empty();
-    csr_offsets_into_u32(&counts, &mut adj_off, &mut chunk_scratch, tracker);
+    let census = {
+        let _span = crate::profile::time_phase(crate::profile::SolvePhase::Census);
+        let (_, census) = csr_offsets_census_into_u32(
+            &counts,
+            &mut adj_off,
+            &mut chunk_scratch,
+            &mut alive_post,
+            tracker,
+        );
+        census
+    };
     let mut cursor = ws.take_u32_empty();
     cursor.extend_from_slice(&adj_off[..n_p]);
     // Every slot of the flat adjacency is written by the scatter below
     // (the offsets are exact), so the checkout can skip the fill.
     let mut adj_flat = ws.take_idx_dirty(2 * n_a, Idx::ZERO);
     for a in 0..n_a {
+        if a + PREFETCH_DIST < n_a {
+            prefetch_read(&cursor, f[a + PREFETCH_DIST].get());
+            prefetch_read(&cursor, s[a + PREFETCH_DIST].get());
+        }
         for p in [f[a], s[a]] {
             adj_flat[cursor[p] as usize] = Idx::new(a);
             cursor[p] += 1;
@@ -121,19 +148,12 @@ pub fn applicant_complete_matching_into(
     }
 
     let mut alive_applicant = ws.take_bool(n_a, true);
-    // A post participates only if it occurs in the reduced graph.  The
-    // survivor counts and the number of alive degree-1 posts are maintained
-    // incrementally, so the loop condition and the final Hall check are
-    // O(1) instead of an O(|P|) scan per round.
-    let mut alive_post = ws.take_bool(n_p, false);
+    // The survivor counts and the number of alive degree-1 posts are
+    // maintained incrementally, so the loop condition and the final Hall
+    // check are O(1) instead of an O(|P|) scan per round.
     let mut alive_a_count = n_a;
-    let mut alive_p_count = 0usize;
-    let mut degree_one_count = 0usize;
-    for (p, alive) in alive_post.iter_mut().enumerate() {
-        *alive = counts[p] != 0;
-        alive_p_count += usize::from(counts[p] != 0);
-        degree_one_count += usize::from(counts[p] == 1);
-    }
+    let mut alive_p_count = census.nonzero;
+    let mut degree_one_count = census.ones;
     let mut post_degree = counts;
     let mut peel_rounds = 0u32;
 
@@ -222,7 +242,7 @@ pub fn applicant_complete_matching_into(
                 }
             };
             if n_a >= SEQUENTIAL_CUTOFF {
-                let chunk_a = par_chunk_len(n_a, 1024);
+                let chunk_a = par_chunk_len_bytes(n_a, 4 * std::mem::size_of::<Idx>());
                 succ.par_chunks_mut(4 * chunk_a)
                     .zip(root_tail.par_chunks_mut(4 * chunk_a))
                     .enumerate()
@@ -234,14 +254,17 @@ pub fn applicant_complete_matching_into(
 
         // List-rank every arc: distance and endpoint of its walk (double
         // buffers persist across peeling rounds — no per-round allocation).
-        pointer_jump_roots_into_idx(
-            &succ,
-            &mut jump_root,
-            &mut jump_dist,
-            &mut jump_sptr,
-            &mut jump_sdist,
-            tracker,
-        );
+        {
+            let _span = crate::profile::time_phase(crate::profile::SolvePhase::Jump);
+            pointer_jump_roots_into_idx(
+                &succ,
+                &mut jump_root,
+                &mut jump_dist,
+                &mut jump_sptr,
+                &mut jump_sdist,
+                tracker,
+            );
+        }
 
         // An arc's walk is "valid" when it terminates at an applicant->post
         // arc whose head post has degree 1 (that post is the v0 endpoint) —
@@ -258,6 +281,12 @@ pub fn applicant_complete_matching_into(
         newly_matched.clear();
         let mut charged = tracker.local();
         for (a, &a_alive) in alive_applicant.iter().enumerate() {
+            // The walk endpoints live at `root_tail[jump_root[arc]]` — a
+            // two-level gather; pull the next applicant's endpoint memo
+            // lines in while this applicant's edges are being decided.
+            if let Some(&r) = jump_root.get(4 * (a + PREFETCH_DIST)) {
+                prefetch_read(&root_tail, r.get());
+            }
             if !a_alive {
                 continue;
             }
@@ -356,7 +385,7 @@ pub fn applicant_complete_matching_into(
         let mut alive_as = ws.take_idx_empty();
         {
             let alive_applicant = &alive_applicant;
-            compact_indices_into_idx(n_a, |a| alive_applicant[a], &mut alive_as, ws, tracker);
+            compact_indices_fused_into_idx(n_a, |a| alive_applicant[a], &mut alive_as, ws, tracker);
         }
         debug_assert_eq!(alive_as.len(), alive_a_count);
         let k = alive_as.len();
@@ -415,13 +444,16 @@ pub fn applicant_complete_matching_into(
         // instances have short cycles and converge in a handful of rounds).
         let mut label_scratch = ws.take_idx_dirty(num_arcs2, Idx::ZERO);
         let mut ptr_scratch = ws.take_idx_dirty(num_arcs2, Idx::ZERO);
-        min_label_cycles_idx(
-            &mut label,
-            &mut ptr,
-            &mut label_scratch,
-            &mut ptr_scratch,
-            tracker,
-        );
+        {
+            let _span = crate::profile::time_phase(crate::profile::SolvePhase::Jump);
+            min_label_cycles_idx(
+                &mut label,
+                &mut ptr,
+                &mut label_scratch,
+                &mut ptr_scratch,
+                tracker,
+            );
+        }
 
         // One parallel round: each surviving applicant keeps the arc whose
         // orientation cycle has the smaller canonical label.

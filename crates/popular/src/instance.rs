@@ -690,18 +690,20 @@ impl PrefInstance {
         );
         let n_a = offsets.len() - 1;
         check_sizes(n_a, num_posts, flat.len())?;
-        let mut dup = DupCheck::new(num_posts);
-        for a in 0..n_a {
-            if offsets[a] == offsets[a + 1] {
-                return Err(PopularError::InvalidInstance(format!(
-                    "applicant {a} has an empty preference list"
-                )));
-            }
-            dup.next_applicant();
-            for &p in &flat[offsets[a] as usize..offsets[a + 1] as usize] {
-                dup.check(a, p.get())?;
-            }
+        // Validation runs as three flat scans instead of a per-edge epoch
+        // check: a boundary sweep for empty lists, then the two shared
+        // post-payload scans (branch-free chunked range OR-reduction and
+        // the closed-form short-list duplicate check).  This is the hot
+        // constructor of the Section V ties reduction — on rank-1 workloads
+        // the per-edge `DupCheck` random-access marking dominated the whole
+        // reduction's wall time.
+        if let Some(a) = (0..n_a).find(|&a| offsets[a] == offsets[a + 1]) {
+            return Err(PopularError::InvalidInstance(format!(
+                "applicant {a} has an empty preference list"
+            )));
         }
+        check_post_range(num_posts, flat, offsets)?;
+        check_no_duplicates(num_posts, flat, offsets)?;
         Ok(Self {
             num_posts,
             post_flat: flat.to_vec(),

@@ -1,4 +1,5 @@
-//! Matching profiles and the `≻_R` / `≺_F` orders (Section IV-E).
+//! Matching profiles and the `≻_R` / `≺_F` orders (Section IV-E), plus the
+//! per-kernel phase clock the bench harness surfaces as `--profile`.
 //!
 //! The *profile* of a matching is the vector `(x₁, …, x_{n₂+1})` where `x_i`
 //! counts the applicants matched to their `i`-th ranked post; an applicant on
@@ -8,8 +9,139 @@
 //! minimises it in the right-to-left order `≺_F`.
 
 use std::cmp::Ordering;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering as AtomicOrdering};
+use std::time::{Duration, Instant};
 
 use crate::instance::{Assignment, PrefInstance};
+
+/// The timed kernels of the solve pipeline.  [`Reduce`](SolvePhase::Reduce),
+/// [`Algorithm2`](SolvePhase::Algorithm2) and [`Promote`](SolvePhase::Promote)
+/// partition a solve top-to-bottom; [`Census`](SolvePhase::Census) (the fused
+/// offsets-plus-census scan) and [`Jump`](SolvePhase::Jump) (pointer
+/// jumping / min-label doubling) are sub-spans *inside* Algorithm 2, so the
+/// five entries do not sum to the wall time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolvePhase {
+    /// Reduced-graph construction (`build_into`).
+    Reduce,
+    /// Algorithm 2 end to end (CSR build, peeling, even-cycle finish).
+    Algorithm2,
+    /// The promotion pass of Algorithm 1.
+    Promote,
+    /// The fused CSR-offsets + degree-census scan inside Algorithm 2.
+    Census,
+    /// List ranking: pointer jumping and min-label cycle doubling.
+    Jump,
+}
+
+impl SolvePhase {
+    /// Number of phases (the size of a [`PhaseTimings`] table).
+    pub const COUNT: usize = 5;
+    /// Every phase, in display order.
+    pub const ALL: [SolvePhase; Self::COUNT] = [
+        SolvePhase::Reduce,
+        SolvePhase::Algorithm2,
+        SolvePhase::Promote,
+        SolvePhase::Census,
+        SolvePhase::Jump,
+    ];
+
+    /// Stable lowercase name (used as the JSON key by the harness).
+    pub fn name(self) -> &'static str {
+        match self {
+            SolvePhase::Reduce => "reduce",
+            SolvePhase::Algorithm2 => "algorithm2",
+            SolvePhase::Promote => "promote",
+            SolvePhase::Census => "census",
+            SolvePhase::Jump => "jump",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            SolvePhase::Reduce => 0,
+            SolvePhase::Algorithm2 => 1,
+            SolvePhase::Promote => 2,
+            SolvePhase::Census => 3,
+            SolvePhase::Jump => 4,
+        }
+    }
+}
+
+/// Process-global phase clock: disabled by default, so the guards in the hot
+/// kernels cost a single relaxed load per span.  The accumulators are plain
+/// atomics — no allocation on any path, so the zero-alloc warm-solve gate
+/// holds with profiling on or off.  Spans from concurrent solves (e.g. a
+/// fanned-out batch) sum into the same cells; the harness profiles
+/// single-solve loops, where the totals are exact.
+static PHASE_ENABLED: AtomicBool = AtomicBool::new(false);
+static PHASE_NANOS: [AtomicU64; SolvePhase::COUNT] = [
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+];
+
+/// Turns the phase clock on or off (off by default).
+pub fn enable_phase_timings(on: bool) {
+    PHASE_ENABLED.store(on, AtomicOrdering::Relaxed);
+}
+
+/// Zeroes every phase accumulator.
+pub fn reset_phase_timings() {
+    for cell in &PHASE_NANOS {
+        cell.store(0, AtomicOrdering::Relaxed);
+    }
+}
+
+/// Snapshot of the accumulated per-phase wall time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseTimings(pub [Duration; SolvePhase::COUNT]);
+
+impl PhaseTimings {
+    /// The accumulated time of one phase.
+    pub fn get(&self, phase: SolvePhase) -> Duration {
+        self.0[phase.index()]
+    }
+
+    /// `(name, duration)` pairs in display order.
+    pub fn entries(&self) -> [(&'static str, Duration); SolvePhase::COUNT] {
+        SolvePhase::ALL.map(|p| (p.name(), self.get(p)))
+    }
+}
+
+/// Reads the current accumulated phase timings.
+pub fn phase_timings() -> PhaseTimings {
+    PhaseTimings(
+        SolvePhase::ALL
+            .map(|p| Duration::from_nanos(PHASE_NANOS[p.index()].load(AtomicOrdering::Relaxed))),
+    )
+}
+
+/// An RAII span: adds its elapsed wall time to `phase` on drop.  A no-op
+/// (one relaxed load, no clock read) while the phase clock is disabled.
+pub struct PhaseSpan {
+    phase: SolvePhase,
+    start: Option<Instant>,
+}
+
+impl Drop for PhaseSpan {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            PHASE_NANOS[self.phase.index()].fetch_add(nanos, AtomicOrdering::Relaxed);
+        }
+    }
+}
+
+/// Opens a timing span for `phase` (see [`PhaseSpan`]).
+pub fn time_phase(phase: SolvePhase) -> PhaseSpan {
+    let start = PHASE_ENABLED
+        .load(AtomicOrdering::Relaxed)
+        .then(Instant::now);
+    PhaseSpan { phase, start }
+}
 
 /// The profile vector of a matching (index `i` = count at rank `i + 1`;
 /// the final entry counts last resorts).
@@ -118,6 +250,34 @@ mod tests {
         // -> c is smaller there, so c ≺_F a.
         assert_eq!(c.cmp_fair(&a), Ordering::Less);
         assert_eq!(a.cmp_fair(&c), Ordering::Greater);
+    }
+
+    #[test]
+    fn phase_clock_accumulates_only_while_enabled() {
+        // Disabled (the default): spans are no-ops.
+        reset_phase_timings();
+        {
+            let _g = time_phase(SolvePhase::Census);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        assert_eq!(
+            phase_timings().get(SolvePhase::Census),
+            std::time::Duration::ZERO
+        );
+
+        // Enabled: the span's elapsed time lands in its cell.  Other tests
+        // in this process may add to the cells concurrently, so assert
+        // monotonic growth, not exact values.
+        enable_phase_timings(true);
+        {
+            let _g = time_phase(SolvePhase::Census);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let after = phase_timings();
+        enable_phase_timings(false);
+        assert!(after.get(SolvePhase::Census) >= std::time::Duration::from_millis(2));
+        assert_eq!(after.entries()[3].0, "census");
+        assert_eq!(SolvePhase::ALL.len(), SolvePhase::COUNT);
     }
 
     #[test]

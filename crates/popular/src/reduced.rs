@@ -18,6 +18,7 @@
 use rayon::prelude::*;
 
 use pm_graph::BipartiteGraph;
+use pm_pram::prefetch::{prefetch_read, PREFETCH_DIST};
 use pm_pram::tracker::DepthTracker;
 use pm_pram::{par_chunk_len, Idx, SEQUENTIAL_CUTOFF};
 
@@ -45,32 +46,40 @@ pub fn build_into(
     let n_a = inst.num_applicants();
     tracker.phase();
 
-    // Step 1 (one round): every applicant reads its first choice straight
-    // off the flat CSR storage.  The buffer is fully overwritten, so a
-    // warm right-sized buffer skips the resize fill.
+    // Steps 1 + 2: every applicant reads its first choice straight off the
+    // flat CSR storage (one round), then the f-posts are marked (one
+    // concurrent-write round).  Below the cutoff the two sweeps fuse into
+    // one — the first-choice read feeds the mark scatter while the value is
+    // still in a register, halving the traffic over `f`; the charges stay
+    // those of the two logical rounds.  On the parallel path the mark
+    // scatter stays a separate sequential sweep, with the random mark line
+    // prefetched a few applicants ahead of the write.
     tracker.round();
     tracker.work(n_a as u64);
     if f.len() != n_a {
         f.clear();
         f.resize(n_a, Idx::ZERO);
     }
-    if n_a >= SEQUENTIAL_CUTOFF {
-        f.par_iter_mut()
-            .enumerate()
-            .for_each(|(a, fa)| *fa = inst.first_choice(a));
-    } else {
-        for (a, fa) in f.iter_mut().enumerate() {
-            *fa = inst.first_choice(a);
-        }
-    }
-
-    // Step 2 (one concurrent-write round): mark the f-posts.
     tracker.round();
     tracker.work(n_a as u64);
     is_f_post.clear();
     is_f_post.resize(inst.total_posts(), false);
-    for &p in f.iter() {
-        is_f_post[p] = true;
+    if n_a >= SEQUENTIAL_CUTOFF {
+        f.par_iter_mut()
+            .enumerate()
+            .for_each(|(a, fa)| *fa = inst.first_choice(a));
+        for (a, &p) in f.iter().enumerate() {
+            if let Some(&pn) = f.get(a + PREFETCH_DIST) {
+                prefetch_read(is_f_post, pn.get());
+            }
+            is_f_post[p] = true;
+        }
+    } else {
+        for (a, fa) in f.iter_mut().enumerate() {
+            let p = inst.first_choice(a);
+            *fa = p;
+            is_f_post[p] = true;
+        }
     }
 
     // Step 3 (one round): every applicant scans its (strict, hence flat)
@@ -83,8 +92,17 @@ pub fn build_into(
     let marks: &[bool] = is_f_post;
     let scan_chunk = |base: usize, sc: &mut [Idx]| {
         let mut charged = tracker.local();
+        let end = base + sc.len();
         for (i, slot) in sc.iter_mut().enumerate() {
             let a = base + i;
+            // The scan probes `marks` at the head of each list; pull the
+            // line for a later applicant's head in ahead of its turn.
+            let ahead = a + PREFETCH_DIST;
+            if ahead < end {
+                if let Some(&p0) = inst.flat_list(ahead).first() {
+                    prefetch_read(marks, p0.get());
+                }
+            }
             let mut found = None;
             let mut scanned = 0u64;
             for &p in inst.flat_list(a) {

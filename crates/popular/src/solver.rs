@@ -22,7 +22,7 @@
 use rayon::prelude::*;
 
 use pm_graph::BipartiteGraph;
-use pm_matching::hopcroft_karp::hopcroft_karp_into;
+use pm_matching::hopcroft_karp::{hopcroft_karp_into, HkScratch};
 use pm_matching::matching::Matching;
 use pm_pram::tracker::DepthTracker;
 use pm_pram::{Idx, PramStats, Workspace};
@@ -62,11 +62,9 @@ pub struct PopularSolver {
     // Output buffers, refilled in place on every call.
     out: Assignment,
     ties_out: Matching,
-    // Hopcroft–Karp scratch for `solve_ties` (Idx sentinel match arrays).
-    hk_left: Vec<Idx>,
-    hk_right: Vec<Idx>,
-    hk_dist: Vec<u32>,
-    hk_queue: Vec<Idx>,
+    // Hopcroft–Karp scratch for `solve_ties` (Idx sentinel match arrays,
+    // layer/queue storage, and the augmenting-tail cursor/undo buffers).
+    hk_scratch: HkScratch,
     peel_rounds: u32,
     // Warm sub-solvers for `solve_batch`, one per worker chunk.
     batch_workers: Vec<PopularSolver>,
@@ -85,10 +83,7 @@ impl PopularSolver {
             is_f_post: Vec::with_capacity(n_hint + p_hint),
             out: Assignment::from_idx_vec(Vec::with_capacity(n_hint)),
             ties_out: Matching::empty(0, 0),
-            hk_left: Vec::new(),
-            hk_right: Vec::new(),
-            hk_dist: Vec::new(),
-            hk_queue: Vec::new(),
+            hk_scratch: HkScratch::default(),
             peel_rounds: 0,
             batch_workers: Vec::new(),
         }
@@ -158,14 +153,7 @@ impl PopularSolver {
         self.tracker.phase();
         self.tracker.round();
         self.tracker.work(g.num_edges() as u64);
-        hopcroft_karp_into(
-            g,
-            &mut self.ties_out,
-            &mut self.hk_left,
-            &mut self.hk_right,
-            &mut self.hk_dist,
-            &mut self.hk_queue,
-        );
+        hopcroft_karp_into(g, &mut self.ties_out, &mut self.hk_scratch);
         self.ws.end_epoch();
         Ok(&self.ties_out)
     }
@@ -294,26 +282,33 @@ impl PopularSolver {
     /// Algorithm 1 into `self.out`: shared by `solve` and
     /// `solve_max_cardinality`.
     fn solve_algorithm1(&mut self, inst: &PrefInstance) -> Result<(), PopularError> {
-        build_into(
-            inst,
-            &mut self.f,
-            &mut self.s,
-            &mut self.is_f_post,
-            &self.tracker,
-        )?;
+        {
+            let _span = crate::profile::time_phase(crate::profile::SolvePhase::Reduce);
+            build_into(
+                inst,
+                &mut self.f,
+                &mut self.s,
+                &mut self.is_f_post,
+                &self.tracker,
+            )?;
+        }
         self.out.reset_unassigned(inst.num_applicants());
-        let (feasible, peel_rounds) = applicant_complete_matching_into(
-            inst.total_posts(),
-            &self.f,
-            &self.s,
-            self.out.as_mut_slice(),
-            &mut self.ws,
-            &self.tracker,
-        );
+        let (feasible, peel_rounds) = {
+            let _span = crate::profile::time_phase(crate::profile::SolvePhase::Algorithm2);
+            applicant_complete_matching_into(
+                inst.total_posts(),
+                &self.f,
+                &self.s,
+                self.out.as_mut_slice(),
+                &mut self.ws,
+                &self.tracker,
+            )
+        };
         self.peel_rounds = peel_rounds;
         if !feasible {
             return Err(PopularError::NoPopularMatching);
         }
+        let _span = crate::profile::time_phase(crate::profile::SolvePhase::Promote);
         promote_into(
             &self.f,
             &self.s,

@@ -18,6 +18,7 @@
 
 use pm_graph::connected::{connected_components_idx_ws, ComponentLabelsIdx};
 use pm_graph::functional::{extract_cycles_marked_idx, on_cycle_of_idx, FunctionalGraph};
+use pm_pram::prefetch::{prefetch_read, PREFETCH_DIST};
 use pm_pram::scan::csr_offsets_into_u32;
 use pm_pram::scheduler::RoundScheduler;
 use pm_pram::tracker::DepthTracker;
@@ -89,6 +90,13 @@ pub fn margins_and_roots_of(
     for _ in 0..rounds {
         let changed = sched.step_overwrite(n as u64, |(ptr, acc), (nptr, nacc)| {
             let write = |p: usize, np: &mut Idx, na: &mut i32| -> bool {
+                // Two-level gather (`ptr[ptr[p]]`): software-pipeline it by
+                // prefetching a later element's second hop while this one
+                // resolves.
+                if let Some(&qa) = ptr.get(p + PREFETCH_DIST) {
+                    prefetch_read(ptr, qa.get());
+                    prefetch_read(acc, qa.get());
+                }
                 let q = ptr[p];
                 *np = ptr[q];
                 *na = acc[p] + acc[q];
@@ -310,6 +318,9 @@ impl SwitchingGraph {
         let mut counts = ws.take_u32(self.total_posts, 0);
         let mut charged = tracker.local();
         for p in 0..self.total_posts {
+            if let Some(&ln) = labels.label.get(p + PREFETCH_DIST) {
+                prefetch_read(&counts, ln.get());
+            }
             if self.in_graph[p] {
                 counts[labels.label[p]] += 1;
                 charged.add(1);
@@ -324,6 +335,9 @@ impl SwitchingGraph {
         let mut bucket_flat = ws.take_idx(*bucket_off.last().unwrap_or(&0) as usize, Idx::ZERO);
         let mut charged = tracker.local();
         for p in 0..self.total_posts {
+            if let Some(&ln) = labels.label.get(p + PREFETCH_DIST) {
+                prefetch_read(&cursor, ln.get());
+            }
             if self.in_graph[p] {
                 let l = labels.label[p];
                 bucket_flat[cursor[l] as usize] = Idx::new(p);

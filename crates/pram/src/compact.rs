@@ -127,6 +127,107 @@ pub fn compact_indices_into_idx<F>(
     ws.put_u32(chunk_scratch);
 }
 
+/// Fused twin of [`compact_indices_into_idx`]: same outputs, same work/depth
+/// accounting, a fraction of the memory traffic.
+///
+/// The unfused kernel materialises a full flag array (n × 4 B written, then
+/// read twice by the scan) and a full slot array (n × 4 B written, read by
+/// the scatter) just to ferry the predicate's verdict between rounds.  The
+/// fused kernel re-evaluates the predicate instead of spilling it: pass 1
+/// reduces each chunk to a single survivor count, the per-chunk counts are
+/// scanned sequentially (there are only `O(n / chunk)` of them), and pass 2
+/// streams the kept indices straight into `out` — about 20 bytes per element
+/// of flag/slot traffic gone, in exchange for one extra (cheap, cacheable)
+/// predicate evaluation.
+///
+/// The predicate must be pure: it is called up to twice per index and the
+/// two calls must agree.  Charges on the [`DepthTracker`] are bit-identical
+/// to the unfused kernel on every input size, so the fused and unfused forms
+/// are interchangeable under depth/work assertions.
+pub fn compact_indices_fused_into_idx<F>(
+    n: usize,
+    keep: F,
+    out: &mut Vec<Idx>,
+    ws: &mut Workspace,
+    tracker: &DepthTracker,
+) where
+    F: Fn(usize) -> bool + Send + Sync,
+{
+    debug_assert!(n <= Idx::MAX_INDEX + 1);
+    // Pass 1 (charged like the unfused flag round): predicate evaluation.
+    tracker.round();
+    tracker.work(n as u64);
+    // Scan charge (the unfused kernel's slot scan): work(n) plus one round
+    // below the cutoff, two rounds on the blocked path.
+    tracker.work(n as u64);
+    if n < SEQUENTIAL_CUTOFF {
+        tracker.round();
+        // Pass 2 (the unfused scatter round): stream the kept indices out.
+        tracker.round();
+        tracker.work(n as u64);
+        out.clear();
+        for i in 0..n {
+            if keep(i) {
+                out.push(Idx::new(i));
+            }
+        }
+        return;
+    }
+
+    let chunk = crate::par_chunk_len_bytes(n, std::mem::size_of::<u32>());
+    let n_chunks = n.div_ceil(chunk);
+    let mut chunk_counts = ws.take_u32_empty();
+    chunk_counts.clear();
+    chunk_counts.resize(n_chunks, 0);
+    {
+        let keep = &keep;
+        chunk_counts
+            .par_iter_mut()
+            .enumerate()
+            .with_min_len(1)
+            .for_each(|(ci, t)| {
+                let s = ci * chunk;
+                let e = ((ci + 1) * chunk).min(n);
+                let mut cnt = 0u32;
+                for i in s..e {
+                    cnt += u32::from(keep(i));
+                }
+                *t = cnt;
+            });
+    }
+    // The two blocked-scan rounds of the unfused kernel (chunk reduce +
+    // seeded rescan).  The fused pass 1 above already produced the chunk
+    // totals, so both rounds collapse to the short sequential scan below —
+    // charged identically, executed on `O(n / chunk)` elements.
+    tracker.round();
+    tracker.round();
+    let mut acc = 0u32;
+    for t in chunk_counts.iter_mut() {
+        let c = *t;
+        *t = acc;
+        acc += c;
+    }
+    let total = acc as usize;
+
+    // Pass 2: re-evaluate the predicate and stream the kept indices into
+    // `out` in order.  Sequential like the unfused scatter round — but where
+    // that round reads the flag and slot arrays back (8 bytes per element),
+    // this one touches only the predicate's own inputs and the output.
+    tracker.round();
+    tracker.work(n as u64);
+    out.clear();
+    out.resize(total, Idx::ZERO);
+    let mut w = 0usize;
+    for i in 0..n {
+        if keep(i) {
+            out[w] = Idx::new(i);
+            w += 1;
+        }
+    }
+    debug_assert_eq!(w, total);
+    ws.put_u32(chunk_counts);
+}
+
 /// Compacts the elements of `xs` for which `keep` returns true, preserving
 /// their relative order, and returns the surviving elements (cloned).
 pub fn compact_with<T, F>(xs: &[T], keep: F, tracker: &DepthTracker) -> Vec<T>
@@ -194,6 +295,21 @@ mod tests {
             let want: Vec<usize> = (0..n).filter(|&i| i % 3 == 1).collect();
             let got: Vec<usize> = out.iter().map(|i| i.get()).collect();
             assert_eq!(got, want, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn fused_variant_matches_unfused_outputs_and_accounting() {
+        let mut ws = Workspace::new();
+        let mut out_fused = Vec::new();
+        let mut out_ref = Vec::new();
+        for n in [0usize, 1, 9, 2047, 2048, 3000, 50_000] {
+            let tf = DepthTracker::new();
+            compact_indices_fused_into_idx(n, |i| i % 3 == 1, &mut out_fused, &mut ws, &tf);
+            let tu = DepthTracker::new();
+            compact_indices_into_idx(n, |i| i % 3 == 1, &mut out_ref, &mut ws, &tu);
+            assert_eq!(out_fused, out_ref, "n = {n}");
+            assert_eq!(tf.stats(), tu.stats(), "accounting differs at n = {n}");
         }
     }
 

@@ -40,28 +40,36 @@
 //! ```
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the `prefetch` module scopes one `allow` for
+// the platform prefetch intrinsic (a pure cache hint — no memory is read or
+// written through it); everything else in the crate remains safe code.
+#![deny(unsafe_code)]
 
 pub mod compact;
 pub mod idx;
 pub mod pointer;
+pub mod prefetch;
 pub mod reduce;
 pub mod scan;
 pub mod scheduler;
 pub mod tracker;
 pub mod workspace;
 
-pub use compact::{compact_indices, compact_indices_into, compact_indices_into_idx, compact_with};
+pub use compact::{
+    compact_indices, compact_indices_fused_into_idx, compact_indices_into,
+    compact_indices_into_idx, compact_with,
+};
 pub use idx::Idx;
 pub use pointer::{
     list_rank, min_label_cycles, min_label_cycles_idx, pointer_jump_roots, pointer_jump_roots_into,
     pointer_jump_roots_into_idx, PointerJumpResult,
 };
+pub use prefetch::{prefetch_read, PREFETCH_DIST};
 pub use reduce::{par_argmax, par_argmin, par_max, par_min, par_sum};
 pub use scan::{
-    csr_offsets, csr_offsets_into, csr_offsets_into_u32, offsets_from_counts,
-    offsets_from_counts_into, prefix_scan_exclusive, prefix_scan_inclusive, prefix_sum_exclusive,
-    prefix_sum_inclusive,
+    csr_offsets, csr_offsets_census_into_u32, csr_offsets_into, csr_offsets_into_u32,
+    offsets_from_counts, offsets_from_counts_into, prefix_scan_exclusive, prefix_scan_inclusive,
+    prefix_sum_exclusive, prefix_sum_inclusive, DegreeCensus,
 };
 pub use scheduler::RoundScheduler;
 pub use tracker::{DepthTracker, LocalWork, PramStats};
@@ -86,4 +94,24 @@ pub const SEQUENTIAL_CUTOFF: usize = 2048;
 pub fn par_chunk_len(len: usize, min_chunk: usize) -> usize {
     let fan_out = (rayon::current_num_threads() * 4).max(1);
     len.div_ceil(fan_out).max(min_chunk).max(1)
+}
+
+/// Target per-chunk footprint, in bytes, for blocked parallel passes.
+///
+/// The kernels are bandwidth-bound: what amortises fan-out overhead is the
+/// number of *bytes* a worker streams per chunk, not the number of elements.
+/// 16 KiB keeps a chunk comfortably inside L1 while still being ~3 orders of
+/// magnitude more work than a chunk claim costs.  For 4-byte elements this
+/// reproduces the historical `MIN_CHUNK = 4096` floor exactly, so the u32
+/// scan paths keep bit-identical chunk boundaries.
+pub const TARGET_CHUNK_BYTES: usize = 16 * 1024;
+
+/// Element-size-aware twin of [`par_chunk_len`]: derives the minimum chunk
+/// length from [`TARGET_CHUNK_BYTES`] and the element size, so `u8` marks and
+/// 8- or 16-byte records chunk to comparable cache footprints instead of a
+/// flat element count.  Same determinism guarantee as [`par_chunk_len`]: the
+/// result depends only on `len`, `elem_bytes` and the configured thread
+/// count, never on scheduling.
+pub fn par_chunk_len_bytes(len: usize, elem_bytes: usize) -> usize {
+    par_chunk_len(len, (TARGET_CHUNK_BYTES / elem_bytes.max(1)).max(1))
 }

@@ -10,6 +10,7 @@
 use rayon::prelude::*;
 
 use crate::idx::Idx;
+use crate::prefetch::{prefetch_read, PREFETCH_DIST};
 use crate::tracker::DepthTracker;
 use crate::SEQUENTIAL_CUTOFF;
 
@@ -114,6 +115,13 @@ pub fn pointer_jump_roots_into(
                 .zip(dist_scratch.par_iter_mut())
                 .enumerate()
                 .for_each(|(v, (np, nd))| {
+                    // The target of the gather a few iterations ahead is one
+                    // cheap sequential read away — hint it into cache while
+                    // this iteration's random load is in flight.
+                    if let Some(&pa) = root.get(v + PREFETCH_DIST) {
+                        prefetch_read(root, pa);
+                        prefetch_read(dist, pa);
+                    }
                     (*np, *nd) = jump_one(v, root, dist);
                     if *np != root[v] {
                         changed.store(true, std::sync::atomic::Ordering::Relaxed);
@@ -127,6 +135,10 @@ pub fn pointer_jump_roots_into(
                 .zip(dist_scratch.iter_mut())
                 .enumerate()
             {
+                if let Some(&pa) = root.get(v + PREFETCH_DIST) {
+                    prefetch_read(root, pa);
+                    prefetch_read(dist, pa);
+                }
                 (*np, *nd) = jump_one(v, root, dist);
                 changed |= *np != root[v];
             }
@@ -208,6 +220,13 @@ pub fn pointer_jump_roots_into_idx(
                 .zip(dist_scratch.par_iter_mut())
                 .enumerate()
                 .for_each(|(v, (np, nd))| {
+                    // Same software pipelining as the usize kernel: the
+                    // lookahead target is a cheap sequential read, the hint
+                    // overlaps the random gather's memory round-trip.
+                    if let Some(&pa) = root.get(v + PREFETCH_DIST) {
+                        prefetch_read(root, pa.get());
+                        prefetch_read(dist, pa.get());
+                    }
                     (*np, *nd) = jump_one_idx(v, root, dist);
                     if *np != root[v] {
                         changed.store(true, std::sync::atomic::Ordering::Relaxed);
@@ -221,6 +240,10 @@ pub fn pointer_jump_roots_into_idx(
                 .zip(dist_scratch.iter_mut())
                 .enumerate()
             {
+                if let Some(&pa) = root.get(v + PREFETCH_DIST) {
+                    prefetch_read(root, pa.get());
+                    prefetch_read(dist, pa.get());
+                }
                 (*np, *nd) = jump_one_idx(v, root, dist);
                 changed |= *np != root[v];
             }
@@ -300,6 +323,12 @@ pub fn min_label_cycles(
                 .zip(ptr_scratch.par_iter_mut())
                 .enumerate()
                 .for_each(|(a, (nl, np))| {
+                    // Lookahead prefetch of the doubling gather, as in
+                    // `pointer_jump_roots_into`.
+                    if let Some(&pa) = ptr.get(a + PREFETCH_DIST) {
+                        prefetch_read(label, pa);
+                        prefetch_read(ptr, pa);
+                    }
                     *nl = label[a].min(label[ptr[a]]);
                     *np = ptr[ptr[a]];
                     if *nl != label[a] {
@@ -314,6 +343,10 @@ pub fn min_label_cycles(
                 .zip(ptr_scratch.iter_mut())
                 .enumerate()
             {
+                if let Some(&pa) = ptr.get(a + PREFETCH_DIST) {
+                    prefetch_read(label, pa);
+                    prefetch_read(ptr, pa);
+                }
                 *nl = label[a].min(label[ptr[a]]);
                 *np = ptr[ptr[a]];
                 changed |= *nl != label[a];
@@ -363,6 +396,10 @@ pub fn min_label_cycles_idx(
                 .zip(ptr_scratch.par_iter_mut())
                 .enumerate()
                 .for_each(|(a, (nl, np))| {
+                    if let Some(&pa) = ptr.get(a + PREFETCH_DIST) {
+                        prefetch_read(label, pa.get());
+                        prefetch_read(ptr, pa.get());
+                    }
                     *nl = label[a].min(label[ptr[a]]);
                     *np = ptr[ptr[a]];
                     if *nl != label[a] {
@@ -377,6 +414,10 @@ pub fn min_label_cycles_idx(
                 .zip(ptr_scratch.iter_mut())
                 .enumerate()
             {
+                if let Some(&pa) = ptr.get(a + PREFETCH_DIST) {
+                    prefetch_read(label, pa.get());
+                    prefetch_read(ptr, pa.get());
+                }
                 *nl = label[a].min(label[ptr[a]]);
                 *np = ptr[ptr[a]];
                 changed |= *nl != label[a];

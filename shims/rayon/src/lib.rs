@@ -77,6 +77,34 @@ const OVERPARTITION: usize = 4;
 /// [`ParIter::with_min_len`] overrides per call site.
 const DEFAULT_MIN_LEN: usize = 1024;
 
+/// Per-call fan-out work cutoff for element-wise pipelines: an element-wise
+/// call shorter than this runs inline on the caller thread even when it
+/// would split into more than one chunk.  Fanning a 2–4-chunk, few-µs
+/// pipeline across the pool costs more in enqueue/wake/claim latency than
+/// the chunks cost to run — the depth-2 low-work calls behind the
+/// `ties_rank1` width-4 regression.  Heavy-item sources (`par_chunks*`,
+/// explicit `with_min_len` below the default) keep their fan-out: their
+/// per-item work is real.  Inline execution runs the identical chunks in
+/// chunk order, so results are bit-identical either way.
+const FANOUT_MIN_ITEMS: usize = 4 * DEFAULT_MIN_LEN;
+
+/// Whether a parallel call over `len` items with the given per-chunk
+/// minimum would fan out to the pool (rather than run inline) at the
+/// current effective thread count.  Exposed for the crossover tests.
+#[doc(hidden)]
+pub fn would_fan_out(len: usize, min_len: usize) -> bool {
+    let threads = pool::effective_threads();
+    let chunk = len
+        .div_ceil((threads * OVERPARTITION).max(1))
+        .max(min_len)
+        .max(1);
+    let n_chunks = len.div_ceil(chunk).max(1);
+    n_chunks > 1
+        && threads > 1
+        && !pool::in_parallel_context()
+        && !(min_len >= DEFAULT_MIN_LEN && len < FANOUT_MIN_ITEMS)
+}
+
 /// Number of threads parallel calls currently fan out to: the innermost
 /// [`ThreadPool::install`] override, else `PM_THREADS`, else
 /// [`std::thread::available_parallelism`].
@@ -416,7 +444,14 @@ where
         // index exactly once, so the ranges are disjoint.
         f(s, e, unsafe { p.chunk(s, e) })
     };
-    if n_chunks == 1 || threads <= 1 || pool::in_parallel_context() {
+    // The trailing condition is the fan-out work cutoff: element-wise
+    // pipelines below [`FANOUT_MIN_ITEMS`] stay on the caller thread (see
+    // the const docs; inline runs the identical chunks in chunk order).
+    if n_chunks == 1
+        || threads <= 1
+        || pool::in_parallel_context()
+        || (min_len >= DEFAULT_MIN_LEN && len < FANOUT_MIN_ITEMS)
+    {
         (0..n_chunks).map(run_one).collect()
     } else {
         pool::run_chunks(n_chunks, run_one)
@@ -906,6 +941,68 @@ mod tests {
                 .collect()
         });
         assert!(widths.iter().all(|&w| w == 2), "observed widths {widths:?}");
+    }
+
+    #[test]
+    fn fanout_cutoff_crossover_is_pinned() {
+        pool4().install(|| {
+            // Element-wise pipelines: inline strictly below the cutoff,
+            // fanned out at and above it.
+            assert!(!crate::would_fan_out(
+                crate::FANOUT_MIN_ITEMS - 1,
+                crate::DEFAULT_MIN_LEN
+            ));
+            assert!(crate::would_fan_out(
+                crate::FANOUT_MIN_ITEMS,
+                crate::DEFAULT_MIN_LEN
+            ));
+            // Heavy-item sources (chunked / explicit small min_len) keep
+            // their fan-out even for short lengths.
+            assert!(crate::would_fan_out(64, 1));
+        });
+        // Width 1 never fans out regardless of length.
+        let pool1 = crate::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
+        pool1.install(|| assert!(!crate::would_fan_out(1 << 20, crate::DEFAULT_MIN_LEN)));
+    }
+
+    #[test]
+    fn below_cutoff_elementwise_calls_stay_on_the_caller_thread() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let tids: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+        pool4().install(|| {
+            (0..crate::FANOUT_MIN_ITEMS - 1)
+                .into_par_iter()
+                .for_each(|_| {
+                    tids.lock().unwrap().insert(std::thread::current().id());
+                });
+        });
+        let tids = tids.lock().unwrap();
+        assert_eq!(tids.len(), 1, "below-cutoff call left the caller thread");
+        assert!(tids.contains(&std::thread::current().id()));
+    }
+
+    #[test]
+    fn results_identical_across_the_fanout_cutoff() {
+        // The same computation just under and just over the cutoff, against
+        // the sequential reference: the cutoff changes scheduling only.
+        for n in [
+            crate::FANOUT_MIN_ITEMS - 1,
+            crate::FANOUT_MIN_ITEMS,
+            crate::FANOUT_MIN_ITEMS + 1,
+        ] {
+            let want: Vec<usize> = (0..n).map(|i| i.wrapping_mul(2654435761)).collect();
+            let got: Vec<usize> = pool4().install(|| {
+                (0..n)
+                    .into_par_iter()
+                    .map(|i| i.wrapping_mul(2654435761))
+                    .collect()
+            });
+            assert_eq!(got, want, "n = {n}");
+        }
     }
 
     #[test]

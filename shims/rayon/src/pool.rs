@@ -25,14 +25,26 @@
 //! [`with_threads`] installs a per-thread override — used by the bench
 //! harness's thread sweep and the determinism property tests — growing the
 //! pool on demand.  The override genuinely *bounds* parallelism, not just
-//! the chunk count: each batch carries its submission width, workers must
-//! claim one of `width - 1` staffing slots before touching a batch
-//! ([`Batch::try_join`]), and they adopt the batch width as their
+//! the chunk count: each batch carries `width` staffing *slots*, a thread
+//! must acquire a slot before touching the batch ([`Batch::try_join`]; the
+//! caller pre-owns slot 0), and workers adopt the batch width as their
 //! `current_num_threads` while running its chunks — so a width-2 sweep leg
 //! stays width-2 even after an earlier leg grew the pool to 4.  Scheduling
 //! never influences results: chunk boundaries are a pure function of
 //! `(len, thread count, min chunk)`, chunk results are combined in chunk
 //! order, and all combining operators the workspace uses are associative.
+//!
+//! # Sticky chunk→thread affinity
+//!
+//! Each slot owns a *contiguous* range of chunk indices (`n_chunks / width`,
+//! rounded up); a runner drains its own slot's range first and steals from
+//! other slots only once its own is empty.  Workers remember the slot they
+//! held last ([`PREFERRED_SLOT`]) and re-acquire it on the next batch when
+//! free, and the caller always holds slot 0 — so across the consecutive
+//! parallel calls of a round-synchronous loop, the same thread keeps
+//! touching the same contiguous array region round after round, preserving
+//! per-thread cache/NUMA residency of the data it warmed.  This is pure
+//! scheduling: which thread runs a chunk never affects any result.
 //!
 //! # Panics
 //!
@@ -45,8 +57,19 @@ use std::any::Any;
 use std::cell::Cell;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// One staffing slot of a [`Batch`]: ownership flag plus the claim cursor
+/// into the slot's contiguous chunk range.
+struct SlotState {
+    /// Whether a runner holds this slot (at most one ever does).
+    taken: AtomicBool,
+    /// Next unclaimed offset within the slot's chunk range; values past the
+    /// range length mean the range is drained.  Any runner may bump this
+    /// (stealing), so claims stay exactly-once without a global counter.
+    cursor: AtomicUsize,
+}
 
 /// One parallel call: `job(i)` runs chunk `i` for `i < n_chunks`.
 ///
@@ -57,15 +80,18 @@ struct Batch {
     n_chunks: usize,
     /// The effective thread width when the batch was submitted.  Workers
     /// running this batch's chunks adopt it as their `current_num_threads`
-    /// so nested code observes the same width on every thread, and
-    /// [`Batch::try_join`] staffs the batch with at most `width` threads
-    /// (caller included) — `install(n)` genuinely bounds parallelism even
-    /// after the global pool has grown wider.
+    /// so nested code observes the same width on every thread, and the slot
+    /// count staffs the batch with at most `width` threads (caller
+    /// included) — `install(n)` genuinely bounds parallelism even after the
+    /// global pool has grown wider.
     width: usize,
-    /// Threads participating in this batch; starts at 1 for the caller.
-    runners: AtomicUsize,
-    /// Next chunk index to hand out; values `>= n_chunks` mean exhausted.
-    next: AtomicUsize,
+    /// Chunks per slot range: slot `s` owns chunk indices
+    /// `[s * per, min((s + 1) * per, n_chunks))` — contiguous, so a slot
+    /// maps to a contiguous region of the underlying arrays.
+    per: usize,
+    /// One staffing slot per unit of width; slot 0 is pre-owned by the
+    /// calling thread.
+    slots: Box<[SlotState]>,
     /// Number of chunks that have finished running.
     done: AtomicUsize,
     finished: Mutex<bool>,
@@ -76,12 +102,19 @@ struct Batch {
 
 impl Batch {
     fn new(job: &'static (dyn Fn(usize) + Sync), n_chunks: usize, width: usize) -> Arc<Self> {
+        let width = width.max(1);
+        let slots = (0..width)
+            .map(|s| SlotState {
+                taken: AtomicBool::new(s == 0),
+                cursor: AtomicUsize::new(0),
+            })
+            .collect();
         Arc::new(Batch {
             job,
             n_chunks,
             width,
-            runners: AtomicUsize::new(1),
-            next: AtomicUsize::new(0),
+            per: n_chunks.div_ceil(width),
+            slots,
             done: AtomicUsize::new(0),
             finished: Mutex::new(false),
             finished_cv: Condvar::new(),
@@ -89,25 +122,60 @@ impl Batch {
         })
     }
 
-    /// Claims the next unclaimed chunk, if any.
-    fn claim(&self) -> Option<usize> {
-        let i = self.next.fetch_add(1, Ordering::AcqRel);
-        (i < self.n_chunks).then_some(i)
+    /// The contiguous chunk range owned by slot `s`.
+    fn slot_range(&self, s: usize) -> (usize, usize) {
+        (
+            (s * self.per).min(self.n_chunks),
+            ((s + 1) * self.per).min(self.n_chunks),
+        )
     }
 
-    /// Claims a participation slot: a worker may run this batch's chunks
-    /// only while the staffing stays within the batch width.
-    fn try_join(&self) -> bool {
-        self.runners
-            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |r| {
-                (r < self.width).then_some(r + 1)
-            })
-            .is_ok()
+    /// Claims the next unclaimed chunk, preferring `slot`'s own contiguous
+    /// range and stealing from the other slots (in circular order) only
+    /// once it is drained.  Which thread claims a chunk never affects
+    /// results; affinity is purely a locality optimisation.
+    fn claim(&self, slot: usize) -> Option<usize> {
+        let w = self.slots.len();
+        for k in 0..w {
+            let s = (slot + k) % w;
+            let (start, end) = self.slot_range(s);
+            let len = end - start;
+            let st = &self.slots[s];
+            // Cheap pre-check so fully drained ranges are skipped without
+            // growing their cursors unboundedly.
+            if st.cursor.load(Ordering::Acquire) >= len {
+                continue;
+            }
+            let i = st.cursor.fetch_add(1, Ordering::AcqRel);
+            if i < len {
+                return Some(start + i);
+            }
+        }
+        None
+    }
+
+    /// Acquires a staffing slot, preferring `preferred` (the slot this
+    /// thread held on the previous batch) so chunk→thread affinity is
+    /// stable across the consecutive calls of a round-synchronous loop.
+    /// Returns the slot id, or `None` when the batch is fully staffed.
+    fn try_join(&self, preferred: usize) -> Option<usize> {
+        let w = self.slots.len();
+        let first = if preferred < w { preferred } else { 0 };
+        for k in 0..w {
+            let s = (first + k) % w;
+            if !self.slots[s].taken.swap(true, Ordering::AcqRel) {
+                return Some(s);
+            }
+        }
+        None
     }
 
     /// Whether every chunk has been claimed (not necessarily finished).
     fn exhausted(&self) -> bool {
-        self.next.load(Ordering::Acquire) >= self.n_chunks
+        self.slots.iter().enumerate().all(|(s, st)| {
+            let (start, end) = self.slot_range(s);
+            st.cursor.load(Ordering::Acquire) >= end - start
+        })
     }
 
     /// Runs one claimed chunk, capturing a panic instead of unwinding.
@@ -164,6 +232,11 @@ thread_local! {
     /// re-entering the pool: the outer call already owns the fan-out, and
     /// never blocking a worker on another batch rules out deadlock.
     static IN_PARALLEL: Cell<bool> = const { Cell::new(false) };
+    /// The staffing slot this worker held on the last batch it ran.  Workers
+    /// re-acquire the same slot when it is free, which keeps chunk→thread
+    /// assignment stable across the batches of a round-synchronous loop
+    /// (the sticky-affinity epoch; see the module docs).
+    static PREFERRED_SLOT: Cell<usize> = const { Cell::new(usize::MAX) };
 }
 
 /// The process-wide default thread count: `PM_THREADS` if set to a positive
@@ -235,22 +308,28 @@ fn worker_loop(shared: &Shared) -> ! {
     // chunk executes inline on this thread.
     IN_PARALLEL.with(|f| f.set(true));
     loop {
-        let batch = {
+        let (batch, slot) = {
             let mut queue = shared.queue.lock().unwrap();
             loop {
                 queue.retain(|b| !b.exhausted());
-                // Join the first batch with an open staffing slot; fully
-                // staffed batches are left to their current runners.
-                if let Some(batch) = queue.iter().find(|b| b.try_join()) {
-                    break Arc::clone(batch);
+                // Join the first batch with an open staffing slot — the slot
+                // this worker held last time when free; fully staffed
+                // batches are left to their current runners.
+                let preferred = PREFERRED_SLOT.with(|p| p.get());
+                if let Some(found) = queue
+                    .iter()
+                    .find_map(|b| b.try_join(preferred).map(|s| (Arc::clone(b), s)))
+                {
+                    break found;
                 }
                 queue = shared.work_cv.wait(queue).unwrap();
             }
         };
+        PREFERRED_SLOT.with(|p| p.set(slot));
         // Adopt the batch's width so nested code observes the same
         // `current_num_threads` regardless of which thread runs the chunk.
         OVERRIDE.with(|o| o.set(Some(batch.width)));
-        while let Some(i) = batch.claim() {
+        while let Some(i) = batch.claim(slot) {
             batch.run_chunk(i);
         }
         OVERRIDE.with(|o| o.set(None));
@@ -284,8 +363,10 @@ pub(crate) fn execute(job: &(dyn Fn(usize) + Sync), n_chunks: usize) {
     s.work_cv.notify_all();
 
     // Participate: run chunks on this thread until none are left to claim.
+    // The caller always holds slot 0, so its chunk range — the front of the
+    // arrays — stays on the calling thread across consecutive calls.
     IN_PARALLEL.with(|f| f.set(true));
-    while let Some(i) = batch.claim() {
+    while let Some(i) = batch.claim(0) {
         batch.run_chunk(i);
     }
     IN_PARALLEL.with(|f| f.set(false));
@@ -370,7 +451,7 @@ where
     // stack frame); hold the payload until the batch has drained.
     let ra = catch_unwind(AssertUnwindSafe(a));
     IN_PARALLEL.with(|f| f.set(true));
-    while let Some(i) = batch.claim() {
+    while let Some(i) = batch.claim(0) {
         batch.run_chunk(i);
     }
     IN_PARALLEL.with(|f| f.set(false));
