@@ -15,8 +15,13 @@
 //! graph, the ties reduction) plus the `served/` family — repeated warm
 //! solves on a reused [`PopularSolver`], the cold free-function path for
 //! comparison, and batched throughput, all reported as amortized
-//! per-request milliseconds — and writes schema-5 `BENCH_popular.json`,
-//! the perf trajectory file every perf PR measures itself against.  The
+//! per-request milliseconds — and writes schema-6 `BENCH_popular.json`,
+//! the perf trajectory file every perf PR measures itself against (the
+//! schema-6 header records the effective `PM_CHUNK_BYTES` /
+//! `PM_PREFETCH_DIST` knobs and whether the prefetch feature was compiled
+//! in).  The `layout/` families A/B the locality layout pass
+//! (`pm_instances::layout`, DESIGN.md §12) on the clustered-scattered
+//! workload.  The
 //! server-routed families (`served/server_warm`, `served/degraded`,
 //! `faults/chaos`) push the same request stream through the fault-tolerant
 //! [`Server`] and record its counters (served / rejected / shed /
@@ -49,7 +54,8 @@
 //! to a warning when the runner has fewer hardware threads than that width.
 //! `--profile` (its own mode, takes precedence) prints the per-kernel phase
 //! clock — reduce / algorithm2 / promote / census / jump wall time per warm
-//! solve — via `pm_popular::profile`.
+//! solve, plus the Hopcroft–Karp referee's bfs / dfs / augment phases per
+//! warm `solve_ties` — via `pm_popular::profile`.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -858,6 +864,7 @@ fn json_trajectory(
         }
     }
 
+    layout_trajectory(quick, threads, reps, &selected, &mut results);
     served_trajectory(quick, threads, reps, &selected, &mut results);
     incremental_trajectory(quick, threads, reps, &selected, &mut results);
     server_trajectory(quick, reps, &selected, &mut results);
@@ -990,6 +997,236 @@ fn profile_trajectory(quick: bool) {
         ]);
     }
     t.print();
+
+    // The Hopcroft–Karp referee of the ties pipeline, same protocol: warm
+    // `solve_ties` laps on the bipartite workload with the clock enabled.
+    // hk_dfs covers the layered search *including* its in-place path flips;
+    // hk_augment is the final matching write-out, so the three phases
+    // partition the referee.
+    let mut t2 = Table::new(
+        "Hopcroft–Karp referee phases, ms per warm solve_ties (bipartite, expected degree 4)",
+        &["n", "hk_bfs", "hk_dfs", "hk_augment", "total"],
+    );
+    for &n in sizes {
+        let g = workloads::bipartite(n);
+        let mut solver = PopularSolver::new(0, 0);
+        let _ = solver.solve_ties(&g).expect("valid ties graph");
+        reset_phase_timings();
+        enable_phase_timings(true);
+        let start = std::time::Instant::now();
+        for _ in 0..reps {
+            std::hint::black_box(solver.solve_ties(&g).expect("valid ties graph").size());
+        }
+        let total_ms = start.elapsed().as_secs_f64() * 1e3 / f64::from(reps);
+        enable_phase_timings(false);
+        let timings = phase_timings();
+        let per_solve = |p: SolvePhase| {
+            format!(
+                "{:.3}",
+                timings.get(p).as_secs_f64() * 1e3 / f64::from(reps)
+            )
+        };
+        t2.row(vec![
+            n.to_string(),
+            per_solve(SolvePhase::HkBfs),
+            per_solve(SolvePhase::HkDfs),
+            per_solve(SolvePhase::HkAugment),
+            format!("{total_ms:.3}"),
+        ]);
+    }
+    t2.print();
+}
+
+/// The `layout/` workload family (E23): the same pipeline measured with
+/// and without the locality layout pass of `pm_instances::layout`
+/// (DESIGN.md §12), on the clustered-scattered workload — community
+/// structure in the preferences, post ids scattered across the whole id
+/// space.
+///
+/// * `layout/switching_graph/{off,on}` — switching-graph build +
+///   components + margins over a popular matching of the original (`off`)
+///   vs the relabeled twin (`on`); the headline A/B of the layout PR.
+/// * `layout/warm_solve/{off,on}` — warm repeated solves: a plain
+///   [`PopularSolver`] on the original vs a
+///   [`pm_popular::RelabeledSolver`] solving the twin and mapping answers
+///   back to original post ids.  The `on` side runs the **zero-allocation
+///   gate** (the map-back buffer is pooled, so warm layout solves must not
+///   touch the allocator) and records `allocs_per_solve`.
+///
+/// Once per size, untimed, the twin's mapped-back answer is verified
+/// popular **on the original instance** (tie-break shifts make it a
+/// possibly different matching than the direct solve's — popularity on the
+/// original is the invariant that matters).  The `on` entries record the
+/// one-time layout pass cost as `layout_pass_us`.
+fn layout_trajectory(
+    quick: bool,
+    threads: &[usize],
+    reps: usize,
+    selected: &dyn Fn(&str) -> bool,
+    results: &mut Vec<JsonResult>,
+) {
+    use pm_popular::relabel::RelabeledSolver;
+
+    let want_sg = selected("layout/switching_graph/off") || selected("layout/switching_graph/on");
+    let want_warm = selected("layout/warm_solve/off") || selected("layout/warm_solve/on");
+    if !(want_sg || want_warm) {
+        return;
+    }
+    let sizes: &[usize] = if quick {
+        &[100_000]
+    } else {
+        &[100_000, 1_000_000]
+    };
+    for &n in sizes {
+        let inst = workloads::clustered_scattered(n);
+
+        // The layout pass itself — cold, run once per instance (snapshots
+        // persist the result), so its cost is an extra field, not a lap.
+        let pass_start = std::time::Instant::now();
+        let relabeled =
+            pm_instances::layout::optimize_layout(&inst).expect("valid instance relabels");
+        let layout_pass_us = pass_start.elapsed().as_micros() as u64;
+
+        // Correctness once per size, untimed: the twin's solve, mapped back
+        // through the inverse permutation, must be popular on the ORIGINAL.
+        let mut rs = RelabeledSolver::new(inst.num_applicants(), inst.num_posts());
+        let mapped = rs.solve(&relabeled).expect("solvable workload").clone();
+        assert!(
+            is_popular_characterization(&inst, &mapped),
+            "layout-path answer is not popular on the original instance at n = {n}"
+        );
+        drop(rs);
+
+        if want_sg {
+            for (workload, subject) in [
+                ("layout/switching_graph/off", &inst),
+                ("layout/switching_graph/on", relabeled.instance()),
+            ] {
+                let tracker = DepthTracker::new();
+                let run = popular_matching_run(subject, &tracker).expect("solvable workload");
+                let sg_tracker = DepthTracker::new();
+                {
+                    let sg = SwitchingGraph::build(&run.reduced, &run.matching, &sg_tracker);
+                    let _ = sg.components(&sg_tracker);
+                    let _ = sg.margins_to_sink(&sg_tracker);
+                }
+                let stats = sg_tracker.stats();
+                let wall_ms_by_threads = sweep_threads(threads, reps, || {
+                    let tr = DepthTracker::new();
+                    let sg = SwitchingGraph::build(&run.reduced, &run.matching, &tr);
+                    let comps = sg.components(&tr);
+                    let margins = sg.margins_to_sink(&tr);
+                    std::hint::black_box((comps.len(), margins.len()))
+                });
+                let mut extra = vec![("bytes_per_entity", instance_bytes_per_entity(subject))];
+                if workload.ends_with("/on") {
+                    extra.push(("layout_pass_us", layout_pass_us));
+                }
+                results.push(JsonResult {
+                    workload,
+                    n,
+                    wall_ms_by_threads,
+                    pram: Some((stats.depth, stats.work)),
+                    extra,
+                });
+            }
+        }
+
+        if want_warm {
+            let requests: usize = if n >= 1_000_000 {
+                2
+            } else if quick {
+                4
+            } else {
+                8
+            };
+
+            // Off: plain warm solves on the scattered original.
+            let mut solver = PopularSolver::new(inst.num_applicants(), inst.num_posts());
+            solver.solve(&inst).expect("solvable workload");
+            let wall_off: Vec<(usize, f64)> = sweep_threads(threads, reps, || {
+                for _ in 0..requests {
+                    std::hint::black_box(solver.solve(&inst).expect("solvable").num_applicants());
+                }
+            })
+            .into_iter()
+            .map(|(t, total_ms)| (t, total_ms / requests as f64))
+            .collect();
+            drop(solver);
+            results.push(JsonResult {
+                workload: "layout/warm_solve/off",
+                n,
+                wall_ms_by_threads: wall_off,
+                pram: None,
+                extra: vec![
+                    ("requests", requests as u64),
+                    ("bytes_per_entity", instance_bytes_per_entity(&inst)),
+                ],
+            });
+
+            // On: warm solves through the layout, answers in original ids.
+            // Zero-allocation gate at width 1, like `served/warm_solve`.
+            let mut rs = RelabeledSolver::new(inst.num_applicants(), inst.num_posts());
+            let pool1 = rayon::ThreadPoolBuilder::new()
+                .num_threads(1)
+                .build()
+                .expect("shim pools always build");
+            let mut warmups = 0u32;
+            loop {
+                let before = allocation_count();
+                pool1.install(|| {
+                    std::hint::black_box(rs.solve(&relabeled).expect("solvable").num_applicants());
+                });
+                warmups += 1;
+                if allocation_count() == before || warmups >= 10 {
+                    break;
+                }
+            }
+            let before = allocation_count();
+            pool1.install(|| {
+                for _ in 0..3 {
+                    std::hint::black_box(rs.solve(&relabeled).expect("solvable").num_applicants());
+                }
+            });
+            let allocs = allocation_count() - before;
+            if allocs != 0 {
+                eprintln!(
+                    "ZERO-ALLOC GATE FAILED: warm layout solve (RelabeledSolver) performed \
+                     {allocs} allocations over 3 solves at n = {n} after {warmups} warm-ups \
+                     (expected 0)"
+                );
+                std::process::exit(1);
+            }
+            eprintln!(
+                "zero-alloc gate passed at n = {n} \
+                 (0 allocations across 3 warm layout solves, {warmups} warm-ups to steady state)"
+            );
+
+            let wall_on: Vec<(usize, f64)> = sweep_threads(threads, reps, || {
+                for _ in 0..requests {
+                    std::hint::black_box(rs.solve(&relabeled).expect("solvable").num_applicants());
+                }
+            })
+            .into_iter()
+            .map(|(t, total_ms)| (t, total_ms / requests as f64))
+            .collect();
+            results.push(JsonResult {
+                workload: "layout/warm_solve/on",
+                n,
+                wall_ms_by_threads: wall_on,
+                pram: None,
+                extra: vec![
+                    ("requests", requests as u64),
+                    ("allocs_per_solve", allocs),
+                    ("layout_pass_us", layout_pass_us),
+                    (
+                        "bytes_per_entity",
+                        instance_bytes_per_entity(relabeled.instance()),
+                    ),
+                ],
+            });
+        }
+    }
 }
 
 /// The `served/` workload family: warm repeated solves on one reused
@@ -1731,12 +1968,27 @@ fn render_json(
     baseline: Option<&str>,
 ) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": 5,\n");
+    out.push_str("  \"schema\": 6,\n");
     out.push_str("  \"harness\": \"pm_bench --json\",\n");
     out.push_str(&format!("  \"quick\": {quick},\n"));
     out.push_str(&format!(
         "  \"rayon_threads\": {},\n",
         rayon::current_num_threads()
+    ));
+    // The effective tuning knobs of this run (PM_CHUNK_BYTES /
+    // PM_PREFETCH_DIST env overrides land here), so trajectory numbers are
+    // reproducible without knowing the runner's environment.
+    out.push_str(&format!(
+        "  \"chunk_bytes\": {},\n",
+        pm_pram::tune::chunk_bytes()
+    ));
+    out.push_str(&format!(
+        "  \"prefetch_dist\": {},\n",
+        pm_pram::tune::prefetch_dist()
+    ));
+    out.push_str(&format!(
+        "  \"prefetch_compiled\": {},\n",
+        cfg!(feature = "prefetch")
     ));
     out.push_str(&format!(
         "  \"thread_sweep\": [{}],\n",

@@ -89,6 +89,23 @@ pub fn batch_instances(n: usize, count: usize) -> Vec<PrefInstance> {
         .collect()
 }
 
+/// E23 — the layout A/B workload: community-structured solvable instances
+/// whose post ids are scattered by a random bijection (see
+/// `pm_instances::generators::clustered_scattered`).  The referential
+/// locality is there — each applicant stays inside a 256-post community —
+/// but the address locality is destroyed, which is exactly what the
+/// `pm_instances::layout` pass recovers; the `layout/*` families measure
+/// the same pipeline with and without it.
+pub fn clustered_scattered(n: usize) -> PrefInstance {
+    let cfg = GeneratorConfig {
+        num_applicants: n,
+        num_posts: n + n / 8 + 1,
+        list_len: 5,
+        seed: SEED ^ 0x1A07 ^ n as u64,
+    };
+    generators::clustered_scattered(&cfg, 256)
+}
+
 /// E7 — random directed pseudoforests with 10% sinks.
 pub fn pseudoforest(n: usize) -> pm_graph::FunctionalGraph {
     generators::random_functional_graph(n, 0.1, SEED ^ 0x7777 ^ n as u64)

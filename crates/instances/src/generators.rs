@@ -137,6 +137,52 @@ pub fn solvable(cfg: &GeneratorConfig) -> PrefInstance {
     PrefInstance::new_strict(cfg.num_posts, lists).expect("generator produces valid instances")
 }
 
+/// Community-structured instances with **scattered post ids** — the layout
+/// pass's headline workload (E23).
+///
+/// Applicants come in communities of `community` consecutive ids, and every
+/// applicant ranks only posts of its own community's window, so the
+/// instance has strong *referential* locality.  The post ids, however, are
+/// passed through a random bijection ("scatter"), destroying *address*
+/// locality: each community's posts are strewn across the whole id space,
+/// and every per-post gather in the solve kernels strides the full array.
+/// `pm_instances::layout::optimize_layout` recovers contiguous ids from the
+/// incidence structure alone, which is exactly the A/B contrast the
+/// `layout/*` bench family measures.
+///
+/// First choices are globally distinct (applicant `a` gets scattered
+/// logical post `a`), so the instance always admits a popular matching,
+/// like [`solvable`].
+pub fn clustered_scattered(cfg: &GeneratorConfig, community: usize) -> PrefInstance {
+    assert!(
+        cfg.num_posts >= cfg.num_applicants,
+        "clustered_scattered needs at least as many posts as applicants"
+    );
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let len = cfg.clamped_len();
+    // Logical → physical post id bijection; everything below works in
+    // logical ids and maps through `scatter` at the last moment.
+    let mut scatter: Vec<usize> = (0..cfg.num_posts).collect();
+    scatter.shuffle(&mut rng);
+    let c = community.clamp(len, cfg.num_posts);
+    let lists = (0..cfg.num_applicants)
+        .map(|a| {
+            // The community window in logical id space; the last window is
+            // shifted down so every window keeps full width.
+            let lo = (a / c * c).min(cfg.num_posts - c);
+            let mut list = vec![scatter[a]];
+            while list.len() < len {
+                let p = scatter[lo + rng.random_range(0..c)];
+                if !list.contains(&p) {
+                    list.push(p);
+                }
+            }
+            list
+        })
+        .collect();
+    PrefInstance::new_strict(cfg.num_posts, lists).expect("generator produces valid instances")
+}
+
 /// Instances with tunable *last-resort pressure*: `a1_fraction` of the
 /// applicants rank only posts that are somebody's first choice, making their
 /// `s(a)` the last resort (the `A₁` population of Section IV).  First
@@ -370,6 +416,31 @@ mod tests {
         // Still solvable by construction.
         let t = DepthTracker::new();
         assert!(popular_matching_nc(&inst, &t).is_ok());
+    }
+
+    #[test]
+    fn clustered_scattered_is_solvable_and_scattered() {
+        let inst = clustered_scattered(
+            &GeneratorConfig {
+                num_applicants: 80,
+                num_posts: 100,
+                list_len: 4,
+                seed: 11,
+            },
+            16,
+        );
+        assert_eq!(inst.num_applicants(), 80);
+        let t = DepthTracker::new();
+        assert!(popular_matching_nc(&inst, &t).is_ok());
+        // Scatter destroys address locality: the average per-list id span
+        // is a large fraction of the post id space.
+        let total_span: usize = (0..80)
+            .map(|a| {
+                let ids: Vec<usize> = inst.flat_list(a).iter().map(|p| p.get()).collect();
+                ids.iter().max().unwrap() - ids.iter().min().unwrap()
+            })
+            .sum();
+        assert!(total_span / 80 > 25, "mean span = {}", total_span / 80);
     }
 
     #[test]

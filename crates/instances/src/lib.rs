@@ -21,6 +21,12 @@
 //!   a streaming two-pass reader that fills the CSR arrays directly;
 //! * [`snapshot`] — a versioned binary snapshot of the validated CSR
 //!   arrays, the zero-restructuring cold-start path for large corpora.
+//!
+//! The [`layout`] module is the locality layout pass (DESIGN.md §12): it
+//! relabels posts so co-referenced posts share contiguous id blocks and
+//! block-sorts tie-group entries, producing a `pm_popular::Relabeled` twin
+//! whose solves cut main-memory traffic; the snapshot format persists the
+//! pair so the pass runs once per corpus.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -28,9 +34,11 @@
 pub mod churn;
 pub mod generators;
 pub mod io;
+pub mod layout;
 pub mod paper;
 pub mod snapshot;
 
 pub use churn::ChurnConfig;
 pub use generators::GeneratorConfig;
+pub use layout::optimize_layout;
 pub use paper::{figure1_instance, figure1_popular_matching, figure5_instance};

@@ -20,6 +20,8 @@
 //! 12      4     flags (u32 LE) — bit 0: ranks stored as u16
 //!                                bit 1: strict instance, derived
 //!                                       sections omitted
+//!                                bit 2: layout snapshot, post-permutation
+//!                                       section appended
 //! 16      8     num_posts       (u64 LE)
 //! 24      8     num_applicants  (u64 LE)
 //! 32      8     num_groups      (u64 LE)
@@ -29,7 +31,19 @@
 //!               group_off  (num_groups + 1)     × u32 LE   [unless strict]
 //!               post_flat  num_edges            × u32 LE
 //!               rank_flat  num_edges × u16 or u32 (bit 0)  [unless strict]
+//!               perm       num_posts            × u32 LE   [bit 2 only]
 //! ```
+//!
+//! **Layout snapshots** (flag bit 2) persist a locality-optimized twin
+//! (`pm_instances::layout`, DESIGN.md §12): the CSR sections hold the
+//! *relabeled* instance, and the trailing `perm` section holds the
+//! original → relabeled post permutation (its inverse is derived and
+//! validated on load).  Cold loads therefore get the blocked layout for
+//! free — no re-run of the layout pass — and can map answers back to
+//! original post ids.  The plain [`from_bytes`] entry point **rejects**
+//! layout snapshots with a typed error rather than silently dropping the
+//! permutation (the instance alone answers questions about renamed posts);
+//! [`from_bytes_layout`] is the layout-aware reader.
 //!
 //! **Strict instances** (every tie group a singleton — the dominant shape
 //! in practice) fully determine the tie layer: `group_off` is the identity
@@ -58,6 +72,7 @@ use std::path::Path;
 
 use pm_popular::error::PopularError;
 use pm_popular::instance::{check_sizes, PrefInstance, RankArray};
+use pm_popular::relabel::PostPermutation;
 use pm_pram::Idx;
 
 /// The 8-byte magic number opening every snapshot.
@@ -73,8 +88,12 @@ const FLAG_RANKS_U16: u32 = 1;
 /// (`group_idx`, `group_off`, `rank_flat`) are omitted from the payload.
 const FLAG_STRICT: u32 = 2;
 
+/// Flag bit 2: the snapshot persists a locality layout — the CSR sections
+/// hold the relabeled twin and a post-permutation section is appended.
+const FLAG_LAYOUT: u32 = 4;
+
 /// All flag bits this build understands.
-const KNOWN_FLAGS: u32 = FLAG_RANKS_U16 | FLAG_STRICT;
+const KNOWN_FLAGS: u32 = FLAG_RANKS_U16 | FLAG_STRICT | FLAG_LAYOUT;
 
 /// Bytes before the first section.
 const HEADER_LEN: usize = 48;
@@ -111,6 +130,12 @@ pub enum SnapshotError {
     /// The decoded arrays fail instance validation (including the
     /// [`PopularError::TooLarge`] size funnel on the header counts).
     Instance(PopularError),
+    /// A layout-bearing snapshot (flag bit 2) was handed to the plain
+    /// [`from_bytes`] reader.  The CSR sections hold *relabeled* post ids;
+    /// dropping the permutation would hand the caller an instance that
+    /// answers questions about renamed posts, so the plain reader refuses
+    /// — load through [`from_bytes_layout`] instead.
+    UnexpectedLayout,
 }
 
 impl fmt::Display for SnapshotError {
@@ -135,6 +160,14 @@ impl fmt::Display for SnapshotError {
                 )
             }
             SnapshotError::Instance(e) => write!(f, "snapshot holds an invalid instance: {e}"),
+            SnapshotError::UnexpectedLayout => {
+                write!(
+                    f,
+                    "snapshot carries a layout permutation section; its post ids are \
+                     relabeled — load it with the layout-aware reader (from_bytes_layout / \
+                     read_file_layout)"
+                )
+            }
         }
     }
 }
@@ -162,11 +195,39 @@ impl From<PopularError> for SnapshotError {
 }
 
 /// Serialises an instance into `w` in the version-1 layout.
-pub fn write<W: Write>(inst: &PrefInstance, mut w: W) -> Result<(), SnapshotError> {
+pub fn write<W: Write>(inst: &PrefInstance, w: W) -> Result<(), SnapshotError> {
+    write_impl(inst, None, w)
+}
+
+/// Serialises a layout pair — the relabeled twin plus its original →
+/// relabeled post permutation — into `w`, setting flag bit 2 and appending
+/// the permutation section.  Rejects (typed) a permutation whose length is
+/// not the instance's post count, before writing a byte.
+pub fn write_layout<W: Write>(
+    inst: &PrefInstance,
+    perm: &PostPermutation,
+    w: W,
+) -> Result<(), SnapshotError> {
+    if perm.len() != inst.num_posts() {
+        return Err(PopularError::InvalidInstance(format!(
+            "layout snapshot: permutation covers {} posts but the instance has {}",
+            perm.len(),
+            inst.num_posts()
+        ))
+        .into());
+    }
+    write_impl(inst, Some(perm), w)
+}
+
+fn write_impl<W: Write>(
+    inst: &PrefInstance,
+    perm: Option<&PostPermutation>,
+    mut w: W,
+) -> Result<(), SnapshotError> {
     let parts = inst.csr_parts();
     // A strict instance carries no tie layer at all — bit 0 stays clear
     // because there is no rank section for it to describe.
-    let (flags, num_groups) = match &parts.ties {
+    let (mut flags, num_groups) = match &parts.ties {
         None => (FLAG_STRICT, parts.post_flat.len() as u64),
         Some(t) => (
             if t.rank_flat.is_u16() {
@@ -177,6 +238,9 @@ pub fn write<W: Write>(inst: &PrefInstance, mut w: W) -> Result<(), SnapshotErro
             t.group_off.len() as u64 - 1,
         ),
     };
+    if perm.is_some() {
+        flags |= FLAG_LAYOUT;
+    }
 
     w.write_all(&MAGIC)?;
     w.write_all(&VERSION.to_le_bytes())?;
@@ -204,6 +268,11 @@ pub fn write<W: Write>(inst: &PrefInstance, mut w: W) -> Result<(), SnapshotErro
             RankArray::U32(v) => write_u32s(&mut w, v)?,
         }
     }
+    if let Some(perm) = perm {
+        for &p in perm.forward() {
+            w.write_all(&p.raw().to_le_bytes())?;
+        }
+    }
     Ok(())
 }
 
@@ -216,8 +285,26 @@ fn write_u32s<W: Write>(w: &mut W, xs: &[u32]) -> Result<(), SnapshotError> {
 
 /// The snapshot as an in-memory byte vector (see [`write`]).
 pub fn to_bytes(inst: &PrefInstance) -> Vec<u8> {
+    let mut out = Vec::with_capacity(byte_len(inst, false));
+    write(inst, &mut out).expect("writing to a Vec cannot fail");
+    out
+}
+
+/// The layout snapshot as an in-memory byte vector (see [`write_layout`]).
+///
+/// # Panics
+/// If `perm.len() != inst.num_posts()` (the typed-error path of
+/// [`write_layout`] — callers serialising to memory hold a constructed
+/// layout pair, for which the contract holds by construction).
+pub fn to_bytes_layout(inst: &PrefInstance, perm: &PostPermutation) -> Vec<u8> {
+    let mut out = Vec::with_capacity(byte_len(inst, true));
+    write_layout(inst, perm, &mut out).expect("writing a valid layout pair to a Vec cannot fail");
+    out
+}
+
+fn byte_len(inst: &PrefInstance, layout: bool) -> usize {
     let parts = inst.csr_parts();
-    let cap = match &parts.ties {
+    let base = match &parts.ties {
         None => HEADER_LEN + 4 * (parts.list_off.len() + parts.post_flat.len()),
         Some(t) => {
             let rank_width = if t.rank_flat.is_u16() { 2 } else { 4 };
@@ -226,16 +313,39 @@ pub fn to_bytes(inst: &PrefInstance) -> Vec<u8> {
                 + (4 + rank_width) * parts.post_flat.len()
         }
     };
-    let mut out = Vec::with_capacity(cap);
-    write(inst, &mut out).expect("writing to a Vec cannot fail");
-    out
+    base + if layout { 4 * parts.num_posts } else { 0 }
 }
 
 /// Deserialises a snapshot from a byte slice, validating it end to end:
 /// header checks, the `TooLarge` size funnel, an exact length check
 /// *before* any proportional allocation, then the O(|E|) structural
 /// validation of [`PrefInstance::from_csr_parts`].
+///
+/// Rejects layout-bearing snapshots (flag bit 2) with
+/// [`SnapshotError::UnexpectedLayout`] — their post ids are relabeled and
+/// only meaningful together with the permutation section, which
+/// [`from_bytes_layout`] returns.
 pub fn from_bytes(bytes: &[u8]) -> Result<PrefInstance, SnapshotError> {
+    let (inst, perm) = from_bytes_impl(bytes)?;
+    if perm.is_some() {
+        return Err(SnapshotError::UnexpectedLayout);
+    }
+    Ok(inst)
+}
+
+/// Layout-aware twin of [`from_bytes`]: returns the decoded instance plus
+/// the original → relabeled post permutation when the snapshot carries one
+/// (`None` for plain snapshots).  The permutation section goes through
+/// [`PostPermutation::try_new`], so a non-bijective or out-of-range map is
+/// a typed [`SnapshotError::Instance`] rejection, and the inverse direction
+/// comes back materialised for the answer-mapping path.
+pub fn from_bytes_layout(
+    bytes: &[u8],
+) -> Result<(PrefInstance, Option<PostPermutation>), SnapshotError> {
+    from_bytes_impl(bytes)
+}
+
+fn from_bytes_impl(bytes: &[u8]) -> Result<(PrefInstance, Option<PostPermutation>), SnapshotError> {
     if bytes.len() < HEADER_LEN {
         return Err(SnapshotError::LengthMismatch {
             expected: HEADER_LEN as u64,
@@ -255,6 +365,7 @@ pub fn from_bytes(bytes: &[u8]) -> Result<PrefInstance, SnapshotError> {
     }
     let ranks_u16 = flags & FLAG_RANKS_U16 != 0;
     let strict = flags & FLAG_STRICT != 0;
+    let layout = flags & FLAG_LAYOUT != 0;
     if strict && ranks_u16 {
         // Bit 0 describes the rank section, and a strict snapshot has
         // none.  Accepting the combination would make two distinct byte
@@ -306,7 +417,7 @@ pub fn from_bytes(bytes: &[u8]) -> Result<PrefInstance, SnapshotError> {
             + 4 * (n_g as u64 + 1)
             + 4 * n_e as u64
             + rank_width * n_e as u64
-    };
+    } + if layout { 4 * n_p as u64 } else { 0 };
     if bytes.len() as u64 != expected {
         return Err(SnapshotError::LengthMismatch {
             expected,
@@ -342,7 +453,12 @@ pub fn from_bytes(bytes: &[u8]) -> Result<PrefInstance, SnapshotError> {
         };
         PrefInstance::from_csr_parts(n_p, post_flat, rank_flat, list_off, group_off, group_idx)?
     };
-    Ok(inst)
+    let perm = if layout {
+        Some(PostPermutation::try_new(decode_posts(take(4 * n_p)))?)
+    } else {
+        None
+    };
+    Ok((inst, perm))
 }
 
 fn read_u32(bytes: &[u8], off: usize) -> u32 {
@@ -381,6 +497,26 @@ pub fn write_file<P: AsRef<Path>>(inst: &PrefInstance, path: P) -> Result<(), Sn
 /// harness's counting-allocator gate bounds this).
 pub fn read_file<P: AsRef<Path>>(path: P) -> Result<PrefInstance, SnapshotError> {
     from_bytes(&std::fs::read(path)?)
+}
+
+/// Writes a layout snapshot to a file (buffered; see [`write_layout`]).
+pub fn write_file_layout<P: AsRef<Path>>(
+    inst: &PrefInstance,
+    perm: &PostPermutation,
+    path: P,
+) -> Result<(), SnapshotError> {
+    let mut w = BufWriter::new(File::create(path)?);
+    write_layout(inst, perm, &mut w)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a snapshot from a file through the layout-aware reader (see
+/// [`from_bytes_layout`]).
+pub fn read_file_layout<P: AsRef<Path>>(
+    path: P,
+) -> Result<(PrefInstance, Option<PostPermutation>), SnapshotError> {
+    from_bytes_layout(&std::fs::read(path)?)
 }
 
 #[cfg(test)]
@@ -637,6 +773,159 @@ mod tests {
             read_file(std::env::temp_dir().join("pm_snapshot_missing.pmsnap")),
             Err(SnapshotError::Io(_))
         ));
+    }
+
+    fn sample_layouts() -> Vec<(PrefInstance, pm_popular::relabel::Relabeled)> {
+        let mut out = Vec::new();
+        for (seed, tied) in [(1, false), (7, true)] {
+            let cfg = GeneratorConfig {
+                num_applicants: 40,
+                num_posts: 45,
+                list_len: 5,
+                seed,
+            };
+            let inst = if tied {
+                with_ties(&cfg, 3)
+            } else {
+                crate::generators::clustered_scattered(&cfg, 8)
+            };
+            let r = crate::layout::optimize_layout(&inst).unwrap();
+            out.push((inst, r));
+        }
+        out
+    }
+
+    #[test]
+    fn layout_roundtrip_is_bit_exact_and_canonical() {
+        for (_, r) in sample_layouts() {
+            let bytes = to_bytes_layout(r.instance(), r.permutation());
+            assert_eq!(read_u32(&bytes, 12) & FLAG_LAYOUT, FLAG_LAYOUT);
+            let (back, perm) = from_bytes_layout(&bytes).unwrap();
+            let perm = perm.expect("layout snapshot returns its permutation");
+            assert_eq!(&back, r.instance());
+            assert_eq!(&perm, r.permutation());
+            // Canonical: re-serialising the decoded pair reproduces the
+            // bytes exactly.
+            assert_eq!(to_bytes_layout(&back, &perm), bytes);
+            // The layout-aware reader also reads plain snapshots.
+            let plain = to_bytes(r.instance());
+            let (p_inst, p_perm) = from_bytes_layout(&plain).unwrap();
+            assert_eq!(&p_inst, r.instance());
+            assert!(p_perm.is_none());
+        }
+    }
+
+    #[test]
+    fn plain_reader_rejects_layout_snapshots() {
+        let (_, r) = sample_layouts().remove(0);
+        let bytes = to_bytes_layout(r.instance(), r.permutation());
+        assert!(matches!(
+            from_bytes(&bytes),
+            Err(SnapshotError::UnexpectedLayout)
+        ));
+        // The refusal message points at the layout-aware entry point.
+        assert!(SnapshotError::UnexpectedLayout
+            .to_string()
+            .contains("from_bytes_layout"));
+    }
+
+    #[test]
+    fn every_layout_truncation_is_a_typed_error() {
+        let (_, r) = sample_layouts().remove(0);
+        let bytes = to_bytes_layout(r.instance(), r.permutation());
+        for len in 0..bytes.len() {
+            match from_bytes_layout(&bytes[..len]) {
+                Err(SnapshotError::LengthMismatch { found, .. }) => {
+                    assert_eq!(found, len as u64);
+                }
+                other => panic!("prefix of {len} bytes: expected LengthMismatch, got {other:?}"),
+            }
+        }
+        let mut longer = bytes.clone();
+        longer.push(0);
+        assert!(matches!(
+            from_bytes_layout(&longer),
+            Err(SnapshotError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn non_bijective_permutation_section_is_rejected() {
+        let (_, r) = sample_layouts().remove(0);
+        let n_p = r.instance().num_posts();
+        let bytes = to_bytes_layout(r.instance(), r.permutation());
+        let perm_section = bytes.len() - 4 * n_p;
+
+        // Duplicate entry: copy slot 1's image into slot 0.
+        let mut dup = bytes.clone();
+        let (a, b) = (perm_section, perm_section + 4);
+        dup.copy_within(b..b + 4, a);
+        assert!(matches!(
+            from_bytes_layout(&dup),
+            Err(SnapshotError::Instance(PopularError::InvalidInstance(_)))
+        ));
+
+        // Out-of-range entry (the Idx sentinel pattern included).
+        let mut oob = bytes.clone();
+        oob[a..a + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            from_bytes_layout(&oob),
+            Err(SnapshotError::Instance(PopularError::InvalidInstance(_)))
+        ));
+    }
+
+    #[test]
+    fn layout_flag_corruption_is_rejected() {
+        let (_, r) = sample_layouts().remove(0);
+        let bytes = to_bytes_layout(r.instance(), r.permutation());
+
+        // Clearing the layout bit leaves a trailing unexplained section —
+        // the implied length no longer matches, rejected before decoding.
+        let mut cleared = bytes.clone();
+        let flags = read_u32(&cleared, 12) & !FLAG_LAYOUT;
+        cleared[12..16].copy_from_slice(&flags.to_le_bytes());
+        assert!(matches!(
+            from_bytes_layout(&cleared),
+            Err(SnapshotError::LengthMismatch { .. })
+        ));
+
+        // Setting the bit on a plain snapshot implies a section the file
+        // does not have.
+        let mut set = to_bytes(r.instance());
+        let flags = read_u32(&set, 12) | FLAG_LAYOUT;
+        set[12..16].copy_from_slice(&flags.to_le_bytes());
+        assert!(matches!(
+            from_bytes_layout(&set),
+            Err(SnapshotError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn write_layout_rejects_mismatched_permutation() {
+        let (_, r) = sample_layouts().remove(0);
+        let wrong = pm_popular::relabel::PostPermutation::identity(3).unwrap();
+        let mut sink = Vec::new();
+        assert!(matches!(
+            write_layout(r.instance(), &wrong, &mut sink),
+            Err(SnapshotError::Instance(PopularError::InvalidInstance(_)))
+        ));
+        assert!(sink.is_empty(), "nothing may be written before the check");
+    }
+
+    #[test]
+    fn layout_file_roundtrip() {
+        let (_, r) = sample_layouts().remove(0);
+        let path = std::env::temp_dir().join("pm_snapshot_layout_test.pmsnap");
+        write_file_layout(r.instance(), r.permutation(), &path).unwrap();
+        // The plain file reader refuses; the layout-aware one round-trips.
+        assert!(matches!(
+            read_file(&path),
+            Err(SnapshotError::UnexpectedLayout)
+        ));
+        let (back, perm) = read_file_layout(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(&back, r.instance());
+        assert_eq!(perm.as_ref(), Some(r.permutation()));
     }
 
     #[test]

@@ -7,7 +7,8 @@
 //! and by the brute-force popularity verifier for small instances.
 
 use pm_graph::BipartiteGraph;
-use pm_pram::prefetch::{prefetch_read, PREFETCH_DIST};
+use pm_pram::phaseclock::{self, slot};
+use pm_pram::prefetch::prefetch_read;
 use pm_pram::Idx;
 
 use crate::matching::Matching;
@@ -86,45 +87,55 @@ pub fn hopcroft_karp_into(g: &BipartiteGraph, out: &mut Matching, ws: &mut HkScr
         },
     );
 
+    let pd = pm_pram::tune::prefetch_dist();
     loop {
         // BFS phase: layer the free left vertices.  The queue is a plain
         // vector with a read cursor (elements are never removed, so FIFO
         // order matches the textbook deque formulation exactly).
-        queue.clear();
-        let mut head = 0usize;
-        for st in rights.iter_mut() {
-            st.dist = INF;
-        }
-        for (l, &m) in match_left.iter().enumerate() {
-            if m == FREE {
-                queue.push((Idx::new(l), 0));
+        let found_augmenting_layer;
+        let free_before;
+        {
+            let _bfs = phaseclock::span(slot::HK_BFS);
+            queue.clear();
+            let mut head = 0usize;
+            for st in rights.iter_mut() {
+                st.dist = INF;
             }
-        }
-        let free_before = queue.len();
-        let mut found_augmenting_layer = false;
-        while head < queue.len() {
-            let (l, dl) = queue[head];
-            head += 1;
-            let nbrs = g.neighbors_left(l.get());
-            for (i, &r) in nbrs.iter().enumerate() {
-                if let Some(&rn) = nbrs.get(i + PREFETCH_DIST) {
-                    prefetch_read(rights, rn.get());
-                }
-                let st = rights[r];
-                if st.left == FREE {
-                    found_augmenting_layer = true;
-                } else if st.dist == INF {
-                    rights[r].dist = dl + 1;
-                    queue.push((st.left, dl + 1));
+            for (l, &m) in match_left.iter().enumerate() {
+                if m == FREE {
+                    queue.push((Idx::new(l), 0));
                 }
             }
+            free_before = queue.len();
+            let mut found = false;
+            while head < queue.len() {
+                let (l, dl) = queue[head];
+                head += 1;
+                let nbrs = g.neighbors_left(l.get());
+                for (i, &r) in nbrs.iter().enumerate() {
+                    if let Some(&rn) = nbrs.get(i + pd) {
+                        prefetch_read(rights, rn.get());
+                    }
+                    let st = rights[r];
+                    if st.left == FREE {
+                        found = true;
+                    } else if st.dist == INF {
+                        rights[r].dist = dl + 1;
+                        queue.push((st.left, dl + 1));
+                    }
+                }
+            }
+            found_augmenting_layer = found;
         }
         if !found_augmenting_layer {
             break;
         }
 
         // DFS phase: find a maximal set of vertex-disjoint shortest
-        // augmenting paths.
+        // augmenting paths.  The path flips happen in place inside `dfs`,
+        // so the `hk_dfs` span covers both the search and the augmenting
+        // rewrites; `hk_augment` below is the final matching write-out.
+        let _dfs = phaseclock::span(slot::HK_DFS);
         let mut augments = 0usize;
         for l in 0..n_left {
             if match_left[l] == FREE && dfs(l, 0, FREE, g, match_left, rights) {
@@ -137,6 +148,7 @@ pub fn hopcroft_karp_into(g: &BipartiteGraph, out: &mut Matching, ws: &mut HkScr
         }
     }
 
+    let _aug = phaseclock::span(slot::HK_AUGMENT);
     out.reset(n_left, n_right);
     for (l, &r) in match_left.iter().enumerate() {
         if r != FREE {

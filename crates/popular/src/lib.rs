@@ -61,6 +61,7 @@ pub mod max_cardinality;
 pub mod optimal;
 pub mod profile;
 pub mod reduced;
+pub mod relabel;
 pub mod sequential;
 pub mod solver;
 pub mod switching;
@@ -73,6 +74,7 @@ pub use error::PopularError;
 pub use instance::{Assignment, CsrParts, PrefInstance, RankArray, RankIter, TiedCsrParts};
 pub use max_cardinality::maximum_cardinality_popular_matching_nc;
 pub use reduced::ReducedGraph;
+pub use relabel::{PostPermutation, Relabeled, RelabeledSolver};
 pub use sequential::popular_matching_sequential;
 pub use solver::{PopularSolver, BATCH_FANOUT_MIN_CHUNK};
 pub use switching::SwitchingGraph;

@@ -14,7 +14,7 @@
 //! pass ([`SwitchingGraph::margins_to_sink`]), so the whole algorithm is
 //! `O(log² n)` depth as claimed by Theorem 10.
 
-use pm_pram::prefetch::{prefetch_read, PREFETCH_DIST};
+use pm_pram::prefetch::prefetch_read;
 use pm_pram::tracker::DepthTracker;
 use pm_pram::{Idx, Workspace};
 
@@ -70,6 +70,8 @@ pub fn improve_to_maximum_cardinality_ws(
 ) {
     let n_a = f.len();
     let total = num_posts + n_a;
+    // Gather-loop lookahead, hoisted once per call (PM_PREFETCH_DIST).
+    let pd = pm_pram::tune::prefetch_dist();
     debug_assert_eq!(matched.len(), n_a);
 
     // Build G_M: succ[p] = the other reduced post of the applicant matched
@@ -86,8 +88,8 @@ pub fn improve_to_maximum_cardinality_ws(
     for a in 0..n_a {
         // The scatter streams `f`/`s`/`matched` in order but lands on
         // random posts; pull the lines for a later applicant in early.
-        if a + PREFETCH_DIST < n_a {
-            let d = a + PREFETCH_DIST;
+        if a + pd < n_a {
+            let d = a + pd;
             prefetch_read(&in_graph, f[d].get());
             prefetch_read(&in_graph, s[d].get());
             prefetch_read(&succ, matched[d].get());
@@ -134,7 +136,7 @@ pub fn improve_to_maximum_cardinality_ws(
     for q in 0..total {
         // The election gathers through `roots[q]` into the per-sink cells;
         // prefetch a later post's sink line while this one is scored.
-        if let Some(&rn) = roots.get(q + PREFETCH_DIST) {
+        if let Some(&rn) = roots.get(q + pd) {
             prefetch_read(&succ, rn.get());
             prefetch_read(&best_margin, rn.get());
         }

@@ -9,8 +9,9 @@
 //! minimises it in the right-to-left order `≺_F`.
 
 use std::cmp::Ordering;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering as AtomicOrdering};
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+use pm_pram::phaseclock::{self, slot};
 
 use crate::instance::{Assignment, PrefInstance};
 
@@ -18,8 +19,15 @@ use crate::instance::{Assignment, PrefInstance};
 /// [`Algorithm2`](SolvePhase::Algorithm2) and [`Promote`](SolvePhase::Promote)
 /// partition a solve top-to-bottom; [`Census`](SolvePhase::Census) (the fused
 /// offsets-plus-census scan) and [`Jump`](SolvePhase::Jump) (pointer
-/// jumping / min-label doubling) are sub-spans *inside* Algorithm 2, so the
-/// five entries do not sum to the wall time.
+/// jumping / min-label doubling) are sub-spans *inside* Algorithm 2; the
+/// three `Hk*` phases partition the Hopcroft–Karp referee of the ties
+/// pipeline (`solve_ties` / the rank-1 reduction).  The entries therefore do
+/// not sum to any single pipeline's wall time.
+///
+/// This enum is the typed front door of the process-global clock in
+/// [`pm_pram::phaseclock`] — the accumulators live one crate below so that
+/// `pm_matching` (which `pm_popular` depends on, not the reverse) can charge
+/// the referee's spans into the same table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SolvePhase {
     /// Reduced-graph construction (`build_into`).
@@ -32,11 +40,17 @@ pub enum SolvePhase {
     Census,
     /// List ranking: pointer jumping and min-label cycle doubling.
     Jump,
+    /// Hopcroft–Karp BFS layering sweeps.
+    HkBfs,
+    /// Hopcroft–Karp layered DFS sweeps (path search + in-place flips).
+    HkDfs,
+    /// Hopcroft–Karp final matching write-out.
+    HkAugment,
 }
 
 impl SolvePhase {
     /// Number of phases (the size of a [`PhaseTimings`] table).
-    pub const COUNT: usize = 5;
+    pub const COUNT: usize = phaseclock::PHASE_SLOTS;
     /// Every phase, in display order.
     pub const ALL: [SolvePhase; Self::COUNT] = [
         SolvePhase::Reduce,
@@ -44,6 +58,9 @@ impl SolvePhase {
         SolvePhase::Promote,
         SolvePhase::Census,
         SolvePhase::Jump,
+        SolvePhase::HkBfs,
+        SolvePhase::HkDfs,
+        SolvePhase::HkAugment,
     ];
 
     /// Stable lowercase name (used as the JSON key by the harness).
@@ -54,45 +71,34 @@ impl SolvePhase {
             SolvePhase::Promote => "promote",
             SolvePhase::Census => "census",
             SolvePhase::Jump => "jump",
+            SolvePhase::HkBfs => "hk_bfs",
+            SolvePhase::HkDfs => "hk_dfs",
+            SolvePhase::HkAugment => "hk_augment",
         }
     }
 
     fn index(self) -> usize {
         match self {
-            SolvePhase::Reduce => 0,
-            SolvePhase::Algorithm2 => 1,
-            SolvePhase::Promote => 2,
-            SolvePhase::Census => 3,
-            SolvePhase::Jump => 4,
+            SolvePhase::Reduce => slot::REDUCE,
+            SolvePhase::Algorithm2 => slot::ALGORITHM2,
+            SolvePhase::Promote => slot::PROMOTE,
+            SolvePhase::Census => slot::CENSUS,
+            SolvePhase::Jump => slot::JUMP,
+            SolvePhase::HkBfs => slot::HK_BFS,
+            SolvePhase::HkDfs => slot::HK_DFS,
+            SolvePhase::HkAugment => slot::HK_AUGMENT,
         }
     }
 }
 
-/// Process-global phase clock: disabled by default, so the guards in the hot
-/// kernels cost a single relaxed load per span.  The accumulators are plain
-/// atomics — no allocation on any path, so the zero-alloc warm-solve gate
-/// holds with profiling on or off.  Spans from concurrent solves (e.g. a
-/// fanned-out batch) sum into the same cells; the harness profiles
-/// single-solve loops, where the totals are exact.
-static PHASE_ENABLED: AtomicBool = AtomicBool::new(false);
-static PHASE_NANOS: [AtomicU64; SolvePhase::COUNT] = [
-    AtomicU64::new(0),
-    AtomicU64::new(0),
-    AtomicU64::new(0),
-    AtomicU64::new(0),
-    AtomicU64::new(0),
-];
-
 /// Turns the phase clock on or off (off by default).
 pub fn enable_phase_timings(on: bool) {
-    PHASE_ENABLED.store(on, AtomicOrdering::Relaxed);
+    phaseclock::enable(on);
 }
 
 /// Zeroes every phase accumulator.
 pub fn reset_phase_timings() {
-    for cell in &PHASE_NANOS {
-        cell.store(0, AtomicOrdering::Relaxed);
-    }
+    phaseclock::reset();
 }
 
 /// Snapshot of the accumulated per-phase wall time.
@@ -113,34 +119,16 @@ impl PhaseTimings {
 
 /// Reads the current accumulated phase timings.
 pub fn phase_timings() -> PhaseTimings {
-    PhaseTimings(
-        SolvePhase::ALL
-            .map(|p| Duration::from_nanos(PHASE_NANOS[p.index()].load(AtomicOrdering::Relaxed))),
-    )
+    PhaseTimings(SolvePhase::ALL.map(|p| Duration::from_nanos(phaseclock::nanos(p.index()))))
 }
 
-/// An RAII span: adds its elapsed wall time to `phase` on drop.  A no-op
+/// An RAII span: adds its elapsed wall time to its phase on drop.  A no-op
 /// (one relaxed load, no clock read) while the phase clock is disabled.
-pub struct PhaseSpan {
-    phase: SolvePhase,
-    start: Option<Instant>,
-}
-
-impl Drop for PhaseSpan {
-    fn drop(&mut self) {
-        if let Some(start) = self.start {
-            let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
-            PHASE_NANOS[self.phase.index()].fetch_add(nanos, AtomicOrdering::Relaxed);
-        }
-    }
-}
+pub type PhaseSpan = phaseclock::PhaseSpan;
 
 /// Opens a timing span for `phase` (see [`PhaseSpan`]).
 pub fn time_phase(phase: SolvePhase) -> PhaseSpan {
-    let start = PHASE_ENABLED
-        .load(AtomicOrdering::Relaxed)
-        .then(Instant::now);
-    PhaseSpan { phase, start }
+    phaseclock::span(phase.index())
 }
 
 /// The profile vector of a matching (index `i` = count at rank `i + 1`;

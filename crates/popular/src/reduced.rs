@@ -18,7 +18,7 @@
 use rayon::prelude::*;
 
 use pm_graph::BipartiteGraph;
-use pm_pram::prefetch::{prefetch_read, PREFETCH_DIST};
+use pm_pram::prefetch::prefetch_read;
 use pm_pram::tracker::DepthTracker;
 use pm_pram::{par_chunk_len, Idx, SEQUENTIAL_CUTOFF};
 
@@ -45,6 +45,8 @@ pub fn build_into(
     }
     let n_a = inst.num_applicants();
     tracker.phase();
+    // Gather-loop lookahead, hoisted once per call (PM_PREFETCH_DIST).
+    let pd = pm_pram::tune::prefetch_dist();
 
     // Steps 1 + 2: every applicant reads its first choice straight off the
     // flat CSR storage (one round), then the f-posts are marked (one
@@ -69,7 +71,7 @@ pub fn build_into(
             .enumerate()
             .for_each(|(a, fa)| *fa = inst.first_choice(a));
         for (a, &p) in f.iter().enumerate() {
-            if let Some(&pn) = f.get(a + PREFETCH_DIST) {
+            if let Some(&pn) = f.get(a + pd) {
                 prefetch_read(is_f_post, pn.get());
             }
             is_f_post[p] = true;
@@ -97,7 +99,7 @@ pub fn build_into(
             let a = base + i;
             // The scan probes `marks` at the head of each list; pull the
             // line for a later applicant's head in ahead of its turn.
-            let ahead = a + PREFETCH_DIST;
+            let ahead = a + pd;
             if ahead < end {
                 if let Some(&p0) = inst.flat_list(ahead).first() {
                     prefetch_read(marks, p0.get());

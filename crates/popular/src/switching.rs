@@ -18,7 +18,7 @@
 
 use pm_graph::connected::{connected_components_idx_ws, ComponentLabelsIdx};
 use pm_graph::functional::{extract_cycles_marked_idx, on_cycle_of_idx, FunctionalGraph};
-use pm_pram::prefetch::{prefetch_read, PREFETCH_DIST};
+use pm_pram::prefetch::prefetch_read;
 use pm_pram::scan::csr_offsets_into_u32;
 use pm_pram::scheduler::RoundScheduler;
 use pm_pram::tracker::DepthTracker;
@@ -57,6 +57,8 @@ pub fn margins_and_roots_of(
     if n == 0 {
         return (ws.take_i32_empty(), ws.take_idx_empty());
     }
+    // Gather-loop lookahead, hoisted once per call (PM_PREFETCH_DIST).
+    let pd = pm_pram::tune::prefetch_dist();
     debug_assert_eq!(on_cycle.len(), n);
 
     let mut ptr = ws.take_idx_dirty(n, Idx::ZERO);
@@ -93,7 +95,7 @@ pub fn margins_and_roots_of(
                 // Two-level gather (`ptr[ptr[p]]`): software-pipeline it by
                 // prefetching a later element's second hop while this one
                 // resolves.
-                if let Some(&qa) = ptr.get(p + PREFETCH_DIST) {
+                if let Some(&qa) = ptr.get(p + pd) {
                     prefetch_read(ptr, qa.get());
                     prefetch_read(acc, qa.get());
                 }
@@ -284,6 +286,8 @@ impl SwitchingGraph {
     /// each as a cycle component or a tree component (Lemma 4 (iii)).
     /// Components are ordered by their smallest post.
     pub fn components(&self, tracker: &DepthTracker) -> Vec<SwitchingComponent> {
+        // Gather-loop lookahead, hoisted once per call (PM_PREFETCH_DIST).
+        let pd = pm_pram::tune::prefetch_dist();
         // All dense scratch — the edge list, the hooking forest, the cycle
         // marking and the label buckets — is checked out of one workspace,
         // so the phases of this call share their slabs instead of each
@@ -318,7 +322,7 @@ impl SwitchingGraph {
         let mut counts = ws.take_u32(self.total_posts, 0);
         let mut charged = tracker.local();
         for p in 0..self.total_posts {
-            if let Some(&ln) = labels.label.get(p + PREFETCH_DIST) {
+            if let Some(&ln) = labels.label.get(p + pd) {
                 prefetch_read(&counts, ln.get());
             }
             if self.in_graph[p] {
@@ -335,7 +339,7 @@ impl SwitchingGraph {
         let mut bucket_flat = ws.take_idx(*bucket_off.last().unwrap_or(&0) as usize, Idx::ZERO);
         let mut charged = tracker.local();
         for p in 0..self.total_posts {
-            if let Some(&ln) = labels.label.get(p + PREFETCH_DIST) {
+            if let Some(&ln) = labels.label.get(p + pd) {
                 prefetch_read(&cursor, ln.get());
             }
             if self.in_graph[p] {

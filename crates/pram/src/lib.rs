@@ -47,12 +47,14 @@
 
 pub mod compact;
 pub mod idx;
+pub mod phaseclock;
 pub mod pointer;
 pub mod prefetch;
 pub mod reduce;
 pub mod scan;
 pub mod scheduler;
 pub mod tracker;
+pub mod tune;
 pub mod workspace;
 
 pub use compact::{
@@ -107,11 +109,13 @@ pub fn par_chunk_len(len: usize, min_chunk: usize) -> usize {
 pub const TARGET_CHUNK_BYTES: usize = 16 * 1024;
 
 /// Element-size-aware twin of [`par_chunk_len`]: derives the minimum chunk
-/// length from [`TARGET_CHUNK_BYTES`] and the element size, so `u8` marks and
-/// 8- or 16-byte records chunk to comparable cache footprints instead of a
-/// flat element count.  Same determinism guarantee as [`par_chunk_len`]: the
-/// result depends only on `len`, `elem_bytes` and the configured thread
-/// count, never on scheduling.
+/// length from the effective chunk footprint ([`tune::chunk_bytes`] — the
+/// `PM_CHUNK_BYTES` override when set, [`TARGET_CHUNK_BYTES`] otherwise) and
+/// the element size, so `u8` marks and 8- or 16-byte records chunk to
+/// comparable cache footprints instead of a flat element count.  Same
+/// determinism guarantee as [`par_chunk_len`]: the result depends only on
+/// `len`, `elem_bytes` and the configured thread count (plus the
+/// once-per-process tuning knob), never on scheduling.
 pub fn par_chunk_len_bytes(len: usize, elem_bytes: usize) -> usize {
-    par_chunk_len(len, (TARGET_CHUNK_BYTES / elem_bytes.max(1)).max(1))
+    par_chunk_len(len, (tune::chunk_bytes() / elem_bytes.max(1)).max(1))
 }

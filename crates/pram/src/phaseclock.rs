@@ -1,0 +1,140 @@
+//! The process-global slot-based phase clock behind `harness --profile`.
+//!
+//! The typed front door lives in `pm_popular::profile` (`SolvePhase` names
+//! each slot and the harness prints them), but the raw accumulators live
+//! here, one layer below every crate that owns a timed kernel: `pm_popular`
+//! times the solve pipeline and `pm_matching` times the Hopcroft–Karp
+//! referee, and `pm_pram` is the one crate both already depend on.
+//!
+//! The design is unchanged from the original clock: disabled by default, so
+//! a span costs a single relaxed load; enabled, a span adds one `Instant`
+//! pair and one relaxed `fetch_add` on drop.  No path allocates, so the
+//! zero-allocation warm-solve gate holds with profiling on or off.  Spans
+//! from concurrent solves (e.g. a fanned-out batch) sum into the same
+//! cells; the harness profiles single-solve loops, where the totals are
+//! exact.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Number of accumulator slots.  The registry below names them; adding a
+/// phase means claiming the next free slot and growing this constant.
+pub const PHASE_SLOTS: usize = 8;
+
+/// The slot registry: which kernel charges which accumulator.  Kept here —
+/// rather than per-crate constants that could silently collide — so the
+/// process-wide table has exactly one source of truth.
+pub mod slot {
+    /// Reduced-graph construction (`pm_popular::reduced::build_into`).
+    pub const REDUCE: usize = 0;
+    /// Algorithm 2 end to end (CSR build, peeling, even-cycle finish).
+    pub const ALGORITHM2: usize = 1;
+    /// The promotion pass of Algorithm 1.
+    pub const PROMOTE: usize = 2;
+    /// The fused CSR-offsets + degree-census scan inside Algorithm 2.
+    pub const CENSUS: usize = 3;
+    /// List ranking: pointer jumping and min-label cycle doubling.
+    pub const JUMP: usize = 4;
+    /// Hopcroft–Karp BFS layering sweeps.
+    pub const HK_BFS: usize = 5;
+    /// Hopcroft–Karp layered DFS sweeps (path search + in-place flips).
+    pub const HK_DFS: usize = 6;
+    /// Hopcroft–Karp final matching write-out.
+    pub const HK_AUGMENT: usize = 7;
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static NANOS: [AtomicU64; PHASE_SLOTS] = [
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+];
+
+/// Turns the phase clock on or off (off by default).
+pub fn enable(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Zeroes every slot.
+pub fn reset() {
+    for cell in &NANOS {
+        cell.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Accumulated nanoseconds of one slot.
+pub fn nanos(slot: usize) -> u64 {
+    NANOS[slot].load(Ordering::Relaxed)
+}
+
+/// An RAII span: adds its elapsed wall time to its slot on drop.  A no-op
+/// (one relaxed load, no clock read) while the clock is disabled.
+pub struct PhaseSpan {
+    slot: usize,
+    start: Option<Instant>,
+}
+
+impl Drop for PhaseSpan {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let elapsed = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            NANOS[self.slot].fetch_add(elapsed, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Opens a timing span charging `slot` (see [`PhaseSpan`]).
+pub fn span(slot: usize) -> PhaseSpan {
+    let start = ENABLED.load(Ordering::Relaxed).then(Instant::now);
+    PhaseSpan { slot, start }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_are_noops_while_disabled_and_accumulate_while_enabled() {
+        // Disabled (the default): spans are no-ops.
+        reset();
+        {
+            let _g = span(slot::HK_BFS);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        assert_eq!(nanos(slot::HK_BFS), 0);
+
+        // Enabled: the span's elapsed time lands in its cell.  Other tests
+        // in this process may add to the cells concurrently, so assert
+        // monotonic growth, not exact values.
+        enable(true);
+        {
+            let _g = span(slot::HK_BFS);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        enable(false);
+        assert!(nanos(slot::HK_BFS) >= 2_000_000);
+    }
+
+    #[test]
+    fn slot_registry_is_dense_and_in_range() {
+        let all = [
+            slot::REDUCE,
+            slot::ALGORITHM2,
+            slot::PROMOTE,
+            slot::CENSUS,
+            slot::JUMP,
+            slot::HK_BFS,
+            slot::HK_DFS,
+            slot::HK_AUGMENT,
+        ];
+        assert_eq!(all.len(), PHASE_SLOTS);
+        for (i, &s) in all.iter().enumerate() {
+            assert_eq!(s, i);
+        }
+    }
+}

@@ -10,7 +10,7 @@
 use rayon::prelude::*;
 
 use crate::idx::Idx;
-use crate::prefetch::{prefetch_read, PREFETCH_DIST};
+use crate::prefetch::prefetch_read;
 use crate::tracker::DepthTracker;
 use crate::SEQUENTIAL_CUTOFF;
 
@@ -67,6 +67,8 @@ pub fn pointer_jump_roots_into(
     tracker: &DepthTracker,
 ) -> u32 {
     let n = parent.len();
+    // Gather-loop lookahead, hoisted once per call (PM_PREFETCH_DIST).
+    let pd = crate::tune::prefetch_dist();
     assert!(
         parent.iter().all(|&p| p < n.max(1)),
         "parent pointer out of range"
@@ -118,7 +120,7 @@ pub fn pointer_jump_roots_into(
                     // The target of the gather a few iterations ahead is one
                     // cheap sequential read away — hint it into cache while
                     // this iteration's random load is in flight.
-                    if let Some(&pa) = root.get(v + PREFETCH_DIST) {
+                    if let Some(&pa) = root.get(v + pd) {
                         prefetch_read(root, pa);
                         prefetch_read(dist, pa);
                     }
@@ -135,7 +137,7 @@ pub fn pointer_jump_roots_into(
                 .zip(dist_scratch.iter_mut())
                 .enumerate()
             {
-                if let Some(&pa) = root.get(v + PREFETCH_DIST) {
+                if let Some(&pa) = root.get(v + pd) {
                     prefetch_read(root, pa);
                     prefetch_read(dist, pa);
                 }
@@ -175,6 +177,8 @@ pub fn pointer_jump_roots_into_idx(
     tracker: &DepthTracker,
 ) -> u32 {
     let n = parent.len();
+    // Gather-loop lookahead, hoisted once per call (PM_PREFETCH_DIST).
+    let pd = crate::tune::prefetch_dist();
     debug_assert!(
         parent.iter().all(|&p| p.get() < n.max(1)),
         "parent pointer out of range"
@@ -223,7 +227,7 @@ pub fn pointer_jump_roots_into_idx(
                     // Same software pipelining as the usize kernel: the
                     // lookahead target is a cheap sequential read, the hint
                     // overlaps the random gather's memory round-trip.
-                    if let Some(&pa) = root.get(v + PREFETCH_DIST) {
+                    if let Some(&pa) = root.get(v + pd) {
                         prefetch_read(root, pa.get());
                         prefetch_read(dist, pa.get());
                     }
@@ -240,7 +244,7 @@ pub fn pointer_jump_roots_into_idx(
                 .zip(dist_scratch.iter_mut())
                 .enumerate()
             {
-                if let Some(&pa) = root.get(v + PREFETCH_DIST) {
+                if let Some(&pa) = root.get(v + pd) {
                     prefetch_read(root, pa.get());
                     prefetch_read(dist, pa.get());
                 }
@@ -296,6 +300,8 @@ pub fn min_label_cycles(
     tracker: &DepthTracker,
 ) {
     let n = label.len();
+    // Gather-loop lookahead, hoisted once per call (PM_PREFETCH_DIST).
+    let pd = crate::tune::prefetch_dist();
     assert_eq!(ptr.len(), n, "label/pointer length mismatch");
     if n <= 1 {
         return;
@@ -325,7 +331,7 @@ pub fn min_label_cycles(
                 .for_each(|(a, (nl, np))| {
                     // Lookahead prefetch of the doubling gather, as in
                     // `pointer_jump_roots_into`.
-                    if let Some(&pa) = ptr.get(a + PREFETCH_DIST) {
+                    if let Some(&pa) = ptr.get(a + pd) {
                         prefetch_read(label, pa);
                         prefetch_read(ptr, pa);
                     }
@@ -343,7 +349,7 @@ pub fn min_label_cycles(
                 .zip(ptr_scratch.iter_mut())
                 .enumerate()
             {
-                if let Some(&pa) = ptr.get(a + PREFETCH_DIST) {
+                if let Some(&pa) = ptr.get(a + pd) {
                     prefetch_read(label, pa);
                     prefetch_read(ptr, pa);
                 }
@@ -373,6 +379,8 @@ pub fn min_label_cycles_idx(
     tracker: &DepthTracker,
 ) {
     let n = label.len();
+    // Gather-loop lookahead, hoisted once per call (PM_PREFETCH_DIST).
+    let pd = crate::tune::prefetch_dist();
     assert_eq!(ptr.len(), n, "label/pointer length mismatch");
     if n <= 1 {
         return;
@@ -396,7 +404,7 @@ pub fn min_label_cycles_idx(
                 .zip(ptr_scratch.par_iter_mut())
                 .enumerate()
                 .for_each(|(a, (nl, np))| {
-                    if let Some(&pa) = ptr.get(a + PREFETCH_DIST) {
+                    if let Some(&pa) = ptr.get(a + pd) {
                         prefetch_read(label, pa.get());
                         prefetch_read(ptr, pa.get());
                     }
@@ -414,7 +422,7 @@ pub fn min_label_cycles_idx(
                 .zip(ptr_scratch.iter_mut())
                 .enumerate()
             {
-                if let Some(&pa) = ptr.get(a + PREFETCH_DIST) {
+                if let Some(&pa) = ptr.get(a + pd) {
                     prefetch_read(label, pa.get());
                     prefetch_read(ptr, pa.get());
                 }

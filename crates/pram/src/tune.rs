@@ -1,0 +1,120 @@
+//! Runtime tuning knobs for the bandwidth-bound kernels.
+//!
+//! DESIGN.md §11 derives compile-time defaults for the two machine-shaped
+//! constants — [`TARGET_CHUNK_BYTES`](crate::TARGET_CHUNK_BYTES) for the
+//! per-chunk streaming footprint and
+//! [`PREFETCH_DIST`](crate::prefetch::PREFETCH_DIST) for the gather-loop
+//! lookahead — but the right values depend on the cache hierarchy the
+//! binary actually lands on, and the multicore CI runners differ from the
+//! single-core dev box.  This module lets a run override either without a
+//! recompile:
+//!
+//! * `PM_CHUNK_BYTES`  — per-chunk footprint in bytes for blocked passes;
+//! * `PM_PREFETCH_DIST` — elements of lookahead in the prefetching loops.
+//!
+//! Both are read **once** per process (first use) and cached, so the hot
+//! paths pay a single atomic load when they hoist the value into a local at
+//! kernel entry.  Unset or unparsable variables fall back to the compiled-in
+//! defaults; values are clamped to sane ranges so a typo cannot produce
+//! degenerate chunking.  The bench harness records the effective values in
+//! `BENCH_popular.json` (`tuning` object), so every committed trajectory
+//! names the configuration that produced it.
+//!
+//! The knobs only affect timing, never results: chunk boundaries are
+//! deterministic for a fixed `(PM_THREADS, PM_CHUNK_BYTES)` pair, and the
+//! repo-wide bit-identity property quantifies over executor width with the
+//! knobs held fixed, exactly as it always has for the compiled-in values.
+
+use std::sync::OnceLock;
+
+use crate::prefetch::PREFETCH_DIST;
+use crate::TARGET_CHUNK_BYTES;
+
+/// Smallest admissible `PM_CHUNK_BYTES`: one cache line.  Anything lower
+/// would make chunk-claim overhead dominate the work of the chunk.
+pub const MIN_CHUNK_BYTES: usize = 64;
+
+/// Largest admissible `PM_CHUNK_BYTES` (1 GiB): beyond this the "chunk" is
+/// the whole input on any realistic instance and the knob is equivalent to
+/// sequential execution.
+pub const MAX_CHUNK_BYTES: usize = 1 << 30;
+
+/// Largest admissible `PM_PREFETCH_DIST`.  A lookahead past a few thousand
+/// elements outruns every L1/L2 on the market; the clamp keeps the
+/// speculative `i + dist` index arithmetic comfortably overflow-free.
+pub const MAX_PREFETCH_DIST: usize = 4096;
+
+fn env_usize(name: &str, default: usize, lo: usize, hi: usize) -> usize {
+    match std::env::var(name) {
+        Ok(s) => match s.trim().parse::<usize>() {
+            Ok(v) => v.clamp(lo, hi),
+            Err(_) => default,
+        },
+        Err(_) => default,
+    }
+}
+
+/// Effective per-chunk footprint in bytes: `PM_CHUNK_BYTES` if set, else
+/// [`TARGET_CHUNK_BYTES`](crate::TARGET_CHUNK_BYTES).  Cached after the
+/// first call.
+pub fn chunk_bytes() -> usize {
+    static CACHE: OnceLock<usize> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        env_usize(
+            "PM_CHUNK_BYTES",
+            TARGET_CHUNK_BYTES,
+            MIN_CHUNK_BYTES,
+            MAX_CHUNK_BYTES,
+        )
+    })
+}
+
+/// Effective gather-loop prefetch lookahead in elements: `PM_PREFETCH_DIST`
+/// if set, else [`PREFETCH_DIST`](crate::prefetch::PREFETCH_DIST).  Cached
+/// after the first call.  The prefetching kernels hoist this into a local
+/// once per call, so the per-element cost is unchanged; when the `prefetch`
+/// feature is compiled out the lookahead feeds a no-op hint and the loads it
+/// would guard are dead-code-eliminated exactly as before.
+pub fn prefetch_dist() -> usize {
+    static CACHE: OnceLock<usize> = OnceLock::new();
+    *CACHE.get_or_init(|| env_usize("PM_PREFETCH_DIST", PREFETCH_DIST, 0, MAX_PREFETCH_DIST))
+}
+
+/// Block length, in posts, of the locality layout (DESIGN.md §12): the
+/// number of `u32`/[`Idx`](crate::Idx) gather targets that fit one
+/// [`chunk_bytes`] window.  The layout pass clusters co-referenced posts
+/// into id blocks of this length so that a kernel's random gathers
+/// (`counts[f[a]]`, switching-graph root lookups) land in a small set of
+/// resident windows instead of striding the whole post array.
+pub fn layout_block_len() -> usize {
+    (chunk_bytes() / 4).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_without_env() {
+        // The test binary does not set the knobs, so the cached values are
+        // the compiled-in defaults (other tests may have triggered the
+        // caching already — the assertion holds either way).
+        assert_eq!(chunk_bytes(), TARGET_CHUNK_BYTES);
+        assert_eq!(prefetch_dist(), PREFETCH_DIST);
+        assert_eq!(layout_block_len(), TARGET_CHUNK_BYTES / 4);
+    }
+
+    #[test]
+    fn env_parse_clamps_and_falls_back() {
+        assert_eq!(env_usize("PM_TUNE_TEST_UNSET", 7, 1, 100), 7);
+        std::env::set_var("PM_TUNE_TEST_A", "50");
+        assert_eq!(env_usize("PM_TUNE_TEST_A", 7, 1, 100), 50);
+        std::env::set_var("PM_TUNE_TEST_A", "100000");
+        assert_eq!(env_usize("PM_TUNE_TEST_A", 7, 1, 100), 100);
+        std::env::set_var("PM_TUNE_TEST_A", "0");
+        assert_eq!(env_usize("PM_TUNE_TEST_A", 7, 1, 100), 1);
+        std::env::set_var("PM_TUNE_TEST_A", "not-a-number");
+        assert_eq!(env_usize("PM_TUNE_TEST_A", 7, 1, 100), 7);
+        std::env::remove_var("PM_TUNE_TEST_A");
+    }
+}

@@ -38,6 +38,7 @@ pub use pm_stable as stable;
 pub mod prelude {
     pub use pm_graph::{BipartiteGraph, FunctionalGraph};
     pub use pm_instances::generators::{self, GeneratorConfig};
+    pub use pm_instances::layout::optimize_layout;
     pub use pm_instances::{self, paper, ChurnConfig};
     pub use pm_popular::algorithm1::{popular_matching_nc, popular_matching_run};
     pub use pm_popular::delta::{Delta, DeltaMode, DeltaSolver, DeltaStats};
@@ -45,6 +46,7 @@ pub mod prelude {
     pub use pm_popular::max_cardinality::maximum_cardinality_popular_matching_nc;
     pub use pm_popular::optimal::{fair_popular_matching, rank_maximal_popular_matching};
     pub use pm_popular::profile::Profile;
+    pub use pm_popular::relabel::{PostPermutation, Relabeled, RelabeledSolver};
     pub use pm_popular::sequential::popular_matching_sequential;
     pub use pm_popular::solver::PopularSolver;
     pub use pm_popular::switching::SwitchingGraph;
